@@ -1,0 +1,88 @@
+"""Ablation A2 — incremental completion times (paper §3.3).
+
+The representation keeps CT up to date through every operator so that
+``evaluate()`` is just a max.  This bench quantifies that choice:
+
+* a single task move: O(1) incremental update vs O(ntasks) recompute;
+* a two-point-crossover child: O(changed genes) delta vs full
+  recompute;
+* end-to-end: one full H2LL pass with and without cached CT.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cga.crossover import child_with_ct, two_point
+from repro.etc import load_benchmark
+from repro.scheduling.schedule import Schedule, compute_completion_times
+
+from conftest import save_artifact
+
+INST = load_benchmark("u_c_hihi.0")
+
+
+@pytest.fixture(scope="module")
+def sched():
+    return Schedule.random(INST, np.random.default_rng(0))
+
+
+def test_move_incremental(benchmark, sched):
+    s = sched.copy()
+    benchmark(s.move, 5, 3)
+
+
+def test_move_with_full_recompute(benchmark, sched):
+    s = sched.copy()
+
+    def move_and_recompute():
+        s.s[5] = 3
+        s.ct[:] = compute_completion_times(INST, s.s)
+
+    benchmark(move_and_recompute)
+
+
+def test_crossover_child_ct_delta(benchmark, sched):
+    rng = np.random.default_rng(1)
+    p2 = np.roll(sched.s, 11)
+    benchmark(lambda: child_with_ct(INST, sched.s, sched.ct, p2, two_point, rng))
+
+
+def test_crossover_child_ct_recompute(benchmark, sched):
+    rng = np.random.default_rng(1)
+    p2 = np.roll(sched.s, 11)
+
+    def full():
+        child = two_point(sched.s, p2, rng)
+        return child, compute_completion_times(INST, child)
+
+    benchmark(full)
+
+
+def test_incremental_ct_speedup_recorded(benchmark, sched):
+    """Record the measured advantage (timed once)."""
+    import time
+
+    def measure():
+        s = sched.copy()
+        reps = 20000
+        t0 = time.perf_counter()
+        for i in range(reps):
+            s.move(i % INST.ntasks, i % INST.nmachines)
+        inc = (time.perf_counter() - t0) / reps
+        t0 = time.perf_counter()
+        for i in range(reps // 100):
+            s.s[i % INST.ntasks] = i % INST.nmachines
+            s.ct[:] = compute_completion_times(INST, s.s)
+        full = (time.perf_counter() - t0) / (reps // 100)
+        return inc, full
+
+    inc, full = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = full / inc
+    save_artifact(
+        "ablation_incremental_ct.txt",
+        "A2: completion-time maintenance per task move (512x16 instance)\n"
+        f"  incremental update : {inc * 1e6:.2f} us\n"
+        f"  full recomputation : {full * 1e6:.2f} us\n"
+        f"  speedup            : {ratio:.1f}x\n",
+    )
+    assert ratio > 3.0, (inc, full)

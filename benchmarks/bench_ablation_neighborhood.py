@@ -1,0 +1,70 @@
+"""Ablation A4 — neighborhood shape.
+
+The paper picks L5 "to reduce concurrent memory access" (§4.1).  This
+bench quantifies both sides of that trade:
+
+* synchronization side: the fraction of individuals whose neighborhood
+  crosses a block boundary, per shape and thread count (more crossing
+  = more lock contention);
+* search side: best makespan at a fixed evaluation budget per shape.
+"""
+
+import numpy as np
+
+from repro.cga import CGAConfig, Grid2D, StopCondition, neighbor_table
+from repro.etc import load_benchmark
+from repro.experiments import ascii_table
+from repro.parallel import SimulatedPACGA
+
+from conftest import env_runs, save_artifact
+
+INST = load_benchmark("u_i_hihi.0")
+SHAPES = ("l5", "c9", "l9", "c13")
+
+
+def _run():
+    n_runs = env_runs(2)
+    grid = Grid2D(16, 16)
+    rows = []
+    for shape in SHAPES:
+        tbl = neighbor_table(grid, shape)
+        crossing = {n: grid.boundary_fraction(n, tbl) for n in (2, 3, 4)}
+        bests = []
+        for seed in range(n_runs):
+            config = CGAConfig(neighborhood=shape, n_threads=3, ls_iterations=5)
+            res = SimulatedPACGA(INST, config, seed=seed, history_stride=10**9).run(
+                StopCondition(max_evaluations=4000)
+            )
+            bests.append(res.best_fitness)
+        rows.append((shape, crossing, float(np.mean(bests))))
+    return rows
+
+
+def test_neighborhood_tradeoff(benchmark):
+    """Boundary crossing vs quality per shape (timed once)."""
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = ascii_table(
+        ["shape", "cross@2t", "cross@3t", "cross@4t", "mean best (4000 evals)"],
+        [
+            [
+                shape,
+                f"{crossing[2]:.2f}",
+                f"{crossing[3]:.2f}",
+                f"{crossing[4]:.2f}",
+                f"{best:,.0f}",
+            ]
+            for shape, crossing, best in rows
+        ],
+    )
+    save_artifact(
+        "ablation_neighborhood.txt",
+        "A4: neighborhood shape trade-off, u_i_hihi.0, 3 threads\n\n" + table + "\n",
+    )
+    print("\n" + table)
+
+    crossing_by_shape = {shape: crossing for shape, crossing, _ in rows}
+    # the paper's argument: L5 minimizes cross-boundary traffic at every
+    # thread count among the classical shapes
+    for other in ("c9", "l9", "c13"):
+        for n in (2, 3, 4):
+            assert crossing_by_shape["l5"][n] <= crossing_by_shape[other][n], (other, n)

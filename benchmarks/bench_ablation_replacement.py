@@ -1,0 +1,67 @@
+"""Ablation A8 — steady-state replacement operators (ref [19]).
+
+The Struggle GA row of Table 2 comes from Xhafa's study of GA
+*replacement operators* for grid scheduling.  This bench replays the
+core of that study: the same steady-state GA under struggle
+(similarity-based), replace-worst and replace-random policies,
+comparing solution quality and final population diversity.
+
+Expected (and asserted): struggle preserves the most diversity;
+replace-worst is the greediest.  Quality ordering at small budgets is
+recorded, not asserted (it flips with budget, as in the original
+study).
+"""
+
+import numpy as np
+
+from repro.baselines import StruggleGA
+from repro.cga import StopCondition
+from repro.etc import load_benchmark
+from repro.experiments import ascii_table
+
+from conftest import env_runs, save_artifact
+
+INST = load_benchmark("u_i_hihi.0")
+BUDGET = StopCondition(max_evaluations=4000)
+
+
+def _population_diversity(ga: StruggleGA) -> float:
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, ga.pop_size, 400)
+    b = rng.integers(0, ga.pop_size, 400)
+    mask = a != b
+    return float((ga.s[a[mask]] != ga.s[b[mask]]).mean())
+
+
+def _run():
+    n_runs = env_runs(3)
+    out = {}
+    for policy in StruggleGA.REPLACEMENTS:
+        bests, divs = [], []
+        for seed in range(n_runs):
+            ga = StruggleGA(
+                INST, pop_size=64, replacement=policy, seed_with_minmin=False, rng=seed
+            )
+            res = ga.run(BUDGET)
+            bests.append(res.best_fitness)
+            divs.append(_population_diversity(ga))
+        out[policy] = (float(np.mean(bests)), float(np.mean(divs)))
+    return out
+
+
+def test_replacement_operators(benchmark):
+    """Struggle replacement must keep the most diversity."""
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = ascii_table(
+        ["replacement", "mean best", "final diversity"],
+        [[k, f"{v[0]:,.0f}", f"{v[1]:.3f}"] for k, v in out.items()],
+    )
+    save_artifact(
+        "ablation_replacement.txt",
+        f"A8: steady-state replacement operators (ref [19]), u_i_hihi.0, "
+        f"{BUDGET.max_evaluations} evals\n\n" + table + "\n",
+    )
+    print("\n" + table)
+
+    assert out["struggle"][1] > out["worst"][1]
+    assert out["struggle"][1] > out["random"][1]

@@ -1,0 +1,33 @@
+"""Extension E7 — rescheduling policies in the dynamic grid of §2.1.
+
+Randomized timeline ensemble (batches arriving over a day, one node
+failure, one fast join) under three policies: MCT, Min-min and a
+PA-CGA rescheduler.  Asserted: the optimizing policies beat the
+throwaway-greedy MCT on mean makespan; PA-CGA is at least competitive
+with Min-min.  The migration/flowtime trade is recorded.
+"""
+
+from repro.experiments.dynamic_study import dynamic_study
+
+from conftest import env_runs, save_artifact
+
+
+def _run():
+    return dynamic_study(n_timelines=env_runs(4), seed=9, pacga_evals=1500)
+
+
+def test_dynamic_policies(benchmark):
+    """Optimizing reschedulers must beat greedy MCT over the ensemble."""
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = result.table()
+    save_artifact(
+        "dynamic_study.txt",
+        f"E7: dynamic grid rescheduling, {result.n_timelines} random timelines\n\n"
+        + table
+        + "\n",
+    )
+    print("\n" + table)
+
+    assert result.makespan["min-min"] <= result.makespan["mct"] * 1.02
+    assert result.makespan["pa-cga"] <= result.makespan["mct"] * 1.02
+    assert result.best_policy() in ("pa-cga", "min-min")

@@ -1,0 +1,73 @@
+"""Figure 4 — speedup of PA-CGA vs threads and local-search depth.
+
+Regenerates the four Fig. 4 series (0/1/5/10 H2LL iterations, 1–4
+threads) under the virtual-time simulator, prints the same grid of
+numbers the paper plots, saves it to benchmarks/out/, and asserts the
+paper's qualitative claims:
+
+* 0 iterations: evaluations *decrease* with the number of threads;
+* 5 and 10 iterations: positive speedup, no further gain from 3 to 4
+  threads;
+* 3 threads reach the maximum number of evaluations (the setting the
+  paper adopts for all further studies).
+"""
+
+from repro.experiments import speedup_experiment, write_csv
+
+from conftest import OUT_DIR, env_runs, env_vtime, save_artifact
+
+
+def _run():
+    return speedup_experiment(
+        instance="u_c_hihi.0",
+        thread_counts=(1, 2, 3, 4),
+        ls_iterations=(0, 1, 5, 10),
+        virtual_time=env_vtime(0.5),
+        n_runs=env_runs(2),
+        seed=1,
+    )
+
+
+def test_fig4_speedup(benchmark):
+    """Regenerate Figure 4 and check its shape (timed once)."""
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = result.table()
+    lines = [
+        f"Figure 4 (simulated): instance={result.instance}, "
+        f"virtual_time={result.virtual_time}, runs={result.n_runs}",
+        "",
+        table,
+        "",
+        "boundary fractions: "
+        + ", ".join(
+            f"{n}t={f:.3f}" for n, f in sorted(result.boundary_fractions.items())
+        ),
+    ]
+    save_artifact("fig4_speedup.txt", "\n".join(lines) + "\n")
+    write_csv(
+        OUT_DIR / "fig4_speedup.csv",
+        ["ls_iterations", "threads", "mean_evaluations", "speedup_percent"],
+        [
+            (it, n, result.mean_evaluations[(it, n)], result.speedup_percent(it, n))
+            for (it, n) in sorted(result.mean_evaluations)
+        ],
+    )
+    print("\n" + "\n".join(lines))
+
+    # claim 1: without local search, threads only add synchronization
+    s0 = [result.speedup_percent(0, n) for n in (1, 2, 3, 4)]
+    assert s0[1] < 100.0 and s0[2] < s0[1] and s0[3] < s0[2], s0
+
+    # claim 2: with 5/10 LS iterations, speedup is positive and grows to 3
+    for iters in (5, 10):
+        assert result.speedup_percent(iters, 2) > 110.0
+        assert result.speedup_percent(iters, 3) > result.speedup_percent(iters, 2)
+
+    # claim 3: no meaningful gain from the 4th thread
+    for iters in (5, 10):
+        assert result.speedup_percent(iters, 4) <= result.speedup_percent(iters, 3) * 1.05
+
+    # claim 4: 3 threads maximize evaluations at 10 LS iterations
+    evals10 = {n: result.mean_evaluations[(10, n)] for n in (1, 2, 3, 4)}
+    assert max(evals10, key=evals10.get) == 3

@@ -1,0 +1,89 @@
+"""Figure 6 — evolution of the mean population makespan (u_c_hihi.0).
+
+Regenerates the four convergence curves (1–4 threads, fixed virtual
+wall-time) and checks what the paper reads off the figure:
+
+* one thread evolves for fewer generations in the allotted time;
+* three threads find the best final solutions;
+* four threads do not end best.
+
+The paper additionally reads "1 thread finds worse average makespan at
+any generation" off the figure.  That per-generation ordering does NOT
+reproduce in this implementation (the single-thread line sweep
+propagates the Min-min seed slightly *faster* per generation; the
+parallel advantage here comes entirely from doing more generations in
+the same time) — the bench measures and records the observation instead
+of asserting it; see EXPERIMENTS.md for the discussion.
+
+Curves (as sparklines and CSV series) land in benchmarks/out/.
+"""
+
+import numpy as np
+
+from repro.experiments import convergence_experiment, write_csv
+
+from conftest import OUT_DIR, env_runs, env_vtime, save_artifact
+
+
+def _run():
+    return convergence_experiment(
+        instance="u_c_hihi.0",
+        thread_counts=(1, 2, 3, 4),
+        virtual_time=env_vtime(0.5),
+        n_runs=env_runs(3),
+        seed=23,
+        grid_points=48,
+    )
+
+
+def test_fig6_convergence(benchmark):
+    """Regenerate Figure 6 and check its reading (timed once)."""
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = [
+        f"Figure 6 (simulated): {result.instance}, virtual_time={result.virtual_time}, "
+        f"runs={result.n_runs}",
+        "",
+        "mean population makespan vs generations (sparklines, common grid):",
+    ]
+    for n in sorted(result.curves):
+        lines.append(
+            f"  {n} thread(s): {result.sparkline(n)}  "
+            f"final={result.final_mean[n]:,.0f} "
+            f"gens_reached={result.generations_reached[n]:.0f}"
+        )
+    save_artifact("fig6_convergence.txt", "\n".join(lines) + "\n")
+    write_csv(
+        OUT_DIR / "fig6_convergence.csv",
+        ["generation"] + [f"mean_makespan_{n}t" for n in sorted(result.curves)],
+        [
+            [g] + [result.curves[n][i] for n in sorted(result.curves)]
+            for i, g in enumerate(result.generations)
+        ],
+    )
+    print("\n" + "\n".join(lines))
+
+    # claim 1: one thread completes the fewest generations in the budget
+    gens = result.generations_reached
+    assert gens[1] == min(gens.values()), gens
+
+    # claim 2 (paper): one thread worst at any generation.  Does not
+    # reproduce here — record the measured per-generation dominance
+    # fraction in the artifact instead of asserting (EXPERIMENTS.md F6).
+    tail = slice(len(result.generations) // 4, None)
+    one = result.curves[1][tail]
+    dominance = {
+        n: float(np.mean(one >= result.curves[n][tail] - 1e-9)) for n in (2, 3, 4)
+    }
+    with open(OUT_DIR / "fig6_convergence.txt", "a", encoding="utf-8") as fh:
+        fh.write(
+            "\npaper claim 2 check (fraction of common-grid tail where the "
+            f"1-thread curve is worse): {dominance}\n"
+        )
+
+    # claim 3: three threads end best (on final mean makespan)
+    finals = result.final_mean
+    assert finals[3] == min(finals.values()), finals
+
+    # claim 4 (final part): four threads do not end best
+    assert finals[4] >= finals[3]

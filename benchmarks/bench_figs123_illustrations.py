@@ -1,0 +1,99 @@
+"""Figures 1–3 — the paper's illustrative diagrams, regenerated.
+
+These figures are not experimental results but depictions of the data
+structures; rendering them from the *actual* library objects verifies
+the structures match the paper:
+
+* Fig. 1 — a cellular neighborhood on the toroidal mesh (L5 around a
+  center cell);
+* Fig. 2 — the partition of an 8×8 population over 4 threads;
+* Fig. 3 — the solution representation: task-machine assignments plus
+  per-machine completion times.
+"""
+
+import numpy as np
+
+from repro.cga import Grid2D, neighbor_table
+from repro.etc import make_instance
+from repro.scheduling import Schedule
+
+from conftest import save_artifact
+
+
+def render_fig1() -> str:
+    """L5 neighborhood of the center cell of an 8x8 torus."""
+    grid = Grid2D(8, 8)
+    tbl = neighbor_table(grid, "l5")
+    center = grid.index(3, 3)
+    neigh = set(map(int, tbl[int(center)]))
+    lines = ["Fig. 1 — L5 neighborhood ('o' = neighbors, 'X' = individual):", ""]
+    for r in range(8):
+        row = []
+        for c in range(8):
+            idx = int(grid.index(r, c))
+            if idx == center:
+                row.append("X")
+            elif idx in neigh:
+                row.append("o")
+            else:
+                row.append(".")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_fig2() -> str:
+    """Partition of an 8x8 population over 4 threads (paper Fig. 2)."""
+    grid = Grid2D(8, 8)
+    blocks = grid.partition(4)
+    owner = np.empty(grid.size, dtype=int)
+    for bid, block in enumerate(blocks):
+        owner[block] = bid
+    lines = ["Fig. 2 — 8x8 population over 4 threads (digit = owning thread):", ""]
+    for r in range(8):
+        lines.append(" ".join(str(owner[int(grid.index(r, c))]) for c in range(8)))
+    return "\n".join(lines)
+
+
+def render_fig3() -> str:
+    """The (S, CT) representation on a small instance (paper Fig. 3)."""
+    inst = make_instance(6, 3, seed=1, name="fig3")
+    rng = np.random.default_rng(0)
+    sched = Schedule.random(inst, rng)
+    lines = [
+        "Fig. 3 — solution representation:",
+        "",
+        "task-machine assignments S[t] = m        completion times CT[m]",
+    ]
+    for t in range(inst.ntasks):
+        ct_part = (
+            f"    machine {t}: CT = {sched.ct[t]:.2f}" if t < inst.nmachines else ""
+        )
+        lines.append(f"  task {t} -> machine {int(sched.s[t])}{ct_part}")
+    lines.append(f"  evaluate() = max(CT) = {sched.makespan():.2f}")
+    return "\n".join(lines)
+
+
+def test_figures_1_2_3(benchmark):
+    """Render the structural figures and check their invariants."""
+
+    def render():
+        return render_fig1(), render_fig2(), render_fig3()
+
+    fig1, fig2, fig3 = benchmark.pedantic(render, rounds=1, iterations=1)
+    save_artifact("figs123_illustrations.txt", "\n\n".join([fig1, fig2, fig3]) + "\n")
+    print("\n" + "\n\n".join([fig1, fig2, fig3]))
+
+    # Fig. 1: exactly 4 neighbors around one X (check the body only)
+    fig1_body = "\n".join(fig1.splitlines()[2:])
+    assert fig1_body.count("X") == 1
+    assert fig1_body.count("o") == 4
+
+    # Fig. 2: 4 owners, 16 cells each, contiguous (2 rows per thread)
+    body = [ch for line in fig2.splitlines()[2:] for ch in line.split()]
+    assert len(body) == 64
+    assert sorted(set(body)) == ["0", "1", "2", "3"]
+    assert all(body.count(d) == 16 for d in "0123")
+
+    # Fig. 3: the representation carries both arrays and the evaluation
+    assert "evaluate() = max(CT)" in fig3
+    assert fig3.count("-> machine") == 6

@@ -1,0 +1,101 @@
+"""Extension E6 — shared-memory blocks vs distributed islands.
+
+The paper motivates PA-CGA by contrast with cluster parallelizations of
+cGAs ([4], [5]): islands exchange individuals through sparse explicit
+migration, while PA-CGA's blocks stay coupled through overlapping
+neighborhoods.  At equal evaluation budgets and equal total population
+(4 islands × 8×8 vs one 16×16 PA-CGA with 4 logical threads), the
+asserted claim is the structural one:
+
+* the island model retains more *global* genotypic diversity — its
+  subpopulations only exchange single elites, so between-island
+  variance persists.
+
+Convergence speed is recorded, not asserted: 64-cell islands have
+higher selection intensity than one 256-cell torus, so they converge
+faster at short budgets, while PA-CGA's single coupled population
+avoids the islands' duplicated search at long budgets — the classic
+coarse/fine-grained trade, budget-dependent by nature.
+"""
+
+import numpy as np
+
+from repro.baselines.island_ga import IslandGA
+from repro.cga import CGAConfig, StopCondition
+from repro.cga.diversity import hamming_diversity
+from repro.cga.grid import Grid2D
+from repro.cga.population import Population
+from repro.etc import load_benchmark
+from repro.experiments import ascii_table
+from repro.parallel import SimulatedPACGA
+
+from conftest import env_runs, save_artifact
+
+INST = load_benchmark("u_i_hihi.0")
+BUDGET = StopCondition(max_evaluations=5000)
+ISLAND_CFG = CGAConfig(grid_rows=8, grid_cols=8, ls_iterations=5, seed_with_minmin=False)
+PACGA_CFG = CGAConfig(
+    grid_rows=16, grid_cols=16, n_threads=4, ls_iterations=5, seed_with_minmin=False
+)
+
+
+def _island_global_diversity(ga: IslandGA) -> float:
+    """Hamming diversity over the union of all islands."""
+    union = Population(INST, Grid2D(16, 16))
+    stacked = np.vstack([pop.s for pop in ga.islands])
+    union.s[:] = stacked
+    union.evaluate_all()
+    return hamming_diversity(union)
+
+
+def _run():
+    n_runs = env_runs(3)
+    rows = {"island-ga": [], "pa-cga": []}
+    for seed in range(n_runs):
+        ga = IslandGA(
+            INST, n_islands=4, island_config=ISLAND_CFG, migration_interval=5, seed=seed
+        )
+        res_i = ga.run(BUDGET)
+        rows["island-ga"].append(
+            (res_i.best_fitness, _island_global_diversity(ga), res_i.history[-1][3])
+        )
+        sim = SimulatedPACGA(INST, PACGA_CFG, seed=seed, history_stride=10**9)
+        res_p = sim.run(BUDGET)
+        rows["pa-cga"].append(
+            (res_p.best_fitness, hamming_diversity(sim.pop), float(sim.pop.mean_fitness()))
+        )
+    return rows
+
+
+def test_island_vs_pacga(benchmark):
+    """Diversity and convergence trade between the two architectures."""
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    summary = {}
+    for name, triples in rows.items():
+        best = np.mean([t[0] for t in triples])
+        div = np.mean([t[1] for t in triples])
+        mean_fit = np.mean([t[2] for t in triples])
+        summary[name] = (best, div, mean_fit)
+    table = ascii_table(
+        ["architecture", "mean best", "hamming diversity", "population mean"],
+        [
+            [name, f"{v[0]:,.0f}", f"{v[1]:.3f}", f"{v[2]:,.0f}"]
+            for name, v in summary.items()
+        ],
+    )
+    save_artifact(
+        "island_vs_pacga.txt",
+        f"E6: islands vs shared-memory blocks, u_i_hihi.0, "
+        f"{BUDGET.max_evaluations} evals, equal total population (256)\n\n"
+        + table
+        + "\n\nConvergence speed is budget-dependent (small islands have higher"
+        "\nselection intensity early; the coupled torus avoids duplicated"
+        "\nsearch late) — recorded here, asserted nowhere.\n",
+    )
+    print("\n" + table)
+
+    # the structural claim: islands keep more global diversity
+    assert summary["island-ga"][1] > summary["pa-cga"][1]
+    # both architectures must actually be optimizing (sanity floor)
+    assert summary["island-ga"][0] < 25_000_000
+    assert summary["pa-cga"][0] < 25_000_000

@@ -1,0 +1,38 @@
+"""Extension E2 — absolute quality against the LP lower bound.
+
+The paper never reports optimality gaps; this bench adds the missing
+yardstick.  For every benchmark instance it computes the R‖Cmax LP
+relaxation bound, the Min-min seed and PA-CGA's result at a fixed
+budget, and asserts that PA-CGA (a) improves on its seed everywhere
+and (b) lands within a sane factor of the fractional optimum.
+"""
+
+from repro.experiments import quality_experiment
+
+from conftest import save_artifact
+
+
+def _run():
+    return quality_experiment(max_evaluations=8000, seed=3)
+
+
+def test_quality_vs_lp_bound(benchmark):
+    """Optimality gaps across the twelve instances (timed once)."""
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = result.table()
+    save_artifact(
+        "quality_bounds.txt",
+        f"E2: quality vs LP relaxation, {result.budget_evaluations} evaluations\n\n"
+        + table
+        + f"\n\nmean PA-CGA gap above LP: {100 * result.mean_gap():.2f}%\n",
+    )
+    print("\n" + table)
+
+    for row in result.rows:
+        # PA-CGA must improve on (or match) the Min-min seed everywhere
+        assert row.pa_cga <= row.minmin * 1.0001, row
+        # and stay above the LP bound (sanity of both sides)
+        assert row.pa_cga >= row.lp_bound - 1e-6, row
+    # aggregate: the metaheuristic closes most of the heuristic's gap
+    mean_minmin = sum(r.minmin_gap for r in result.rows) / len(result.rows)
+    assert result.mean_gap() < mean_minmin

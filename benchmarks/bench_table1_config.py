@@ -1,0 +1,83 @@
+"""Table 1 — configuration self-check and per-operator throughput.
+
+Table 1 is the paper's parameterization, not a result; this bench (a)
+asserts the default :class:`CGAConfig` matches it and records the
+rendered table, and (b) measures the raw throughput of every operator
+in the breeding loop with pytest-benchmark, which is what the virtual
+cost model's ratios are grounded in.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CGAConfig, load_benchmark
+from repro.cga.crossover import child_with_ct, one_point, two_point
+from repro.cga.local_search import h2ll
+from repro.cga.mutation import move_mutation
+from repro.cga.population import Population
+from repro.cga.selection import best_two
+from repro.scheduling.schedule import compute_completion_times
+
+from conftest import save_artifact
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return load_benchmark("u_c_hihi.0")
+
+
+@pytest.fixture(scope="module")
+def state(inst):
+    rng = np.random.default_rng(0)
+    s = rng.integers(0, inst.nmachines, inst.ntasks).astype(np.int32)
+    ct = compute_completion_times(inst, s)
+    return s, ct, rng
+
+
+def test_table1_configuration(benchmark):
+    """Record Table 1 and check the defaults reproduce it."""
+    config = CGAConfig(n_threads=3)
+    text = config.describe()
+    save_artifact("table1_configuration.txt", text + "\n")
+    assert config.population_size == 256
+    assert config.neighborhood == "l5"
+    assert config.crossover == "tpx"
+    assert config.local_search == "h2ll"
+    benchmark(config.describe)
+
+
+def test_throughput_selection_best2(benchmark, state):
+    s, ct, rng = state
+    fitness = rng.random(5)
+    benchmark(best_two, fitness, rng)
+
+
+def test_throughput_crossover_opx(benchmark, inst, state):
+    s, ct, rng = state
+    p2 = np.roll(s, 7)
+    benchmark(lambda: child_with_ct(inst, s, ct, p2, one_point, rng))
+
+
+def test_throughput_crossover_tpx(benchmark, inst, state):
+    s, ct, rng = state
+    p2 = np.roll(s, 7)
+    benchmark(lambda: child_with_ct(inst, s, ct, p2, two_point, rng))
+
+
+def test_throughput_mutation_move(benchmark, inst, state):
+    s, ct, rng = state
+    benchmark(lambda: move_mutation(s, ct, inst, rng))
+
+
+@pytest.mark.parametrize("iters", [1, 5, 10])
+def test_throughput_h2ll(benchmark, inst, state, iters):
+    s, ct, rng = state
+    benchmark(lambda: h2ll(s.copy(), ct.copy(), inst, rng, iters))
+
+
+def test_throughput_population_evaluate_all(benchmark, inst):
+    from repro.cga.grid import Grid2D
+
+    pop = Population(inst, Grid2D(16, 16))
+    pop.init_random(np.random.default_rng(0))
+    benchmark(pop.evaluate_all)

@@ -1,0 +1,91 @@
+"""Table 2 — PA-CGA vs Struggle GA and cMA+LTH on all twelve instances.
+
+Reruns every algorithm *in this library* under the paper's wall-clock
+protocol (same machine, same time budget; the 10 s column gets the
+budget divided by the paper's measured machine ratio of 9).  The paper
+quotes its baseline numbers from older studies on older hardware — here
+the baselines are reimplemented and rerun, so the honest comparison is
+time-fair on identical instances.
+
+Asserted claims (robust at bench-scale budgets):
+
+* PA-CGA beats the Struggle GA on (almost) every instance;
+* PA-CGA with the full budget is never worse than with the 1/9 budget;
+* even the 1/9-budget PA-CGA already beats the full-budget Struggle GA
+  on a substantial share of instances (the paper's "10 seconds of
+  runtime achieves better results than the literature").
+
+The cMA+LTH relationship is *recorded, not asserted*: our
+reimplemented LTH is a strong steepest-descent/tabu hybrid that wins at
+small budgets and is only overtaken by PA-CGA near paper-scale budgets
+(see EXPERIMENTS.md T2 for the crossover discussion).
+"""
+
+from repro.experiments import PAPER_TABLE2, comparison_experiment, format_float, write_csv
+
+from conftest import OUT_DIR, env_runs, env_vtime, save_artifact
+
+
+def _run():
+    return comparison_experiment(
+        virtual_time=env_vtime(2.0),  # real seconds per algorithm per run
+        n_runs=env_runs(2),
+        seed=11,
+        protocol="time",
+    )
+
+
+def test_table2_comparison(benchmark):
+    """Regenerate Table 2 (time-fair rerun) and check the claims."""
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = result.table(include_paper=True)
+    instances = result.instances()
+    pa10_beats_struggle = [
+        i
+        for i in instances
+        if result.means[(i, "pa-cga-10s")] < result.means[(i, "struggle-ga")]
+    ]
+    lines = [
+        f"Table 2 (time-fair rerun on this machine): wall budget="
+        f"{result.virtual_time}s per algorithm, runs={result.n_runs}",
+        "",
+        table,
+        "",
+        f"PA-CGA-10s already beats full-budget Struggle GA on "
+        f"{len(pa10_beats_struggle)}/12 instances: {pa10_beats_struggle}",
+        "",
+        "paper-reported means for reference (from 2006/2008 studies):",
+    ]
+    for name, row in PAPER_TABLE2.items():
+        lines.append(
+            f"  {name:12s} struggle={format_float(row.struggle_ga):>12s} "
+            f"cma+lth={format_float(row.cma_lth):>12s} "
+            f"pa10={format_float(row.pa_cga_10s):>12s} "
+            f"pa90={format_float(row.pa_cga_90s):>12s}"
+        )
+    save_artifact("table2_comparison.txt", "\n".join(lines) + "\n")
+    write_csv(
+        OUT_DIR / "table2_comparison.csv",
+        ["instance", "algorithm", "mean_makespan"],
+        [(i, a, m) for (i, a), m in sorted(result.means.items())],
+    )
+    print("\n" + table)
+
+    # claim 1: PA-CGA beats the panmictic Struggle GA almost everywhere
+    wins_vs_struggle = sum(
+        result.means[(i, "pa-cga-90s")] < result.means[(i, "struggle-ga")]
+        for i in instances
+    )
+    assert wins_vs_struggle >= 10, f"beat struggle on only {wins_vs_struggle}/12"
+
+    # claim 2: more budget never hurts
+    for inst in instances:
+        assert (
+            result.means[(inst, "pa-cga-90s")]
+            <= result.means[(inst, "pa-cga-10s")] * 1.001
+        ), inst
+
+    # claim 3: the 1/9-budget PA-CGA already beats the full-budget
+    # Struggle GA on a substantial share of instances
+    assert len(pa10_beats_struggle) >= 4, pa10_beats_struggle

@@ -1,0 +1,56 @@
+"""Extension E5 — takeover time / selection pressure curves.
+
+Quantifies the cGA premise the paper inherits from [1]: selection
+pressure (takeover speed) grows with neighborhood size, and
+asynchronous updates accelerate takeover dramatically relative to
+synchronous ones.  The artifact records the full curves.
+"""
+
+from repro.experiments import ascii_table
+from repro.experiments.takeover import takeover_experiment
+
+from conftest import save_artifact
+
+
+def _run():
+    settings = [
+        ("l5", "sync"),
+        ("c9", "sync"),
+        ("c13", "sync"),
+        ("l5", "async"),
+    ]
+    return {
+        (nb, up): takeover_experiment(neighborhood=nb, update=up, max_generations=100)
+        for nb, up in settings
+    }
+
+
+def test_takeover_pressure(benchmark):
+    """Takeover ordering: async << sync; bigger neighborhood = faster."""
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for (nb, up), r in results.items():
+        rows.append(
+            [
+                f"{nb}/{up}",
+                r.takeover_generation,
+                r.generations_to(0.5),
+                f"{r.proportions[1]:.3f}",
+            ]
+        )
+    table = ascii_table(
+        ["setting", "takeover gen", "gen to 50%", "prop. after 1 gen"], rows
+    )
+    save_artifact(
+        "takeover.txt",
+        "E5: takeover time on a 16x16 torus (selection-only, best-2,\n"
+        "replace-if-better, one planted optimum)\n\n" + table + "\n",
+    )
+    print("\n" + table)
+
+    sync_l5 = results[("l5", "sync")].takeover_generation
+    sync_c9 = results[("c9", "sync")].takeover_generation
+    sync_c13 = results[("c13", "sync")].takeover_generation
+    async_l5 = results[("l5", "async")].takeover_generation
+    assert sync_c13 <= sync_c9 < sync_l5
+    assert async_l5 < sync_c13

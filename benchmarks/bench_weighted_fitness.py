@@ -1,0 +1,53 @@
+"""Extension E4 — the weighted makespan+flowtime objective.
+
+The cMA+LTH study (the paper's reference [20]) optimizes a weighted
+combination of makespan and flowtime; this library supports the same
+objective via ``CGAConfig(fitness="makespan+flowtime")``.  The bench
+measures the trade: optimizing the combined objective should improve
+flowtime at a modest makespan cost relative to the paper's
+makespan-only configuration.
+"""
+
+from repro.cga import AsyncCGA, CGAConfig, StopCondition
+from repro.etc import load_benchmark
+from repro.experiments import ascii_table
+from repro.scheduling import flowtime, makespan
+
+from conftest import env_runs, save_artifact
+
+INST = load_benchmark("u_i_hihi.0")
+BUDGET = StopCondition(max_evaluations=4000)
+
+
+def _run():
+    n_runs = env_runs(3)
+    out = {}
+    for fitness in ("makespan", "makespan+flowtime"):
+        ms, ft = [], []
+        for seed in range(n_runs):
+            config = CGAConfig(ls_iterations=5, fitness=fitness)
+            res = AsyncCGA(INST, config, rng=seed, record_history=False).run(BUDGET)
+            ms.append(makespan(INST, res.best_assignment))
+            ft.append(flowtime(INST, res.best_assignment))
+        out[fitness] = (sum(ms) / n_runs, sum(ft) / n_runs)
+    return out
+
+
+def test_weighted_objective_tradeoff(benchmark):
+    """Combined objective buys flowtime without wrecking makespan."""
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = ascii_table(
+        ["objective", "mean makespan", "mean flowtime"],
+        [[k, f"{v[0]:,.0f}", f"{v[1]:,.0f}"] for k, v in out.items()],
+    )
+    save_artifact(
+        "weighted_fitness.txt",
+        f"E4: objective trade-off, u_i_hihi.0, {BUDGET.max_evaluations} evals\n\n"
+        + table
+        + "\n",
+    )
+    print("\n" + table)
+    pure = out["makespan"]
+    mixed = out["makespan+flowtime"]
+    assert mixed[1] <= pure[1] * 1.02  # flowtime no worse (usually better)
+    assert mixed[0] <= pure[0] * 1.15  # makespan cost bounded

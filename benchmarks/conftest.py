@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Budgets follow the paper's protocols but are scaled so the whole suite
+finishes in minutes instead of the paper's 100 × 90 s per cell.  Two
+environment variables rescale everything:
+
+* ``REPRO_BENCH_RUNS``  — independent runs per cell (default 2–3);
+* ``REPRO_BENCH_VTIME`` — multiplier on every virtual-time budget
+  (default 1.0; the paper scale is roughly 180x).
+
+Artifacts (the regenerated tables/figures as text and CSV) are written
+to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def env_runs(default: int) -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", default))
+
+
+def env_vtime(default: float) -> float:
+    return default * float(os.environ.get("REPRO_BENCH_VTIME", "1.0"))
+
+
+def save_artifact(name: str, text: str) -> Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Scheduling a Monte-Carlo parameter-sweep campaign on a grid.
+
+The paper motivates batch scheduling with parameter-sweep applications
+(§2.1): a scientist submits hundreds of independent simulation tasks —
+the same code, different parameters — to a computational grid whose
+machines differ in speed, and some machines are already busy (non-zero
+ready times).
+
+This example builds such a campaign synthetically: task workloads are
+drawn around a few "scenario sizes" (small/medium/large sweeps), the
+grid mixes fast and slow machines, and several machines start busy.
+It then compares every constructive heuristic with PA-CGA and reports
+makespan, flowtime and utilization.
+
+Run:  python examples/parameter_sweep_campaign.py
+"""
+
+import numpy as np
+
+from repro import CGAConfig, SimulatedPACGA, StopCondition
+from repro.etc.model import ETCMatrix
+from repro.heuristics import HEURISTICS
+from repro.scheduling import flowtime, utilization
+from repro.experiments import ascii_table
+
+
+def build_campaign(seed: int = 7) -> ETCMatrix:
+    """240 sweep tasks on a 12-machine grid with busy machines."""
+    rng = np.random.default_rng(seed)
+    # three sweep batches with different per-task workloads (MI)
+    workloads = np.concatenate(
+        [
+            rng.lognormal(mean=9.0, sigma=0.3, size=120),   # small runs
+            rng.lognormal(mean=10.5, sigma=0.3, size=80),   # medium runs
+            rng.lognormal(mean=12.0, sigma=0.4, size=40),   # long tails
+        ]
+    )
+    # machine speeds in MIPS: 4 fast nodes, 6 mid, 2 old donations
+    speeds = np.concatenate(
+        [
+            rng.uniform(900, 1100, size=4),
+            rng.uniform(400, 600, size=6),
+            rng.uniform(80, 120, size=2),
+        ]
+    )
+    etc = workloads[:, None] / speeds[None, :]
+    # a few machines are still finishing last night's batch
+    ready = np.zeros(speeds.size)
+    ready[1] = etc.mean() * 4
+    ready[5] = etc.mean() * 10
+    return ETCMatrix(etc=etc, ready_times=ready, name="mc-sweep-campaign")
+
+
+def main() -> None:
+    campaign = build_campaign()
+    print(f"campaign: {campaign.ntasks} tasks on {campaign.nmachines} machines")
+    print(f"consistency: {campaign.consistency().name.lower()} "
+          f"(speed-scaled grids are consistent by construction)")
+    print(f"lower bound on makespan: {campaign.makespan_lower_bound():,.1f}s")
+    print()
+
+    rows = []
+    rng = np.random.default_rng(0)
+    for name, fn in HEURISTICS.items():
+        sched = fn(campaign, rng)
+        rows.append(
+            (
+                name,
+                f"{sched.makespan():,.1f}",
+                f"{flowtime(campaign, sched.s):,.0f}",
+                f"{100 * utilization(campaign, sched.s):.1f}%",
+            )
+        )
+
+    config = CGAConfig(
+        grid_rows=12, grid_cols=12, n_threads=3, crossover="tpx", ls_iterations=10
+    )
+    engine = SimulatedPACGA(campaign, config, seed=1)
+    result = engine.run(StopCondition(max_evaluations=20_000))
+    best = result.best_schedule(campaign)
+    rows.append(
+        (
+            "pa-cga (3 threads)",
+            f"{best.makespan():,.1f}",
+            f"{flowtime(campaign, best.s):,.0f}",
+            f"{100 * utilization(campaign, best.s):.1f}%",
+        )
+    )
+
+    print(ascii_table(["scheduler", "makespan (s)", "flowtime (s)", "utilization"], rows))
+    print()
+    gap = 100 * (best.makespan() / campaign.makespan_lower_bound() - 1)
+    print(
+        f"PA-CGA finishes {gap:.1f}% above the area lower bound — the bound"
+        "\nassumes every task runs on the globally fastest machine at once,"
+        "\nso a large gap is expected on consistent (speed-scaled) grids."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Why cellular? — visualizing selection pressure and diversity.
+
+The paper's opening argument (§1, §3.1): restricting mating to small
+neighborhoods slows the spread of good solutions, keeping diversity
+longer and avoiding premature convergence.  This example makes that
+visible twice over:
+
+1. a **takeover experiment** — plant one optimal individual, disable
+   variation, and watch how fast its copies flood a 16×16 torus under
+   different neighborhoods and update policies;
+2. a **diversity trace** — run the real PA-CGA and print how genotypic
+   diversity decays for small vs large neighborhoods.
+
+Run:  python examples/selection_pressure.py
+"""
+
+from repro import CGAConfig, StopCondition, load_benchmark
+from repro.cga.engine import AsyncCGA
+from repro.cga.diversity import diversity_report
+from repro.experiments import ascii_table
+from repro.experiments.report import ascii_series
+from repro.experiments.takeover import takeover_experiment
+
+
+def takeover_demo() -> None:
+    print("1. takeover of a planted optimum (selection only, 16x16 torus)")
+    print()
+    rows = []
+    curves = {}
+    for label, nb, update in [
+        ("L5 / synchronous", "l5", "sync"),
+        ("C9 / synchronous", "c9", "sync"),
+        ("C13 / synchronous", "c13", "sync"),
+        ("L5 / asynchronous", "l5", "async"),
+    ]:
+        r = takeover_experiment(neighborhood=nb, update=update, max_generations=60)
+        rows.append([label, r.takeover_generation, r.generations_to(0.5)])
+        curves[label] = r.proportions
+    print(ascii_table(["setting", "takeover generation", "generation to 50%"], rows))
+    print()
+    for label, curve in curves.items():
+        print(f"  {label:18s} {ascii_series(curve, width=40)}")
+    print()
+    print("Small neighborhoods spread slowly (L5 sync needs the full grid")
+    print("radius of 16 generations); the asynchronous line sweep is the")
+    print("paper's convergence accelerator (2 generations).")
+    print()
+
+
+def diversity_demo() -> None:
+    print("2. diversity decay during real optimization (u_i_hihi.0)")
+    print()
+    inst = load_benchmark("u_i_hihi.0")
+    rows = []
+    for nb in ("l5", "c13"):
+        config = CGAConfig(neighborhood=nb, ls_iterations=2, seed_with_minmin=False)
+        engine = AsyncCGA(inst, config, rng=1, record_history=False)
+        trace = []
+        for _ in range(6):
+            engine.run(StopCondition(max_generations=4))
+            trace.append(diversity_report(engine.pop)["hamming"])
+        rows.append([nb] + [f"{v:.3f}" for v in trace])
+    print(
+        ascii_table(
+            ["neighborhood"] + [f"gen {4 * (i + 1)}" for i in range(6)], rows
+        )
+    )
+    print()
+    print("L5 retains diversity far longer than C13 at the same budget —")
+    print("the exploration reserve that pays off on hard instances.")
+
+
+def main() -> None:
+    takeover_demo()
+    diversity_demo()
+
+
+if __name__ == "__main__":
+    main()

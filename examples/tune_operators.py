@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Mini Figure 5: which crossover / local-search depth should you use?
+
+Runs the paper's four operator variants (opx/5, tpx/5, opx/10, tpx/10)
+on one instance with several independent runs and reports the notched
+statistics the paper bases its conclusion on ("tpx/10 performs better
+than opx/5 with statistical significance").
+
+Run:  python examples/tune_operators.py [instance] [n_runs]
+"""
+
+import sys
+
+from repro.experiments import ascii_table, operators_experiment
+from repro.experiments.operators_study import DEFAULT_VARIANTS, variant_label
+
+
+def main(instance: str = "u_i_hihi.0", n_runs: int = 8) -> None:
+    print(f"operator study on {instance}, {n_runs} runs per variant\n")
+    result = operators_experiment(
+        instances=[instance],
+        variants=DEFAULT_VARIANTS,
+        n_threads=3,
+        virtual_time=0.03,
+        n_runs=n_runs,
+        seed=7,
+    )
+
+    rows = []
+    for crossover, iters in DEFAULT_VARIANTS:
+        label = variant_label(crossover, iters)
+        s = result.stats(instance, label)
+        rows.append(
+            [
+                label,
+                f"{s.mean:,.0f}",
+                f"{s.median:,.0f}",
+                f"[{s.notch_lo:,.0f}, {s.notch_hi:,.0f}]",
+                f"{s.std:,.0f}",
+            ]
+        )
+    print(ascii_table(["variant", "mean", "median", "median notch", "std"], rows))
+
+    best = result.best_variant(instance)
+    print(f"\nbest variant by mean makespan: {best}")
+
+    a, b = "tpx/10", "opx/5"
+    p = result.p_value(instance, a, b)
+    sig = result.significantly_better(instance, a, b)
+    print(f"{a} vs {b}: Mann-Whitney p = {p:.4f}; "
+          f"notches {'do NOT overlap -> significant' if sig else 'overlap -> inconclusive at this budget'}")
+    print("\n(The paper runs 100 x 90 s; raise n_runs/virtual_time to approach that.)")
+
+
+if __name__ == "__main__":
+    inst = sys.argv[1] if len(sys.argv) > 1 else "u_i_hihi.0"
+    runs = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    main(inst, runs)

@@ -1,0 +1,21 @@
+"""Literature baselines compared against PA-CGA in Table 2.
+
+* :class:`StruggleGA` — Xhafa's steady-state GA with *struggle*
+  replacement (offspring replaces the most similar individual when
+  better), a panmictic (non-decentralized) population GA.
+* :func:`local_tabu_hop` / :class:`CMALTH` — reimplementation of the
+  cellular memetic algorithm hybridized with Tabu Search of
+  Xhafa, Alba, Dorronsoro & Duran (2008).
+
+Importing this package registers the ``lth`` local search in
+``repro.cga.local_search.LOCAL_SEARCHES`` so it can be used from any
+:class:`repro.cga.CGAConfig`.
+"""
+
+from repro.baselines.struggle_ga import StruggleGA
+from repro.baselines.cma_lth import CMALTH, local_tabu_hop
+from repro.baselines.sa import SimulatedAnnealing
+from repro.baselines.island_ga import IslandGA
+from repro.baselines.tabu import TabuSearch
+
+__all__ = ["StruggleGA", "CMALTH", "local_tabu_hop", "SimulatedAnnealing", "IslandGA", "TabuSearch"]

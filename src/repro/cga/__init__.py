@@ -1,0 +1,32 @@
+"""Cellular genetic algorithm core (paper §3).
+
+The population lives on a 2-D toroidal grid; individuals interact only
+with their neighborhood (L5 by default).  This package provides the
+grid geometry and block partitioning (§3.2), the variation operators
+with incremental completion-time updates (§3.3), the H2LL local search
+(Algorithm 4), and the sequential engines: the canonical asynchronous
+CGA (Algorithm 1 — identical to PA-CGA with one thread) and the
+synchronous variant.  The parallel engines live in ``repro.parallel``.
+"""
+
+from repro.cga.config import CGAConfig, StopCondition
+from repro.cga.grid import Grid2D
+from repro.cga.neighborhood import NEIGHBORHOODS, neighbor_table
+from repro.cga.population import Population
+from repro.cga.engine import AsyncCGA, SyncCGA, EvolutionOps, RunResult, evolve_individual
+from repro.cga.local_search import h2ll
+
+__all__ = [
+    "CGAConfig",
+    "StopCondition",
+    "Grid2D",
+    "NEIGHBORHOODS",
+    "neighbor_table",
+    "Population",
+    "AsyncCGA",
+    "SyncCGA",
+    "EvolutionOps",
+    "RunResult",
+    "evolve_individual",
+    "h2ll",
+]

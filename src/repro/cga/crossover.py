@@ -1,0 +1,94 @@
+"""Recombination operators with incremental completion-time updates.
+
+The paper evaluates one-point (opx) and two-point (tpx) crossover
+(§4.1, Fig. 5).  For the (S, CT) representation of §3.3 a child that
+starts from parent 1 and inherits a segment from parent 2 only changes
+CT where the two parents disagree, so the update cost is
+O(segment length), not O(ntasks) — ``child_with_ct`` implements that
+delta rule once for all operators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.etc.model import ETCMatrix
+
+__all__ = ["one_point", "two_point", "uniform", "child_with_ct", "CROSSOVERS"]
+
+Crossover = Callable[[np.ndarray, np.ndarray, np.random.Generator], np.ndarray]
+
+
+def one_point(p1: np.ndarray, p2: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """One-point crossover (opx): prefix from p1, suffix from p2.
+
+    The cut point is drawn in ``[1, n-1]`` so both parents always
+    contribute at least one gene.
+    """
+    n = p1.shape[0]
+    if n < 2:
+        return p1.copy()
+    cut = int(rng.integers(1, n))
+    child = p1.copy()
+    child[cut:] = p2[cut:]
+    return child
+
+
+def two_point(p1: np.ndarray, p2: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Two-point crossover (tpx): p2's genes inside a random window.
+
+    Draws two cut positions and copies the half-open window between
+    them from p2 (equal cuts yield an empty window, i.e. a p1 clone).
+    """
+    n = p1.shape[0]
+    if n < 2:
+        return p1.copy()
+    cuts = rng.integers(0, n + 1, size=2)
+    a, b = (int(cuts[0]), int(cuts[1])) if cuts[0] <= cuts[1] else (int(cuts[1]), int(cuts[0]))
+    child = p1.copy()
+    child[a:b] = p2[a:b]
+    return child
+
+
+def uniform(p1: np.ndarray, p2: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Uniform crossover: each gene from either parent with p = 1/2."""
+    mask = rng.random(p1.shape[0]) < 0.5
+    child = p1.copy()
+    child[mask] = p2[mask]
+    return child
+
+
+def child_with_ct(
+    instance: ETCMatrix,
+    p1_s: np.ndarray,
+    p1_ct: np.ndarray,
+    p2_s: np.ndarray,
+    op: Crossover,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply a crossover and derive the child's CT from parent 1's.
+
+    Returns ``(child_s, child_ct)`` with ``child_ct`` updated only at
+    the genes where the child differs from parent 1 (§3.3's "add or
+    remove the ETC of a task on a machine").
+    """
+    child = op(p1_s, p2_s, rng)
+    ct = p1_ct.copy()
+    changed = np.flatnonzero(child != p1_s)
+    if changed.size:
+        old = p1_s[changed]
+        new = child[changed]
+        etc = instance.etc
+        np.subtract.at(ct, old, etc[changed, old])
+        np.add.at(ct, new, etc[changed, new])
+    return child, ct
+
+
+#: registry used by :class:`repro.cga.config.CGAConfig`.
+CROSSOVERS: dict[str, Crossover] = {
+    "opx": one_point,
+    "tpx": two_point,
+    "uniform": uniform,
+}

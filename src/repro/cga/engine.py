@@ -1,0 +1,317 @@
+"""Sequential cellular GA engines and the shared breeding step.
+
+``evolve_individual`` implements lines 3–9 of Algorithm 3 — it is the
+single code path reused by *every* engine in the library (sequential,
+threaded, process-based, simulated), so the parallel variants differ
+only in scheduling and synchronization, never in genetics.
+
+:class:`AsyncCGA` is the canonical asynchronous CGA of Algorithm 1
+(fixed line-sweep, immediate replacement); the paper notes that PA-CGA
+with one thread *is* this algorithm.  :class:`SyncCGA` is the
+synchronous variant (offspring written to an auxiliary population,
+swapped once per generation), used by the async-vs-sync ablation.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cga.config import CGAConfig, StopCondition
+from repro.cga.crossover import child_with_ct
+from repro.cga.neighborhood import neighbor_table
+from repro.cga.population import Population
+from repro.cga.sweep import sweep_order
+from repro.heuristics.minmin import min_min
+from repro.rng import make_rng
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["EvolutionOps", "NullLocks", "RunResult", "evolve_individual", "AsyncCGA", "SyncCGA"]
+
+
+@dataclass(frozen=True)
+class EvolutionOps:
+    """Concrete operator bundle produced by :meth:`CGAConfig.resolve`."""
+
+    fitness: Callable
+    select: Callable
+    crossover: Callable
+    p_comb: float
+    mutate: Callable
+    p_mut: float
+    local_search: Callable | None
+    p_ls: float
+    ls_iterations: int
+    ls_candidates: int | None
+    replace: Callable
+
+
+class NullLocks:
+    """No-op lock manager: the sequential engines' synchronization.
+
+    The thread engine substitutes a real per-individual RW-lock manager
+    with the same two-method protocol.
+    """
+
+    def read(self, idx: int):
+        """Context manager guarding a read of individual ``idx``."""
+        return nullcontext()
+
+    def write(self, idx: int):
+        """Context manager guarding a write of individual ``idx``."""
+        return nullcontext()
+
+
+_NULL_LOCKS = NullLocks()
+
+
+def evolve_individual(
+    pop: Population,
+    idx: int,
+    neighbors: np.ndarray,
+    ops: EvolutionOps,
+    rng: np.random.Generator,
+    locks: NullLocks = _NULL_LOCKS,
+) -> bool:
+    """One breeding step for cell ``idx`` (Algorithm 3, lines 3–9).
+
+    Selection reads neighbor fitnesses, recombination reads the two
+    parents, replacement writes the current cell — each access goes
+    through ``locks`` so concurrent engines stay safe.  Returns True
+    when the offspring replaced the incumbent.
+    """
+    inst = pop.instance
+    unlocked = locks is _NULL_LOCKS
+    # -- selection: snapshot neighbor fitnesses under read locks --------
+    if unlocked:
+        fit = pop.fitness[neighbors]
+    else:
+        fit = np.empty(neighbors.shape[0])
+        for j, n in enumerate(neighbors):
+            with locks.read(int(n)):
+                fit[j] = pop.fitness[n]
+    a, b = ops.select(fit, rng)
+    p1, p2 = int(neighbors[a]), int(neighbors[b])
+
+    # -- recombination: copy parents under read locks --------------------
+    if unlocked:
+        p1_s = pop.s[p1].copy()
+        p1_ct = pop.ct[p1].copy()
+    else:
+        with locks.read(p1):
+            p1_s = pop.s[p1].copy()
+            p1_ct = pop.ct[p1].copy()
+    if rng.random() < ops.p_comb:
+        if unlocked:
+            p2_s = pop.s[p2]  # read-only use inside child_with_ct
+        else:
+            with locks.read(p2):
+                p2_s = pop.s[p2].copy()
+        child_s, child_ct = child_with_ct(inst, p1_s, p1_ct, p2_s, ops.crossover, rng)
+    else:
+        child_s, child_ct = p1_s, p1_ct
+
+    # -- mutation, local search, evaluation (lock-free: private data) ----
+    if rng.random() < ops.p_mut:
+        ops.mutate(child_s, child_ct, inst, rng)
+    if ops.local_search is not None and ops.ls_iterations > 0 and rng.random() < ops.p_ls:
+        ops.local_search(
+            child_s, child_ct, inst, rng, ops.ls_iterations, ops.ls_candidates
+        )
+    child_fit = float(ops.fitness(child_s, child_ct, inst))
+
+    # -- replacement under a write lock ----------------------------------
+    if unlocked:
+        if ops.replace(child_fit, float(pop.fitness[idx])):
+            pop.write_individual(idx, child_s, child_ct, child_fit)
+            return True
+        return False
+    with locks.write(idx):
+        if ops.replace(child_fit, float(pop.fitness[idx])):
+            pop.write_individual(idx, child_s, child_ct, child_fit)
+            return True
+    return False
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run."""
+
+    best_fitness: float
+    best_assignment: np.ndarray
+    evaluations: int
+    generations: int
+    elapsed_s: float
+    #: per-generation trace rows ``(generation, evaluations, best, mean)``
+    history: list[tuple[int, int, float, float]] = field(default_factory=list)
+    #: extra engine-specific measurements (threads, contention, …)
+    extra: dict = field(default_factory=dict)
+
+    def best_schedule(self, instance) -> Schedule:
+        """Materialize the best-found schedule."""
+        return Schedule(instance, self.best_assignment)
+
+
+class _EngineBase:
+    """Shared setup for the sequential engines."""
+
+    def __init__(
+        self,
+        instance,
+        config: CGAConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = True,
+        on_generation: Callable | None = None,
+    ):
+        self.instance = instance
+        self.config = config or CGAConfig()
+        self.rng = make_rng(rng)
+        self.record_history = record_history
+        #: optional hook called as ``on_generation(engine, generation,
+        #: evaluations)`` after every completed generation — for live
+        #: diversity tracking, adaptive control or progress display.
+        self.on_generation = on_generation
+        self.grid = self.config.grid
+        self.neighbors = neighbor_table(self.grid, self.config.neighborhood)
+        self.ops = self.config.resolve()
+        self.sweep = sweep_order(
+            np.arange(self.grid.size), self.config.sweep, block_id=0
+        )
+        self.pop = Population(instance, self.grid)
+        seeds = [min_min(instance)] if self.config.seed_with_minmin else None
+        self.pop.init_random(self.rng, seed_schedules=seeds, fitness_fn=self.ops.fitness)
+
+    def _snapshot(self, generation: int, evaluations: int, history: list) -> None:
+        if self.record_history:
+            _, best = self.pop.best()
+            history.append((generation, evaluations, best, self.pop.mean_fitness()))
+        if self.on_generation is not None and generation > 0:
+            self.on_generation(self, generation, evaluations)
+
+    def _result(self, evaluations, generations, elapsed, history, **extra) -> RunResult:
+        best_idx, best_fit = self.pop.best()
+        return RunResult(
+            best_fitness=best_fit,
+            best_assignment=self.pop.s[best_idx].copy(),
+            evaluations=evaluations,
+            generations=generations,
+            elapsed_s=elapsed,
+            history=history,
+            extra=extra,
+        )
+
+
+class AsyncCGA(_EngineBase):
+    """Canonical asynchronous CGA (Algorithm 1) with fixed line sweep.
+
+    Offspring replace their cell immediately, so later cells in the same
+    sweep already see them — the faster-converging update scheme the
+    paper builds on.
+    """
+
+    def run(self, stop: StopCondition) -> RunResult:
+        """Evolve until ``stop`` triggers; returns the run trace."""
+        pop, ops, rng = self.pop, self.ops, self.rng
+        sweep = [int(i) for i in self.sweep]
+        history: list[tuple[int, int, float, float]] = []
+        evaluations = 0
+        generations = 0
+        t0 = time.perf_counter()
+        self._snapshot(0, 0, history)
+        while True:
+            elapsed = time.perf_counter() - t0
+            _, best = pop.best()
+            if stop.done(evaluations, generations, elapsed, best):
+                break
+            for idx in sweep:
+                evolve_individual(pop, idx, self.neighbors[idx], ops, rng)
+                evaluations += 1
+                if stop.max_evaluations is not None and evaluations >= stop.max_evaluations:
+                    break
+            generations += 1
+            self._snapshot(generations, evaluations, history)
+        return self._result(
+            evaluations, generations, time.perf_counter() - t0, history
+        )
+
+
+class SyncCGA(_EngineBase):
+    """Synchronous CGA: one auxiliary population per generation.
+
+    All offspring are bred against the *previous* generation and the
+    whole population is swapped at once — slower convergence, provided
+    for the async/sync ablation (DESIGN.md A3).
+    """
+
+    def run(self, stop: StopCondition) -> RunResult:
+        """Evolve until ``stop`` triggers; returns the run trace."""
+        pop, ops, rng = self.pop, self.ops, self.rng
+        history: list[tuple[int, int, float, float]] = []
+        evaluations = 0
+        generations = 0
+        t0 = time.perf_counter()
+        self._snapshot(0, 0, history)
+        while True:
+            elapsed = time.perf_counter() - t0
+            _, best = pop.best()
+            if stop.done(evaluations, generations, elapsed, best):
+                break
+            aux = pop.clone()
+            for idx in range(pop.size):
+                # breed against the frozen parent generation (pop), write
+                # into aux so no offspring is visible this generation
+                child_replaced = evolve_individual(
+                    _SyncView(pop, aux), idx, self.neighbors[idx], ops, rng
+                )
+                evaluations += 1
+                if stop.max_evaluations is not None and evaluations >= stop.max_evaluations:
+                    break
+            pop.s[:] = aux.s
+            pop.ct[:] = aux.ct
+            pop.fitness[:] = aux.fitness
+            generations += 1
+            self._snapshot(generations, evaluations, history)
+        return self._result(
+            evaluations, generations, time.perf_counter() - t0, history
+        )
+
+
+class _SyncView:
+    """Read-from-parents / write-to-aux adapter for the sync engine.
+
+    Duck-types the small slice of :class:`Population` that
+    ``evolve_individual`` touches: reads (``s``, ``ct``, ``fitness``)
+    come from the frozen parent population; ``write_individual`` goes to
+    the auxiliary one.  Replacement still compares against the parent's
+    fitness, the classical synchronous rule.
+    """
+
+    __slots__ = ("_parents", "_aux")
+
+    def __init__(self, parents: Population, aux: Population):
+        self._parents = parents
+        self._aux = aux
+
+    @property
+    def instance(self):
+        return self._parents.instance
+
+    @property
+    def s(self):
+        return self._parents.s
+
+    @property
+    def ct(self):
+        return self._parents.ct
+
+    @property
+    def fitness(self):
+        return self._parents.fitness
+
+    def write_individual(self, idx: int, s, ct, fitness: float) -> None:
+        self._aux.write_individual(idx, s, ct, fitness)

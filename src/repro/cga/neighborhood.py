@@ -1,0 +1,65 @@
+"""Cellular neighborhoods on the toroidal grid.
+
+The paper uses **L5** (linear 5, a.k.a. Von Neumann): the four nearest
+cells plus the evolved individual itself — "chosen to reduce concurrent
+memory access" (§4.1).  The other classical shapes (C9/Moore, L9, C13)
+are provided for the neighborhood ablation (DESIGN.md A4).
+
+Neighbor tables are precomputed once per (grid, shape): a
+``(pop, k)`` int array whose row ``i`` lists the neighborhood of cell
+``i`` (self first), so the hot loop does zero modular arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cga.grid import Grid2D
+
+__all__ = ["NEIGHBORHOODS", "neighbor_offsets", "neighbor_table"]
+
+#: name → list of (drow, dcol) offsets, self (0, 0) first.
+NEIGHBORHOODS: dict[str, list[tuple[int, int]]] = {
+    # Von Neumann / linear 5 — the paper's choice
+    "l5": [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)],
+    # Moore / compact 9
+    "c9": [(0, 0), (-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)],
+    # linear 9: distance-2 cross
+    "l9": [(0, 0), (-2, 0), (-1, 0), (1, 0), (2, 0), (0, -2), (0, -1), (0, 1), (0, 2)],
+    # compact 13: C9 plus the distance-2 cross tips
+    "c13": [
+        (0, 0),
+        (-1, -1), (-1, 0), (-1, 1),
+        (0, -1), (0, 1),
+        (1, -1), (1, 0), (1, 1),
+        (-2, 0), (2, 0), (0, -2), (0, 2),
+    ],
+}
+
+
+def neighbor_offsets(name: str) -> list[tuple[int, int]]:
+    """Offsets of a named neighborhood (self first)."""
+    try:
+        return list(NEIGHBORHOODS[name])
+    except KeyError:
+        raise KeyError(
+            f"unknown neighborhood {name!r}; known: {', '.join(NEIGHBORHOODS)}"
+        ) from None
+
+
+def neighbor_table(grid: Grid2D, name: str = "l5") -> np.ndarray:
+    """Precompute the ``(grid.size, k)`` toroidal neighbor-index table.
+
+    Row ``i`` holds the population indices of cell ``i``'s neighborhood,
+    with ``table[i, 0] == i`` (the individual itself — L5 includes it,
+    paper §4.1).
+    """
+    offsets = neighbor_offsets(name)
+    idx = np.arange(grid.size)
+    rows, cols = grid.coords(idx)
+    table = np.empty((grid.size, len(offsets)), dtype=np.int64)
+    for j, (dr, dc) in enumerate(offsets):
+        table[:, j] = grid.index(rows + dr, cols + dc)
+    if not np.array_equal(table[:, 0], idx):
+        raise AssertionError("neighborhood must list self first")
+    return table

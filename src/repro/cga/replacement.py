@@ -1,0 +1,41 @@
+"""Replacement policies.
+
+The paper's policy is *replace if better* (Table 1): the offspring
+overwrites the current individual only when its makespan is strictly
+smaller.  The alternatives are provided for the async/sync and
+baseline studies (the Struggle GA uses its own similarity-based rule,
+implemented in ``repro.baselines.struggle_ga``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["replace_if_better", "replace_if_not_worse", "replace_always", "REPLACEMENTS"]
+
+Replacement = Callable[[float, float], bool]
+
+
+def replace_if_better(offspring_fitness: float, current_fitness: float) -> bool:
+    """Accept only strict improvements (elitist; the paper's rule)."""
+    return offspring_fitness < current_fitness
+
+
+def replace_if_not_worse(offspring_fitness: float, current_fitness: float) -> bool:
+    """Accept ties too — more genetic drift, classical in cGAs."""
+    return offspring_fitness <= current_fitness
+
+
+def replace_always(offspring_fitness: float, current_fitness: float) -> bool:
+    """Unconditional generational replacement (no elitism)."""
+    return True
+
+
+#: registry used by :class:`repro.cga.config.CGAConfig`.
+REPLACEMENTS: dict[str, Replacement] = {
+    "if-better": replace_if_better,
+    "if-not-worse": replace_if_not_worse,
+    "always": replace_always,
+}

@@ -1,0 +1,111 @@
+"""Parent selection within a neighborhood.
+
+The paper selects "the 2 best neighbors" as parents (Table 1).  All
+selectors receive the fitness values of the neighborhood cells (self
+first, lower = better since fitness is makespan) and return the two
+*local* positions of the chosen parents, best first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "best_two",
+    "binary_tournament_pair",
+    "random_pair",
+    "linear_rank_pair",
+    "center_plus_best",
+    "roulette_pair",
+    "SELECTIONS",
+]
+
+Selector = Callable[[np.ndarray, np.random.Generator], tuple[int, int]]
+
+
+def best_two(fitness: np.ndarray, rng: np.random.Generator) -> tuple[int, int]:
+    """The two fittest neighborhood members (the paper's operator).
+
+    Deterministic given the fitness values; ties broken by position,
+    matching a stable sort of the C implementation.
+    """
+    if fitness.size < 2:
+        raise ValueError("need a neighborhood of at least 2 to select parents")
+    order = np.argsort(fitness, kind="stable")
+    return int(order[0]), int(order[1])
+
+
+def binary_tournament_pair(fitness: np.ndarray, rng: np.random.Generator) -> tuple[int, int]:
+    """Two independent binary tournaments (classical cGA selector)."""
+    if fitness.size < 2:
+        raise ValueError("need a neighborhood of at least 2 to select parents")
+    picks = []
+    for _ in range(2):
+        a, b = rng.integers(0, fitness.size, size=2)
+        picks.append(int(a if fitness[a] <= fitness[b] else b))
+    return picks[0], picks[1]
+
+
+def random_pair(fitness: np.ndarray, rng: np.random.Generator) -> tuple[int, int]:
+    """Two distinct uniformly random members (selection-pressure floor)."""
+    if fitness.size < 2:
+        raise ValueError("need a neighborhood of at least 2 to select parents")
+    a, b = rng.choice(fitness.size, size=2, replace=False)
+    return int(a), int(b)
+
+
+def linear_rank_pair(fitness: np.ndarray, rng: np.random.Generator) -> tuple[int, int]:
+    """Linear-ranking selection: probability decreases linearly with rank."""
+    n = fitness.size
+    if n < 2:
+        raise ValueError("need a neighborhood of at least 2 to select parents")
+    order = np.argsort(fitness, kind="stable")
+    weights = np.arange(n, 0, -1, dtype=np.float64)  # best rank gets weight n
+    probs = weights / weights.sum()
+    a, b = rng.choice(n, size=2, replace=False, p=probs)
+    return int(order[a]), int(order[b])
+
+
+def center_plus_best(fitness: np.ndarray, rng: np.random.Generator) -> tuple[int, int]:
+    """The evolved individual itself plus its best *other* neighbor.
+
+    A classical cGA selector (Alba & Dorronsoro [1]): keeps the center
+    in every mating, so offspring are always local refinements.
+    Position 0 is the center by the neighbor-table convention.
+    """
+    if fitness.size < 2:
+        raise ValueError("need a neighborhood of at least 2 to select parents")
+    others = 1 + int(np.argmin(fitness[1:]))
+    if fitness[others] <= fitness[0]:
+        return others, 0  # best first
+    return 0, others
+
+
+def roulette_pair(fitness: np.ndarray, rng: np.random.Generator) -> tuple[int, int]:
+    """Fitness-proportional selection for minimization.
+
+    Weights are inverse ranks (robust to the huge magnitude spread of
+    makespans; raw inverse-fitness would be numerically dominated by
+    near-ties).
+    """
+    n = fitness.size
+    if n < 2:
+        raise ValueError("need a neighborhood of at least 2 to select parents")
+    order = np.argsort(fitness, kind="stable")
+    weights = 1.0 / np.arange(1, n + 1, dtype=np.float64)  # best rank heaviest
+    probs = weights / weights.sum()
+    a, b = rng.choice(n, size=2, replace=False, p=probs)
+    return int(order[a]), int(order[b])
+
+
+#: registry used by :class:`repro.cga.config.CGAConfig`.
+SELECTIONS: dict[str, Selector] = {
+    "best2": best_two,
+    "tournament": binary_tournament_pair,
+    "random": random_pair,
+    "rank": linear_rank_pair,
+    "center+best": center_plus_best,
+    "roulette": roulette_pair,
+}

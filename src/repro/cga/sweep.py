@@ -1,0 +1,39 @@
+"""Cell visitation (sweep) policies.
+
+The paper uses a *fixed line sweep* in every block and reports having
+"experimented different sweep orders for different blocks, in hope of
+limiting memory contention", without finding a significant improvement
+(§3.2).  These policies make that experiment repeatable:
+
+* ``line``    — the paper's policy: row-major block order;
+* ``reverse`` — line sweep backwards;
+* ``shuffle`` — a fixed pseudo-random permutation per block (fixed
+  means: determined by the block id, not by the run seed, so the policy
+  is part of the algorithm definition, exactly as in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SWEEP_POLICIES", "sweep_order"]
+
+#: policies accepted by :class:`repro.cga.config.CGAConfig`.
+SWEEP_POLICIES = ("line", "reverse", "shuffle")
+
+#: fixed root so shuffled orders are reproducible across runs and hosts.
+_SHUFFLE_ROOT = 0xB10C
+
+
+def sweep_order(block: np.ndarray, policy: str, block_id: int = 0) -> np.ndarray:
+    """Visit order for the cells of one block under ``policy``."""
+    if policy == "line":
+        return np.asarray(block).copy()
+    if policy == "reverse":
+        return np.asarray(block)[::-1].copy()
+    if policy == "shuffle":
+        rng = np.random.default_rng(
+            np.random.SeedSequence(_SHUFFLE_ROOT, spawn_key=(block_id,))
+        )
+        return rng.permutation(np.asarray(block))
+    raise ValueError(f"unknown sweep policy {policy!r}; known: {', '.join(SWEEP_POLICIES)}")

@@ -1,0 +1,362 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``instances``   — list the twelve benchmark instances and metadata;
+* ``heuristics``  — run every constructive heuristic on one instance;
+* ``solve``       — run PA-CGA (any engine) on an instance;
+* ``generate``    — generate an ETC instance file;
+* ``speedup`` / ``operators`` / ``comparison`` / ``convergence`` —
+  run the paper-artifact harnesses at CLI-chosen budgets.
+
+Every command prints plain text; ``solve --out`` additionally writes
+the run result as JSON (reloadable with ``repro.util.load_result``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PA-CGA for grid scheduling (Pinel, Dorronsoro & Bouvry 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("instances", help="list the benchmark instances")
+
+    p = sub.add_parser("heuristics", help="run every heuristic on an instance")
+    p.add_argument("--instance", default="u_i_hihi.0")
+    p.add_argument("--lp-bound", action="store_true", help="also compute the LP lower bound")
+
+    p = sub.add_parser("solve", help="run PA-CGA on an instance")
+    p.add_argument("--instance", default="u_i_hihi.0")
+    p.add_argument(
+        "--engine",
+        choices=["sim", "async", "sync", "threads", "processes"],
+        default="sim",
+    )
+    p.add_argument("--threads", type=int, default=3)
+    p.add_argument("--crossover", choices=["opx", "tpx", "uniform"], default="tpx")
+    p.add_argument(
+        "--fitness", choices=["makespan", "makespan+flowtime"], default="makespan"
+    )
+    p.add_argument("--ls-iters", type=int, default=10)
+    p.add_argument("--evals", type=int, default=None, help="evaluation budget")
+    p.add_argument("--vtime", type=float, default=None, help="virtual seconds (sim engine)")
+    p.add_argument("--wall", type=float, default=None, help="wall-clock seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--gantt", action="store_true", help="print the best schedule")
+    p.add_argument("--out", default=None, help="write the run result as JSON")
+
+    p = sub.add_parser("generate", help="generate an ETC instance file")
+    p.add_argument("--ntasks", type=int, default=512)
+    p.add_argument("--nmachines", type=int, default=16)
+    p.add_argument("--consistency", choices=["c", "i", "s"], default="i")
+    p.add_argument("--task-het", default="hi")
+    p.add_argument("--machine-het", default="hi")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+
+    p = sub.add_parser("speedup", help="regenerate Fig. 4 (speedup)")
+    p.add_argument("--instance", default="u_c_hihi.0")
+    p.add_argument("--vtime", type=float, default=0.1)
+    p.add_argument("--runs", type=int, default=2)
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("operators", help="regenerate Fig. 5 (operator study)")
+    p.add_argument("--instance", action="append", default=None)
+    p.add_argument("--vtime", type=float, default=0.05)
+    p.add_argument("--runs", type=int, default=5)
+    p.add_argument("--seed", type=int, default=5)
+
+    p = sub.add_parser("comparison", help="regenerate Table 2 (vs baselines)")
+    p.add_argument("--instance", action="append", default=None)
+    p.add_argument("--vtime", type=float, default=0.05)
+    p.add_argument("--runs", type=int, default=2)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--protocol", choices=["evals", "time"], default="evals")
+
+    p = sub.add_parser("convergence", help="regenerate Fig. 6 (convergence)")
+    p.add_argument("--instance", default="u_c_hihi.0")
+    p.add_argument("--vtime", type=float, default=0.1)
+    p.add_argument("--runs", type=int, default=3)
+    p.add_argument("--seed", type=int, default=23)
+
+    p = sub.add_parser("quality", help="optimality gaps vs the LP bound")
+    p.add_argument("--instance", action="append", default=None)
+    p.add_argument("--evals", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=3)
+
+    p = sub.add_parser(
+        "calibrate", help="measure this machine's breeding-step costs"
+    )
+    p.add_argument("--instance", default="u_c_hihi.0")
+    p.add_argument("--samples", type=int, default=2000)
+
+    p = sub.add_parser(
+        "reproduce", help="regenerate every paper artifact into a directory"
+    )
+    p.add_argument("--out", default="reproduction")
+    p.add_argument("--scale", type=float, default=1.0, help="budget multiplier")
+    p.add_argument("--runs", type=int, default=2)
+    p.add_argument("--seed", type=int, default=None)
+
+    return parser
+
+
+def _cmd_instances() -> int:
+    from repro.etc import BENCHMARK_INSTANCES
+    from repro.experiments import ascii_table
+
+    rows = [
+        [
+            info.name,
+            info.consistency.name.lower(),
+            info.task_het,
+            info.machine_het,
+            f"{info.pj_min:g}",
+            f"{info.pj_max:g}",
+        ]
+        for info in BENCHMARK_INSTANCES.values()
+    ]
+    print(
+        ascii_table(
+            ["instance", "consistency", "task het", "machine het", "pj min", "pj max"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_heuristics(args) -> int:
+    from repro.etc import load_benchmark
+    from repro.experiments import ascii_table
+    from repro.heuristics import HEURISTICS
+    from repro.scheduling.bounds import lp_lower_bound
+
+    inst = load_benchmark(args.instance)
+    rng = np.random.default_rng(0)
+    rows = []
+    for name, fn in HEURISTICS.items():
+        rows.append([name, f"{fn(inst, rng).makespan():,.2f}"])
+    print(f"{inst}\n")
+    print(ascii_table(["heuristic", "makespan"], rows))
+    if args.lp_bound:
+        print(f"\nLP lower bound: {lp_lower_bound(inst):,.2f}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro.cga import AsyncCGA, CGAConfig, StopCondition, SyncCGA
+    from repro.etc import load_benchmark
+    from repro.parallel import ProcessPACGA, SimulatedPACGA, ThreadedPACGA
+
+    inst = load_benchmark(args.instance)
+    config = CGAConfig(
+        n_threads=args.threads if args.engine in ("sim", "threads", "processes") else 1,
+        crossover=args.crossover,
+        fitness=args.fitness,
+        ls_iterations=args.ls_iters,
+    )
+    bounds = {}
+    if args.evals is not None:
+        bounds["max_evaluations"] = args.evals
+    if args.vtime is not None:
+        bounds["virtual_time"] = args.vtime
+    if args.wall is not None:
+        bounds["wall_time_s"] = args.wall
+    if not bounds:
+        bounds["max_evaluations"] = 5000
+    stop = StopCondition(**bounds)
+
+    if args.engine == "sim":
+        engine = SimulatedPACGA(inst, config, seed=args.seed)
+    elif args.engine == "async":
+        engine = AsyncCGA(inst, config, rng=args.seed)
+    elif args.engine == "sync":
+        engine = SyncCGA(inst, config, rng=args.seed)
+    elif args.engine == "threads":
+        engine = ThreadedPACGA(inst, config, seed=args.seed)
+    else:
+        engine = ProcessPACGA(inst, config, seed=args.seed)
+
+    result = engine.run(stop)
+    print(f"instance      : {inst.name}")
+    print(f"engine        : {args.engine} ({config.n_threads} thread(s))")
+    print(f"best makespan : {result.best_fitness:,.2f}")
+    print(f"evaluations   : {result.evaluations:,}")
+    print(f"generations   : {result.generations}")
+    if args.gantt:
+        from repro.util import render_gantt
+
+        print()
+        print(render_gantt(result.best_schedule(inst)))
+    if args.out:
+        from repro.util import save_result
+
+        save_result(result, args.out)
+        print(f"result written to {args.out}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.etc import make_instance, save_instance
+
+    inst = make_instance(
+        args.ntasks,
+        args.nmachines,
+        consistency=args.consistency,
+        task_het=args.task_het,
+        machine_het=args.machine_het,
+        seed=args.seed,
+    )
+    save_instance(inst, args.out)
+    print(f"wrote {inst} to {args.out}")
+    return 0
+
+
+def _cmd_speedup(args) -> int:
+    from repro.experiments import speedup_experiment
+
+    result = speedup_experiment(
+        instance=args.instance,
+        virtual_time=args.vtime,
+        n_runs=args.runs,
+        seed=args.seed,
+    )
+    print(result.table())
+    return 0
+
+
+def _cmd_operators(args) -> int:
+    from repro.experiments import operators_experiment
+
+    result = operators_experiment(
+        instances=args.instance,
+        virtual_time=args.vtime,
+        n_runs=args.runs,
+        seed=args.seed,
+    )
+    print(result.table())
+    return 0
+
+
+def _cmd_comparison(args) -> int:
+    from repro.experiments import comparison_experiment
+
+    result = comparison_experiment(
+        instances=args.instance,
+        virtual_time=args.vtime,
+        n_runs=args.runs,
+        seed=args.seed,
+        protocol=args.protocol,
+    )
+    print(result.table())
+    return 0
+
+
+def _cmd_convergence(args) -> int:
+    from repro.experiments import convergence_experiment
+    from repro.experiments.report import ascii_chart
+
+    result = convergence_experiment(
+        instance=args.instance,
+        virtual_time=args.vtime,
+        n_runs=args.runs,
+        seed=args.seed,
+    )
+    print(
+        ascii_chart(
+            {f"{n} thread(s)": result.curves[n].tolist() for n in sorted(result.curves)},
+            x_label="generations (common grid)",
+            y_label="mean population makespan",
+        )
+    )
+    for n in sorted(result.curves):
+        print(
+            f"{n} thread(s): final={result.final_mean[n]:,.0f} "
+            f"gens={result.generations_reached[n]:.0f}"
+        )
+    print(f"best thread count: {result.best_thread_count()}")
+    return 0
+
+
+def _cmd_quality(args) -> int:
+    from repro.experiments import quality_experiment
+
+    result = quality_experiment(
+        instances=args.instance, max_evaluations=args.evals, seed=args.seed
+    )
+    print(result.table())
+    print(f"\nmean PA-CGA gap above LP: {100 * result.mean_gap():.2f}%")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.etc import load_benchmark
+    from repro.parallel import XEON_E5440, measure_cost_model
+
+    inst = load_benchmark(args.instance)
+    model = measure_cost_model(inst, samples=args.samples)
+    print(f"measured on this machine ({args.samples} samples, {inst.name}):")
+    print(f"  t_breed   : {model.t_breed:8.2f} us  (paper model: {XEON_E5440.t_breed})")
+    print(f"  t_ls_iter : {model.t_ls_iter:8.2f} us  (paper model: {XEON_E5440.t_ls_iter})")
+    print(f"  t_lock    : {model.t_lock:8.2f} us  (paper model: {XEON_E5440.t_lock})")
+    print("contention/cache terms inherited from the paper calibration;")
+    print("pass the model to SimulatedPACGA(cost_model=...) to rebuild Fig. 4.")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.experiments import run_campaign
+    from repro.rng import DEFAULT_SEED
+
+    report = run_campaign(
+        args.out,
+        scale=args.scale,
+        n_runs=args.runs,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+    )
+    print(report.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "instances":
+        return _cmd_instances()
+    if args.command == "heuristics":
+        return _cmd_heuristics(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "speedup":
+        return _cmd_speedup(args)
+    if args.command == "operators":
+        return _cmd_operators(args)
+    if args.command == "comparison":
+        return _cmd_comparison(args)
+    if args.command == "convergence":
+        return _cmd_convergence(args)
+    if args.command == "quality":
+        return _cmd_quality(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

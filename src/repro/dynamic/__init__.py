@@ -1,0 +1,22 @@
+"""Dynamic grid scheduling (the paper's §2.1 environment).
+
+The benchmark experiments schedule one static batch, but the problem
+description is dynamic: users keep submitting independent tasks,
+machines join and drop, and every rescheduling round sees non-zero
+ready times.  This package provides a discrete-event grid simulator
+that replays such a scenario and invokes any of this library's
+schedulers (heuristics or PA-CGA) at each rescheduling point —
+exercising the ``ready_times`` path of the representation end to end.
+"""
+
+from repro.dynamic.events import BatchArrival, MachineJoin, MachineLeave
+from repro.dynamic.simulator import DynamicGridSimulator, DynamicRunStats, greedy_rescheduler
+
+__all__ = [
+    "BatchArrival",
+    "MachineJoin",
+    "MachineLeave",
+    "DynamicGridSimulator",
+    "DynamicRunStats",
+    "greedy_rescheduler",
+]

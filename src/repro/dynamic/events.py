@@ -1,0 +1,62 @@
+"""Grid events: task batches arriving, machines joining and dropping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BatchArrival", "MachineJoin", "MachineLeave"]
+
+
+@dataclass(frozen=True)
+class BatchArrival:
+    """A user submits a batch of independent tasks.
+
+    ``workloads`` are in millions of instructions (the ETC model's task
+    size unit); execution time on machine ``m`` is ``workload / speed_m``.
+    """
+
+    time: float
+    workloads: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        if not self.workloads:
+            raise ValueError("a batch must contain at least one task")
+        if any(w <= 0 for w in self.workloads):
+            raise ValueError("workloads must be positive")
+
+
+@dataclass(frozen=True)
+class MachineJoin:
+    """A machine with the given computing capacity (mips) joins the grid."""
+
+    time: float
+    speed: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        if self.speed <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed}")
+
+
+@dataclass(frozen=True)
+class MachineLeave:
+    """Machine ``machine_id`` drops from the grid.
+
+    Its queued tasks — and, per the paper's non-preemptive-unless-
+    dropped rule, the task it is currently executing — return to the
+    pending pool and are rescheduled.
+    """
+
+    time: float
+    machine_id: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        if self.machine_id < 0:
+            raise ValueError(f"machine_id must be >= 0, got {self.machine_id}")

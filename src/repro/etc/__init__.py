@@ -1,0 +1,41 @@
+"""ETC (Expected Time to Compute) benchmark substrate.
+
+Implements the instance model of Braun et al. (2001) used by the paper:
+an ``ntasks × nmachines`` matrix ``ETC[t][m]`` giving the expected
+execution time of task ``t`` on machine ``m``, plus the range-based
+generator of Ali et al. (2000) that produces the twelve
+``u_x_yyzz.0`` benchmark classes, Braun-format file I/O, and a registry
+that deterministically regenerates each published instance.
+"""
+
+from repro.etc.model import ETCMatrix, Consistency
+from repro.etc.generator import ETCGeneratorSpec, generate_etc, rescale_to_range
+from repro.etc.io import load_instance, save_instance, load_braun_flat, save_braun_flat
+from repro.etc.registry import (
+    BENCHMARK_INSTANCES,
+    InstanceInfo,
+    instance_names,
+    load_benchmark,
+    make_instance,
+)
+from repro.etc.suite import braun_suite, class_names, load_replica
+
+__all__ = [
+    "ETCMatrix",
+    "Consistency",
+    "ETCGeneratorSpec",
+    "generate_etc",
+    "rescale_to_range",
+    "load_instance",
+    "save_instance",
+    "load_braun_flat",
+    "save_braun_flat",
+    "BENCHMARK_INSTANCES",
+    "InstanceInfo",
+    "instance_names",
+    "load_benchmark",
+    "make_instance",
+    "braun_suite",
+    "class_names",
+    "load_replica",
+]

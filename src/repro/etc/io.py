@@ -1,0 +1,76 @@
+"""Instance file I/O.
+
+Two on-disk formats are supported:
+
+* the **annotated format** written by this library: a ``#``-comment
+  header carrying the instance name, a ``ntasks nmachines`` line, then
+  one row of the ETC matrix per line (task-major);
+* the **flat Braun format** of the original benchmark distribution:
+  ``ntasks * nmachines`` numbers, one per line, task-major, with no
+  dimensions — the caller must supply the shape.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.etc.model import ETCMatrix
+
+__all__ = ["save_instance", "load_instance", "save_braun_flat", "load_braun_flat"]
+
+
+def save_instance(matrix: ETCMatrix, path: str | os.PathLike) -> None:
+    """Write an instance in the annotated format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        if matrix.name:
+            fh.write(f"# {matrix.name}\n")
+        fh.write(f"{matrix.ntasks} {matrix.nmachines}\n")
+        for row in matrix.etc:
+            fh.write(" ".join(f"{v:.17g}" for v in row))
+            fh.write("\n")
+
+
+def load_instance(path: str | os.PathLike) -> ETCMatrix:
+    """Read an instance written by :func:`save_instance`."""
+    path = Path(path)
+    name = ""
+    with path.open("r", encoding="utf-8") as fh:
+        line = fh.readline()
+        if line.startswith("#"):
+            name = line[1:].strip()
+            line = fh.readline()
+        try:
+            ntasks, nmachines = (int(tok) for tok in line.split())
+        except ValueError as exc:
+            raise ValueError(f"{path}: malformed dimension line {line!r}") from exc
+        data = np.loadtxt(fh, dtype=np.float64, ndmin=2)
+    if data.shape != (ntasks, nmachines):
+        raise ValueError(
+            f"{path}: header says {ntasks}x{nmachines} but body has shape {data.shape}"
+        )
+    return ETCMatrix(etc=data, name=name)
+
+
+def save_braun_flat(matrix: ETCMatrix, path: str | os.PathLike) -> None:
+    """Write the original flat Braun format (one value per line)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for v in matrix.etc.ravel():
+            fh.write(f"{v:.17g}\n")
+
+
+def load_braun_flat(
+    path: str | os.PathLike, ntasks: int, nmachines: int, name: str = ""
+) -> ETCMatrix:
+    """Read a flat Braun file; the shape must be supplied by the caller."""
+    path = Path(path)
+    data = np.loadtxt(path, dtype=np.float64)
+    expected = ntasks * nmachines
+    if data.size != expected:
+        raise ValueError(f"{path}: expected {expected} values, found {data.size}")
+    return ETCMatrix(etc=data.reshape(ntasks, nmachines), name=name or path.stem)

@@ -1,0 +1,143 @@
+"""Registry of the twelve Braun benchmark instances used by the paper.
+
+The paper evaluates on ``u_x_yyzz.0`` for x ∈ {c, i, s}, yy/zz ∈
+{hi, lo} with 512 tasks × 16 machines, and publishes the exact
+processing-time range of every instance in Blazewicz notation
+(§4.1).  The original files cannot be shipped here, so
+:func:`load_benchmark` regenerates each class deterministically
+(seeded by the instance name) and rescales it onto the published
+range — see DESIGN.md §4 for why this preserves the experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.etc.generator import ETCGeneratorSpec, generate_etc, rescale_to_range
+from repro.etc.model import Consistency, ETCMatrix
+from repro.rng import hash_name, stream_for
+
+__all__ = [
+    "InstanceInfo",
+    "BENCHMARK_INSTANCES",
+    "instance_names",
+    "load_benchmark",
+    "make_instance",
+]
+
+#: Tasks / machines of every benchmark instance in the paper.
+BENCHMARK_NTASKS = 512
+BENCHMARK_NMACHINES = 16
+
+
+@dataclass(frozen=True)
+class InstanceInfo:
+    """Published metadata of one benchmark instance (paper §4.1)."""
+
+    name: str
+    consistency: Consistency
+    task_het: str
+    machine_het: str
+    pj_min: float
+    pj_max: float
+
+    @property
+    def blazewicz(self) -> str:
+        """Published Blazewicz notation for the instance."""
+        env = "Q" if self.consistency is Consistency.CONSISTENT else "R"
+        return f"{env}{BENCHMARK_NMACHINES}|{self.pj_min} <= pj <= {self.pj_max}|Cmax"
+
+
+def _info(name: str, pj_min: float, pj_max: float) -> InstanceInfo:
+    # name pattern: u_<x>_<yy><zz>.0
+    _, cons, het = name.split("_")
+    het = het.split(".")[0]
+    return InstanceInfo(
+        name=name,
+        consistency=Consistency(cons),
+        task_het=het[:2],
+        machine_het=het[2:],
+        pj_min=pj_min,
+        pj_max=pj_max,
+    )
+
+
+#: The 12 instances with the pj ranges published in the paper (§4.1).
+BENCHMARK_INSTANCES: dict[str, InstanceInfo] = {
+    info.name: info
+    for info in [
+        _info("u_c_hihi.0", 26.48, 2892648.25),
+        _info("u_c_hilo.0", 10.01, 29316.04),
+        _info("u_c_lohi.0", 12.59, 99633.62),
+        _info("u_c_lolo.0", 1.44, 975.30),
+        _info("u_i_hihi.0", 75.44, 2968769.25),
+        _info("u_i_hilo.0", 16.00, 29914.19),
+        _info("u_i_lohi.0", 13.21, 98323.66),
+        _info("u_i_lolo.0", 1.03, 973.09),
+        _info("u_s_hihi.0", 185.37, 2980246.00),
+        _info("u_s_hilo.0", 5.63, 29346.51),
+        _info("u_s_lohi.0", 4.02, 98586.44),
+        _info("u_s_lolo.0", 1.69, 969.27),
+    ]
+}
+
+
+def instance_names() -> list[str]:
+    """The 12 benchmark instance names in the paper's reporting order."""
+    return list(BENCHMARK_INSTANCES)
+
+
+@lru_cache(maxsize=32)
+def load_benchmark(name: str) -> ETCMatrix:
+    """Deterministically regenerate a published benchmark instance.
+
+    The result is cached: instances are immutable and several
+    experiments share them.
+    """
+    try:
+        info = BENCHMARK_INSTANCES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark instance {name!r}; known: {', '.join(BENCHMARK_INSTANCES)}"
+        ) from None
+    spec = ETCGeneratorSpec(
+        ntasks=BENCHMARK_NTASKS,
+        nmachines=BENCHMARK_NMACHINES,
+        consistency=info.consistency,
+        task_het=info.task_het,
+        machine_het=info.machine_het,
+    )
+    rng = stream_for(hash_name(name) & 0x7FFFFFFF, 0)
+    raw = generate_etc(spec, rng=rng, name=name)
+    return rescale_to_range(raw, info.pj_min, info.pj_max)
+
+
+def make_instance(
+    ntasks: int,
+    nmachines: int,
+    consistency: str | Consistency = "i",
+    task_het: str | float = "hi",
+    machine_het: str | float = "hi",
+    seed: int | None = 0,
+    name: str = "",
+) -> ETCMatrix:
+    """Convenience constructor for arbitrary-size instances.
+
+    Used by examples and the "bigger problem instances" future-work
+    experiments (paper §5): same generator, free dimensions.
+    """
+    cons = Consistency(consistency) if isinstance(consistency, str) else consistency
+    spec = ETCGeneratorSpec(
+        ntasks=ntasks,
+        nmachines=nmachines,
+        consistency=cons,
+        task_het=task_het,
+        machine_het=machine_het,
+    )
+    label = name or f"u_{cons.value}_{_het_label(task_het)}{_het_label(machine_het)}.gen"
+    return generate_etc(spec, rng=seed, name=label)
+
+
+def _het_label(value: str | float) -> str:
+    return value if isinstance(value, str) else f"{value:g}"

@@ -1,0 +1,81 @@
+"""Benchmark suites: multiple replicas of each instance class.
+
+The original Braun distribution ships numbered replicas
+(``u_c_hihi.0`` … ``u_c_hihi.k``); the paper evaluates on replica 0 of
+each class.  Larger statistical studies want the full factorial, so
+:func:`braun_suite` regenerates any number of replicas per class,
+deterministically, with the replica index folded into the seed.
+
+Replica 0 of each class is *exactly* the instance the registry's
+:func:`repro.etc.registry.load_benchmark` returns, so results join up.
+"""
+
+from __future__ import annotations
+
+from repro.etc.generator import ETCGeneratorSpec, generate_etc, rescale_to_range
+from repro.etc.model import Consistency, ETCMatrix
+from repro.etc.registry import (
+    BENCHMARK_INSTANCES,
+    BENCHMARK_NMACHINES,
+    BENCHMARK_NTASKS,
+    load_benchmark,
+)
+from repro.rng import hash_name, stream_for
+
+__all__ = ["replica_name", "load_replica", "braun_suite", "class_names"]
+
+
+def class_names() -> list[str]:
+    """The twelve class stems, e.g. ``u_c_hihi``."""
+    return [name.rsplit(".", 1)[0] for name in BENCHMARK_INSTANCES]
+
+
+def replica_name(class_stem: str, replica: int) -> str:
+    """Instance name of one replica, e.g. ``u_c_hihi.3``."""
+    if replica < 0:
+        raise ValueError(f"replica must be >= 0, got {replica}")
+    return f"{class_stem}.{replica}"
+
+
+def load_replica(class_stem: str, replica: int) -> ETCMatrix:
+    """Regenerate replica ``replica`` of one class.
+
+    Replica 0 delegates to the cached registry loader; higher replicas
+    reuse the class's published pj range (the distribution family is
+    identical, only the draw differs).
+    """
+    base_name = f"{class_stem}.0"
+    if base_name not in BENCHMARK_INSTANCES:
+        raise KeyError(
+            f"unknown class {class_stem!r}; known: {', '.join(class_names())}"
+        )
+    if replica == 0:
+        return load_benchmark(base_name)
+    info = BENCHMARK_INSTANCES[base_name]
+    name = replica_name(class_stem, replica)
+    spec = ETCGeneratorSpec(
+        ntasks=BENCHMARK_NTASKS,
+        nmachines=BENCHMARK_NMACHINES,
+        consistency=info.consistency,
+        task_het=info.task_het,
+        machine_het=info.machine_het,
+    )
+    rng = stream_for(hash_name(name) & 0x7FFFFFFF, 0)
+    raw = generate_etc(spec, rng=rng, name=name)
+    return rescale_to_range(raw, info.pj_min, info.pj_max)
+
+
+def braun_suite(replicas: int = 1) -> dict[str, ETCMatrix]:
+    """The full factorial: ``replicas`` instances of every class.
+
+    Returns a name → instance mapping in class-major, replica-minor
+    order (``u_c_hihi.0``, ``u_c_hihi.1``, …, ``u_s_lolo.{k-1}``).
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    suite: dict[str, ETCMatrix] = {}
+    for stem in class_names():
+        for r in range(replicas):
+            inst = load_replica(stem, r)
+            suite[inst.name] = inst
+    return suite

@@ -1,0 +1,65 @@
+"""Experiment harnesses reproducing the paper's evaluation (§4).
+
+One module per paper artifact:
+
+* :mod:`repro.experiments.speedup` — Figure 4 (evaluations vs threads);
+* :mod:`repro.experiments.operators_study` — Figure 5 (opx/tpx × 5/10);
+* :mod:`repro.experiments.comparison` — Table 2 (vs literature);
+* :mod:`repro.experiments.convergence` — Figure 6 (makespan vs gens);
+
+plus the shared machinery: multi-run execution (:mod:`runner`),
+statistics matching the paper's notched box plots (:mod:`stats`),
+paper-reported reference values (:mod:`reference`) and plain-text
+reporting (:mod:`report`).
+"""
+
+from repro.experiments.stats import SummaryStats, summarize, mann_whitney_u, notches_overlap
+from repro.experiments.runner import MultiRunResult, run_many
+from repro.experiments.reference import PAPER_TABLE2, Table2Row
+from repro.experiments.report import ascii_table, format_float, write_csv
+from repro.experiments.speedup import SpeedupResult, speedup_experiment
+from repro.experiments.operators_study import OperatorsResult, operators_experiment
+from repro.experiments.comparison import ComparisonResult, comparison_experiment
+from repro.experiments.convergence import ConvergenceResult, convergence_experiment
+from repro.experiments.quality import QualityResult, QualityRow, quality_experiment
+from repro.experiments.takeover import TakeoverResult, takeover_experiment
+from repro.experiments.cache import cached_run_many, clear_cache, experiment_key
+from repro.experiments.campaign import CampaignReport, run_campaign
+from repro.experiments.dynamic_study import DynamicStudyResult, dynamic_study
+from repro.experiments.sensitivity import SensitivityResult, sensitivity_analysis
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "mann_whitney_u",
+    "notches_overlap",
+    "MultiRunResult",
+    "run_many",
+    "PAPER_TABLE2",
+    "Table2Row",
+    "ascii_table",
+    "format_float",
+    "write_csv",
+    "SpeedupResult",
+    "speedup_experiment",
+    "OperatorsResult",
+    "operators_experiment",
+    "ComparisonResult",
+    "comparison_experiment",
+    "ConvergenceResult",
+    "convergence_experiment",
+    "QualityResult",
+    "QualityRow",
+    "quality_experiment",
+    "TakeoverResult",
+    "takeover_experiment",
+    "cached_run_many",
+    "clear_cache",
+    "experiment_key",
+    "CampaignReport",
+    "run_campaign",
+    "DynamicStudyResult",
+    "dynamic_study",
+    "SensitivityResult",
+    "sensitivity_analysis",
+]

@@ -1,0 +1,89 @@
+"""On-disk caching for multi-run experiments.
+
+Paper-scale sweeps (100 runs × 16 cells) are expensive; this cache
+memoizes individual runs as JSON (via :mod:`repro.util.persist`) keyed
+by a content hash of the experiment identity, so an interrupted or
+re-parameterized campaign only recomputes what changed.
+
+The cache key must capture *everything* that determines a run: callers
+pass the configuration's repr, the instance name and the budget in
+``key_parts``.  Runs are seeded from the same seed tree as
+:func:`repro.experiments.runner.run_many`, so cached and fresh runs are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cga.engine import RunResult
+from repro.experiments.runner import MultiRunResult
+from repro.rng import seed_for_run
+from repro.util.persist import load_result, save_result
+
+__all__ = ["experiment_key", "cached_run_many", "clear_cache"]
+
+
+def experiment_key(*key_parts: object) -> str:
+    """Stable hex digest identifying an experiment configuration."""
+    hasher = hashlib.sha256()
+    for part in key_parts:
+        hasher.update(repr(part).encode("utf-8"))
+        hasher.update(b"\x1f")
+    return hasher.hexdigest()[:24]
+
+
+def cached_run_many(
+    factory: Callable[[np.random.SeedSequence], RunResult],
+    n_runs: int,
+    master_seed: int,
+    cache_dir: str | os.PathLike,
+    key_parts: Sequence[object],
+    label: str = "",
+) -> MultiRunResult:
+    """Like :func:`run_many`, but memoized per run under ``cache_dir``.
+
+    Run ``i`` lives at ``cache_dir/<key>/run_<i>.json``; unreadable or
+    corrupt entries are silently recomputed and rewritten.
+    """
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    key = experiment_key(master_seed, *key_parts)
+    bucket = Path(cache_dir) / key
+    bucket.mkdir(parents=True, exist_ok=True)
+    results: list[RunResult] = []
+    for i in range(n_runs):
+        path = bucket / f"run_{i}.json"
+        result: RunResult | None = None
+        if path.exists():
+            try:
+                result = load_result(path)
+            except (ValueError, KeyError, OSError):
+                result = None  # corrupt entry: recompute below
+        if result is None:
+            result = factory(seed_for_run(master_seed, i))
+            save_result(result, path)
+        results.append(result)
+    return MultiRunResult(label=label or key, results=results)
+
+
+def clear_cache(cache_dir: str | os.PathLike) -> int:
+    """Delete every cached run under ``cache_dir``; returns #files removed."""
+    root = Path(cache_dir)
+    if not root.exists():
+        return 0
+    removed = 0
+    for path in sorted(root.rglob("run_*.json")):
+        path.unlink()
+        removed += 1
+    for bucket in sorted(root.glob("*/")):
+        try:
+            bucket.rmdir()
+        except OSError:
+            pass  # non-empty (foreign files): leave it
+    return removed

@@ -1,0 +1,129 @@
+"""One-call reproduction campaign.
+
+``run_campaign`` regenerates every paper artifact (Table 1, Figures
+4–6, Table 2, plus the quality study) into a directory of text/CSV
+files — the library-level equivalent of ``pytest benchmarks/
+--benchmark-only``, usable from scripts, notebooks or the CLI
+(``python -m repro`` is wired to the individual harnesses; this module
+chains them with one shared scale knob).
+
+``scale = 1.0`` matches the bench defaults (minutes);
+``scale ≈ 180`` with ``n_runs = 100`` approaches the paper's budgets.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cga.config import CGAConfig
+from repro.experiments.comparison import comparison_experiment
+from repro.experiments.convergence import convergence_experiment
+from repro.experiments.operators_study import operators_experiment
+from repro.experiments.quality import quality_experiment
+from repro.experiments.report import write_csv
+from repro.experiments.speedup import speedup_experiment
+from repro.rng import DEFAULT_SEED
+
+__all__ = ["CampaignReport", "run_campaign"]
+
+
+@dataclass
+class CampaignReport:
+    """Artifacts produced by one campaign."""
+
+    out_dir: Path
+    artifacts: dict[str, Path] = field(default_factory=dict)
+    summaries: dict[str, str] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Short human-readable index of what was produced."""
+        lines = [f"campaign artifacts in {self.out_dir}:"]
+        for name, path in sorted(self.artifacts.items()):
+            lines.append(f"  {name:14s} {path.name}")
+        return "\n".join(lines)
+
+
+def _emit(report: CampaignReport, name: str, text: str) -> None:
+    path = report.out_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    report.artifacts[name] = path
+    report.summaries[name] = text
+
+
+def run_campaign(
+    out_dir: str | os.PathLike,
+    scale: float = 1.0,
+    n_runs: int = 2,
+    seed: int = DEFAULT_SEED,
+) -> CampaignReport:
+    """Regenerate every paper artifact at ``scale`` × bench budgets."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    report = CampaignReport(out_dir=out)
+
+    # Table 1 — the configuration itself
+    _emit(report, "table1", CGAConfig(n_threads=3).describe())
+
+    # Figure 4 — speedup
+    fig4 = speedup_experiment(
+        virtual_time=0.5 * scale, n_runs=n_runs, seed=seed
+    )
+    _emit(report, "fig4", fig4.table())
+    write_csv(
+        out / "fig4.csv",
+        ["ls_iterations", "threads", "mean_evaluations", "speedup_percent"],
+        [
+            (it, n, fig4.mean_evaluations[(it, n)], fig4.speedup_percent(it, n))
+            for (it, n) in sorted(fig4.mean_evaluations)
+        ],
+    )
+    report.artifacts["fig4_csv"] = out / "fig4.csv"
+
+    # Figure 5 — operators
+    fig5 = operators_experiment(
+        virtual_time=0.3 * scale, n_runs=max(3, n_runs), seed=seed
+    )
+    family = fig5.family_significance("tpx/10", "opx/5")
+    _emit(
+        report,
+        "fig5",
+        fig5.table()
+        + f"\n\ntpx/10 vs opx/5: family Wilcoxon p={family['family_p']:.4g}, "
+        f"better on {family['a_better_on']}/{len(family['instances'])} instances",
+    )
+
+    # Table 2 — comparison (deterministic evals protocol for campaigns)
+    table2 = comparison_experiment(
+        virtual_time=0.4 * scale, n_runs=n_runs, seed=seed, protocol="evals"
+    )
+    _emit(report, "table2", table2.table(include_paper=True))
+
+    # Figure 6 — convergence
+    fig6 = convergence_experiment(
+        virtual_time=0.5 * scale, n_runs=max(3, n_runs), seed=seed
+    )
+    fig6_lines = [
+        f"{n} thread(s): final={fig6.final_mean[n]:,.0f} "
+        f"gens={fig6.generations_reached[n]:.0f}  {fig6.sparkline(n)}"
+        for n in sorted(fig6.curves)
+    ]
+    _emit(report, "fig6", "\n".join(fig6_lines))
+
+    # E2 — quality vs LP bound
+    quality = quality_experiment(
+        max_evaluations=int(8000 * scale), seed=seed
+    )
+    _emit(
+        report,
+        "quality",
+        quality.table() + f"\n\nmean PA-CGA gap above LP: {100 * quality.mean_gap():.2f}%",
+    )
+
+    _emit(report, "index", report.summary())
+    return report

@@ -1,0 +1,185 @@
+"""Table 2 — PA-CGA versus the literature baselines.
+
+The paper compares mean makespans against the Struggle GA [19] and
+cMA+LTH [20] (values quoted from those papers) and reports PA-CGA at
+two budgets: 90 s, and 10 s ≈ 90 s ÷ 9 to compensate for the baseline
+papers' slower AMD K6 machine (calibrated with the TSCP chess
+benchmark).  Here every algorithm is rerun under this library:
+
+* PA-CGA (3 threads, tpx/10) on the virtual-time simulator with budget
+  ``V`` and ``V / machine_ratio``;
+* Struggle GA and cMA+LTH with the evaluation budget PA-CGA consumed at
+  ``V``, making the comparison evaluation-fair on identical instances
+  (the budget substitution is documented in DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.cma_lth import CMALTH
+from repro.baselines.struggle_ga import StruggleGA
+from repro.cga.config import CGAConfig, StopCondition
+from repro.cga.engine import AsyncCGA
+from repro.etc.registry import instance_names, load_benchmark
+from repro.experiments.reference import PAPER_TABLE2
+from repro.experiments.report import ascii_table, format_float
+from repro.experiments.runner import run_many
+from repro.parallel.costmodel import XEON_E5440, CostModel
+from repro.parallel.simengine import SimulatedPACGA
+from repro.rng import DEFAULT_SEED
+
+__all__ = ["ComparisonResult", "comparison_experiment", "ALGORITHMS"]
+
+#: Column order of Table 2.
+ALGORITHMS = ("struggle-ga", "cma+lth", "pa-cga-10s", "pa-cga-90s")
+
+#: The paper's measured cross-machine performance ratio (TSCP 1.7.3).
+MACHINE_RATIO = 9.0
+
+
+@dataclass
+class ComparisonResult:
+    """Mean makespans per (instance, algorithm), plus the paper's row."""
+
+    n_runs: int
+    virtual_time: float
+    means: dict[tuple[str, str], float] = field(default_factory=dict)
+    samples: dict[tuple[str, str], np.ndarray] = field(default_factory=dict)
+
+    def instances(self) -> list[str]:
+        """Instance names present, in insertion order."""
+        seen: list[str] = []
+        for i, _ in self.means:
+            if i not in seen:
+                seen.append(i)
+        return seen
+
+    def winner(self, instance: str) -> str:
+        """Algorithm with the lowest measured mean makespan."""
+        return min(ALGORITHMS, key=lambda a: self.means[(instance, a)])
+
+    def agrees_with_paper(self, instance: str) -> bool:
+        """Does the measured winner match the paper's bold entry?"""
+        return self.winner(instance) == PAPER_TABLE2[instance].best_algorithm()
+
+    def table(self, include_paper: bool = True) -> str:
+        """Render the measured Table 2 (winner marked with ``*``)."""
+        headers = ["instance"] + list(ALGORITHMS) + ["winner"]
+        if include_paper:
+            headers += ["paper winner"]
+        rows = []
+        for inst in self.instances():
+            win = self.winner(inst)
+            cells = [inst]
+            for alg in ALGORITHMS:
+                mark = "*" if alg == win else ""
+                cells.append(format_float(self.means[(inst, alg)]) + mark)
+            cells.append(win)
+            if include_paper:
+                cells.append(PAPER_TABLE2[inst].best_algorithm())
+            rows.append(cells)
+        return ascii_table(headers, rows)
+
+
+def comparison_experiment(
+    instances: list[str] | None = None,
+    virtual_time: float = 0.05,
+    n_runs: int = 5,
+    seed: int = DEFAULT_SEED,
+    cost_model: CostModel = XEON_E5440,
+    machine_ratio: float = MACHINE_RATIO,
+    protocol: str = "evals",
+) -> ComparisonResult:
+    """Regenerate Table 2 at a reduced budget.
+
+    Two budgeting protocols:
+
+    * ``protocol="evals"`` (deterministic, used by the unit tests):
+      PA-CGA runs on the virtual-time simulator for ``virtual_time``
+      modeled seconds (the 10 s column gets ``virtual_time /
+      machine_ratio``); both baselines then receive PA-CGA-90's mean
+      evaluation count as their budget.
+    * ``protocol="time"`` (the paper's protocol, used by the bench):
+      every algorithm gets the *same wall-clock budget* on this
+      machine — ``virtual_time`` real seconds for the 90 s column,
+      divided by ``machine_ratio`` for the 10 s column.  PA-CGA runs as
+      the canonical asynchronous CGA (PA-CGA with one thread — the only
+      honest wall-clock variant under the GIL; see DESIGN.md §4.2).
+    """
+    if protocol not in ("evals", "time"):
+        raise ValueError(f"protocol must be 'evals' or 'time', got {protocol!r}")
+    names = instances if instances is not None else instance_names()
+    result = ComparisonResult(n_runs=n_runs, virtual_time=virtual_time)
+    pa_config = CGAConfig(n_threads=3, crossover="tpx", ls_iterations=10)
+    pa_wall_config = pa_config.with_(n_threads=1)
+
+    for name in names:
+        inst = load_benchmark(name)
+
+        if protocol == "evals":
+
+            def pa_factory(ss, budget):
+                sim = SimulatedPACGA(
+                    inst, pa_config, seed=ss, cost_model=cost_model, history_stride=10**9
+                )
+                return sim.run(StopCondition(virtual_time=budget))
+
+            pa_90 = run_many(
+                lambda ss: pa_factory(ss, virtual_time), n_runs, seed, label=f"{name}:pa90"
+            )
+            pa_10 = run_many(
+                lambda ss: pa_factory(ss, virtual_time / machine_ratio),
+                n_runs,
+                seed,
+                label=f"{name}:pa10",
+            )
+            baseline_stop_90 = StopCondition(
+                max_evaluations=max(1, int(pa_90.mean_evaluations()))
+            )
+        else:
+
+            def pa_factory(ss, budget):
+                eng = AsyncCGA(
+                    inst, pa_wall_config, rng=np.random.default_rng(ss),
+                    record_history=False,
+                )
+                return eng.run(StopCondition(wall_time_s=budget))
+
+            pa_90 = run_many(
+                lambda ss: pa_factory(ss, virtual_time), n_runs, seed, label=f"{name}:pa90"
+            )
+            pa_10 = run_many(
+                lambda ss: pa_factory(ss, virtual_time / machine_ratio),
+                n_runs,
+                seed,
+                label=f"{name}:pa10",
+            )
+            baseline_stop_90 = StopCondition(wall_time_s=virtual_time)
+
+        struggle = run_many(
+            lambda ss: StruggleGA(inst, rng=np.random.default_rng(ss)).run(
+                baseline_stop_90
+            ),
+            n_runs,
+            seed,
+            label=f"{name}:struggle",
+        )
+        cma = run_many(
+            lambda ss: CMALTH(inst, rng=np.random.default_rng(ss)).run(baseline_stop_90),
+            n_runs,
+            seed,
+            label=f"{name}:cma",
+        )
+
+        for alg, runs in (
+            ("struggle-ga", struggle),
+            ("cma+lth", cma),
+            ("pa-cga-10s", pa_10),
+            ("pa-cga-90s", pa_90),
+        ):
+            result.samples[(name, alg)] = runs.best_fitnesses
+            result.means[(name, alg)] = float(runs.best_fitnesses.mean())
+    return result

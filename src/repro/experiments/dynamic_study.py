@@ -1,0 +1,123 @@
+"""Extension study — rescheduling policies in a dynamic grid (§2.1).
+
+The paper evaluates on static batches, but its problem description is
+dynamic.  This harness generates an ensemble of randomized grid
+timelines (Poisson-ish batch arrivals, occasional machine churn) and
+compares rescheduling policies end to end: the throwaway-cheap MCT,
+Min-min, and a PA-CGA-based rescheduler, reporting makespan, mean
+flowtime and migration counts over the ensemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dynamic.events import BatchArrival, MachineJoin, MachineLeave
+from repro.dynamic.simulator import (
+    DynamicGridSimulator,
+    Rescheduler,
+    greedy_rescheduler,
+    pacga_rescheduler,
+)
+from repro.etc.model import ETCMatrix
+from repro.experiments.report import ascii_table
+from repro.heuristics.minmin import min_min
+from repro.rng import DEFAULT_SEED, seed_for_run
+
+__all__ = ["DynamicStudyResult", "dynamic_study", "random_timeline", "minmin_rescheduler"]
+
+
+def minmin_rescheduler(instance: ETCMatrix, rng: np.random.Generator):
+    """Min-min as a rescheduling policy."""
+    return min_min(instance, rng)
+
+
+def random_timeline(
+    rng: np.random.Generator,
+    n_batches: int = 5,
+    tasks_per_batch: tuple[int, int] = (20, 60),
+    horizon: float = 400.0,
+    churn: bool = True,
+    n_initial_machines: int = 6,
+) -> tuple[list[float], list]:
+    """One randomized grid day: (initial_speeds, events)."""
+    speeds = rng.uniform(5.0, 40.0, size=n_initial_machines).tolist()
+    times = np.sort(rng.uniform(0.0, horizon, size=n_batches))
+    events: list = []
+    for t in times:
+        k = int(rng.integers(tasks_per_batch[0], tasks_per_batch[1] + 1))
+        events.append(
+            BatchArrival(time=float(t), workloads=tuple(rng.uniform(100, 3000, size=k)))
+        )
+    if churn:
+        # one failure and one reinforcement somewhere mid-horizon
+        t_leave = float(rng.uniform(0.3, 0.6) * horizon)
+        victim = int(rng.integers(0, n_initial_machines))
+        events.append(MachineLeave(time=t_leave, machine_id=victim))
+        t_join = float(rng.uniform(0.6, 0.9) * horizon)
+        events.append(MachineJoin(time=t_join, speed=float(rng.uniform(20.0, 60.0))))
+    return speeds, events
+
+
+@dataclass
+class DynamicStudyResult:
+    """Ensemble means per policy."""
+
+    n_timelines: int
+    makespan: dict[str, float] = field(default_factory=dict)
+    flowtime: dict[str, float] = field(default_factory=dict)
+    migrations: dict[str, float] = field(default_factory=dict)
+
+    def best_policy(self) -> str:
+        """Policy with the lowest mean makespan."""
+        return min(self.makespan, key=self.makespan.get)
+
+    def table(self) -> str:
+        """Render the study."""
+        rows = [
+            [
+                name,
+                f"{self.makespan[name]:,.1f}",
+                f"{self.flowtime[name]:,.1f}",
+                f"{self.migrations[name]:.1f}",
+            ]
+            for name in self.makespan
+        ]
+        return ascii_table(
+            ["policy", "mean makespan", "mean flowtime", "mean migrations"], rows
+        )
+
+
+def dynamic_study(
+    policies: dict[str, Rescheduler] | None = None,
+    n_timelines: int = 5,
+    seed: int = DEFAULT_SEED,
+    pacga_evals: int = 1500,
+) -> DynamicStudyResult:
+    """Compare rescheduling policies over a randomized timeline ensemble."""
+    if n_timelines < 1:
+        raise ValueError(f"n_timelines must be >= 1, got {n_timelines}")
+    if policies is None:
+        policies = {
+            "mct": greedy_rescheduler,
+            "min-min": minmin_rescheduler,
+            "pa-cga": pacga_rescheduler(max_evaluations=pacga_evals),
+        }
+    result = DynamicStudyResult(n_timelines=n_timelines)
+    acc = {name: {"mk": [], "ft": [], "mig": []} for name in policies}
+    for i in range(n_timelines):
+        timeline_rng = np.random.default_rng(seed_for_run(seed, i))
+        speeds, events = random_timeline(timeline_rng)
+        for name, policy in policies.items():
+            sim = DynamicGridSimulator(list(speeds), policy, seed=seed_for_run(seed, i))
+            stats = sim.run(list(events))
+            acc[name]["mk"].append(stats.makespan)
+            acc[name]["ft"].append(stats.mean_flowtime)
+            acc[name]["mig"].append(stats.migrations)
+    for name, data in acc.items():
+        result.makespan[name] = float(np.mean(data["mk"]))
+        result.flowtime[name] = float(np.mean(data["ft"]))
+        result.migrations[name] = float(np.mean(data["mig"]))
+    return result

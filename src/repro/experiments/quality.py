@@ -1,0 +1,96 @@
+"""Solution quality against the LP lower bound.
+
+The paper reports only relative comparisons between metaheuristics;
+this harness adds an absolute yardstick: the R‖Cmax LP-relaxation
+bound (``repro.scheduling.bounds``).  For each instance it reports the
+Min-min seed, PA-CGA's result, the bound, and the optimality gap —
+which is how a modern evaluation would contextualize Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cga.config import CGAConfig, StopCondition
+from repro.etc.registry import instance_names, load_benchmark
+from repro.experiments.report import ascii_table, format_float
+from repro.heuristics.minmin import min_min
+from repro.parallel.simengine import SimulatedPACGA
+from repro.rng import DEFAULT_SEED
+from repro.scheduling.bounds import lp_lower_bound
+
+__all__ = ["QualityRow", "QualityResult", "quality_experiment"]
+
+
+@dataclass(frozen=True)
+class QualityRow:
+    """Per-instance quality summary."""
+
+    instance: str
+    lp_bound: float
+    minmin: float
+    pa_cga: float
+
+    @property
+    def minmin_gap(self) -> float:
+        """Min-min's relative gap above the LP bound."""
+        return self.minmin / self.lp_bound - 1.0
+
+    @property
+    def pa_cga_gap(self) -> float:
+        """PA-CGA's relative gap above the LP bound."""
+        return self.pa_cga / self.lp_bound - 1.0
+
+
+@dataclass
+class QualityResult:
+    """All rows of the quality study."""
+
+    budget_evaluations: int
+    rows: list[QualityRow] = field(default_factory=list)
+
+    def mean_gap(self) -> float:
+        """Mean PA-CGA optimality gap across instances."""
+        return sum(r.pa_cga_gap for r in self.rows) / len(self.rows)
+
+    def table(self) -> str:
+        """Render the study as the usual text table."""
+        return ascii_table(
+            ["instance", "LP bound", "min-min", "pa-cga", "min-min gap", "pa-cga gap"],
+            [
+                [
+                    r.instance,
+                    format_float(r.lp_bound),
+                    format_float(r.minmin),
+                    format_float(r.pa_cga),
+                    f"{100 * r.minmin_gap:.2f}%",
+                    f"{100 * r.pa_cga_gap:.2f}%",
+                ]
+                for r in self.rows
+            ],
+        )
+
+
+def quality_experiment(
+    instances: list[str] | None = None,
+    max_evaluations: int = 10_000,
+    seed: int = DEFAULT_SEED,
+    config: CGAConfig | None = None,
+) -> QualityResult:
+    """Measure PA-CGA's optimality gap on the benchmark instances."""
+    names = instances if instances is not None else instance_names()
+    cfg = config or CGAConfig(n_threads=3, crossover="tpx", ls_iterations=10)
+    result = QualityResult(budget_evaluations=max_evaluations)
+    stop = StopCondition(max_evaluations=max_evaluations)
+    for name in names:
+        inst = load_benchmark(name)
+        run = SimulatedPACGA(inst, cfg, seed=seed, history_stride=10**9).run(stop)
+        result.rows.append(
+            QualityRow(
+                instance=name,
+                lp_bound=lp_lower_bound(inst),
+                minmin=min_min(inst).makespan(),
+                pa_cga=run.best_fitness,
+            )
+        )
+    return result

@@ -1,0 +1,130 @@
+"""Plain-text reporting: ASCII tables, CSV export, sparkline plots.
+
+Benchmarks print the same rows the paper's tables report; these helpers
+keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["format_float", "ascii_table", "write_csv", "ascii_series", "ascii_chart"]
+
+
+def format_float(value: float, sig: int = 6) -> str:
+    """Format like the paper's tables: fixed for small, plain for large."""
+    if value == 0:
+        return "0"
+    if not math.isfinite(value):
+        return str(value)
+    magnitude = math.floor(math.log10(abs(value)))
+    decimals = max(0, sig - 1 - magnitude)
+    return f"{value:.{min(decimals, 6)}f}"
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(path: str | os.PathLike, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Write rows to a CSV file (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+
+
+def ascii_chart(
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render multiple numeric series as one terminal line chart.
+
+    Each series gets a marker character (``1``–``9`` then letters);
+    overlapping points show the later series.  All series are plotted
+    on a shared y-range; x positions are index-proportional (series may
+    have different lengths).  Good enough to eyeball Fig. 6-style
+    convergence plots in a terminal or a log file.
+    """
+    if not series:
+        return "(no data)"
+    if width < 8 or height < 3:
+        raise ValueError("chart needs width >= 8 and height >= 3")
+    cleaned = {k: [float(v) for v in vals] for k, vals in series.items() if len(vals)}
+    if not cleaned:
+        return "(no data)"
+    lo = min(min(v) for v in cleaned.values())
+    hi = max(max(v) for v in cleaned.values())
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "123456789abcdefghijklmnopqrstuvwxyz"
+    legend = []
+    for si, (name, vals) in enumerate(cleaned.items()):
+        mark = markers[si % len(markers)]
+        legend.append(f"{mark}={name}")
+        n = len(vals)
+        for col in range(width):
+            # index-proportional sampling of the series onto the canvas
+            idx = min(n - 1, int(col * n / width))
+            y = (vals[idx] - lo) / (hi - lo)
+            row = height - 1 - min(height - 1, int(y * (height - 1) + 0.5))
+            grid[row][col] = mark
+    lines = []
+    for r, row in enumerate(grid):
+        y_val = hi - (hi - lo) * r / (height - 1)
+        prefix = f"{y_val:>12.4g} |" if r in (0, height // 2, height - 1) else " " * 12 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 13 + "-" * width)
+    footer = "  ".join(legend)
+    if x_label:
+        footer += f"   (x: {x_label})"
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    lines.append(" " * 13 + footer)
+    return "\n".join(lines)
+
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def ascii_series(values: Sequence[float], width: int = 60) -> str:
+    """Render a numeric series as a unicode sparkline (for bench logs)."""
+    vals = list(values)
+    if not vals:
+        return ""
+    if len(vals) > width:
+        # downsample by averaging buckets
+        bucket = len(vals) / width
+        vals = [
+            sum(vals[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(vals[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _BARS[1] * len(vals)
+    scale = (len(_BARS) - 2) / (hi - lo)
+    return "".join(_BARS[1 + int((v - lo) * scale)] for v in vals)

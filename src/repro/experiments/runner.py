@@ -1,0 +1,73 @@
+"""Multi-run experiment execution.
+
+The paper averages over 100 independent runs; :func:`run_many` executes
+``n_runs`` seeded replicas of any engine factory and aggregates the
+outcomes.  Seeds come from the experiment seed tree
+(:func:`repro.rng.seed_for_run`), so run ``i`` of an experiment is the
+same regardless of how many runs surround it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cga.engine import RunResult
+from repro.experiments.stats import SummaryStats, summarize
+from repro.rng import seed_for_run
+
+__all__ = ["MultiRunResult", "run_many"]
+
+#: factory(seed_sequence) → RunResult; the seed is a SeedSequence so the
+#: factory can spawn per-thread streams from it.
+EngineFactory = Callable[[np.random.SeedSequence], RunResult]
+
+
+@dataclass
+class MultiRunResult:
+    """Aggregate of ``n_runs`` independent runs of one configuration."""
+
+    label: str
+    results: list[RunResult]
+
+    @property
+    def n_runs(self) -> int:
+        """Number of completed runs."""
+        return len(self.results)
+
+    @property
+    def best_fitnesses(self) -> np.ndarray:
+        """Final best makespan of every run."""
+        return np.array([r.best_fitness for r in self.results])
+
+    @property
+    def evaluations(self) -> np.ndarray:
+        """Total evaluations of every run (Fig. 4's raw measure)."""
+        return np.array([r.evaluations for r in self.results], dtype=np.int64)
+
+    def fitness_stats(self) -> SummaryStats:
+        """Summary of the final best makespans."""
+        return summarize(self.best_fitnesses)
+
+    def mean_evaluations(self) -> float:
+        """Mean total evaluations (eq. 5 numerator)."""
+        return float(self.evaluations.mean())
+
+    def best_overall(self) -> RunResult:
+        """The single best run."""
+        return min(self.results, key=lambda r: r.best_fitness)
+
+
+def run_many(
+    factory: EngineFactory,
+    n_runs: int,
+    master_seed: int,
+    label: str = "",
+) -> MultiRunResult:
+    """Run ``n_runs`` independent seeded replicas of ``factory``."""
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    results = [factory(seed_for_run(master_seed, i)) for i in range(n_runs)]
+    return MultiRunResult(label=label, results=results)

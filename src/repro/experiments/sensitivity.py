@@ -1,0 +1,112 @@
+"""Sensitivity of the Fig. 4 reproduction to the cost-model calibration.
+
+The speedup figure is regenerated on a *fitted* cost model (DESIGN.md
+§4.2), so an obvious objection is: do the paper's qualitative claims
+survive only at the fitted constants?  This harness perturbs each
+model parameter over a multiplicative range and re-evaluates the
+closed-form speedup predictions, reporting for every perturbation
+whether each Fig. 4 claim still holds:
+
+* C1 — 0 LS iterations: monotone slowdown with threads;
+* C2 — 10 LS iterations: positive speedup at 2 and 3 threads;
+* C3 — 10 LS iterations: no meaningful gain from the 4th thread;
+* C4 — deeper local search never hurts parallel efficiency.
+
+Claims that hold across wide parameter ranges are properties of the
+*mechanism*, not of the calibration — which is the reproduction's
+actual argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cga.grid import Grid2D
+from repro.cga.neighborhood import neighbor_table
+from repro.experiments.report import ascii_table
+from repro.parallel.costmodel import XEON_E5440, CostModel
+
+__all__ = ["SensitivityResult", "sensitivity_analysis", "claims_hold"]
+
+#: parameters perturbed by the analysis.
+PARAMETERS = ("t_breed", "t_ls_iter", "t_lock", "t_boundary", "cache_alpha", "cache_beta")
+
+
+def _boundary_fractions() -> dict[int, float]:
+    grid = Grid2D(16, 16)
+    tbl = neighbor_table(grid, "l5")
+    return {n: grid.boundary_fraction(n, tbl) for n in (1, 2, 3, 4)}
+
+
+def claims_hold(model: CostModel, boundary: dict[int, float] | None = None) -> dict[str, bool]:
+    """Evaluate the four Fig. 4 claims on a model (closed form)."""
+    bf = boundary or _boundary_fractions()
+
+    def speedup(n: int, iters: float) -> float:
+        return model.predicted_speedup(n, iters, bf[n])
+
+    s0 = [speedup(n, 0) for n in (1, 2, 3, 4)]
+    s10 = [speedup(n, 10) for n in (1, 2, 3, 4)]
+    c1 = s0[1] < 1.0 and s0[2] < s0[1] and s0[3] < s0[2]
+    c2 = s10[1] > 1.0 and s10[2] > s10[1]
+    c3 = s10[3] <= s10[2] * 1.05
+    c4 = all(
+        speedup(n, hi) >= speedup(n, lo) - 1e-12
+        for n in (2, 3, 4)
+        for lo, hi in ((0, 1), (1, 5), (5, 10))
+    )
+    return {"C1_slowdown": c1, "C2_speedup": c2, "C3_plateau": c3, "C4_ls_helps": c4}
+
+
+@dataclass
+class SensitivityResult:
+    """Claim survival per (parameter, multiplier)."""
+
+    base_model: CostModel
+    multipliers: tuple[float, ...]
+    #: (parameter, multiplier) → {claim: bool}
+    outcomes: dict[tuple[str, float], dict[str, bool]] = field(default_factory=dict)
+
+    def survival_rate(self, claim: str) -> float:
+        """Fraction of perturbations under which ``claim`` holds."""
+        hits = [o[claim] for o in self.outcomes.values()]
+        return sum(hits) / len(hits)
+
+    def fragile_settings(self) -> list[tuple[str, float, str]]:
+        """(parameter, multiplier, claim) triples where a claim breaks."""
+        out = []
+        for (param, mult), claims in sorted(self.outcomes.items()):
+            for claim, ok in claims.items():
+                if not ok:
+                    out.append((param, mult, claim))
+        return out
+
+    def table(self) -> str:
+        """Render claim survival per parameter sweep."""
+        claims = list(next(iter(self.outcomes.values())))
+        rows = []
+        for param in PARAMETERS:
+            for mult in self.multipliers:
+                o = self.outcomes[(param, mult)]
+                rows.append(
+                    [f"{param} x{mult:g}"] + ["ok" if o[c] else "BREAKS" for c in claims]
+                )
+        return ascii_table(["perturbation"] + claims, rows)
+
+
+def sensitivity_analysis(
+    base: CostModel = XEON_E5440,
+    multipliers: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0),
+) -> SensitivityResult:
+    """Perturb each parameter independently and re-check the claims."""
+    if not multipliers:
+        raise ValueError("need at least one multiplier")
+    if any(m <= 0 for m in multipliers):
+        raise ValueError("multipliers must be positive")
+    boundary = _boundary_fractions()
+    result = SensitivityResult(base_model=base, multipliers=tuple(multipliers))
+    for param in PARAMETERS:
+        for mult in multipliers:
+            model = replace(base, **{param: getattr(base, param) * mult})
+            result.outcomes[(param, mult)] = claims_hold(model, boundary)
+    return result

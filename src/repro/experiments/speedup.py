@@ -1,0 +1,95 @@
+"""Figure 4 — speedup of PA-CGA with threads and local-search depth.
+
+The paper fixes the wall time and measures the *mean number of
+evaluations* over independent runs, defining speedup as
+``#evaluations(n) / #evaluations(1)`` (eq. 5) and plotting it as a
+percentage.  This harness reruns that protocol on the virtual-time
+simulator: same population, same operators, modeled Xeon E5440 timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cga.config import CGAConfig, StopCondition
+from repro.etc.model import ETCMatrix
+from repro.etc.registry import load_benchmark
+from repro.experiments.report import ascii_table
+from repro.experiments.runner import run_many
+from repro.parallel.costmodel import XEON_E5440, CostModel
+from repro.parallel.simengine import SimulatedPACGA
+from repro.rng import DEFAULT_SEED
+
+__all__ = ["SpeedupResult", "speedup_experiment"]
+
+
+@dataclass
+class SpeedupResult:
+    """Mean evaluation counts per (ls_iterations, n_threads) cell."""
+
+    instance: str
+    virtual_time: float
+    n_runs: int
+    mean_evaluations: dict[tuple[int, int], float] = field(default_factory=dict)
+    boundary_fractions: dict[int, float] = field(default_factory=dict)
+
+    def speedup_percent(self, ls_iterations: int, n_threads: int) -> float:
+        """Fig. 4's y-axis: evaluations relative to 1 thread, in %."""
+        base = self.mean_evaluations[(ls_iterations, 1)]
+        return 100.0 * self.mean_evaluations[(ls_iterations, n_threads)] / base
+
+    def series(self, ls_iterations: int) -> list[tuple[int, float]]:
+        """One Fig. 4 line: [(n_threads, speedup %), ...]."""
+        threads = sorted({n for (it, n) in self.mean_evaluations if it == ls_iterations})
+        return [(n, self.speedup_percent(ls_iterations, n)) for n in threads]
+
+    def table(self) -> str:
+        """Render the figure as a table (rows: LS depth, cols: threads)."""
+        iters = sorted({it for (it, _) in self.mean_evaluations})
+        threads = sorted({n for (_, n) in self.mean_evaluations})
+        headers = ["ls_iterations"] + [f"{n} thread{'s' if n > 1 else ''}" for n in threads]
+        rows = []
+        for it in iters:
+            rows.append(
+                [str(it)] + [f"{self.speedup_percent(it, n):.1f}%" for n in threads]
+            )
+        return ascii_table(headers, rows)
+
+
+def speedup_experiment(
+    instance: str | ETCMatrix = "u_c_hihi.0",
+    thread_counts: tuple[int, ...] = (1, 2, 3, 4),
+    ls_iterations: tuple[int, ...] = (0, 1, 5, 10),
+    virtual_time: float = 0.05,
+    n_runs: int = 5,
+    seed: int = DEFAULT_SEED,
+    cost_model: CostModel = XEON_E5440,
+    base_config: CGAConfig | None = None,
+) -> SpeedupResult:
+    """Regenerate Figure 4.
+
+    ``virtual_time`` is modeled seconds (the paper used 90 real ones;
+    only ratios matter, so the default keeps runs short).
+    """
+    inst = load_benchmark(instance) if isinstance(instance, str) else instance
+    base = base_config or CGAConfig()
+    result = SpeedupResult(
+        instance=inst.name, virtual_time=virtual_time, n_runs=n_runs
+    )
+    stop = StopCondition(virtual_time=virtual_time)
+    for it in ls_iterations:
+        for n in thread_counts:
+            config = base.with_(n_threads=n, ls_iterations=it)
+
+            def factory(ss, _config=config):
+                sim = SimulatedPACGA(
+                    inst, _config, seed=ss, cost_model=cost_model, history_stride=10**9
+                )
+                result.boundary_fractions.setdefault(n, sim.boundary_fraction)
+                return sim.run(stop)
+
+            runs = run_many(factory, n_runs, seed, label=f"iter={it},n={n}")
+            result.mean_evaluations[(it, n)] = runs.mean_evaluations()
+    return result

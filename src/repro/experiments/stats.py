@@ -1,0 +1,160 @@
+"""Statistics matching the paper's reporting.
+
+The paper reports mean makespans over independent runs (Table 2) and
+notched box plots (Fig. 5) where non-overlapping notches indicate a
+median difference at ~95 % confidence; the notch half-width is the
+standard ``1.57 · IQR / sqrt(n)`` (McGill, Tukey & Larsen 1978).  For
+pairwise operator comparisons we add the Mann-Whitney U test, the
+modern non-parametric check for the same question.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "mann_whitney_u",
+    "notches_overlap",
+    "bootstrap_ci",
+    "wilcoxon_signed_rank",
+    "holm_bonferroni",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Summary of one sample of run outcomes (lower = better)."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    #: notched-box interval for the median (Fig. 5 semantics)
+    notch_lo: float
+    notch_hi: float
+    #: bootstrap 95 % CI for the mean (Table 2 semantics)
+    ci95_lo: float
+    ci95_hi: float
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range."""
+        return self.q3 - self.q1
+
+
+def summarize(values: Sequence[float], ci_resamples: int = 2000, seed: int = 0) -> SummaryStats:
+    """Compute the full summary of a sample."""
+    x = np.asarray(list(values), dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if not np.all(np.isfinite(x)):
+        raise ValueError("sample contains non-finite values")
+    q1, med, q3 = np.percentile(x, [25, 50, 75])
+    half_notch = 1.57 * (q3 - q1) / math.sqrt(x.size)
+    lo, hi = bootstrap_ci(x, resamples=ci_resamples, seed=seed)
+    return SummaryStats(
+        n=int(x.size),
+        mean=float(x.mean()),
+        std=float(x.std(ddof=1)) if x.size > 1 else 0.0,
+        minimum=float(x.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(x.max()),
+        notch_lo=float(med - half_notch),
+        notch_hi=float(med + half_notch),
+        ci95_lo=lo,
+        ci95_hi=hi,
+    )
+
+
+def bootstrap_ci(
+    values: np.ndarray, resamples: int = 2000, seed: int = 0, alpha: float = 0.05
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    x = np.asarray(values, dtype=np.float64)
+    if x.size == 1:
+        return float(x[0]), float(x[0])
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, x.size, size=(resamples, x.size))
+    means = x[idx].mean(axis=1)
+    lo, hi = np.percentile(means, [100 * alpha / 2, 100 * (1 - alpha / 2)])
+    return float(lo), float(hi)
+
+
+def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> tuple[float, float]:
+    """Two-sided Mann-Whitney U test; returns (statistic, p-value).
+
+    Degenerate identical samples return p = 1.0 instead of raising, so
+    harness loops never crash on a tie.
+    """
+    a = np.asarray(list(a), dtype=np.float64)
+    b = np.asarray(list(b), dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    if np.all(a == a[0]) and np.all(b == b[0]) and a[0] == b[0]:
+        return float(a.size * b.size / 2), 1.0
+    stat, p = sps.mannwhitneyu(a, b, alternative="two-sided")
+    return float(stat), float(p)
+
+
+def wilcoxon_signed_rank(a: Sequence[float], b: Sequence[float]) -> tuple[float, float]:
+    """Paired two-sided Wilcoxon signed-rank test; returns (stat, p).
+
+    The right test for per-instance paired comparisons (e.g. the same
+    12 instances under two operators).  All-zero differences return
+    p = 1.0 instead of raising.
+    """
+    a = np.asarray(list(a), dtype=np.float64)
+    b = np.asarray(list(b), dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("paired samples must be non-empty and equal length")
+    diffs = a - b
+    if np.all(diffs == 0):
+        return 0.0, 1.0
+    stat, p = sps.wilcoxon(a, b, alternative="two-sided")
+    return float(stat), float(p)
+
+
+def holm_bonferroni(p_values: Sequence[float], alpha: float = 0.05) -> list[bool]:
+    """Holm-Bonferroni step-down correction for a family of tests.
+
+    Returns, per hypothesis, whether it is rejected (significant) at
+    family-wise error rate ``alpha`` — the correction a 12-instance
+    benchmark family needs before claiming per-instance significance.
+    """
+    p = np.asarray(list(p_values), dtype=np.float64)
+    if p.size == 0:
+        return []
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("p-values must be in [0, 1]")
+    order = np.argsort(p)
+    m = p.size
+    rejected = np.zeros(m, dtype=bool)
+    for rank, idx in enumerate(order):
+        threshold = alpha / (m - rank)
+        if p[idx] <= threshold:
+            rejected[idx] = True
+        else:
+            break  # step-down stops at the first acceptance
+    return rejected.tolist()
+
+
+def notches_overlap(a: SummaryStats, b: SummaryStats) -> bool:
+    """True when the notch intervals overlap.
+
+    Non-overlap is the paper's "with 95 % confidence the true medians
+    differ" criterion (§4.2, Fig. 5 discussion).
+    """
+    return not (a.notch_hi < b.notch_lo or b.notch_hi < a.notch_lo)

@@ -1,0 +1,37 @@
+"""Constructive scheduling heuristics (Braun et al. 2001 family).
+
+The paper seeds one individual of the PA-CGA population with the
+Min-min schedule (§4.1, Table 1) and motivates metaheuristics by
+comparing against this heuristic family; examples and benchmarks use
+them as fast baselines.  All heuristics return a
+:class:`repro.scheduling.Schedule`.
+"""
+
+from repro.heuristics.minmin import duplex, max_min, min_min
+from repro.heuristics.sufferage import sufferage
+from repro.heuristics.listsched import mct, met, olb
+from repro.heuristics.random_sched import random_schedule
+
+#: name → callable(instance, rng=None) registry used by CLIs and benches.
+HEURISTICS = {
+    "min-min": min_min,
+    "max-min": max_min,
+    "duplex": duplex,
+    "sufferage": sufferage,
+    "mct": mct,
+    "met": met,
+    "olb": olb,
+    "random": random_schedule,
+}
+
+__all__ = [
+    "min_min",
+    "max_min",
+    "duplex",
+    "sufferage",
+    "mct",
+    "met",
+    "olb",
+    "random_schedule",
+    "HEURISTICS",
+]

@@ -1,0 +1,51 @@
+"""Single-pass list-scheduling heuristics (Braun et al. 2001).
+
+These process tasks in index order and make one greedy decision each —
+O(ntasks × nmachines) total, the cheapest baselines:
+
+* **MCT** (minimum completion time): best finish time *given current
+  loads* — the strongest of the three;
+* **MET** (minimum execution time): fastest machine for the task,
+  ignoring load — degenerates badly on consistent matrices where one
+  machine is globally fastest;
+* **OLB** (opportunistic load balancing): earliest-ready machine,
+  ignoring execution times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.etc.model import ETCMatrix
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["mct", "met", "olb"]
+
+
+def mct(instance: ETCMatrix, rng: np.random.Generator | None = None) -> Schedule:
+    """Minimum-completion-time list schedule."""
+    etc = instance.etc
+    ct = instance.ready_times.copy()
+    assignment = np.empty(instance.ntasks, dtype=np.int32)
+    for t in range(instance.ntasks):
+        mac = int((ct + etc[t]).argmin())
+        assignment[t] = mac
+        ct[mac] += etc[t, mac]
+    return Schedule(instance, assignment)
+
+
+def met(instance: ETCMatrix, rng: np.random.Generator | None = None) -> Schedule:
+    """Minimum-execution-time schedule (load-blind, fully vectorized)."""
+    return Schedule(instance, instance.etc.argmin(axis=1).astype(np.int32))
+
+
+def olb(instance: ETCMatrix, rng: np.random.Generator | None = None) -> Schedule:
+    """Opportunistic load balancing (execution-time-blind)."""
+    etc = instance.etc
+    ct = instance.ready_times.copy()
+    assignment = np.empty(instance.ntasks, dtype=np.int32)
+    for t in range(instance.ntasks):
+        mac = int(ct.argmin())
+        assignment[t] = mac
+        ct[mac] += etc[t, mac]
+    return Schedule(instance, assignment)

@@ -1,0 +1,23 @@
+"""Uniformly random schedules — the population initializer (§4.1).
+
+The PA-CGA population is "initialized randomly, except for one
+individual" (the Min-min seed); this module is that random part, kept
+as a heuristic so it composes with the registry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.etc.model import ETCMatrix
+from repro.rng import make_rng
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["random_schedule"]
+
+
+def random_schedule(
+    instance: ETCMatrix, rng: np.random.Generator | int | None = None
+) -> Schedule:
+    """Assign every task to a uniformly random machine."""
+    return Schedule.random(instance, make_rng(rng))

@@ -1,0 +1,41 @@
+"""Sufferage heuristic (Maheswaran et al.; evaluated in Braun et al. 2001).
+
+Each round, every unassigned task computes how much it would *suffer*
+if denied its best machine: the gap between its second-best and best
+completion times.  The task with the largest sufferage is scheduled on
+its best machine — tasks with strong machine preferences get priority.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.etc.model import ETCMatrix
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["sufferage"]
+
+
+def sufferage(instance: ETCMatrix, rng: np.random.Generator | None = None) -> Schedule:
+    """Sufferage schedule."""
+    etc = instance.etc
+    ntasks, nmachines = etc.shape
+    ct = instance.ready_times.copy()
+    assignment = np.full(ntasks, -1, dtype=np.int32)
+    unassigned = np.arange(ntasks)
+    while unassigned.size:
+        completion = ct[None, :] + etc[unassigned]  # (|U|, m)
+        if nmachines == 1:
+            best_machine = np.zeros(unassigned.size, dtype=np.int64)
+            suffer = completion[:, 0]
+        else:
+            part = np.partition(completion, 1, axis=1)
+            suffer = part[:, 1] - part[:, 0]
+            best_machine = completion.argmin(axis=1)
+        idx = int(suffer.argmax())
+        task = int(unassigned[idx])
+        mac = int(best_machine[idx])
+        assignment[task] = mac
+        ct[mac] += etc[task, mac]
+        unassigned = np.delete(unassigned, idx)
+    return Schedule(instance, assignment)

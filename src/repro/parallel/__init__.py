@@ -1,0 +1,35 @@
+"""Parallel execution engines for PA-CGA (paper §3.2).
+
+Three engines share the breeding step of ``repro.cga.engine``:
+
+* :class:`ThreadedPACGA` — real OS threads with per-individual
+  readers-writer locks, the faithful port of the paper's design (in
+  CPython the GIL serializes the pure-Python parts, so this engine is
+  about *correctness under concurrency*, not wall-clock speedup);
+* :class:`ProcessPACGA` — worker processes over
+  ``multiprocessing.shared_memory``, the Python-native way to get true
+  parallelism for this algorithm;
+* :class:`SimulatedPACGA` — a deterministic discrete-event simulator
+  that interleaves logical threads under a calibrated cost model of the
+  paper's 4-core Xeon E5440; it regenerates the speedup and convergence
+  figures reproducibly on any host (DESIGN.md §4.2).
+"""
+
+from repro.parallel.rwlock import RWLock, LockManager
+from repro.parallel.threads import ThreadedPACGA
+from repro.parallel.processes import ProcessPACGA
+from repro.parallel.costmodel import CostModel, XEON_E5440
+from repro.parallel.simengine import SimulatedPACGA
+from repro.parallel.calibrate import measure_cost_model, time_breeding_step
+
+__all__ = [
+    "RWLock",
+    "LockManager",
+    "ThreadedPACGA",
+    "ProcessPACGA",
+    "CostModel",
+    "XEON_E5440",
+    "SimulatedPACGA",
+    "measure_cost_model",
+    "time_breeding_step",
+]

@@ -1,0 +1,88 @@
+"""Calibrate a :class:`CostModel` against the current machine.
+
+The shipped :data:`repro.parallel.costmodel.XEON_E5440` reproduces the
+*paper's* platform.  On real multicore hardware you may want Fig. 4
+for *your* machine: this module measures the per-step costs of the
+actual breeding loop — base breeding, one H2LL pass, uncontended lock
+traffic — and returns a :class:`CostModel` with those computation
+constants (the contention and cache terms keep the paper-calibrated
+defaults unless overridden; measuring true cross-core contention needs
+real cores, which CI containers rarely expose).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.cga.config import CGAConfig
+from repro.cga.engine import NullLocks, evolve_individual
+from repro.cga.neighborhood import neighbor_table
+from repro.cga.population import Population
+from repro.etc.model import ETCMatrix
+from repro.parallel.costmodel import XEON_E5440, CostModel
+from repro.parallel.rwlock import LockManager
+from repro.rng import make_rng
+
+__all__ = ["measure_cost_model", "time_breeding_step"]
+
+
+def time_breeding_step(
+    instance: ETCMatrix,
+    ls_iterations: int,
+    samples: int = 2000,
+    seed: int = 0,
+    locks: bool = False,
+) -> float:
+    """Mean wall time of one breeding step, in microseconds.
+
+    Runs the genuine ``evolve_individual`` over a warm population so
+    the measurement includes exactly what the virtual clock charges.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    config = CGAConfig(
+        grid_rows=8, grid_cols=8, ls_iterations=ls_iterations, seed_with_minmin=False
+    )
+    rng = make_rng(seed)
+    grid = config.grid
+    pop = Population(instance, grid)
+    pop.init_random(rng)
+    neighbors = neighbor_table(grid, config.neighborhood)
+    ops = config.resolve()
+    lock_mgr = LockManager(grid.size) if locks else NullLocks()
+    # warm-up pass (allocations, caches, branch predictors)
+    for idx in range(grid.size):
+        evolve_individual(pop, idx, neighbors[idx], ops, rng, lock_mgr)
+    t0 = time.perf_counter()
+    n = grid.size
+    for i in range(samples):
+        idx = i % n
+        evolve_individual(pop, idx, neighbors[idx], ops, rng, lock_mgr)
+    return (time.perf_counter() - t0) / samples * 1e6
+
+
+def measure_cost_model(
+    instance: ETCMatrix,
+    samples: int = 2000,
+    seed: int = 0,
+    base: CostModel = XEON_E5440,
+) -> CostModel:
+    """Fit the computation constants of a CostModel to this machine.
+
+    * ``t_breed``  — step time with 0 LS iterations, lock-free;
+    * ``t_ls_iter`` — slope of step time vs LS depth (measured at 10);
+    * ``t_lock``  — extra cost of running the same steps through real
+      (uncontended) RW locks.
+
+    Contention (``t_boundary``) and cache terms are inherited from
+    ``base`` — they cannot be measured without real parallel cores.
+    """
+    t0 = time_breeding_step(instance, 0, samples, seed, locks=False)
+    t10 = time_breeding_step(instance, 10, samples, seed, locks=False)
+    t0_locked = time_breeding_step(instance, 0, samples, seed, locks=True)
+    t_ls = max((t10 - t0) / 10.0, 0.0)
+    t_lock = max(t0_locked - t0, 0.0)
+    return replace(base, t_breed=t0, t_ls_iter=t_ls, t_lock=t_lock)

@@ -1,0 +1,116 @@
+"""Readers-writer lock and per-individual lock manager.
+
+The paper synchronizes concurrent access to individuals with a POSIX
+``pthread_rwlock`` (§3.2): concurrent reads are allowed, reads never
+overlap writes, writes never overlap writes.  Python's stdlib has no RW
+lock, so this is a classic writer-preference implementation on a
+:class:`threading.Condition` — writer preference matters because the
+replacement write at the end of every breeding loop must not starve
+behind the much more frequent neighbor reads.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["RWLock", "LockManager"]
+
+
+class RWLock:
+    """Writer-preference readers-writer lock.
+
+    Invariants: ``_readers >= 0``; ``_writer`` implies ``_readers == 0``;
+    pending writers block new readers.
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- reader side ----------------------------------------------------
+    def acquire_read(self) -> None:
+        """Block until no writer holds or awaits the lock, then enter."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Leave the read section, waking writers when the last one exits."""
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without matching acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- writer side ----------------------------------------------------
+    def acquire_write(self) -> None:
+        """Block until exclusive, with preference over new readers."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        """Leave the write section and wake everyone."""
+        with self._cond:
+            if not self._writer:
+                raise RuntimeError("release_write without matching acquire_write")
+            self._writer = False
+            self._cond.notify_all()
+
+    # -- context managers -------------------------------------------------
+    @contextmanager
+    def read_locked(self):
+        """``with lock.read_locked():`` shared section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """``with lock.write_locked():`` exclusive section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class LockManager:
+    """One RW lock per individual, the granularity of the paper.
+
+    Implements the two-method protocol of
+    :class:`repro.cga.engine.NullLocks`, so ``evolve_individual`` works
+    unchanged under real concurrency.
+    """
+
+    __slots__ = ("_locks",)
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"need at least one lock, got {n}")
+        self._locks = [RWLock() for _ in range(n)]
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    def read(self, idx: int):
+        """Context manager: shared access to individual ``idx``."""
+        return self._locks[idx].read_locked()
+
+    def write(self, idx: int):
+        """Context manager: exclusive access to individual ``idx``."""
+        return self._locks[idx].write_locked()

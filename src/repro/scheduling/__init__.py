@@ -1,0 +1,35 @@
+"""Schedule representation and objectives for independent-task scheduling.
+
+Implements the paper's solution representation (§3.3): an assignment
+vector ``S`` (``S[t] = m``) plus an incrementally maintained
+completion-time vector ``CT`` (``CT[m]`` = ready time of ``m`` + sum of
+ETCs of the tasks assigned to it).  Makespan evaluation is then just
+``CT.max()``.
+"""
+
+from repro.scheduling.schedule import Schedule, compute_completion_times
+from repro.scheduling.objectives import (
+    flowtime,
+    load_imbalance,
+    machine_loads,
+    makespan,
+    utilization,
+)
+from repro.scheduling.validation import (
+    InvalidScheduleError,
+    check_completion_times,
+    validate_assignment,
+)
+
+__all__ = [
+    "Schedule",
+    "compute_completion_times",
+    "makespan",
+    "flowtime",
+    "machine_loads",
+    "utilization",
+    "load_imbalance",
+    "InvalidScheduleError",
+    "validate_assignment",
+    "check_completion_times",
+]

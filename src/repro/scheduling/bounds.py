@@ -1,0 +1,68 @@
+"""Lower bounds on the optimal makespan.
+
+``R||Cmax`` (unrelated machines) admits a natural LP relaxation: allow
+tasks to be split fractionally across machines and minimize the maximum
+machine load.  Its optimum lower-bounds every integral schedule, and on
+the Braun instances it is far tighter than the area bound — the
+experiment reports use it to express solution quality as "% above LP".
+
+    minimize    C
+    subject to  sum_m x[t,m] = 1              for every task t
+                ready[m] + sum_t x[t,m] * ETC[t,m] <= C   for every m
+                x >= 0
+
+Solved with scipy's HiGHS backend; ~8k variables for 512x16 instances,
+well under a second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix, hstack, vstack, eye
+
+from repro.etc.model import ETCMatrix
+
+__all__ = ["lp_lower_bound", "combined_lower_bound"]
+
+
+def lp_lower_bound(instance: ETCMatrix) -> float:
+    """Optimal value of the fractional-assignment LP relaxation."""
+    n, m = instance.ntasks, instance.nmachines
+    nx = n * m  # x[t, m] flattened row-major, plus the makespan variable C
+
+    # objective: minimize C
+    c = np.zeros(nx + 1)
+    c[-1] = 1.0
+
+    # equality: each task fully assigned
+    rows = np.repeat(np.arange(n), m)
+    cols = np.arange(nx)
+    a_eq = csr_matrix((np.ones(nx), (rows, cols)), shape=(n, nx))
+    a_eq = hstack([a_eq, csr_matrix((n, 1))], format="csr")
+    b_eq = np.ones(n)
+
+    # inequality: machine load minus C <= -ready[m]
+    rows = np.tile(np.arange(m), n)
+    data = instance.etc.ravel()  # row-major: x[t, m] gets ETC[t, m]
+    a_load = csr_matrix((data, (rows, cols)), shape=(m, nx))
+    a_ub = hstack([a_load, csr_matrix(-np.ones((m, 1)))], format="csr")
+    b_ub = -instance.ready_times
+
+    res = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(0, None)] * nx + [(0, None)],
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover - HiGHS is robust on this LP
+        raise RuntimeError(f"LP lower bound failed: {res.message}")
+    return float(res.fun)
+
+
+def combined_lower_bound(instance: ETCMatrix) -> float:
+    """The tightest bound available: max(LP relaxation, simple bounds)."""
+    return max(lp_lower_bound(instance), instance.makespan_lower_bound())

@@ -1,0 +1,64 @@
+"""Objective functions for independent-task schedules.
+
+The paper optimizes makespan only (eq. 1–3); flowtime and the
+utilization metrics are provided because the surrounding literature
+(Braun et al. 2001, Xhafa et al. 2008) reports them and the examples
+use them to characterize schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.etc.model import ETCMatrix
+from repro.scheduling.schedule import compute_completion_times
+
+__all__ = ["makespan", "machine_loads", "flowtime", "utilization", "load_imbalance"]
+
+
+def makespan(instance: ETCMatrix, assignment: np.ndarray) -> float:
+    """Completion time of the latest machine (eq. 3)."""
+    return float(compute_completion_times(instance, assignment).max())
+
+
+def machine_loads(instance: ETCMatrix, assignment: np.ndarray) -> np.ndarray:
+    """Per-machine completion times (the paper calls these *loads*)."""
+    return compute_completion_times(instance, assignment)
+
+
+def flowtime(instance: ETCMatrix, assignment: np.ndarray) -> float:
+    """Sum of task finishing times, with SPT order within each machine.
+
+    Independent tasks on one machine minimize local flowtime when
+    executed shortest-processing-time first, which is the convention of
+    Xhafa et al.; the finishing time of the k-th task in SPT order is
+    the prefix sum of ETCs, so per machine the flowtime is
+    ``sum over k of (ready + prefix_sum_k)``.
+    """
+    assignment = np.asarray(assignment)
+    total = 0.0
+    for m in range(instance.nmachines):
+        times = instance.etc_t[m, assignment == m]
+        if times.size == 0:
+            continue
+        times = np.sort(times)
+        total += float(np.cumsum(times).sum()) + float(instance.ready_times[m]) * times.size
+    return total
+
+
+def utilization(instance: ETCMatrix, assignment: np.ndarray) -> float:
+    """Average machine utilization in [0, 1]: mean(load) / makespan."""
+    ct = compute_completion_times(instance, assignment)
+    mx = ct.max()
+    if mx <= 0:
+        return 1.0
+    return float(ct.mean() / mx)
+
+
+def load_imbalance(instance: ETCMatrix, assignment: np.ndarray) -> float:
+    """Relative gap between the most and least loaded machines."""
+    ct = compute_completion_times(instance, assignment)
+    mx = ct.max()
+    if mx <= 0:
+        return 0.0
+    return float((mx - ct.min()) / mx)

@@ -1,0 +1,166 @@
+"""The (S, CT) schedule representation of §3.3.
+
+The paper's key implementation idea is that completion times are *part
+of the representation* and every operator updates them incrementally —
+evaluation then reduces to a max over machines, and the update cost of
+moving one task is O(1) instead of O(ntasks).  :class:`Schedule` is the
+single-solution API used by heuristics, local search and the baselines;
+the cellular GA engines operate on flat population arrays (see
+``repro.cga.population``) with the same update discipline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.etc.model import ETCMatrix
+
+__all__ = ["compute_completion_times", "Schedule"]
+
+
+def compute_completion_times(instance: ETCMatrix, assignment: np.ndarray) -> np.ndarray:
+    """Completion time of every machine under ``assignment`` (eq. 2).
+
+    ``completion[m] = ready[m] + sum of ETC[t][m] over tasks t with
+    S[t] = m``.  Vectorized with ``np.add.at`` (unbuffered scatter-add).
+    """
+    assignment = np.asarray(assignment)
+    ct = instance.ready_times.copy()
+    np.add.at(ct, assignment, instance.etc[np.arange(instance.ntasks), assignment])
+    return ct
+
+
+class Schedule:
+    """A mutable schedule: assignment vector + cached completion times.
+
+    Parameters
+    ----------
+    instance:
+        The ETC instance being scheduled.
+    assignment:
+        Initial ``(ntasks,)`` integer vector, ``assignment[t] = m``.
+        Copied; the schedule owns its arrays.
+
+    All mutators (:meth:`move`, :meth:`swap`, :meth:`apply_delta`,
+    :meth:`set_assignment`) keep ``ct`` exact (up to float rounding; see
+    :meth:`resync` for long mutation chains).
+    """
+
+    __slots__ = ("instance", "s", "ct")
+
+    def __init__(self, instance: ETCMatrix, assignment: np.ndarray):
+        assignment = np.asarray(assignment, dtype=np.int32)
+        if assignment.shape != (instance.ntasks,):
+            raise ValueError(
+                f"assignment shape {assignment.shape} != (ntasks={instance.ntasks},)"
+            )
+        if assignment.min(initial=0) < 0 or assignment.max(initial=0) >= instance.nmachines:
+            raise ValueError("assignment contains out-of-range machine indices")
+        self.instance = instance
+        self.s = assignment.copy()
+        self.ct = compute_completion_times(instance, self.s)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(cls, instance: ETCMatrix, rng: np.random.Generator) -> "Schedule":
+        """Uniformly random task-machine assignment."""
+        s = rng.integers(0, instance.nmachines, size=instance.ntasks, dtype=np.int32)
+        return cls(instance, s)
+
+    def copy(self) -> "Schedule":
+        """Deep copy (O(ntasks), no CT recomputation)."""
+        out = object.__new__(Schedule)
+        out.instance = self.instance
+        out.s = self.s.copy()
+        out.ct = self.ct.copy()
+        return out
+
+    # ------------------------------------------------------------------
+    # objectives
+    # ------------------------------------------------------------------
+    def makespan(self) -> float:
+        """Finishing time of the latest machine (eq. 3) — the fitness."""
+        return float(self.ct.max())
+
+    def most_loaded_machine(self) -> int:
+        """Machine whose completion time defines the makespan."""
+        return int(self.ct.argmax())
+
+    def tasks_on(self, machine: int) -> np.ndarray:
+        """Indices of the tasks currently assigned to ``machine``."""
+        return np.flatnonzero(self.s == machine)
+
+    # ------------------------------------------------------------------
+    # incremental mutators
+    # ------------------------------------------------------------------
+    def move(self, task: int, machine: int) -> None:
+        """Reassign ``task`` to ``machine`` with an O(1) CT update."""
+        old = self.s[task]
+        if old == machine:
+            return
+        etc_t = self.instance.etc_t
+        self.ct[old] -= etc_t[old, task]
+        self.ct[machine] += etc_t[machine, task]
+        self.s[task] = machine
+
+    def swap(self, task_a: int, task_b: int) -> None:
+        """Exchange the machines of two tasks with an O(1) CT update."""
+        ma, mb = int(self.s[task_a]), int(self.s[task_b])
+        if ma == mb:
+            return
+        etc_t = self.instance.etc_t
+        self.ct[ma] += etc_t[ma, task_b] - etc_t[ma, task_a]
+        self.ct[mb] += etc_t[mb, task_a] - etc_t[mb, task_b]
+        self.s[task_a], self.s[task_b] = mb, ma
+
+    def apply_delta(self, tasks: np.ndarray, machines: np.ndarray) -> None:
+        """Reassign a batch of tasks, updating CT incrementally.
+
+        This is the crossover workhorse: a child inherits a segment from
+        the other parent, which is exactly "reassign these tasks".
+        Vectorized: O(len(tasks)) regardless of ntasks.
+        """
+        tasks = np.asarray(tasks)
+        machines = np.asarray(machines, dtype=np.int32)
+        if tasks.shape != machines.shape:
+            raise ValueError("tasks and machines must have the same shape")
+        if tasks.size == 0:
+            return
+        old = self.s[tasks]
+        etc = self.instance.etc
+        np.subtract.at(self.ct, old, etc[tasks, old])
+        np.add.at(self.ct, machines, etc[tasks, machines])
+        self.s[tasks] = machines
+
+    def set_assignment(self, assignment: np.ndarray) -> None:
+        """Replace the whole assignment (full CT recomputation)."""
+        assignment = np.asarray(assignment, dtype=np.int32)
+        if assignment.shape != self.s.shape:
+            raise ValueError("assignment shape mismatch")
+        self.s[:] = assignment
+        self.ct[:] = compute_completion_times(self.instance, self.s)
+
+    def resync(self) -> float:
+        """Recompute CT from S; return the largest drift observed.
+
+        Incremental float updates accumulate rounding over very long
+        runs; engines call this at checkpoint boundaries.  Drift should
+        be ~1e-9 relative — the validation tests assert that.
+        """
+        fresh = compute_completion_times(self.instance, self.s)
+        drift = float(np.abs(fresh - self.ct).max())
+        self.ct[:] = fresh
+        return drift
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self.instance == other.instance and bool(np.array_equal(self.s, other.s))
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({self.instance.name or '<instance>'}, "
+            f"makespan={self.makespan():.2f})"
+        )

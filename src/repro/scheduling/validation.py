@@ -1,0 +1,63 @@
+"""Schedule validity checks.
+
+These are the invariants every operator must preserve; the test suite
+calls them after each operator and the engines call them at checkpoint
+boundaries when assertions are enabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.etc.model import ETCMatrix
+from repro.scheduling.schedule import compute_completion_times
+
+__all__ = ["InvalidScheduleError", "validate_assignment", "check_completion_times"]
+
+
+class InvalidScheduleError(ValueError):
+    """Raised when a schedule violates a representation invariant."""
+
+
+def validate_assignment(instance: ETCMatrix, assignment: np.ndarray) -> None:
+    """Check that ``assignment`` is a complete, in-range task mapping.
+
+    Non-preemptive independent-task scheduling requires every task to be
+    assigned to exactly one existing machine; the representation makes
+    "exactly one" structural, so only range and shape can go wrong.
+    """
+    assignment = np.asarray(assignment)
+    if assignment.shape != (instance.ntasks,):
+        raise InvalidScheduleError(
+            f"assignment shape {assignment.shape} != ({instance.ntasks},)"
+        )
+    if not np.issubdtype(assignment.dtype, np.integer):
+        raise InvalidScheduleError(f"assignment dtype {assignment.dtype} is not integral")
+    if assignment.size and (assignment.min() < 0 or assignment.max() >= instance.nmachines):
+        bad = assignment[(assignment < 0) | (assignment >= instance.nmachines)]
+        raise InvalidScheduleError(
+            f"assignment maps tasks to non-existent machines (e.g. {bad[:5].tolist()}; "
+            f"valid range is [0, {instance.nmachines - 1}])"
+        )
+
+
+def check_completion_times(
+    instance: ETCMatrix,
+    assignment: np.ndarray,
+    ct: np.ndarray,
+    rtol: float = 1e-9,
+    atol: float = 1e-6,
+) -> None:
+    """Check that cached completion times match a fresh computation.
+
+    Incremental updates must agree with eq. 2 up to float rounding; a
+    mismatch beyond tolerance means an operator forgot an update — the
+    bug class the paper's representation makes possible.
+    """
+    fresh = compute_completion_times(instance, np.asarray(assignment))
+    if not np.allclose(ct, fresh, rtol=rtol, atol=atol):
+        worst = int(np.abs(ct - fresh).argmax())
+        raise InvalidScheduleError(
+            f"completion-time cache out of sync: machine {worst} cached {ct[worst]!r} "
+            f"vs recomputed {fresh[worst]!r}"
+        )

@@ -1,0 +1,12 @@
+"""Small shared utilities: text Gantt rendering, run persistence."""
+
+from repro.util.gantt import render_gantt
+from repro.util.persist import result_to_dict, result_from_dict, save_result, load_result
+
+__all__ = [
+    "render_gantt",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+]

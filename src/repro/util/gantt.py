@@ -1,0 +1,56 @@
+"""Plain-text Gantt rendering of a schedule.
+
+For terminals and logs: one row per machine, task segments in SPT
+order (the flowtime convention), proportional widths, makespan marker.
+Used by the examples and handy when debugging operator behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(schedule: Schedule, width: int = 72, max_machines: int | None = None) -> str:
+    """Render ``schedule`` as a fixed-width text Gantt chart.
+
+    Each machine row shows its queued tasks as blocks scaled to the
+    makespan; blocks too narrow to label render as ``#``.  Rows are
+    ordered by machine index; ``max_machines`` truncates tall charts.
+    """
+    if width < 20:
+        raise ValueError(f"width must be >= 20, got {width}")
+    inst = schedule.instance
+    makespan = schedule.makespan()
+    if makespan <= 0:
+        return "(empty schedule)"
+    scale = (width - 10) / makespan
+    lines = []
+    shown = inst.nmachines if max_machines is None else min(max_machines, inst.nmachines)
+    for m in range(shown):
+        tasks = schedule.tasks_on(m)
+        times = inst.etc_t[m, tasks]
+        order = np.argsort(times)  # SPT within the machine
+        cursor = float(inst.ready_times[m])
+        cells: list[str] = []
+        if cursor > 0:
+            cells.append("." * max(1, int(cursor * scale)))
+        for k in order:
+            t = int(tasks[k])
+            span = max(1, int(times[k] * scale))
+            label = f"t{t}"
+            if span >= len(label) + 2:
+                pad = span - len(label)
+                cells.append("[" + label + "·" * (pad - 2) + "]")
+            else:
+                cells.append("#" * span)
+            cursor += float(times[k])
+        bar = "".join(cells)[: width - 10]
+        lines.append(f"m{m:02d} |{bar:<{width - 10}}| {schedule.ct[m]:,.0f}")
+    if shown < inst.nmachines:
+        lines.append(f"... ({inst.nmachines - shown} more machines)")
+    lines.append(f"{'makespan':>4} = {makespan:,.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""JSON persistence for run results.
+
+Experiments at paper scale take long enough that losing results to a
+crashed analysis script is painful; these helpers serialize
+:class:`repro.cga.engine.RunResult` (including history and engine
+metadata) to plain JSON so any later session — or any other tool — can
+reload them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.cga.engine import RunResult
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+
+_FORMAT_VERSION = 1
+
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Lossless, JSON-serializable view of a run result."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "best_fitness": result.best_fitness,
+        "best_assignment": result.best_assignment.tolist(),
+        "evaluations": result.evaluations,
+        "generations": result.generations,
+        "elapsed_s": result.elapsed_s,
+        "history": [list(row) for row in result.history],
+        "extra": _jsonable(result.extra),
+    }
+
+
+def result_from_dict(data: dict) -> RunResult:
+    """Inverse of :func:`result_to_dict`."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version: {version!r}")
+    return RunResult(
+        best_fitness=float(data["best_fitness"]),
+        best_assignment=np.asarray(data["best_assignment"], dtype=np.int32),
+        evaluations=int(data["evaluations"]),
+        generations=int(data["generations"]),
+        elapsed_s=float(data["elapsed_s"]),
+        history=[tuple(row) for row in data["history"]],
+        extra=dict(data.get("extra", {})),
+    )
+
+
+def save_result(result: RunResult, path: str | os.PathLike) -> None:
+    """Write a run result as JSON (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result)), encoding="utf-8")
+
+
+def load_result(path: str | os.PathLike) -> RunResult:
+    """Read a run result written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

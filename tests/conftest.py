@@ -1,0 +1,38 @@
+"""Shared fixtures: instances of several sizes and a seeded RNG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.etc import load_benchmark, make_instance
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_instance():
+    """16 tasks x 4 machines — fast enough for exhaustive checks."""
+    return make_instance(16, 4, consistency="i", seed=7, name="tiny")
+
+
+@pytest.fixture
+def small_instance():
+    """64 tasks x 8 machines — realistic structure, still fast."""
+    return make_instance(64, 8, consistency="i", seed=11, name="small")
+
+
+@pytest.fixture(scope="session")
+def benchmark_instance():
+    """One real 512x16 benchmark instance (session-cached)."""
+    return load_benchmark("u_i_hilo.0")
+
+
+@pytest.fixture(scope="session")
+def consistent_instance():
+    """A consistent 512x16 benchmark instance (session-cached)."""
+    return load_benchmark("u_c_hihi.0")

@@ -1,0 +1,70 @@
+"""Tests for the LP makespan lower bound."""
+
+import numpy as np
+import pytest
+
+from repro.etc import ETCMatrix, load_benchmark, make_instance
+from repro.heuristics import min_min
+from repro.scheduling.bounds import combined_lower_bound, lp_lower_bound
+
+
+class TestLPLowerBound:
+    def test_below_every_heuristic(self, small_instance, rng):
+        lb = lp_lower_bound(small_instance)
+        from repro.heuristics import HEURISTICS
+
+        for fn in HEURISTICS.values():
+            assert fn(small_instance, rng).makespan() >= lb - 1e-6
+
+    def test_tighter_than_area_bound(self, benchmark_instance):
+        # on heterogeneous instances the LP dominates the naive bound
+        lp = lp_lower_bound(benchmark_instance)
+        area = benchmark_instance.makespan_lower_bound()
+        assert lp >= area - 1e-6
+
+    def test_exact_on_identical_machines(self):
+        # 4 unit tasks on 2 equal machines: fractional optimum = 2
+        inst = ETCMatrix(np.ones((4, 2)))
+        assert lp_lower_bound(inst) == pytest.approx(2.0)
+
+    def test_single_machine_equals_total(self):
+        inst = make_instance(10, 1, seed=0)
+        assert lp_lower_bound(inst) == pytest.approx(inst.etc[:, 0].sum())
+
+    def test_respects_ready_times(self):
+        etc = np.ones((2, 2))
+        busy = ETCMatrix(etc, ready_times=np.array([10.0, 0.0]))
+        # eq. 3's makespan is max over *completion times*, and a busy
+        # machine completes its previous work at t=10 even if it gets no
+        # new task — the bound must include that
+        assert lp_lower_bound(busy) == pytest.approx(10.0)
+
+    def test_ready_times_below_horizon_do_not_bind(self):
+        etc = np.ones((2, 2)) * 5.0
+        busy = ETCMatrix(etc, ready_times=np.array([1.0, 0.0]))
+        # balanced fractional optimum: (1 + 0 + 10 units of work) / 2
+        assert lp_lower_bound(busy) == pytest.approx(5.5)
+
+    def test_achievable_gap_is_small_on_benchmark(self, benchmark_instance):
+        lb = lp_lower_bound(benchmark_instance)
+        ub = min_min(benchmark_instance).makespan()
+        assert lb <= ub
+        assert ub / lb < 1.6  # Min-min lands within 60% of the LP bound
+
+    def test_combined_bound_max_of_both(self, small_instance):
+        combined = combined_lower_bound(small_instance)
+        assert combined == pytest.approx(
+            max(lp_lower_bound(small_instance), small_instance.makespan_lower_bound())
+        )
+
+
+class TestLPAgainstOptimal:
+    def test_two_task_instance_lp_equals_preemptive_optimum(self):
+        # tasks: fast on opposite machines; LP splits nothing (perfect fit)
+        inst = ETCMatrix(np.array([[1.0, 10.0], [10.0, 1.0]]))
+        assert lp_lower_bound(inst) == pytest.approx(1.0)
+
+    def test_fractional_split(self):
+        # one task, two equal machines: LP halves it
+        inst = ETCMatrix(np.array([[4.0, 4.0]]))
+        assert lp_lower_bound(inst) == pytest.approx(2.0)

@@ -1,0 +1,47 @@
+"""Tests for the one-call reproduction campaign (tiny scale)."""
+
+import pytest
+
+from repro.experiments.campaign import run_campaign
+
+
+class TestRunCampaign:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("campaign")
+        # minuscule scale: the full pipeline in a few seconds
+        return run_campaign(out, scale=0.02, n_runs=1, seed=4)
+
+    def test_all_artifacts_present(self, report):
+        expected = {"table1", "fig4", "fig5", "table2", "fig6", "quality", "index"}
+        assert expected <= set(report.artifacts)
+
+    def test_files_exist_and_nonempty(self, report):
+        for name, path in report.artifacts.items():
+            assert path.exists(), name
+            assert path.stat().st_size > 0, name
+
+    def test_fig4_has_speedup_table(self, report):
+        text = report.summaries["fig4"]
+        assert "ls_iterations" in text
+        assert "%" in text
+
+    def test_table2_includes_paper_column(self, report):
+        assert "paper winner" in report.summaries["table2"]
+
+    def test_fig5_reports_family_test(self, report):
+        assert "Wilcoxon" in report.summaries["fig5"]
+
+    def test_quality_reports_gap(self, report):
+        assert "mean PA-CGA gap above LP" in report.summaries["quality"]
+
+    def test_index_lists_everything(self, report):
+        index = report.summaries["index"]
+        for name in ("fig4", "fig5", "table2", "fig6", "quality"):
+            assert name in index
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_campaign(tmp_path, scale=0.0)
+        with pytest.raises(ValueError):
+            run_campaign(tmp_path, n_runs=0)

@@ -1,0 +1,94 @@
+"""Tests for engine checkpoint / resume."""
+
+import numpy as np
+import pytest
+
+from repro.cga import AsyncCGA, CGAConfig, StopCondition
+from repro.cga.checkpoint import (
+    engine_state,
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+)
+
+
+CFG = CGAConfig(grid_rows=4, grid_cols=4, ls_iterations=2, seed_with_minmin=False)
+
+
+class TestExactResume:
+    def test_split_run_equals_straight_run(self, small_instance):
+        straight = AsyncCGA(small_instance, CFG, rng=5)
+        res_straight = straight.run(StopCondition(max_generations=10))
+
+        first = AsyncCGA(small_instance, CFG, rng=5)
+        first.run(StopCondition(max_generations=5))
+        state = engine_state(first)
+
+        resumed = AsyncCGA(small_instance, CFG, rng=999)  # wrong seed on purpose
+        restore_engine(resumed, state)
+        res_resumed = resumed.run(StopCondition(max_generations=5))
+
+        assert res_resumed.best_fitness == res_straight.best_fitness
+        assert np.array_equal(res_resumed.best_assignment, res_straight.best_assignment)
+        assert np.array_equal(resumed.pop.s, straight.pop.s)
+
+    def test_file_roundtrip(self, small_instance, tmp_path):
+        eng = AsyncCGA(small_instance, CFG, rng=1)
+        eng.run(StopCondition(max_generations=3))
+        path = tmp_path / "ckpt" / "state.json"
+        save_checkpoint(eng, path)
+
+        other = AsyncCGA(small_instance, CFG, rng=2)
+        load_checkpoint(other, path)
+        assert np.array_equal(other.pop.s, eng.pop.s)
+        assert other.rng.random() == eng.rng.random()
+
+
+class TestValidation:
+    def test_rejects_config_mismatch(self, small_instance):
+        eng = AsyncCGA(small_instance, CFG, rng=1)
+        state = engine_state(eng)
+        other = AsyncCGA(small_instance, CFG.with_(ls_iterations=9), rng=1)
+        with pytest.raises(ValueError, match="configuration"):
+            restore_engine(other, state)
+
+    def test_rejects_instance_mismatch(self, small_instance, tiny_instance):
+        # same grid shapes, different instance names
+        eng = AsyncCGA(small_instance, CFG, rng=1)
+        state = engine_state(eng)
+        other = AsyncCGA(tiny_instance, CFG, rng=1)
+        with pytest.raises(ValueError, match="instance"):
+            restore_engine(other, state)
+
+    def test_rejects_unknown_version(self, small_instance):
+        eng = AsyncCGA(small_instance, CFG, rng=1)
+        state = engine_state(eng)
+        state["format_version"] = 42
+        with pytest.raises(ValueError, match="version"):
+            restore_engine(eng, state)
+
+    def test_population_intact_after_failed_restore(self, small_instance, tiny_instance):
+        eng = AsyncCGA(small_instance, CFG, rng=1)
+        state = engine_state(eng)
+        other = AsyncCGA(tiny_instance, CFG, rng=1)
+        before = other.pop.s.copy()
+        with pytest.raises(ValueError):
+            restore_engine(other, state)
+        assert np.array_equal(other.pop.s, before)
+
+
+class TestStateContents:
+    def test_json_serializable(self, small_instance):
+        import json
+
+        eng = AsyncCGA(small_instance, CFG, rng=1)
+        text = json.dumps(engine_state(eng))
+        assert "rng_state" in text
+
+    def test_restored_invariants(self, small_instance, tmp_path):
+        eng = AsyncCGA(small_instance, CFG, rng=1)
+        eng.run(StopCondition(max_generations=4))
+        save_checkpoint(eng, tmp_path / "c.json")
+        fresh = AsyncCGA(small_instance, CFG, rng=0)
+        load_checkpoint(fresh, tmp_path / "c.json")
+        fresh.pop.check_invariants()

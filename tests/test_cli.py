@@ -1,0 +1,234 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.engine == "sim"
+        assert args.threads == 3
+        assert args.crossover == "tpx"
+
+
+class TestInstances:
+    def test_lists_all_twelve(self, capsys):
+        assert main(["instances"]) == 0
+        out = capsys.readouterr().out
+        for name in ("u_c_hihi.0", "u_i_lolo.0", "u_s_lohi.0"):
+            assert name in out
+
+
+class TestHeuristics:
+    def test_runs_all(self, capsys):
+        assert main(["heuristics", "--instance", "u_i_hilo.0"]) == 0
+        out = capsys.readouterr().out
+        assert "min-min" in out
+        assert "sufferage" in out
+
+    def test_lp_bound_flag(self, capsys):
+        assert main(["heuristics", "--instance", "u_i_hilo.0", "--lp-bound"]) == 0
+        assert "LP lower bound" in capsys.readouterr().out
+
+
+class TestSolve:
+    def test_sim_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--instance",
+                    "u_i_hilo.0",
+                    "--evals",
+                    "600",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "best makespan" in out
+        assert "evaluations   : 600" in out
+
+    def test_async_engine_with_gantt(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--engine",
+                    "async",
+                    "--instance",
+                    "u_i_hilo.0",
+                    "--evals",
+                    "300",
+                    "--gantt",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "m00" in out  # gantt rows
+
+    def test_out_file(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        assert (
+            main(
+                [
+                    "solve",
+                    "--instance",
+                    "u_i_hilo.0",
+                    "--evals",
+                    "300",
+                    "--out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(path.read_text())
+        assert data["evaluations"] == 300
+
+    def test_deterministic_given_seed(self, capsys):
+        main(["solve", "--instance", "u_i_hilo.0", "--evals", "400", "--seed", "9"])
+        a = capsys.readouterr().out
+        main(["solve", "--instance", "u_i_hilo.0", "--evals", "400", "--seed", "9"])
+        b = capsys.readouterr().out
+        assert a == b
+
+
+class TestGenerate:
+    def test_writes_instance(self, tmp_path, capsys):
+        path = tmp_path / "gen.etc"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--ntasks",
+                    "24",
+                    "--nmachines",
+                    "4",
+                    "--consistency",
+                    "c",
+                    "--out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        from repro.etc import load_instance
+
+        inst = load_instance(path)
+        assert inst.ntasks == 24
+        assert inst.is_consistent()
+
+
+class TestHarnessCommands:
+    def test_speedup(self, capsys):
+        assert main(["speedup", "--vtime", "0.01", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ls_iterations" in out
+
+    def test_operators(self, capsys):
+        assert (
+            main(
+                [
+                    "operators",
+                    "--instance",
+                    "u_i_hilo.0",
+                    "--vtime",
+                    "0.005",
+                    "--runs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "tpx/10" in capsys.readouterr().out
+
+    def test_comparison(self, capsys):
+        assert (
+            main(
+                [
+                    "comparison",
+                    "--instance",
+                    "u_i_hilo.0",
+                    "--vtime",
+                    "0.005",
+                    "--runs",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pa-cga-90s" in out
+
+    def test_convergence(self, capsys):
+        assert (
+            main(["convergence", "--vtime", "0.01", "--runs", "1"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "best thread count" in out
+
+    def test_quality(self, capsys):
+        assert (
+            main(["quality", "--instance", "u_i_hilo.0", "--evals", "400"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "LP bound" in out
+        assert "mean PA-CGA gap" in out
+
+    def test_reproduce(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "reproduce",
+                    "--out",
+                    str(tmp_path / "repro_out"),
+                    "--scale",
+                    "0.01",
+                    "--runs",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "campaign artifacts" in out
+        assert (tmp_path / "repro_out" / "fig4.txt").exists()
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--instance", "u_i_hilo.0", "--samples", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "t_breed" in out
+        assert "t_ls_iter" in out
+
+    def test_solve_weighted_fitness(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--instance",
+                    "u_i_hilo.0",
+                    "--evals",
+                    "300",
+                    "--fitness",
+                    "makespan+flowtime",
+                ]
+            )
+            == 0
+        )
+        assert "best makespan" in capsys.readouterr().out

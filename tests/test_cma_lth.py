@@ -1,0 +1,107 @@
+"""Tests for the cMA+LTH baseline and the Local Tabu Hop operator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CMALTH, local_tabu_hop
+from repro.cga import CGAConfig, StopCondition
+from repro.cga.local_search import LOCAL_SEARCHES
+from repro.scheduling.schedule import compute_completion_times
+from repro.scheduling.validation import check_completion_times, validate_assignment
+
+
+@pytest.fixture
+def state(small_instance, rng):
+    s = rng.integers(0, small_instance.nmachines, small_instance.ntasks).astype(np.int32)
+    ct = compute_completion_times(small_instance, s)
+    return s, ct
+
+
+class TestLocalTabuHop:
+    def test_registered_as_local_search(self):
+        assert "lth" in LOCAL_SEARCHES
+
+    def test_never_returns_worse_state(self, small_instance, state, rng):
+        s, ct = state
+        before = ct.max()
+        local_tabu_hop(s, ct, small_instance, rng, 10)
+        assert ct.max() <= before + 1e-9
+
+    def test_keeps_ct_exact(self, small_instance, state, rng):
+        s, ct = state
+        local_tabu_hop(s, ct, small_instance, rng, 10)
+        check_completion_times(small_instance, s, ct)
+
+    def test_keeps_assignment_valid(self, small_instance, state, rng):
+        s, ct = state
+        local_tabu_hop(s, ct, small_instance, rng, 10)
+        validate_assignment(small_instance, s)
+
+    def test_zero_iterations_noop(self, small_instance, state, rng):
+        s, ct = state
+        before = s.copy()
+        assert local_tabu_hop(s, ct, small_instance, rng, 0) == 0
+        assert np.array_equal(s, before)
+
+    def test_improves_unbalanced(self, small_instance, rng):
+        s = np.zeros(small_instance.ntasks, dtype=np.int32)
+        ct = compute_completion_times(small_instance, s)
+        before = ct.max()
+        moves = local_tabu_hop(s, ct, small_instance, rng, 10)
+        assert moves > 0
+        assert ct.max() < before
+
+    def test_tabu_forces_diversification(self, rng):
+        # two tasks, two machines: after moving a task it becomes tabu,
+        # so the next hop must pick the other one (or stop).
+        from repro.etc import ETCMatrix
+
+        etc = np.array([[4.0, 5.0], [4.0, 5.0], [4.0, 5.0], [4.0, 5.0]])
+        inst = ETCMatrix(etc)
+        s = np.zeros(4, dtype=np.int32)
+        ct = compute_completion_times(inst, s)
+        local_tabu_hop(s, ct, inst, rng, 3, tenure=4)
+        moved = np.flatnonzero(s != 0)
+        assert len(set(moved.tolist())) == moved.size  # no task moved twice
+
+    def test_single_machine_noop(self, rng):
+        from repro.etc import make_instance
+
+        inst = make_instance(6, 1, seed=0)
+        s = np.zeros(6, dtype=np.int32)
+        ct = compute_completion_times(inst, s)
+        assert local_tabu_hop(s, ct, inst, rng, 5) == 0
+
+
+class TestCMALTH:
+    def test_runs_and_improves(self, small_instance):
+        algo = CMALTH(small_instance, rng=1, config=CGAConfig(
+            grid_rows=4, grid_cols=4, local_search="lth", selection="tournament",
+            seed_with_minmin=False,
+        ))
+        initial = algo._engine.pop.best()[1]
+        res = algo.run(StopCondition(max_generations=10))
+        assert res.best_fitness < initial
+
+    def test_requires_lth(self, small_instance):
+        with pytest.raises(ValueError, match="lth"):
+            CMALTH(small_instance, config=CGAConfig(local_search="h2ll"))
+
+    def test_default_config_uses_lth(self, tiny_instance):
+        algo = CMALTH(tiny_instance, rng=0)
+        assert algo.config.local_search == "lth"
+        assert algo.config.selection == "tournament"
+
+    def test_result_tagged(self, tiny_instance):
+        algo = CMALTH(tiny_instance, rng=0, config=CGAConfig(
+            grid_rows=4, grid_cols=4, local_search="lth", seed_with_minmin=False,
+        ))
+        res = algo.run(StopCondition(max_generations=2))
+        assert res.extra["algorithm"] == "cma+lth"
+
+    def test_population_invariants(self, tiny_instance):
+        algo = CMALTH(tiny_instance, rng=0, config=CGAConfig(
+            grid_rows=4, grid_cols=4, local_search="lth", seed_with_minmin=False,
+        ))
+        algo.run(StopCondition(max_generations=5))
+        algo._engine.pop.check_invariants()

@@ -1,0 +1,125 @@
+"""Tests for CGAConfig and StopCondition (Table 1)."""
+
+import math
+
+import pytest
+
+from repro.cga import CGAConfig, StopCondition
+
+
+class TestCGAConfigDefaults:
+    def test_table1_values(self):
+        c = CGAConfig()
+        assert (c.grid_rows, c.grid_cols) == (16, 16)
+        assert c.population_size == 256
+        assert c.neighborhood == "l5"
+        assert c.selection == "best2"
+        assert c.p_comb == 1.0
+        assert c.mutation == "move"
+        assert c.p_mut == 1.0
+        assert c.local_search == "h2ll"
+        assert c.p_ls == 1.0
+        assert c.replacement == "if-better"
+        assert c.seed_with_minmin
+
+    def test_describe_mentions_key_rows(self):
+        text = CGAConfig().describe()
+        assert "16x16" in text
+        assert "Min-min" in text
+        assert "line sweep" in text
+
+    def test_with_updates(self):
+        c = CGAConfig().with_(n_threads=3, crossover="opx")
+        assert c.n_threads == 3
+        assert c.crossover == "opx"
+        assert CGAConfig().n_threads == 1  # original untouched
+
+
+class TestCGAConfigValidation:
+    def test_bad_probability(self):
+        with pytest.raises(ValueError, match="p_mut"):
+            CGAConfig(p_mut=1.5)
+
+    def test_bad_neighborhood(self):
+        with pytest.raises(ValueError, match="neighborhood"):
+            CGAConfig(neighborhood="l7")
+
+    def test_bad_selection(self):
+        with pytest.raises(ValueError, match="selection"):
+            CGAConfig(selection="elitist")
+
+    def test_bad_crossover(self):
+        with pytest.raises(ValueError, match="crossover"):
+            CGAConfig(crossover="pmx")
+
+    def test_bad_local_search(self):
+        with pytest.raises(ValueError, match="local search"):
+            CGAConfig(local_search="h3ll")
+
+    def test_none_local_search_ok(self):
+        assert CGAConfig(local_search=None).resolve().local_search is None
+
+    def test_thread_bounds(self):
+        with pytest.raises(ValueError, match="n_threads"):
+            CGAConfig(n_threads=0)
+        with pytest.raises(ValueError, match="n_threads"):
+            CGAConfig(grid_rows=2, grid_cols=2, n_threads=5)
+
+    def test_negative_ls_iterations(self):
+        with pytest.raises(ValueError, match="ls_iterations"):
+            CGAConfig(ls_iterations=-1)
+
+    def test_resolve_binds_callables(self):
+        ops = CGAConfig().resolve()
+        assert callable(ops.select)
+        assert callable(ops.crossover)
+        assert callable(ops.mutate)
+        assert callable(ops.local_search)
+        assert callable(ops.replace)
+
+
+class TestStopCondition:
+    def test_needs_a_bound(self):
+        with pytest.raises(ValueError, match="at least one bound"):
+            StopCondition()
+
+    def test_max_evaluations(self):
+        s = StopCondition(max_evaluations=10)
+        assert not s.done(evaluations=9)
+        assert s.done(evaluations=10)
+
+    def test_max_generations(self):
+        s = StopCondition(max_generations=3)
+        assert not s.done(generations=2)
+        assert s.done(generations=3)
+
+    def test_wall_time(self):
+        s = StopCondition(wall_time_s=1.0)
+        assert not s.done(elapsed=0.5)
+        assert s.done(elapsed=1.0)
+
+    def test_target_fitness(self):
+        s = StopCondition(target_fitness=100.0)
+        assert not s.done(best_fitness=101.0)
+        assert s.done(best_fitness=100.0)
+
+    def test_virtual_time_alone_is_a_bound(self):
+        s = StopCondition(virtual_time=0.5)
+        # virtual time is checked by the sim engine, not done()
+        assert not s.done(evaluations=10**9)
+
+    def test_any_bound_triggers(self):
+        s = StopCondition(max_evaluations=10, max_generations=100)
+        assert s.done(evaluations=10, generations=0)
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            StopCondition(wall_time_s=0.0)
+        with pytest.raises(ValueError):
+            StopCondition(virtual_time=-1.0)
+        with pytest.raises(ValueError):
+            StopCondition(wall_time_s=math.inf)
+
+    def test_rejects_zero_evaluations(self):
+        with pytest.raises(ValueError):
+            StopCondition(max_evaluations=0)

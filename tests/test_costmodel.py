@@ -1,0 +1,111 @@
+"""Tests for the Xeon E5440 virtual cost model — including the
+Fig. 4 shape calibration that DESIGN.md promises."""
+
+import numpy as np
+import pytest
+
+from repro.cga import CGAConfig, Grid2D, neighbor_table
+from repro.parallel import CostModel, XEON_E5440
+
+
+def boundary_fraction(n_threads: int) -> float:
+    grid = Grid2D(16, 16)
+    tbl = neighbor_table(grid, "l5")
+    return grid.boundary_fraction(n_threads, tbl)
+
+
+class TestBasics:
+    def test_compute_cost_linear_in_ls(self):
+        m = CostModel()
+        assert m.compute_cost(10) == pytest.approx(m.t_breed + 10 * m.t_ls_iter)
+
+    def test_cache_factor_monotone(self):
+        m = XEON_E5440
+        factors = [m.cache_factor(n) for n in (1, 2, 3, 4)]
+        assert factors[0] == 1.0
+        assert all(b >= a for a, b in zip(factors, factors[1:]))
+
+    def test_cache_factor_kinks_after_three(self):
+        m = XEON_E5440
+        assert (m.cache_factor(4) - m.cache_factor(3)) > (
+            m.cache_factor(3) - m.cache_factor(2)
+        )
+
+    def test_step_cost_boundary_surcharge(self):
+        m = XEON_E5440
+        inner = m.step_cost(3, 5, crosses_boundary=False)
+        border = m.step_cost(3, 5, crosses_boundary=True)
+        assert border > inner
+
+    def test_no_surcharge_single_thread(self):
+        m = XEON_E5440
+        assert m.step_cost(1, 5, crosses_boundary=True) == pytest.approx(
+            m.step_cost(1, 5, crosses_boundary=False)
+        )
+
+    def test_jitter_is_seeded(self):
+        m = XEON_E5440
+        a = m.step_cost(2, 5, True, np.random.default_rng(1))
+        b = m.step_cost(2, 5, True, np.random.default_rng(1))
+        assert a == b
+
+    def test_jitter_disabled(self):
+        m = CostModel(jitter_sigma=0.0)
+        a = m.step_cost(2, 5, True, np.random.default_rng(1))
+        b = m.step_cost(2, 5, True, np.random.default_rng(2))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(t_breed=-1)
+        with pytest.raises(ValueError):
+            CostModel(jitter_sigma=-0.1)
+        with pytest.raises(ValueError):
+            XEON_E5440.cache_factor(0)
+        with pytest.raises(ValueError):
+            XEON_E5440.compute_cost(-1)
+        with pytest.raises(ValueError):
+            XEON_E5440.expected_step_cost(2, 5, 1.5)
+
+
+class TestFig4ShapeCalibration:
+    """The default model must reproduce the paper's Fig. 4 claims."""
+
+    def speedups(self, ls_iters):
+        return {
+            n: XEON_E5440.predicted_speedup(n, ls_iters, boundary_fraction(n))
+            for n in (1, 2, 3, 4)
+        }
+
+    def test_baseline_is_one(self):
+        for it in (0, 1, 5, 10):
+            assert self.speedups(it)[1] == pytest.approx(1.0)
+
+    def test_zero_ls_slows_down_monotonically(self):
+        s = self.speedups(0)
+        assert s[2] < 1.0
+        assert s[3] < s[2]
+        assert s[4] < s[3]
+
+    def test_one_ls_roughly_flat(self):
+        s = self.speedups(1)
+        assert 0.8 < s[2] < 1.3
+        assert 0.8 < s[3] < 1.3
+
+    def test_five_ls_positive_speedup_with_plateau(self):
+        s = self.speedups(5)
+        assert s[2] > 1.2
+        assert s[3] > s[2]
+        assert s[4] <= s[3] * 1.02  # no gain from 3 to 4 threads
+
+    def test_ten_ls_largest_speedup_with_plateau(self):
+        s5 = self.speedups(5)
+        s10 = self.speedups(10)
+        assert s10[3] > s5[3]
+        assert s10[3] > 1.6
+        assert s10[4] <= s10[3] * 1.02
+
+    def test_more_ls_always_helps_parallel_efficiency(self):
+        for n in (2, 3, 4):
+            vals = [self.speedups(it)[n] for it in (0, 1, 5, 10)]
+            assert all(b >= a for a, b in zip(vals, vals[1:]))

@@ -1,0 +1,108 @@
+"""Tests for recombination operators and the incremental CT rule."""
+
+import numpy as np
+import pytest
+
+from repro.cga.crossover import CROSSOVERS, child_with_ct, one_point, two_point, uniform
+from repro.scheduling.schedule import compute_completion_times
+
+
+@pytest.fixture
+def parents(tiny_instance, rng):
+    p1 = rng.integers(0, tiny_instance.nmachines, tiny_instance.ntasks).astype(np.int32)
+    p2 = rng.integers(0, tiny_instance.nmachines, tiny_instance.ntasks).astype(np.int32)
+    return p1, p2
+
+
+class TestOnePoint:
+    def test_prefix_from_p1_suffix_from_p2(self, parents, rng):
+        p1, p2 = parents
+        child = one_point(p1, p2, rng)
+        n = p1.size
+        # find the cut: first index where child switches allegiance
+        agree1 = child == p1
+        agree2 = child == p2
+        # every gene comes from one parent
+        assert np.all(agree1 | agree2)
+        # the prefix tracks p1 and the suffix tracks p2 for *some* cut
+        cuts = [k for k in range(1, n) if np.all(agree1[:k]) and np.all(agree2[k:])]
+        assert cuts
+
+    def test_does_not_modify_parents(self, parents, rng):
+        p1, p2 = parents
+        c1, c2 = p1.copy(), p2.copy()
+        one_point(p1, p2, rng)
+        assert np.array_equal(p1, c1) and np.array_equal(p2, c2)
+
+    def test_both_parents_contribute(self, rng):
+        p1 = np.zeros(10, dtype=np.int32)
+        p2 = np.ones(10, dtype=np.int32)
+        for _ in range(20):
+            child = one_point(p1, p2, rng)
+            assert 0 < child.sum() < 10  # cut in [1, 9] guarantees a mix
+
+    def test_length_one(self, rng):
+        p1 = np.array([0], dtype=np.int32)
+        p2 = np.array([1], dtype=np.int32)
+        assert one_point(p1, p2, rng)[0] == 0
+
+
+class TestTwoPoint:
+    def test_window_from_p2(self, rng):
+        p1 = np.zeros(20, dtype=np.int32)
+        p2 = np.ones(20, dtype=np.int32)
+        child = two_point(p1, p2, rng)
+        ones = np.flatnonzero(child == 1)
+        if ones.size:
+            # the p2 genes form one contiguous window
+            assert np.all(np.diff(ones) == 1)
+
+    def test_every_gene_from_a_parent(self, parents, rng):
+        p1, p2 = parents
+        child = two_point(p1, p2, rng)
+        assert np.all((child == p1) | (child == p2))
+
+    def test_varies_across_draws(self, rng):
+        p1 = np.zeros(30, dtype=np.int32)
+        p2 = np.ones(30, dtype=np.int32)
+        sums = {int(two_point(p1, p2, rng).sum()) for _ in range(30)}
+        assert len(sums) > 3
+
+
+class TestUniform:
+    def test_every_gene_from_a_parent(self, parents, rng):
+        p1, p2 = parents
+        child = uniform(p1, p2, rng)
+        assert np.all((child == p1) | (child == p2))
+
+    def test_roughly_half_from_each(self, rng):
+        p1 = np.zeros(1000, dtype=np.int32)
+        p2 = np.ones(1000, dtype=np.int32)
+        frac = uniform(p1, p2, rng).mean()
+        assert 0.4 < frac < 0.6
+
+
+@pytest.mark.parametrize("name,op", list(CROSSOVERS.items()))
+class TestChildWithCT:
+    def test_ct_matches_recomputation(self, name, op, tiny_instance, parents, rng):
+        p1, p2 = parents
+        p1_ct = compute_completion_times(tiny_instance, p1)
+        child, ct = child_with_ct(tiny_instance, p1, p1_ct, p2, op, rng)
+        fresh = compute_completion_times(tiny_instance, child)
+        assert np.allclose(ct, fresh)
+
+    def test_parent_ct_untouched(self, name, op, tiny_instance, parents, rng):
+        p1, p2 = parents
+        p1_ct = compute_completion_times(tiny_instance, p1)
+        saved = p1_ct.copy()
+        child_with_ct(tiny_instance, p1, p1_ct, p2, op, rng)
+        assert np.array_equal(p1_ct, saved)
+
+    def test_identical_parents_give_identical_child(
+        self, name, op, tiny_instance, parents, rng
+    ):
+        p1, _ = parents
+        p1_ct = compute_completion_times(tiny_instance, p1)
+        child, ct = child_with_ct(tiny_instance, p1, p1_ct, p1, op, rng)
+        assert np.array_equal(child, p1)
+        assert np.allclose(ct, p1_ct)

@@ -1,0 +1,95 @@
+"""Tests for the population diversity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cga import AsyncCGA, CGAConfig, Grid2D, Population, StopCondition
+from repro.cga.diversity import (
+    allele_entropy,
+    diversity_report,
+    fitness_spread,
+    hamming_diversity,
+)
+
+
+@pytest.fixture
+def random_pop(tiny_instance, rng):
+    pop = Population(tiny_instance, Grid2D(4, 4))
+    pop.init_random(rng)
+    return pop
+
+
+@pytest.fixture
+def collapsed_pop(tiny_instance, rng):
+    pop = Population(tiny_instance, Grid2D(4, 4))
+    pop.init_random(rng)
+    pop.s[:] = pop.s[0]
+    pop.evaluate_all()
+    return pop
+
+
+class TestHamming:
+    def test_random_population_is_diverse(self, random_pop):
+        assert hamming_diversity(random_pop) > 0.5
+
+    def test_collapsed_population_is_zero(self, collapsed_pop):
+        assert hamming_diversity(collapsed_pop) == 0.0
+
+    def test_bounded(self, random_pop):
+        d = hamming_diversity(random_pop)
+        assert 0.0 <= d <= 1.0
+
+    def test_single_individual(self, tiny_instance, rng):
+        pop = Population(tiny_instance, Grid2D(1, 1))
+        pop.init_random(rng)
+        assert hamming_diversity(pop) == 0.0
+
+    def test_deterministic_with_seeded_rng(self, random_pop):
+        a = hamming_diversity(random_pop, np.random.default_rng(1))
+        b = hamming_diversity(random_pop, np.random.default_rng(1))
+        assert a == b
+
+
+class TestEntropy:
+    def test_random_population_high_entropy(self, random_pop):
+        assert allele_entropy(random_pop) > 0.7
+
+    def test_collapsed_population_zero(self, collapsed_pop):
+        assert allele_entropy(collapsed_pop) == 0.0
+
+    def test_bounded(self, random_pop):
+        assert 0.0 <= allele_entropy(random_pop) <= 1.0
+
+    def test_single_machine_zero(self, rng):
+        from repro.etc import make_instance
+
+        inst = make_instance(8, 1, seed=0)
+        pop = Population(inst, Grid2D(2, 2))
+        pop.init_random(rng)
+        assert allele_entropy(pop) == 0.0
+
+
+class TestFitnessSpread:
+    def test_random_population_spreads(self, random_pop):
+        assert fitness_spread(random_pop) > 0.0
+
+    def test_collapsed_population_zero(self, collapsed_pop):
+        assert fitness_spread(collapsed_pop) == pytest.approx(0.0)
+
+
+class TestEvolutionShrinksDiversity:
+    def test_diversity_decreases_under_selection(self, small_instance):
+        config = CGAConfig(
+            grid_rows=6, grid_cols=6, ls_iterations=2, seed_with_minmin=False
+        )
+        eng = AsyncCGA(small_instance, config, rng=0)
+        before = diversity_report(eng.pop)
+        eng.run(StopCondition(max_generations=30))
+        after = diversity_report(eng.pop)
+        assert after["hamming"] < before["hamming"]
+        assert after["entropy"] < before["entropy"]
+        assert after["fitness_cv"] < before["fitness_cv"]
+
+    def test_report_keys(self, random_pop):
+        rep = diversity_report(random_pop)
+        assert set(rep) == {"hamming", "entropy", "fitness_cv"}

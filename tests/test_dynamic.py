@@ -1,0 +1,167 @@
+"""Tests for the dynamic grid simulator."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import (
+    BatchArrival,
+    DynamicGridSimulator,
+    MachineJoin,
+    MachineLeave,
+    greedy_rescheduler,
+)
+from repro.dynamic.simulator import pacga_rescheduler
+
+
+class TestEvents:
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            BatchArrival(time=-1.0, workloads=(1.0,))
+        with pytest.raises(ValueError):
+            BatchArrival(time=0.0, workloads=())
+        with pytest.raises(ValueError):
+            BatchArrival(time=0.0, workloads=(0.0,))
+
+    def test_join_validation(self):
+        with pytest.raises(ValueError):
+            MachineJoin(time=0.0, speed=0.0)
+
+    def test_leave_validation(self):
+        with pytest.raises(ValueError):
+            MachineLeave(time=0.0, machine_id=-1)
+
+
+class TestSingleBatch:
+    def test_one_machine_runs_serially(self):
+        sim = DynamicGridSimulator([10.0])
+        stats = sim.run([BatchArrival(time=0.0, workloads=(10.0, 20.0, 30.0))])
+        # durations 1, 2, 3 on one machine: makespan 6
+        assert stats.makespan == pytest.approx(6.0)
+        assert stats.completed == 3
+        assert stats.reschedules == 1
+
+    def test_two_equal_machines_balance(self):
+        sim = DynamicGridSimulator([10.0, 10.0])
+        stats = sim.run([BatchArrival(time=0.0, workloads=(10.0, 10.0, 10.0, 10.0))])
+        assert stats.makespan == pytest.approx(2.0)
+
+    def test_arrival_time_offsets_schedule(self):
+        sim = DynamicGridSimulator([10.0])
+        stats = sim.run([BatchArrival(time=5.0, workloads=(10.0,))])
+        assert stats.makespan == pytest.approx(6.0)
+        assert stats.mean_flowtime == pytest.approx(1.0)
+
+    def test_flowtime_counts_waiting(self):
+        sim = DynamicGridSimulator([10.0])
+        stats = sim.run([BatchArrival(time=0.0, workloads=(10.0, 10.0))])
+        # completions at 1 and 2 -> flows 1 and 2
+        assert stats.mean_flowtime == pytest.approx(1.5)
+
+
+class TestMachineDynamics:
+    def test_join_speeds_up_pending_work(self):
+        events_static = [BatchArrival(time=0.0, workloads=tuple([10.0] * 8))]
+        events_join = events_static + [MachineJoin(time=0.5, speed=10.0)]
+        static = DynamicGridSimulator([10.0]).run(events_static)
+        joined = DynamicGridSimulator([10.0]).run(events_join)
+        assert joined.makespan < static.makespan
+
+    def test_leave_restarts_tasks(self):
+        events = [
+            BatchArrival(time=0.0, workloads=(10.0, 10.0, 10.0, 10.0)),
+            MachineLeave(time=0.5, machine_id=1),
+        ]
+        stats = DynamicGridSimulator([10.0, 10.0]).run(events)
+        assert stats.completed == 4
+        assert stats.restarted >= 1  # machine 1's running task restarted
+        assert stats.makespan > 2.0  # lost work costs time
+
+    def test_cannot_drop_last_machine(self):
+        sim = DynamicGridSimulator([10.0])
+        with pytest.raises(ValueError, match="last machine"):
+            sim.run(
+                [
+                    BatchArrival(time=0.0, workloads=(10.0,)),
+                    MachineLeave(time=0.1, machine_id=0),
+                ]
+            )
+
+    def test_unknown_machine_leave(self):
+        sim = DynamicGridSimulator([10.0, 10.0])
+        with pytest.raises(KeyError):
+            sim.run([MachineLeave(time=0.0, machine_id=7)])
+
+    def test_non_preemptive_running_task_stays(self):
+        # one long task running; a join must not migrate it
+        events = [
+            BatchArrival(time=0.0, workloads=(100.0,)),
+            MachineJoin(time=1.0, speed=1000.0),
+        ]
+        stats = DynamicGridSimulator([10.0]).run(events)
+        # the task keeps its original machine: finish at 10, not ~1.1
+        assert stats.makespan == pytest.approx(10.0)
+        assert stats.migrations == 0
+
+
+class TestRescheduling:
+    def test_waiting_tasks_migrate_to_new_machine(self):
+        events = [
+            BatchArrival(time=0.0, workloads=(100.0, 100.0)),
+            MachineJoin(time=1.0, speed=100.0),
+        ]
+        stats = DynamicGridSimulator([10.0]).run(events)
+        # task 2 was queued (start at t=10); after the join it runs on the
+        # fast machine instead: finish ~2 -> makespan 10 (first task)
+        assert stats.makespan == pytest.approx(10.0)
+        assert stats.migrations == 1
+
+    def test_multiple_batches_accumulate(self):
+        events = [
+            BatchArrival(time=0.0, workloads=(10.0,)),
+            BatchArrival(time=0.5, workloads=(10.0,)),
+            BatchArrival(time=1.0, workloads=(10.0,)),
+        ]
+        stats = DynamicGridSimulator([10.0]).run(events)
+        assert stats.completed == 3
+        assert stats.makespan == pytest.approx(3.0)
+        assert stats.reschedules == 3
+
+    def test_timeline_recorded(self):
+        events = [
+            BatchArrival(time=0.0, workloads=(10.0, 10.0)),
+            MachineJoin(time=0.2, speed=5.0),
+        ]
+        stats = DynamicGridSimulator([10.0]).run(events)
+        assert len(stats.timeline) == 2
+        t0, pending0, machines0 = stats.timeline[0]
+        assert (t0, machines0) == (0.0, 1)
+        assert stats.timeline[1][2] == 2
+
+    def test_events_must_be_time_ordered_after_sort(self):
+        # run() sorts, so out-of-order input is fine
+        events = [
+            MachineJoin(time=1.0, speed=5.0),
+            BatchArrival(time=0.0, workloads=(10.0,)),
+        ]
+        stats = DynamicGridSimulator([10.0]).run(events)
+        assert stats.completed == 1
+
+
+class TestSchedulers:
+    def test_pacga_rescheduler_beats_greedy_on_heterogeneous(self):
+        rng = np.random.default_rng(5)
+        workloads = tuple(rng.uniform(50, 500, size=40))
+        speeds = [3.0, 10.0, 25.0, 7.0]
+        events = [BatchArrival(time=0.0, workloads=workloads)]
+        greedy = DynamicGridSimulator(speeds, greedy_rescheduler).run(events)
+        smart = DynamicGridSimulator(
+            speeds, pacga_rescheduler(max_evaluations=1500), seed=0
+        ).run(events)
+        assert smart.makespan <= greedy.makespan * 1.001
+
+    def test_pacga_rescheduler_handles_tiny_pool(self):
+        events = [BatchArrival(time=0.0, workloads=(10.0, 20.0))]
+        stats = DynamicGridSimulator(
+            [5.0, 9.0], pacga_rescheduler(max_evaluations=100)
+        ).run(events)
+        assert stats.completed == 2

@@ -1,0 +1,156 @@
+"""Tests for the sequential engines and the shared breeding step."""
+
+import numpy as np
+import pytest
+
+from repro.cga import (
+    AsyncCGA,
+    CGAConfig,
+    Population,
+    StopCondition,
+    SyncCGA,
+    evolve_individual,
+    neighbor_table,
+)
+from repro.cga.grid import Grid2D
+from repro.heuristics import min_min
+
+
+SMALL = CGAConfig(grid_rows=4, grid_cols=4, ls_iterations=2, seed_with_minmin=False)
+
+
+@pytest.fixture
+def async_engine(tiny_instance):
+    return AsyncCGA(tiny_instance, SMALL, rng=3)
+
+
+class TestEvolveIndividual:
+    def test_keeps_invariants(self, tiny_instance, rng):
+        pop = Population(tiny_instance, Grid2D(4, 4))
+        pop.init_random(rng)
+        tbl = neighbor_table(Grid2D(4, 4), "l5")
+        ops = SMALL.resolve()
+        for idx in range(pop.size):
+            evolve_individual(pop, idx, tbl[idx], ops, rng)
+        pop.check_invariants()
+
+    def test_replacement_only_improves(self, tiny_instance, rng):
+        pop = Population(tiny_instance, Grid2D(4, 4))
+        pop.init_random(rng)
+        tbl = neighbor_table(Grid2D(4, 4), "l5")
+        ops = SMALL.resolve()
+        before = pop.fitness.copy()
+        for idx in range(pop.size):
+            evolve_individual(pop, idx, tbl[idx], ops, rng)
+        assert np.all(pop.fitness <= before + 1e-9)
+
+    def test_returns_replacement_flag(self, tiny_instance, rng):
+        pop = Population(tiny_instance, Grid2D(4, 4))
+        pop.init_random(rng)
+        tbl = neighbor_table(Grid2D(4, 4), "l5")
+        ops = SMALL.resolve()
+        flags = [evolve_individual(pop, i, tbl[i], ops, rng) for i in range(pop.size)]
+        assert any(flags)  # random population: some offspring improve
+
+
+class TestAsyncCGA:
+    def test_runs_to_generation_budget(self, async_engine):
+        res = async_engine.run(StopCondition(max_generations=3))
+        assert res.generations == 3
+        assert res.evaluations == 3 * 16
+
+    def test_runs_to_evaluation_budget(self, async_engine):
+        res = async_engine.run(StopCondition(max_evaluations=20))
+        assert res.evaluations == 20
+
+    def test_fitness_monotone_nonincreasing(self, async_engine):
+        res = async_engine.run(StopCondition(max_generations=5))
+        bests = [row[2] for row in res.history]
+        assert all(b <= a + 1e-9 for a, b in zip(bests, bests[1:]))
+
+    def test_improves_over_initial(self, tiny_instance):
+        eng = AsyncCGA(tiny_instance, SMALL, rng=3)
+        initial_best = eng.pop.best()[1]
+        res = eng.run(StopCondition(max_generations=10))
+        assert res.best_fitness < initial_best
+
+    def test_best_assignment_matches_fitness(self, async_engine, tiny_instance):
+        res = async_engine.run(StopCondition(max_generations=3))
+        sched = res.best_schedule(tiny_instance)
+        assert sched.makespan() == pytest.approx(res.best_fitness)
+
+    def test_deterministic_given_seed(self, tiny_instance):
+        r1 = AsyncCGA(tiny_instance, SMALL, rng=9).run(StopCondition(max_generations=4))
+        r2 = AsyncCGA(tiny_instance, SMALL, rng=9).run(StopCondition(max_generations=4))
+        assert r1.best_fitness == r2.best_fitness
+        assert np.array_equal(r1.best_assignment, r2.best_assignment)
+
+    def test_seed_sensitivity(self, tiny_instance):
+        r1 = AsyncCGA(tiny_instance, SMALL, rng=1).run(StopCondition(max_generations=4))
+        r2 = AsyncCGA(tiny_instance, SMALL, rng=2).run(StopCondition(max_generations=4))
+        assert not np.array_equal(r1.best_assignment, r2.best_assignment)
+
+    def test_minmin_seed_bounds_initial_best(self, tiny_instance):
+        config = SMALL.with_(seed_with_minmin=True)
+        eng = AsyncCGA(tiny_instance, config, rng=3)
+        assert eng.pop.best()[1] <= min_min(tiny_instance).makespan() + 1e-9
+
+    def test_population_invariants_after_run(self, async_engine):
+        async_engine.run(StopCondition(max_generations=5))
+        async_engine.pop.check_invariants()
+
+    def test_target_fitness_stops_early(self, tiny_instance):
+        eng = AsyncCGA(tiny_instance, SMALL, rng=3)
+        res = eng.run(StopCondition(max_generations=500, target_fitness=float("inf")))
+        assert res.generations == 0
+
+    def test_history_disabled(self, tiny_instance):
+        eng = AsyncCGA(tiny_instance, SMALL, rng=3, record_history=False)
+        res = eng.run(StopCondition(max_generations=2))
+        assert res.history == []
+
+
+class TestSyncCGA:
+    def test_runs_and_improves(self, tiny_instance):
+        eng = SyncCGA(tiny_instance, SMALL, rng=3)
+        initial_best = eng.pop.best()[1]
+        res = eng.run(StopCondition(max_generations=10))
+        assert res.best_fitness <= initial_best
+
+    def test_offspring_invisible_within_generation(self, tiny_instance, rng):
+        # breeding reads the frozen parent population: after one sync
+        # generation from a uniform population, every cell bred against
+        # identical parents even though replacements happened.
+        config = SMALL.with_(p_mut=0.0, local_search=None, p_comb=1.0)
+        eng = SyncCGA(tiny_instance, config, rng=5)
+        eng.pop.s[:] = eng.pop.s[0]  # make everyone identical
+        eng.pop.evaluate_all()
+        res = eng.run(StopCondition(max_generations=1))
+        # crossover of identical parents = clone; nothing may change
+        assert np.all(eng.pop.s == eng.pop.s[0])
+
+    def test_population_invariants_after_run(self, tiny_instance):
+        eng = SyncCGA(tiny_instance, SMALL, rng=3)
+        eng.run(StopCondition(max_generations=5))
+        eng.pop.check_invariants()
+
+    def test_async_converges_faster(self, small_instance):
+        # the paper's premise ([1], [14]): async updates converge faster
+        # per generation; check the mean fitness after equal generations.
+        config = CGAConfig(
+            grid_rows=6, grid_cols=6, ls_iterations=0, local_search=None,
+            seed_with_minmin=False,
+        )
+        gens = 20
+        a = AsyncCGA(small_instance, config, rng=7).run(StopCondition(max_generations=gens))
+        s = SyncCGA(small_instance, config, rng=7).run(StopCondition(max_generations=gens))
+        assert a.history[-1][3] <= s.history[-1][3] * 1.05  # mean makespan
+
+
+class TestRunResult:
+    def test_history_rows_shape(self, async_engine):
+        res = async_engine.run(StopCondition(max_generations=3))
+        assert len(res.history) == 4  # initial snapshot + 3 generations
+        gen, evals, best, mean = res.history[-1]
+        assert gen == 3
+        assert best <= mean

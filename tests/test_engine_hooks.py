@@ -1,0 +1,70 @@
+"""Tests for the per-generation engine hook."""
+
+import pytest
+
+from repro.cga import AsyncCGA, CGAConfig, StopCondition, SyncCGA
+from repro.cga.diversity import diversity_report
+
+
+CFG = CGAConfig(grid_rows=4, grid_cols=4, ls_iterations=1, seed_with_minmin=False)
+
+
+class TestOnGeneration:
+    def test_called_once_per_generation(self, tiny_instance):
+        calls = []
+        eng = AsyncCGA(
+            tiny_instance, CFG, rng=0,
+            on_generation=lambda e, g, ev: calls.append((g, ev)),
+        )
+        eng.run(StopCondition(max_generations=5))
+        assert [g for g, _ in calls] == [1, 2, 3, 4, 5]
+        assert calls[-1][1] == 5 * 16
+
+    def test_not_called_for_initial_snapshot(self, tiny_instance):
+        calls = []
+        eng = AsyncCGA(
+            tiny_instance, CFG, rng=0,
+            on_generation=lambda e, g, ev: calls.append(g),
+        )
+        eng.run(StopCondition(max_generations=1))
+        assert calls == [1]
+
+    def test_receives_live_engine(self, tiny_instance):
+        traces = []
+        eng = AsyncCGA(
+            tiny_instance, CFG, rng=0,
+            on_generation=lambda e, g, ev: traces.append(
+                diversity_report(e.pop)["hamming"]
+            ),
+        )
+        eng.run(StopCondition(max_generations=4))
+        assert len(traces) == 4
+        assert all(0.0 <= t <= 1.0 for t in traces)
+
+    def test_works_on_sync_engine(self, tiny_instance):
+        calls = []
+        eng = SyncCGA(
+            tiny_instance, CFG, rng=0,
+            on_generation=lambda e, g, ev: calls.append(g),
+        )
+        eng.run(StopCondition(max_generations=3))
+        assert calls == [1, 2, 3]
+
+    def test_hook_can_mutate_schedule_of_search(self, tiny_instance):
+        # a hook that plants an immigrant each generation (hybrid usage)
+        from repro.heuristics import min_min
+
+        seed = min_min(tiny_instance)
+
+        def immigrant(engine, gen, evals):
+            engine.pop.write_individual(0, seed.s.copy(), seed.ct.copy(), seed.makespan())
+
+        eng = AsyncCGA(tiny_instance, CFG, rng=0, on_generation=immigrant)
+        eng.run(StopCondition(max_generations=3))
+        eng.pop.check_invariants()
+        assert eng.pop.fitness.min() <= seed.makespan()
+
+    def test_none_hook_is_default(self, tiny_instance):
+        eng = AsyncCGA(tiny_instance, CFG, rng=0)
+        assert eng.on_generation is None
+        eng.run(StopCondition(max_generations=1))

@@ -1,0 +1,77 @@
+"""Tests for the CVB (coefficient-of-variation-based) ETC generator."""
+
+import numpy as np
+import pytest
+
+from repro.etc.generator import CVBSpec, generate_etc_cvb
+from repro.etc.model import Consistency
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = CVBSpec()
+        assert spec.ntasks == 512
+        assert spec.nmachines == 16
+
+    def test_rejects_bad_cov(self):
+        with pytest.raises(ValueError):
+            CVBSpec(v_task=0.0)
+        with pytest.raises(ValueError):
+            CVBSpec(v_machine=-0.5)
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            CVBSpec(mean_task=0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CVBSpec(ntasks=0)
+
+
+class TestGeneration:
+    def test_shape_and_positivity(self):
+        m = generate_etc_cvb(CVBSpec(ntasks=40, nmachines=5), rng=0)
+        assert m.etc.shape == (40, 5)
+        assert m.pj_min > 0
+
+    def test_deterministic(self):
+        a = generate_etc_cvb(CVBSpec(ntasks=10, nmachines=3), rng=4)
+        b = generate_etc_cvb(CVBSpec(ntasks=10, nmachines=3), rng=4)
+        assert np.array_equal(a.etc, b.etc)
+
+    def test_mean_controlled(self):
+        spec = CVBSpec(ntasks=4000, nmachines=8, mean_task=500.0, v_task=0.3, v_machine=0.3)
+        m = generate_etc_cvb(spec, rng=1)
+        assert m.etc.mean() == pytest.approx(500.0, rel=0.05)
+
+    def test_heterogeneity_tracks_cov(self):
+        lo = generate_etc_cvb(
+            CVBSpec(ntasks=1500, nmachines=8, v_task=0.1, v_machine=0.1), rng=2
+        )
+        hi = generate_etc_cvb(
+            CVBSpec(ntasks=1500, nmachines=8, v_task=0.8, v_machine=0.8), rng=2
+        )
+        assert hi.machine_heterogeneity() > 3 * lo.machine_heterogeneity()
+        assert hi.task_heterogeneity() > 3 * lo.task_heterogeneity()
+
+    def test_consistency_classes(self):
+        c = generate_etc_cvb(
+            CVBSpec(ntasks=50, nmachines=6, consistency=Consistency.CONSISTENT), rng=0
+        )
+        assert c.is_consistent()
+        s = generate_etc_cvb(
+            CVBSpec(ntasks=50, nmachines=6, consistency=Consistency.SEMI_CONSISTENT),
+            rng=0,
+        )
+        assert s.is_semi_consistent()
+
+    def test_name_attached(self):
+        m = generate_etc_cvb(CVBSpec(ntasks=4, nmachines=2), rng=0, name="cvb-demo")
+        assert m.name == "cvb-demo"
+
+    def test_usable_by_scheduler(self):
+        from repro.heuristics import min_min
+
+        m = generate_etc_cvb(CVBSpec(ntasks=60, nmachines=6), rng=3)
+        sched = min_min(m)
+        assert sched.makespan() >= m.makespan_lower_bound()

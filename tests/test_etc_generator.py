@@ -1,0 +1,108 @@
+"""Tests for the range-based ETC generator."""
+
+import numpy as np
+import pytest
+
+from repro.etc import Consistency, ETCGeneratorSpec, generate_etc, rescale_to_range
+from repro.etc.generator import MACHINE_HETEROGENEITY_RANGES, TASK_HETEROGENEITY_RANGES
+
+
+class TestSpec:
+    def test_named_ranges(self):
+        spec = ETCGeneratorSpec(task_het="hi", machine_het="lo")
+        assert spec.task_range() == TASK_HETEROGENEITY_RANGES["hi"]
+        assert spec.machine_range() == MACHINE_HETEROGENEITY_RANGES["lo"]
+
+    def test_numeric_ranges(self):
+        spec = ETCGeneratorSpec(task_het=500.0, machine_het=50.0)
+        assert spec.task_range() == 500.0
+        assert spec.machine_range() == 50.0
+
+    def test_bad_label(self):
+        with pytest.raises(ValueError, match="task_het"):
+            ETCGeneratorSpec(task_het="medium").task_range()
+
+    def test_range_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            ETCGeneratorSpec(task_het=0.5).task_range()
+
+
+class TestGenerate:
+    def test_shape_and_positivity(self):
+        spec = ETCGeneratorSpec(ntasks=20, nmachines=5)
+        m = generate_etc(spec, rng=0)
+        assert m.etc.shape == (20, 5)
+        assert m.pj_min > 0
+
+    def test_deterministic_per_seed(self):
+        spec = ETCGeneratorSpec(ntasks=10, nmachines=3)
+        a = generate_etc(spec, rng=5)
+        b = generate_etc(spec, rng=5)
+        assert np.array_equal(a.etc, b.etc)
+
+    def test_seed_sensitivity(self):
+        spec = ETCGeneratorSpec(ntasks=10, nmachines=3)
+        assert not np.array_equal(generate_etc(spec, rng=1).etc, generate_etc(spec, rng=2).etc)
+
+    def test_consistent_rows_sorted(self):
+        spec = ETCGeneratorSpec(ntasks=30, nmachines=6, consistency=Consistency.CONSISTENT)
+        m = generate_etc(spec, rng=0)
+        assert np.all(np.diff(m.etc, axis=1) >= 0)
+
+    def test_semi_consistent_even_columns_sorted(self):
+        spec = ETCGeneratorSpec(ntasks=30, nmachines=6, consistency=Consistency.SEMI_CONSISTENT)
+        m = generate_etc(spec, rng=0)
+        assert np.all(np.diff(m.etc[:, ::2], axis=1) >= 0)
+
+    def test_inconsistent_not_accidentally_sorted(self):
+        spec = ETCGeneratorSpec(ntasks=100, nmachines=8, consistency=Consistency.INCONSISTENT)
+        m = generate_etc(spec, rng=0)
+        assert not np.all(np.diff(m.etc, axis=1) >= 0)
+
+    def test_value_range_respects_parameters(self):
+        spec = ETCGeneratorSpec(ntasks=200, nmachines=8, task_het="hi", machine_het="hi")
+        m = generate_etc(spec, rng=0)
+        assert m.pj_max <= 3000.0 * 1000.0
+        assert m.pj_min >= 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generate_etc(ETCGeneratorSpec(ntasks=0, nmachines=4), rng=0)
+
+    def test_name_is_attached(self):
+        m = generate_etc(ETCGeneratorSpec(ntasks=4, nmachines=2), rng=0, name="foo")
+        assert m.name == "foo"
+
+
+class TestRescale:
+    def test_exact_range(self):
+        m = generate_etc(ETCGeneratorSpec(ntasks=50, nmachines=4), rng=0)
+        out = rescale_to_range(m, 2.0, 1000.0)
+        assert out.pj_min == pytest.approx(2.0)
+        assert out.pj_max == pytest.approx(1000.0)
+
+    def test_preserves_consistency(self):
+        spec = ETCGeneratorSpec(ntasks=50, nmachines=4, consistency=Consistency.CONSISTENT)
+        m = generate_etc(spec, rng=0)
+        out = rescale_to_range(m, 5.0, 500.0)
+        assert out.consistency() is Consistency.CONSISTENT
+
+    def test_monotone_map(self):
+        m = generate_etc(ETCGeneratorSpec(ntasks=50, nmachines=4), rng=0)
+        out = rescale_to_range(m, 1.0, 10.0)
+        orig_order = np.argsort(m.etc.ravel())
+        new_order = np.argsort(out.etc.ravel())
+        assert np.array_equal(orig_order, new_order)
+
+    def test_invalid_target_range(self):
+        m = generate_etc(ETCGeneratorSpec(ntasks=5, nmachines=2), rng=0)
+        with pytest.raises(ValueError):
+            rescale_to_range(m, 10.0, 2.0)
+        with pytest.raises(ValueError):
+            rescale_to_range(m, 0.0, 2.0)
+
+    def test_keeps_name_and_ready_times(self):
+        m = generate_etc(ETCGeneratorSpec(ntasks=5, nmachines=2), rng=0, name="keep")
+        out = rescale_to_range(m, 1.0, 9.0)
+        assert out.name == "keep"
+        assert np.array_equal(out.ready_times, m.ready_times)

@@ -1,0 +1,76 @@
+"""Tests for instance file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.etc import (
+    load_braun_flat,
+    load_instance,
+    make_instance,
+    save_braun_flat,
+    save_instance,
+)
+
+
+class TestAnnotatedFormat:
+    def test_roundtrip(self, tmp_path, small_instance):
+        path = tmp_path / "inst.etc"
+        save_instance(small_instance, path)
+        back = load_instance(path)
+        assert back == small_instance
+        assert back.name == small_instance.name
+
+    def test_roundtrip_unnamed(self, tmp_path):
+        inst = make_instance(8, 3, seed=2, name="")
+        inst = type(inst)(etc=inst.etc, name="")
+        path = tmp_path / "anon.etc"
+        save_instance(inst, path)
+        back = load_instance(path)
+        assert np.allclose(back.etc, inst.etc)
+        assert back.name == ""
+
+    def test_header_dimension_mismatch(self, tmp_path):
+        path = tmp_path / "bad.etc"
+        path.write_text("2 2\n1.0 2.0\n")
+        with pytest.raises(ValueError, match="shape"):
+            load_instance(path)
+
+    def test_malformed_dimension_line(self, tmp_path):
+        path = tmp_path / "bad2.etc"
+        path.write_text("not dims\n1.0 2.0\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_instance(path)
+
+    def test_precision_roundtrip(self, tmp_path):
+        inst = make_instance(16, 4, seed=9)
+        path = tmp_path / "prec.etc"
+        save_instance(inst, path)
+        back = load_instance(path)
+        assert np.allclose(back.etc, inst.etc, rtol=1e-9)
+
+
+class TestBraunFlatFormat:
+    def test_roundtrip(self, tmp_path, tiny_instance):
+        path = tmp_path / "u_test.0"
+        save_braun_flat(tiny_instance, path)
+        back = load_braun_flat(path, tiny_instance.ntasks, tiny_instance.nmachines)
+        assert np.allclose(back.etc, tiny_instance.etc)
+
+    def test_default_name_from_stem(self, tmp_path, tiny_instance):
+        path = tmp_path / "u_i_hihi.0"
+        save_braun_flat(tiny_instance, path)
+        back = load_braun_flat(path, 16, 4)
+        assert back.name == "u_i_hihi"
+
+    def test_wrong_size(self, tmp_path, tiny_instance):
+        path = tmp_path / "flat"
+        save_braun_flat(tiny_instance, path)
+        with pytest.raises(ValueError, match="expected"):
+            load_braun_flat(path, 99, 4)
+
+    def test_value_order_is_task_major(self, tmp_path, tiny_instance):
+        path = tmp_path / "flat2"
+        save_braun_flat(tiny_instance, path)
+        values = [float(line) for line in path.read_text().splitlines()]
+        assert values[0] == pytest.approx(tiny_instance.etc[0, 0])
+        assert values[tiny_instance.nmachines] == pytest.approx(tiny_instance.etc[1, 0])

@@ -1,0 +1,71 @@
+"""Tests for the benchmark instance registry."""
+
+import numpy as np
+import pytest
+
+from repro.etc import BENCHMARK_INSTANCES, Consistency, instance_names, load_benchmark
+from repro.etc.registry import BENCHMARK_NMACHINES, BENCHMARK_NTASKS
+
+
+class TestRegistryContents:
+    def test_twelve_instances(self):
+        assert len(BENCHMARK_INSTANCES) == 12
+
+    def test_names_match_paper_pattern(self):
+        for name in instance_names():
+            assert name.startswith("u_")
+            assert name.endswith(".0")
+
+    def test_all_combinations_present(self):
+        kinds = {(i.consistency.value, i.task_het, i.machine_het) for i in BENCHMARK_INSTANCES.values()}
+        assert len(kinds) == 12
+
+    def test_published_ranges_are_positive_and_ordered(self):
+        for info in BENCHMARK_INSTANCES.values():
+            assert 0 < info.pj_min < info.pj_max
+
+    def test_blazewicz_notation_environment(self):
+        assert BENCHMARK_INSTANCES["u_c_hihi.0"].blazewicz.startswith("Q16|")
+        assert BENCHMARK_INSTANCES["u_i_hihi.0"].blazewicz.startswith("R16|")
+        assert BENCHMARK_INSTANCES["u_s_lolo.0"].blazewicz.startswith("R16|")
+
+
+class TestLoadBenchmark:
+    def test_dimensions(self):
+        inst = load_benchmark("u_c_lolo.0")
+        assert inst.ntasks == BENCHMARK_NTASKS == 512
+        assert inst.nmachines == BENCHMARK_NMACHINES == 16
+
+    def test_pinned_pj_range(self):
+        info = BENCHMARK_INSTANCES["u_i_lohi.0"]
+        inst = load_benchmark("u_i_lohi.0")
+        assert inst.pj_min == pytest.approx(info.pj_min, rel=1e-9)
+        assert inst.pj_max == pytest.approx(info.pj_max, rel=1e-9)
+
+    def test_consistency_class_matches_name(self):
+        assert load_benchmark("u_c_hilo.0").consistency() is Consistency.CONSISTENT
+        assert load_benchmark("u_i_hilo.0").consistency() is Consistency.INCONSISTENT
+        got = load_benchmark("u_s_hilo.0").consistency()
+        assert got in (Consistency.SEMI_CONSISTENT, Consistency.CONSISTENT)
+
+    def test_deterministic_across_calls(self):
+        load_benchmark.cache_clear()
+        a = load_benchmark("u_c_hihi.0").etc.copy()
+        load_benchmark.cache_clear()
+        b = load_benchmark("u_c_hihi.0").etc
+        assert np.array_equal(a, b)
+
+    def test_cached_identity(self):
+        assert load_benchmark("u_c_hihi.0") is load_benchmark("u_c_hihi.0")
+
+    def test_distinct_instances_differ(self):
+        a = load_benchmark("u_i_hihi.0")
+        b = load_benchmark("u_i_lohi.0")
+        assert not np.array_equal(a.etc, b.etc)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            load_benchmark("u_x_nono.9")
+
+    def test_name_attached(self):
+        assert load_benchmark("u_s_lohi.0").name == "u_s_lohi.0"

@@ -1,0 +1,65 @@
+"""Tests for the multi-replica benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.etc import load_benchmark
+from repro.etc.suite import braun_suite, class_names, load_replica, replica_name
+
+
+class TestNames:
+    def test_twelve_classes(self):
+        assert len(class_names()) == 12
+        assert "u_c_hihi" in class_names()
+
+    def test_replica_name(self):
+        assert replica_name("u_i_lohi", 4) == "u_i_lohi.4"
+
+    def test_negative_replica(self):
+        with pytest.raises(ValueError):
+            replica_name("u_i_lohi", -1)
+
+
+class TestLoadReplica:
+    def test_replica_zero_is_registry_instance(self):
+        assert load_replica("u_c_hihi", 0) is load_benchmark("u_c_hihi.0")
+
+    def test_higher_replicas_differ(self):
+        a = load_replica("u_i_hilo", 0)
+        b = load_replica("u_i_hilo", 1)
+        assert not np.array_equal(a.etc, b.etc)
+
+    def test_replicas_share_published_range(self):
+        a = load_replica("u_s_lohi", 0)
+        b = load_replica("u_s_lohi", 3)
+        assert a.pj_min == pytest.approx(b.pj_min)
+        assert a.pj_max == pytest.approx(b.pj_max)
+
+    def test_replicas_share_consistency_class(self):
+        for r in (1, 2):
+            assert load_replica("u_c_lolo", r).is_consistent()
+
+    def test_deterministic(self):
+        a = load_replica("u_i_hihi", 2)
+        b = load_replica("u_i_hihi", 2)
+        assert np.array_equal(a.etc, b.etc)
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError, match="unknown class"):
+            load_replica("u_x_zzzz", 0)
+
+
+class TestBraunSuite:
+    def test_sizes(self):
+        suite = braun_suite(replicas=2)
+        assert len(suite) == 24
+        assert "u_c_hihi.0" in suite
+        assert "u_s_lolo.1" in suite
+
+    def test_all_512x16(self):
+        suite = braun_suite(replicas=1)
+        assert all(m.ntasks == 512 and m.nmachines == 16 for m in suite.values())
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            braun_suite(replicas=0)

@@ -1,0 +1,57 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable without side effects (work happens in
+``main()`` behind a ``__main__`` guard) and exposes a callable
+``main``.  Full executions are exercised manually / in benchmarks —
+they run seconds to minutes by design.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "parameter_sweep_campaign",
+        "compare_algorithms",
+        "tune_operators",
+        "scaling_study",
+        "dynamic_grid",
+        "selection_pressure",
+    } <= names
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    module = _load(path)
+    assert callable(getattr(module, "main", None)), f"{path.stem} lacks main()"
+
+
+def test_campaign_builder_is_reusable():
+    module = _load(EXAMPLES_DIR / "parameter_sweep_campaign.py")
+    campaign = module.build_campaign(seed=1)
+    assert campaign.ntasks == 240
+    assert campaign.nmachines == 12
+    assert campaign.ready_times.max() > 0
+
+
+def test_dynamic_timeline_builder():
+    module = _load(EXAMPLES_DIR / "dynamic_grid.py")
+    events = module.build_timeline(seed=1)
+    assert len(events) == 7
+    assert events == sorted(events, key=lambda e: e.time)

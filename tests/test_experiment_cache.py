@@ -1,0 +1,99 @@
+"""Tests for the on-disk experiment cache."""
+
+import numpy as np
+import pytest
+
+from repro.cga import AsyncCGA, CGAConfig, StopCondition
+from repro.experiments.cache import cached_run_many, clear_cache, experiment_key
+
+
+CFG = CGAConfig(grid_rows=4, grid_cols=4, ls_iterations=1, seed_with_minmin=False)
+
+
+def make_factory(instance, calls):
+    def factory(ss):
+        calls.append(1)
+        return AsyncCGA(instance, CFG, rng=np.random.default_rng(ss)).run(
+            StopCondition(max_generations=2)
+        )
+
+    return factory
+
+
+class TestExperimentKey:
+    def test_stable(self):
+        assert experiment_key(1, "a", (2, 3)) == experiment_key(1, "a", (2, 3))
+
+    def test_sensitive_to_parts(self):
+        assert experiment_key(1, "a") != experiment_key(1, "b")
+        assert experiment_key(1, "a") != experiment_key(2, "a")
+
+    def test_order_matters(self):
+        assert experiment_key("a", "b") != experiment_key("b", "a")
+
+
+class TestCachedRunMany:
+    def test_first_call_computes(self, tiny_instance, tmp_path):
+        calls = []
+        res = cached_run_many(
+            make_factory(tiny_instance, calls), 3, 7, tmp_path, ["k1"], label="x"
+        )
+        assert len(calls) == 3
+        assert res.n_runs == 3
+
+    def test_second_call_hits_cache(self, tiny_instance, tmp_path):
+        calls = []
+        factory = make_factory(tiny_instance, calls)
+        a = cached_run_many(factory, 3, 7, tmp_path, ["k1"])
+        b = cached_run_many(factory, 3, 7, tmp_path, ["k1"])
+        assert len(calls) == 3  # no recomputation
+        assert np.array_equal(a.best_fitnesses, b.best_fitnesses)
+
+    def test_extending_runs_only_computes_new(self, tiny_instance, tmp_path):
+        calls = []
+        factory = make_factory(tiny_instance, calls)
+        cached_run_many(factory, 2, 7, tmp_path, ["k1"])
+        cached_run_many(factory, 5, 7, tmp_path, ["k1"])
+        assert len(calls) == 5  # 2 + 3 new
+
+    def test_different_keys_isolated(self, tiny_instance, tmp_path):
+        calls = []
+        factory = make_factory(tiny_instance, calls)
+        cached_run_many(factory, 2, 7, tmp_path, ["k1"])
+        cached_run_many(factory, 2, 7, tmp_path, ["k2"])
+        assert len(calls) == 4
+
+    def test_corrupt_entry_recomputed(self, tiny_instance, tmp_path):
+        calls = []
+        factory = make_factory(tiny_instance, calls)
+        cached_run_many(factory, 1, 7, tmp_path, ["k1"])
+        victim = next(tmp_path.rglob("run_0.json"))
+        victim.write_text("{not json")
+        res = cached_run_many(factory, 1, 7, tmp_path, ["k1"])
+        assert len(calls) == 2
+        assert res.n_runs == 1
+
+    def test_cached_equals_fresh(self, tiny_instance, tmp_path):
+        from repro.experiments import run_many
+
+        calls = []
+        factory = make_factory(tiny_instance, calls)
+        cached = cached_run_many(factory, 3, 11, tmp_path, ["k"])
+        fresh = run_many(factory, 3, 11)
+        assert np.array_equal(cached.best_fitnesses, fresh.best_fitnesses)
+
+    def test_rejects_zero_runs(self, tiny_instance, tmp_path):
+        with pytest.raises(ValueError):
+            cached_run_many(make_factory(tiny_instance, []), 0, 7, tmp_path, ["k"])
+
+
+class TestClearCache:
+    def test_removes_entries(self, tiny_instance, tmp_path):
+        calls = []
+        cached_run_many(make_factory(tiny_instance, calls), 3, 7, tmp_path, ["k"])
+        removed = clear_cache(tmp_path)
+        assert removed == 3
+        assert not list(tmp_path.rglob("run_*.json"))
+
+    def test_missing_dir_is_zero(self, tmp_path):
+        assert clear_cache(tmp_path / "nope") == 0

@@ -1,0 +1,189 @@
+"""Tests for the four paper-artifact harnesses (reduced budgets).
+
+These exercise the full experiment pipelines end-to-end; the *paper
+scale* runs live in benchmarks/.  Budgets here are tiny, so only
+structural properties and the most robust qualitative facts are
+asserted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.etc import make_instance
+from repro.experiments import (
+    PAPER_TABLE2,
+    comparison_experiment,
+    convergence_experiment,
+    operators_experiment,
+    speedup_experiment,
+)
+from repro.experiments.reference import FIG4_EXPECTATIONS, FIG6_EXPECTATIONS
+from repro.parallel.costmodel import CostModel
+
+
+# a small instance keeps harness tests fast while preserving structure
+SMALL = make_instance(96, 8, consistency="i", seed=21, name="exp-small")
+FAST_MODEL = CostModel(jitter_sigma=0.02)
+
+
+class TestReferenceData:
+    def test_twelve_rows(self):
+        assert len(PAPER_TABLE2) == 12
+
+    def test_pa_cga_90s_wins_most_instances(self):
+        winners = [row.best_algorithm() for row in PAPER_TABLE2.values()]
+        assert winners.count("pa-cga-90s") >= 7  # "improves most previous results"
+
+    def test_low_heterogeneity_not_won_by_pacga(self):
+        # the paper: PA-CGA does not improve results on lolo instances;
+        # cMA+LTH holds all three of those rows
+        for name in ("u_c_lolo.0", "u_s_lolo.0", "u_i_lolo.0"):
+            assert PAPER_TABLE2[name].best_algorithm() == "cma+lth"
+
+    def test_expectation_tables_cover_figures(self):
+        assert set(FIG4_EXPECTATIONS) == {0, 1, 5, 10}
+        assert FIG6_EXPECTATIONS["three_threads_best_final"]
+
+
+class TestSpeedupExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return speedup_experiment(
+            SMALL,
+            thread_counts=(1, 2, 3),
+            ls_iterations=(0, 5),
+            virtual_time=0.02,
+            n_runs=2,
+            seed=1,
+            cost_model=FAST_MODEL,
+        )
+
+    def test_all_cells_present(self, result):
+        assert set(result.mean_evaluations) == {(it, n) for it in (0, 5) for n in (1, 2, 3)}
+
+    def test_baseline_100_percent(self, result):
+        assert result.speedup_percent(0, 1) == pytest.approx(100.0)
+        assert result.speedup_percent(5, 1) == pytest.approx(100.0)
+
+    def test_zero_ls_does_not_speed_up(self, result):
+        assert result.speedup_percent(0, 3) < 115.0
+
+    def test_series_shape(self, result):
+        series = result.series(5)
+        assert [n for n, _ in series] == [1, 2, 3]
+
+    def test_table_renders(self, result):
+        out = result.table()
+        assert "ls_iterations" in out
+        assert "%" in out
+
+    def test_boundary_fractions_recorded(self, result):
+        assert result.boundary_fractions[1] == 0.0
+        assert result.boundary_fractions[3] > 0.0
+
+
+class TestOperatorsExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return operators_experiment(
+            instances=["u_i_hilo.0"],
+            variants=(("opx", 5), ("tpx", 10)),
+            n_threads=2,
+            virtual_time=0.01,
+            n_runs=3,
+            seed=2,
+            cost_model=FAST_MODEL,
+        )
+
+    def test_samples_collected(self, result):
+        assert set(result.variants()) == {"opx/5", "tpx/10"}
+        assert result.samples[("u_i_hilo.0", "opx/5")].shape == (3,)
+
+    def test_stats_accessible(self, result):
+        s = result.stats("u_i_hilo.0", "tpx/10")
+        assert s.n == 3
+        assert s.minimum <= s.median <= s.maximum
+
+    def test_best_variant_is_one_of_them(self, result):
+        assert result.best_variant("u_i_hilo.0") in {"opx/5", "tpx/10"}
+
+    def test_p_value_in_range(self, result):
+        p = result.p_value("u_i_hilo.0", "opx/5", "tpx/10")
+        assert 0.0 <= p <= 1.0
+
+    def test_table_renders(self, result):
+        out = result.table()
+        assert "u_i_hilo.0" in out
+
+
+class TestComparisonExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return comparison_experiment(
+            instances=["u_i_hihi.0"],
+            virtual_time=0.01,
+            n_runs=2,
+            seed=3,
+            cost_model=FAST_MODEL,
+        )
+
+    def test_all_algorithms_present(self, result):
+        algs = {a for (_, a) in result.means}
+        assert algs == {"struggle-ga", "cma+lth", "pa-cga-10s", "pa-cga-90s"}
+
+    def test_winner_defined(self, result):
+        assert result.winner("u_i_hihi.0") in {
+            "struggle-ga",
+            "cma+lth",
+            "pa-cga-10s",
+            "pa-cga-90s",
+        }
+
+    def test_90s_at_least_as_good_as_10s(self, result):
+        # 9x the budget can only help (same seeds, elitist engines)
+        assert result.means[("u_i_hihi.0", "pa-cga-90s")] <= result.means[
+            ("u_i_hihi.0", "pa-cga-10s")
+        ] * 1.001
+
+    def test_table_renders(self, result):
+        out = result.table()
+        assert "paper winner" in out
+        assert "u_i_hihi.0" in out
+
+
+class TestConvergenceExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return convergence_experiment(
+            SMALL,
+            thread_counts=(1, 3),
+            virtual_time=0.03,
+            n_runs=2,
+            seed=4,
+            cost_model=FAST_MODEL,
+            grid_points=16,
+        )
+
+    def test_curves_on_common_grid(self, result):
+        assert result.generations.shape == (16,)
+        assert set(result.curves) == {1, 3}
+        for curve in result.curves.values():
+            assert curve.shape == (16,)
+
+    def test_curves_monotone_nonincreasing(self, result):
+        for curve in result.curves.values():
+            assert np.all(np.diff(curve) <= 1e-6)
+
+    def test_more_threads_more_generations(self, result):
+        # paper: 1 thread evolves fewer generations in the budget
+        assert result.generations_reached[1] < result.generations_reached[3]
+
+    def test_final_means_recorded(self, result):
+        assert set(result.final_mean) == {1, 3}
+        assert all(v > 0 for v in result.final_mean.values())
+
+    def test_best_thread_count_defined(self, result):
+        assert result.best_thread_count() in (1, 3)
+
+    def test_sparkline_renders(self, result):
+        assert len(result.sparkline(3)) > 0

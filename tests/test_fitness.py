@@ -1,0 +1,107 @@
+"""Tests for the pluggable fitness functions."""
+
+import numpy as np
+import pytest
+
+from repro.cga import AsyncCGA, CGAConfig, StopCondition
+from repro.cga.fitness import (
+    FITNESS,
+    makespan_fitness,
+    resolve_fitness,
+    weighted_fitness,
+)
+from repro.scheduling import flowtime, makespan
+from repro.scheduling.schedule import compute_completion_times
+
+
+@pytest.fixture
+def state(tiny_instance, rng):
+    s = rng.integers(0, tiny_instance.nmachines, tiny_instance.ntasks).astype(np.int32)
+    ct = compute_completion_times(tiny_instance, s)
+    return s, ct
+
+
+class TestMakespanFitness:
+    def test_matches_objective(self, tiny_instance, state):
+        s, ct = state
+        assert makespan_fitness(s, ct, tiny_instance) == pytest.approx(
+            makespan(tiny_instance, s)
+        )
+
+
+class TestWeightedFitness:
+    def test_lambda_one_is_makespan(self, tiny_instance, state):
+        s, ct = state
+        assert weighted_fitness(s, ct, tiny_instance, lam=1.0) == pytest.approx(
+            makespan_fitness(s, ct, tiny_instance)
+        )
+
+    def test_lambda_zero_is_mean_flowtime(self, tiny_instance, state):
+        s, ct = state
+        expected = flowtime(tiny_instance, s) / tiny_instance.ntasks
+        assert weighted_fitness(s, ct, tiny_instance, lam=0.0) == pytest.approx(expected)
+
+    def test_between_extremes(self, tiny_instance, state):
+        s, ct = state
+        lo = weighted_fitness(s, ct, tiny_instance, lam=0.0)
+        hi = weighted_fitness(s, ct, tiny_instance, lam=1.0)
+        mid = weighted_fitness(s, ct, tiny_instance, lam=0.5)
+        assert min(lo, hi) <= mid <= max(lo, hi)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(FITNESS) == {"makespan", "makespan+flowtime"}
+
+    def test_resolve(self):
+        assert resolve_fitness("makespan") is makespan_fitness
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError, match="unknown fitness"):
+            resolve_fitness("tardiness")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="fitness"):
+            CGAConfig(fitness="lateness")
+
+    def test_config_resolves_fitness(self):
+        ops = CGAConfig(fitness="makespan+flowtime").resolve()
+        assert ops.fitness is weighted_fitness
+
+
+class TestEnginesUnderWeightedFitness:
+    CFG = CGAConfig(
+        grid_rows=4, grid_cols=4, ls_iterations=1, seed_with_minmin=False,
+        fitness="makespan+flowtime",
+    )
+
+    def test_async_runs_and_improves(self, small_instance):
+        eng = AsyncCGA(small_instance, self.CFG, rng=1)
+        initial = eng.pop.best()[1]
+        res = eng.run(StopCondition(max_generations=8))
+        assert res.best_fitness < initial
+
+    def test_invariants_with_fitness_fn(self, small_instance):
+        eng = AsyncCGA(small_instance, self.CFG, rng=1)
+        eng.run(StopCondition(max_generations=4))
+        eng.pop.check_invariants(fitness_fn=weighted_fitness)
+
+    def test_weighted_run_gets_better_flowtime(self, small_instance):
+        # optimizing the combined objective should cost little makespan
+        # and buy flowtime relative to pure-makespan optimization
+        budget = StopCondition(max_evaluations=1200)
+        pure = AsyncCGA(
+            small_instance, self.CFG.with_(fitness="makespan"), rng=7
+        ).run(budget)
+        mixed = AsyncCGA(small_instance, self.CFG, rng=7).run(budget)
+        ft_pure = flowtime(small_instance, pure.best_assignment)
+        ft_mixed = flowtime(small_instance, mixed.best_assignment)
+        assert ft_mixed <= ft_pure * 1.02
+
+    def test_sim_engine_accepts_weighted(self, tiny_instance):
+        from repro.parallel import SimulatedPACGA
+
+        sim = SimulatedPACGA(tiny_instance, self.CFG.with_(n_threads=2), seed=0)
+        res = sim.run(StopCondition(max_generations=3))
+        sim.pop.check_invariants(fitness_fn=weighted_fitness)
+        assert res.best_fitness > 0

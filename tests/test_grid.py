@@ -1,0 +1,114 @@
+"""Tests for the toroidal grid and block partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.cga import Grid2D, neighbor_table
+
+
+class TestGeometry:
+    def test_size(self):
+        assert Grid2D(16, 16).size == 256
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Grid2D(0, 4)
+
+    def test_coords_roundtrip(self):
+        g = Grid2D(4, 5)
+        for idx in range(g.size):
+            r, c = g.coords(idx)
+            assert g.index(r, c) == idx
+
+    def test_index_wraps_toroidally(self):
+        g = Grid2D(4, 5)
+        assert g.index(-1, 0) == g.index(3, 0)
+        assert g.index(0, -1) == g.index(0, 4)
+        assert g.index(4, 5) == g.index(0, 0)
+
+    def test_manhattan_adjacent(self):
+        g = Grid2D(4, 4)
+        assert g.manhattan(0, 1) == 1
+        assert g.manhattan(0, 4) == 1
+
+    def test_manhattan_wraparound_shortcut(self):
+        g = Grid2D(4, 4)
+        # cell 0 and cell 3 are 1 apart through the torus seam
+        assert g.manhattan(0, 3) == 1
+        # opposite corners: 2 + 2
+        assert g.manhattan(0, 10) == 4
+
+    def test_manhattan_symmetric(self):
+        g = Grid2D(5, 7)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            a, b = rng.integers(0, g.size, 2)
+            assert g.manhattan(int(a), int(b)) == g.manhattan(int(b), int(a))
+
+
+class TestPartition:
+    def test_single_block_is_everything(self):
+        g = Grid2D(4, 4)
+        blocks = g.partition(1)
+        assert len(blocks) == 1
+        assert np.array_equal(blocks[0], np.arange(16))
+
+    def test_blocks_are_contiguous_and_cover(self):
+        g = Grid2D(16, 16)
+        for n in (2, 3, 4, 5, 7):
+            blocks = g.partition(n)
+            assert len(blocks) == n
+            joined = np.concatenate(blocks)
+            assert np.array_equal(joined, np.arange(g.size))
+            for b in blocks:
+                assert np.array_equal(b, np.arange(b[0], b[-1] + 1))
+
+    def test_sizes_similar(self):
+        g = Grid2D(16, 16)
+        sizes = [len(b) for b in g.partition(3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_paper_partition_shape(self):
+        # Fig. 2 of the paper: 8x8 over 4 threads = 16 cells each
+        g = Grid2D(8, 8)
+        blocks = g.partition(4)
+        assert all(len(b) == 16 for b in blocks)
+
+    def test_rejects_bad_counts(self):
+        g = Grid2D(4, 4)
+        with pytest.raises(ValueError):
+            g.partition(0)
+        with pytest.raises(ValueError):
+            g.partition(17)
+
+    def test_block_of(self):
+        g = Grid2D(16, 16)
+        blocks = g.partition(4)
+        for bid, block in enumerate(blocks):
+            for idx in (block[0], block[-1]):
+                assert g.block_of(4, int(idx)) == bid
+
+
+class TestBoundaryFraction:
+    def test_zero_for_single_block(self):
+        g = Grid2D(16, 16)
+        tbl = neighbor_table(g, "l5")
+        assert g.boundary_fraction(1, tbl) == 0.0
+
+    def test_grows_with_blocks(self):
+        g = Grid2D(16, 16)
+        tbl = neighbor_table(g, "l5")
+        fracs = [g.boundary_fraction(n, tbl) for n in (2, 3, 4)]
+        assert fracs[0] < fracs[1] < fracs[2]
+
+    def test_exact_for_row_aligned_blocks(self):
+        # 16x16 over 4 threads: blocks are 4 whole rows; the first and
+        # last row of each block cross (L5 reaches +/-1 row) = 32 of 64
+        g = Grid2D(16, 16)
+        tbl = neighbor_table(g, "l5")
+        assert g.boundary_fraction(4, tbl) == pytest.approx(0.5)
+
+    def test_everything_crosses_when_blocks_tiny(self):
+        g = Grid2D(4, 4)
+        tbl = neighbor_table(g, "l5")
+        assert g.boundary_fraction(16, tbl) == 1.0

@@ -1,0 +1,108 @@
+"""Tests for the island-model GA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.island_ga import IslandGA
+from repro.cga import CGAConfig, StopCondition
+from repro.scheduling.validation import validate_assignment
+
+
+SMALL = CGAConfig(grid_rows=4, grid_cols=4, ls_iterations=1, seed_with_minmin=False)
+
+
+class TestConstruction:
+    def test_islands_created(self, tiny_instance):
+        ga = IslandGA(tiny_instance, n_islands=3, island_config=SMALL, seed=0)
+        assert len(ga.islands) == 3
+        for pop in ga.islands:
+            pop.check_invariants()
+
+    def test_minmin_seed_only_island_zero(self, tiny_instance):
+        from repro.heuristics import min_min
+
+        config = SMALL.with_(seed_with_minmin=True)
+        ga = IslandGA(tiny_instance, n_islands=2, island_config=config, seed=0)
+        mm = min_min(tiny_instance)
+        assert np.array_equal(ga.islands[0].s[0], mm.s)
+        assert not np.array_equal(ga.islands[1].s[0], mm.s)
+
+    def test_validation(self, tiny_instance):
+        with pytest.raises(ValueError):
+            IslandGA(tiny_instance, n_islands=0)
+        with pytest.raises(ValueError):
+            IslandGA(tiny_instance, migration_interval=0)
+        with pytest.raises(ValueError):
+            IslandGA(tiny_instance, migrants=0)
+        with pytest.raises(ValueError):
+            IslandGA(tiny_instance, island_config=SMALL, migrants=16)
+
+
+class TestMigration:
+    def test_elite_travels_around_ring(self, tiny_instance):
+        ga = IslandGA(
+            tiny_instance, n_islands=3, island_config=SMALL, migration_interval=1, seed=1
+        )
+        # plant a super individual in island 0
+        best_s = ga.islands[0].s[0].copy()
+        ga.islands[0].fitness[0] = 0.5 * ga.islands[0].fitness.min()
+        fit0 = float(ga.islands[0].fitness[0])
+        ga._migrate()
+        assert float(ga.islands[1].fitness.min()) == pytest.approx(fit0)
+        ga._migrate()
+        assert float(ga.islands[2].fitness.min()) == pytest.approx(fit0)
+
+    def test_migration_never_degrades_target(self, tiny_instance):
+        ga = IslandGA(tiny_instance, n_islands=4, island_config=SMALL, seed=2)
+        before = [pop.fitness.copy() for pop in ga.islands]
+        ga._migrate()
+        for pop, old in zip(ga.islands, before):
+            # only the worst slots may change, and only for the better
+            assert pop.fitness.min() <= old.min() + 1e-9
+            assert pop.fitness.max() <= old.max() + 1e-9
+
+    def test_single_island_migration_noop(self, tiny_instance):
+        ga = IslandGA(tiny_instance, n_islands=1, island_config=SMALL, seed=0)
+        before = ga.islands[0].s.copy()
+        ga._migrate()
+        assert np.array_equal(ga.islands[0].s, before)
+
+
+class TestRun:
+    def test_improves_and_valid(self, small_instance):
+        ga = IslandGA(small_instance, n_islands=3, island_config=SMALL, seed=3)
+        initial = ga.best()[2]
+        res = ga.run(StopCondition(max_generations=8))
+        assert res.best_fitness <= initial
+        validate_assignment(small_instance, res.best_assignment)
+        assert res.extra["algorithm"] == "island-ga"
+        assert res.extra["migrations"] >= 1
+
+    def test_evaluation_budget(self, tiny_instance):
+        ga = IslandGA(tiny_instance, n_islands=2, island_config=SMALL, seed=0)
+        res = ga.run(StopCondition(max_evaluations=40))
+        assert res.evaluations == 40
+
+    def test_deterministic(self, tiny_instance):
+        a = IslandGA(tiny_instance, n_islands=2, island_config=SMALL, seed=9).run(
+            StopCondition(max_generations=4)
+        )
+        b = IslandGA(tiny_instance, n_islands=2, island_config=SMALL, seed=9).run(
+            StopCondition(max_generations=4)
+        )
+        assert a.best_fitness == b.best_fitness
+
+    def test_history_records_global_stats(self, tiny_instance):
+        ga = IslandGA(tiny_instance, n_islands=2, island_config=SMALL, seed=0)
+        res = ga.run(StopCondition(max_generations=3))
+        assert len(res.history) == 4
+        for gen, evals, best, mean in res.history:
+            assert best <= mean
+
+    def test_islands_stay_consistent(self, tiny_instance):
+        ga = IslandGA(
+            tiny_instance, n_islands=3, island_config=SMALL, migration_interval=2, seed=5
+        )
+        ga.run(StopCondition(max_generations=6))
+        for pop in ga.islands:
+            pop.check_invariants()

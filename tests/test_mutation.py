@@ -1,0 +1,98 @@
+"""Tests for mutation operators."""
+
+import numpy as np
+import pytest
+
+from repro.cga.mutation import MUTATIONS, move_mutation, rebalance_mutation, swap_mutation
+from repro.scheduling.schedule import compute_completion_times
+from repro.scheduling.validation import check_completion_times, validate_assignment
+
+
+@pytest.fixture
+def state(tiny_instance, rng):
+    s = rng.integers(0, tiny_instance.nmachines, tiny_instance.ntasks).astype(np.int32)
+    ct = compute_completion_times(tiny_instance, s)
+    return s, ct
+
+
+@pytest.mark.parametrize("name,op", list(MUTATIONS.items()))
+class TestAllMutations:
+    def test_keeps_ct_exact(self, name, op, tiny_instance, state, rng):
+        s, ct = state
+        for _ in range(50):
+            op(s, ct, tiny_instance, rng)
+        check_completion_times(tiny_instance, s, ct)
+
+    def test_keeps_assignment_valid(self, name, op, tiny_instance, state, rng):
+        s, ct = state
+        for _ in range(50):
+            op(s, ct, tiny_instance, rng)
+        validate_assignment(tiny_instance, s)
+
+    def test_changes_at_most_two_genes(self, name, op, tiny_instance, state, rng):
+        s, ct = state
+        before = s.copy()
+        op(s, ct, tiny_instance, rng)
+        assert int((s != before).sum()) <= 2
+
+
+class TestMoveMutation:
+    def test_moves_exactly_one_task_or_none(self, tiny_instance, state, rng):
+        s, ct = state
+        before = s.copy()
+        move_mutation(s, ct, tiny_instance, rng)
+        assert int((s != before).sum()) in (0, 1)
+
+    def test_eventually_changes_something(self, tiny_instance, state, rng):
+        s, ct = state
+        before = s.copy()
+        for _ in range(20):
+            move_mutation(s, ct, tiny_instance, rng)
+        assert not np.array_equal(s, before)
+
+
+class TestSwapMutation:
+    def test_preserves_machine_multiset(self, tiny_instance, state, rng):
+        s, ct = state
+        before = np.sort(s.copy())
+        for _ in range(30):
+            swap_mutation(s, ct, tiny_instance, rng)
+        assert np.array_equal(np.sort(s), before)
+
+    def test_single_task_noop(self, rng):
+        from repro.etc import make_instance
+
+        inst = make_instance(1, 3, seed=0)
+        s = np.array([0], dtype=np.int32)
+        ct = compute_completion_times(inst, s)
+        swap_mutation(s, ct, inst, rng)
+        assert s[0] == 0
+
+
+class TestRebalanceMutation:
+    def test_moves_off_most_loaded(self, tiny_instance, state, rng):
+        s, ct = state
+        worst = int(ct.argmax())
+        tasks_before = int((s == worst).sum())
+        moved = 0
+        for _ in range(30):
+            w = int(ct.argmax())
+            n_before = int((s == w).sum())
+            rebalance_mutation(s, ct, tiny_instance, rng)
+            if int((s == w).sum()) < n_before:
+                moved += 1
+        assert moved > 0
+        check_completion_times(tiny_instance, s, ct)
+
+    def test_noop_when_worst_machine_empty(self, rng):
+        from repro.etc.model import ETCMatrix
+
+        # machine 1 has huge ready time but no tasks
+        inst = ETCMatrix(
+            np.ones((3, 2)), ready_times=np.array([0.0, 100.0])
+        )
+        s = np.zeros(3, dtype=np.int32)
+        ct = compute_completion_times(inst, s)
+        before = s.copy()
+        rebalance_mutation(s, ct, inst, rng)
+        assert np.array_equal(s, before)

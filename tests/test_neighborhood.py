@@ -1,0 +1,86 @@
+"""Tests for cellular neighborhoods."""
+
+import numpy as np
+import pytest
+
+from repro.cga import Grid2D, NEIGHBORHOODS, neighbor_table
+from repro.cga.neighborhood import neighbor_offsets
+
+
+class TestOffsets:
+    def test_l5_is_von_neumann(self):
+        offs = set(neighbor_offsets("l5"))
+        assert offs == {(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)}
+
+    def test_sizes(self):
+        assert len(neighbor_offsets("l5")) == 5
+        assert len(neighbor_offsets("c9")) == 9
+        assert len(neighbor_offsets("l9")) == 9
+        assert len(neighbor_offsets("c13")) == 13
+
+    def test_self_first_everywhere(self):
+        for name in NEIGHBORHOODS:
+            assert neighbor_offsets(name)[0] == (0, 0)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown neighborhood"):
+            neighbor_offsets("l7")
+
+    def test_offsets_are_copies(self):
+        a = neighbor_offsets("l5")
+        a.append((9, 9))
+        assert len(neighbor_offsets("l5")) == 5
+
+
+class TestNeighborTable:
+    def test_shape(self):
+        g = Grid2D(6, 6)
+        tbl = neighbor_table(g, "l5")
+        assert tbl.shape == (36, 5)
+
+    def test_self_column(self):
+        g = Grid2D(6, 6)
+        tbl = neighbor_table(g, "c9")
+        assert np.array_equal(tbl[:, 0], np.arange(36))
+
+    def test_manhattan_distances_match_shape(self):
+        g = Grid2D(8, 8)
+        tbl = neighbor_table(g, "l5")
+        for i in range(g.size):
+            for j in tbl[i, 1:]:
+                assert g.manhattan(i, int(j)) == 1
+
+    def test_l9_reaches_distance_two(self):
+        g = Grid2D(8, 8)
+        tbl = neighbor_table(g, "l9")
+        dists = {g.manhattan(0, int(j)) for j in tbl[0, 1:]}
+        assert dists == {1, 2}
+
+    def test_symmetry_of_l5(self):
+        # i in N(j) iff j in N(i) for symmetric shapes
+        g = Grid2D(5, 5)
+        tbl = neighbor_table(g, "l5")
+        sets = [set(map(int, row)) for row in tbl]
+        for i in range(g.size):
+            for j in sets[i]:
+                assert i in sets[j]
+
+    def test_toroidal_wrap_on_edges(self):
+        g = Grid2D(4, 4)
+        tbl = neighbor_table(g, "l5")
+        # cell 0's up neighbor is in the last row, left neighbor at col 3
+        assert 12 in tbl[0]
+        assert 3 in tbl[0]
+
+    def test_all_indices_in_range(self):
+        g = Grid2D(7, 3)
+        for name in NEIGHBORHOODS:
+            tbl = neighbor_table(g, name)
+            assert tbl.min() >= 0
+            assert tbl.max() < g.size
+
+    def test_distinct_neighbors_on_big_grid(self):
+        g = Grid2D(16, 16)
+        tbl = neighbor_table(g, "c13")
+        for i in (0, 100, 255):
+            assert len(set(map(int, tbl[i]))) == 13

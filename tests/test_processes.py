@@ -1,0 +1,56 @@
+"""Tests for the process-parallel PA-CGA engine (shared memory)."""
+
+import numpy as np
+import pytest
+
+from repro.cga import CGAConfig, StopCondition
+from repro.parallel import ProcessPACGA
+
+
+CFG = CGAConfig(grid_rows=4, grid_cols=4, ls_iterations=2, seed_with_minmin=False)
+
+
+class TestProcessPACGA:
+    def test_single_worker_inline(self, tiny_instance):
+        eng = ProcessPACGA(tiny_instance, CFG.with_(n_threads=1), seed=0)
+        res = eng.run(StopCondition(max_generations=3))
+        assert res.generations == 3
+        assert res.evaluations == 3 * 16
+
+    def test_two_workers_share_population(self, tiny_instance):
+        eng = ProcessPACGA(tiny_instance, CFG.with_(n_threads=2), seed=1)
+        initial = eng.pop.fitness.copy()
+        res = eng.run(StopCondition(max_generations=3))
+        # the parent sees the children's writes through shared memory
+        assert not np.array_equal(eng.pop.fitness, initial)
+        assert res.evaluations > 0
+
+    def test_population_consistent_after_run(self, tiny_instance):
+        eng = ProcessPACGA(tiny_instance, CFG.with_(n_threads=2), seed=2)
+        eng.run(StopCondition(max_generations=4))
+        eng.pop.check_invariants()
+
+    def test_best_fitness_reflects_shared_state(self, tiny_instance):
+        eng = ProcessPACGA(tiny_instance, CFG.with_(n_threads=2), seed=3)
+        res = eng.run(StopCondition(max_generations=3))
+        assert res.best_fitness == pytest.approx(eng.pop.fitness.min())
+
+    def test_per_worker_counts_reported(self, tiny_instance):
+        eng = ProcessPACGA(tiny_instance, CFG.with_(n_threads=2), seed=0)
+        res = eng.run(StopCondition(max_generations=2))
+        per = res.extra["per_thread_evaluations"]
+        assert len(per) == 2
+        assert all(c > 0 for c in per)
+
+    def test_shared_buffers_backing(self, tiny_instance):
+        eng = ProcessPACGA(tiny_instance, CFG.with_(n_threads=2), seed=0)
+        # population arrays must be the RawArray-backed buffers
+        assert not eng.pop.s.flags["OWNDATA"]
+        assert not eng.pop.ct.flags["OWNDATA"]
+
+    def test_best_assignment_valid(self, tiny_instance):
+        from repro.scheduling import validate_assignment
+
+        eng = ProcessPACGA(tiny_instance, CFG.with_(n_threads=2), seed=5)
+        res = eng.run(StopCondition(max_generations=3))
+        validate_assignment(tiny_instance, res.best_assignment)

@@ -1,0 +1,94 @@
+"""Property-based tests for the dynamic grid simulator.
+
+Random-but-valid event timelines must always drain: every submitted
+task completes exactly once, completions never precede arrivals, and
+the reported statistics stay internally consistent.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dynamic import (
+    BatchArrival,
+    DynamicGridSimulator,
+    MachineJoin,
+    MachineLeave,
+)
+
+
+@st.composite
+def timelines(draw):
+    """(initial_speeds, events) with only valid leave targets."""
+    n_initial = draw(st.integers(1, 3))
+    speeds = [draw(st.floats(1.0, 50.0)) for _ in range(n_initial)]
+    alive = set(range(n_initial))
+    next_machine = n_initial
+    events = []
+    t = 0.0
+    total_tasks = 0
+    for _ in range(draw(st.integers(1, 8))):
+        t += draw(st.floats(0.0, 20.0))
+        kind = draw(st.sampled_from(["batch", "batch", "join", "leave"]))
+        if kind == "batch":
+            k = draw(st.integers(1, 5))
+            workloads = tuple(draw(st.floats(1.0, 100.0)) for _ in range(k))
+            events.append(BatchArrival(time=t, workloads=workloads))
+            total_tasks += k
+        elif kind == "join":
+            events.append(MachineJoin(time=t, speed=draw(st.floats(1.0, 50.0))))
+            alive.add(next_machine)
+            next_machine += 1
+        else:
+            if len(alive) <= 1:
+                continue
+            victim = draw(st.sampled_from(sorted(alive)))
+            alive.discard(victim)
+            events.append(MachineLeave(time=t, machine_id=victim))
+    if total_tasks == 0:
+        events.append(BatchArrival(time=t + 1.0, workloads=(10.0,)))
+        total_tasks = 1
+    return speeds, events, total_tasks
+
+
+@given(timelines())
+@settings(max_examples=50, deadline=None)
+def test_every_task_completes_exactly_once(data):
+    speeds, events, total_tasks = data
+    stats = DynamicGridSimulator(speeds, seed=0).run(events)
+    assert stats.completed == total_tasks
+
+
+@given(timelines())
+@settings(max_examples=50, deadline=None)
+def test_makespan_after_last_arrival(data):
+    speeds, events, _ = data
+    stats = DynamicGridSimulator(speeds, seed=0).run(events)
+    last_arrival = max(e.time for e in events if isinstance(e, BatchArrival))
+    assert stats.makespan >= last_arrival
+
+
+@given(timelines())
+@settings(max_examples=50, deadline=None)
+def test_flowtimes_positive_and_stats_consistent(data):
+    speeds, events, _ = data
+    sim = DynamicGridSimulator(speeds, seed=0)
+    stats = sim.run(events)
+    assert stats.mean_flowtime > 0
+    assert stats.reschedules == len(events)
+    assert len(stats.timeline) == len(events)
+    assert stats.migrations >= 0
+    assert stats.restarted >= 0
+    # every completion is at or after its task's arrival
+    for tid, done in sim._completed.items():
+        assert done >= sim._arrival[tid]
+
+
+@given(timelines())
+@settings(max_examples=30, deadline=None)
+def test_deterministic_replay(data):
+    speeds, events, _ = data
+    a = DynamicGridSimulator(speeds, seed=1).run(events)
+    b = DynamicGridSimulator(speeds, seed=1).run(events)
+    assert a.makespan == b.makespan
+    assert a.mean_flowtime == b.mean_flowtime
+    assert a.migrations == b.migrations

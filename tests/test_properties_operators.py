@@ -1,0 +1,98 @@
+"""Property-based tests for the variation operators.
+
+Every operator must preserve the representation invariants for *any*
+parents, any seed, any instance shape — exactly the guarantee the
+PA-CGA engines rely on when they skip re-evaluation.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cga.crossover import CROSSOVERS, child_with_ct
+from repro.cga.local_search import h2ll
+from repro.cga.mutation import MUTATIONS
+from repro.etc import make_instance
+from repro.scheduling.schedule import compute_completion_times
+from repro.scheduling.validation import check_completion_times, validate_assignment
+
+
+@st.composite
+def instance_and_parents(draw):
+    ntasks = draw(st.integers(2, 40))
+    nmachines = draw(st.integers(2, 8))
+    seed = draw(st.integers(0, 10**6))
+    inst = make_instance(ntasks, nmachines, consistency="i", seed=seed)
+    p1 = draw(
+        st.lists(st.integers(0, nmachines - 1), min_size=ntasks, max_size=ntasks)
+    )
+    p2 = draw(
+        st.lists(st.integers(0, nmachines - 1), min_size=ntasks, max_size=ntasks)
+    )
+    rng_seed = draw(st.integers(0, 10**6))
+    return inst, np.array(p1, np.int32), np.array(p2, np.int32), rng_seed
+
+
+@given(instance_and_parents(), st.sampled_from(sorted(CROSSOVERS)))
+@settings(max_examples=80, deadline=None)
+def test_crossover_child_ct_always_exact(data, op_name):
+    inst, p1, p2, rng_seed = data
+    rng = np.random.default_rng(rng_seed)
+    p1_ct = compute_completion_times(inst, p1)
+    child, ct = child_with_ct(inst, p1, p1_ct, p2, CROSSOVERS[op_name], rng)
+    validate_assignment(inst, child)
+    check_completion_times(inst, child, ct)
+
+
+@given(instance_and_parents(), st.sampled_from(sorted(CROSSOVERS)))
+@settings(max_examples=60, deadline=None)
+def test_crossover_genes_come_from_parents(data, op_name):
+    inst, p1, p2, rng_seed = data
+    rng = np.random.default_rng(rng_seed)
+    p1_ct = compute_completion_times(inst, p1)
+    child, _ = child_with_ct(inst, p1, p1_ct, p2, CROSSOVERS[op_name], rng)
+    assert np.all((child == p1) | (child == p2))
+
+
+@given(instance_and_parents(), st.sampled_from(sorted(MUTATIONS)))
+@settings(max_examples=80, deadline=None)
+def test_mutation_preserves_invariants(data, op_name):
+    inst, p1, _, rng_seed = data
+    rng = np.random.default_rng(rng_seed)
+    s = p1.copy()
+    ct = compute_completion_times(inst, s)
+    for _ in range(5):
+        MUTATIONS[op_name](s, ct, inst, rng)
+    validate_assignment(inst, s)
+    check_completion_times(inst, s, ct)
+
+
+@given(instance_and_parents(), st.integers(0, 12))
+@settings(max_examples=80, deadline=None)
+def test_h2ll_invariants_and_monotonicity(data, iters):
+    inst, p1, _, rng_seed = data
+    rng = np.random.default_rng(rng_seed)
+    s = p1.copy()
+    ct = compute_completion_times(inst, s)
+    before = ct.max()
+    h2ll(s, ct, inst, rng, iters)
+    validate_assignment(inst, s)
+    check_completion_times(inst, s, ct)
+    assert ct.max() <= before + 1e-9
+
+
+@given(instance_and_parents())
+@settings(max_examples=40, deadline=None)
+def test_h2ll_fixpoint_when_single_task_per_machine_optimal(data):
+    # degenerate guard: when the most loaded machine hosts no task
+    # (possible only via ready times), H2LL must be a no-op
+    inst, p1, _, rng_seed = data
+    from repro.etc.model import ETCMatrix
+
+    ready = np.zeros(inst.nmachines)
+    ready[0] = float(inst.etc.sum())  # machine 0 busy forever, no tasks
+    heavy = ETCMatrix(inst.etc, ready_times=ready)
+    s = np.full(inst.ntasks, 1 % inst.nmachines, dtype=np.int32)
+    ct = compute_completion_times(heavy, s)
+    if int(ct.argmax()) == 0:
+        moves = h2ll(s, ct, heavy, np.random.default_rng(rng_seed), 5)
+        assert moves == 0

@@ -1,0 +1,81 @@
+"""Property-based tests for the cost model and the simulator."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cga import CGAConfig, StopCondition
+from repro.etc import make_instance
+from repro.parallel import CostModel, SimulatedPACGA
+
+
+INST = make_instance(24, 4, consistency="i", seed=77, name="prop-parallel")
+
+
+cost_models = st.builds(
+    CostModel,
+    t_breed=st.floats(0.5, 50.0),
+    t_ls_iter=st.floats(0.0, 50.0),
+    t_lock=st.floats(0.0, 50.0),
+    t_boundary=st.floats(0.0, 200.0),
+    cache_alpha=st.floats(0.0, 0.2),
+    cache_beta=st.floats(0.0, 0.5),
+    jitter_sigma=st.just(0.0),
+)
+
+
+@given(cost_models, st.integers(1, 8), st.integers(0, 20))
+@settings(max_examples=80, deadline=None)
+def test_step_cost_positive_and_boundary_monotone(model, n, iters):
+    inner = model.step_cost(n, iters, crosses_boundary=False)
+    border = model.step_cost(n, iters, crosses_boundary=True)
+    assert inner > 0
+    assert border >= inner
+
+
+@given(cost_models, st.integers(1, 8), st.integers(0, 20), st.floats(0.0, 1.0))
+@settings(max_examples=80, deadline=None)
+def test_expected_cost_between_extremes(model, n, iters, bf):
+    expected = model.expected_step_cost(n, iters, bf)
+    lo = model.expected_step_cost(n, iters, 0.0)
+    hi = model.expected_step_cost(n, iters, 1.0)
+    assert lo - 1e-9 <= expected <= hi + 1e-9
+
+
+@given(cost_models, st.integers(0, 20))
+@settings(max_examples=60, deadline=None)
+def test_single_thread_speedup_is_identity(model, iters):
+    assert model.predicted_speedup(1, iters, 0.0) == 1.0
+
+
+@given(cost_models, st.integers(2, 8), st.integers(0, 20), st.floats(0.0, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_speedup_bounded_by_thread_count(model, n, iters, bf):
+    s = model.predicted_speedup(n, iters, bf)
+    assert 0.0 < s <= n + 1e-9
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_sim_more_virtual_time_never_fewer_evaluations(seed, n_threads):
+    config = CGAConfig(
+        grid_rows=4, grid_cols=4, n_threads=n_threads, ls_iterations=1,
+        seed_with_minmin=False,
+    )
+    short = SimulatedPACGA(INST, config, seed=seed).run(
+        StopCondition(virtual_time=0.001)
+    )
+    long = SimulatedPACGA(INST, config, seed=seed).run(
+        StopCondition(virtual_time=0.003)
+    )
+    assert long.evaluations >= short.evaluations
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_sim_population_invariants_hold_for_any_seed(seed):
+    config = CGAConfig(
+        grid_rows=4, grid_cols=4, n_threads=3, ls_iterations=2, seed_with_minmin=False
+    )
+    sim = SimulatedPACGA(INST, config, seed=seed)
+    sim.run(StopCondition(max_generations=3))
+    sim.pop.check_invariants()

@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the schedule representation.
+
+The central invariant of the paper's representation (§3.3): no matter
+what sequence of operators touches a schedule, the cached completion
+times must equal a fresh evaluation of eq. 2, and the assignment must
+stay a total in-range map.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.etc import make_instance
+from repro.scheduling import Schedule
+from repro.scheduling.schedule import compute_completion_times
+from repro.scheduling.validation import check_completion_times, validate_assignment
+
+
+INSTANCE = make_instance(24, 5, consistency="i", seed=99, name="prop")
+
+
+def assignments():
+    return st.lists(
+        st.integers(min_value=0, max_value=INSTANCE.nmachines - 1),
+        min_size=INSTANCE.ntasks,
+        max_size=INSTANCE.ntasks,
+    ).map(lambda xs: np.array(xs, dtype=np.int32))
+
+
+@st.composite
+def mutation_scripts(draw):
+    """A random sequence of move/swap/delta operations."""
+    ops = []
+    for _ in range(draw(st.integers(0, 30))):
+        kind = draw(st.sampled_from(["move", "swap", "delta"]))
+        if kind == "move":
+            ops.append(
+                (
+                    "move",
+                    draw(st.integers(0, INSTANCE.ntasks - 1)),
+                    draw(st.integers(0, INSTANCE.nmachines - 1)),
+                )
+            )
+        elif kind == "swap":
+            ops.append(
+                (
+                    "swap",
+                    draw(st.integers(0, INSTANCE.ntasks - 1)),
+                    draw(st.integers(0, INSTANCE.ntasks - 1)),
+                )
+            )
+        else:
+            k = draw(st.integers(1, 6))
+            tasks = draw(
+                st.lists(
+                    st.integers(0, INSTANCE.ntasks - 1),
+                    min_size=k,
+                    max_size=k,
+                    unique=True,
+                )
+            )
+            machines = draw(
+                st.lists(
+                    st.integers(0, INSTANCE.nmachines - 1), min_size=k, max_size=k
+                )
+            )
+            ops.append(("delta", tasks, machines))
+    return ops
+
+
+@given(assignments())
+@settings(max_examples=60, deadline=None)
+def test_constructor_ct_matches_recomputation(s):
+    sched = Schedule(INSTANCE, s)
+    check_completion_times(INSTANCE, sched.s, sched.ct)
+
+
+@given(assignments())
+@settings(max_examples=60, deadline=None)
+def test_makespan_equals_bruteforce(s):
+    sched = Schedule(INSTANCE, s)
+    brute = max(
+        INSTANCE.etc[np.flatnonzero(s == m), m].sum() for m in range(INSTANCE.nmachines)
+    )
+    assert sched.makespan() == np.float64(brute) or abs(sched.makespan() - brute) < 1e-6
+
+
+@given(assignments(), mutation_scripts())
+@settings(max_examples=80, deadline=None)
+def test_ct_exact_after_any_operator_sequence(s, script):
+    sched = Schedule(INSTANCE, s)
+    for op in script:
+        if op[0] == "move":
+            sched.move(op[1], op[2])
+        elif op[0] == "swap":
+            sched.swap(op[1], op[2])
+        else:
+            sched.apply_delta(np.array(op[1]), np.array(op[2], dtype=np.int32))
+    validate_assignment(INSTANCE, sched.s)
+    check_completion_times(INSTANCE, sched.s, sched.ct)
+
+
+@given(assignments(), mutation_scripts())
+@settings(max_examples=40, deadline=None)
+def test_resync_drift_is_negligible(s, script):
+    sched = Schedule(INSTANCE, s)
+    for op in script:
+        if op[0] == "move":
+            sched.move(op[1], op[2])
+        elif op[0] == "swap":
+            sched.swap(op[1], op[2])
+        else:
+            sched.apply_delta(np.array(op[1]), np.array(op[2], dtype=np.int32))
+    assert sched.resync() < 1e-6
+
+
+@given(assignments())
+@settings(max_examples=40, deadline=None)
+def test_makespan_lower_bound_holds(s):
+    sched = Schedule(INSTANCE, s)
+    assert sched.makespan() >= INSTANCE.makespan_lower_bound() - 1e-9
+
+
+@given(assignments())
+@settings(max_examples=40, deadline=None)
+def test_copy_equal_and_independent(s):
+    a = Schedule(INSTANCE, s)
+    b = a.copy()
+    assert a == b
+    b.move(0, (int(b.s[0]) + 1) % INSTANCE.nmachines)
+    check_completion_times(INSTANCE, a.s, a.ct)

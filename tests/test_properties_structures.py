@@ -1,0 +1,115 @@
+"""Property-based tests for grids, neighborhoods, generator and stats."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.cga.grid import Grid2D
+from repro.cga.neighborhood import NEIGHBORHOODS, neighbor_table
+from repro.etc.generator import ETCGeneratorSpec, generate_etc, rescale_to_range
+from repro.etc.model import Consistency
+from repro.experiments.stats import summarize
+
+
+grids = st.builds(
+    Grid2D, st.integers(2, 12), st.integers(2, 12)
+)
+
+
+@given(grids, st.integers(0, 200))
+@settings(max_examples=60, deadline=None)
+def test_grid_coords_roundtrip(grid, idx):
+    idx = idx % grid.size
+    r, c = grid.coords(idx)
+    assert grid.index(r, c) == idx
+
+
+@given(grids, st.integers(-30, 30), st.integers(-30, 30))
+@settings(max_examples=60, deadline=None)
+def test_grid_index_wraps(grid, r, c):
+    idx = int(grid.index(r, c))
+    assert 0 <= idx < grid.size
+
+
+@given(grids, st.integers(1, 16))
+@settings(max_examples=60, deadline=None)
+def test_partition_covers_population_exactly(grid, n_blocks):
+    assume(n_blocks <= grid.size)
+    blocks = grid.partition(n_blocks)
+    joined = np.concatenate(blocks)
+    assert np.array_equal(joined, np.arange(grid.size))
+    sizes = [len(b) for b in blocks]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(grids, st.sampled_from(sorted(NEIGHBORHOODS)))
+@settings(max_examples=40, deadline=None)
+def test_neighbor_table_indices_valid_and_self_first(grid, name):
+    assume(grid.rows >= 5 and grid.cols >= 5)  # avoid wrap aliasing
+    tbl = neighbor_table(grid, name)
+    assert tbl.shape == (grid.size, len(NEIGHBORHOODS[name]))
+    assert np.array_equal(tbl[:, 0], np.arange(grid.size))
+    assert tbl.min() >= 0 and tbl.max() < grid.size
+
+
+@given(grids)
+@settings(max_examples=40, deadline=None)
+def test_l5_neighbors_at_manhattan_distance_one(grid):
+    assume(grid.rows >= 3 and grid.cols >= 3)
+    tbl = neighbor_table(grid, "l5")
+    for i in range(0, grid.size, max(1, grid.size // 7)):
+        for j in tbl[i, 1:]:
+            assert grid.manhattan(i, int(j)) == 1
+
+
+@given(
+    st.integers(2, 30),
+    st.integers(2, 6),
+    st.sampled_from(["c", "i", "s"]),
+    st.integers(0, 10**6),
+)
+@settings(max_examples=50, deadline=None)
+def test_generator_output_well_formed(ntasks, nmachines, cons, seed):
+    spec = ETCGeneratorSpec(
+        ntasks=ntasks, nmachines=nmachines, consistency=Consistency(cons)
+    )
+    m = generate_etc(spec, rng=seed)
+    assert m.etc.shape == (ntasks, nmachines)
+    assert m.pj_min >= 1.0
+    if cons == "c":
+        assert np.all(np.diff(m.etc, axis=1) >= 0)
+
+
+@given(
+    st.integers(0, 10**6),
+    st.floats(0.1, 100.0),
+    st.floats(101.0, 10**7),
+)
+@settings(max_examples=50, deadline=None)
+def test_rescale_hits_target_range(seed, lo, hi):
+    m = generate_etc(ETCGeneratorSpec(ntasks=20, nmachines=4), rng=seed)
+    out = rescale_to_range(m, lo, hi)
+    assert np.isclose(out.pj_min, lo, rtol=1e-9)
+    assert np.isclose(out.pj_max, hi, rtol=1e-9)
+    assert out.pj_min >= lo  # clip guarantees no undershoot
+
+
+@given(st.lists(st.floats(1.0, 1e6), min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_summarize_orderings(xs):
+    s = summarize(xs)
+    assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+    eps = 1e-9 * max(1.0, abs(s.maximum))
+    assert s.minimum - eps <= s.mean <= s.maximum + eps
+    assert s.notch_lo <= s.median <= s.notch_hi
+
+
+@given(
+    st.lists(st.floats(1.0, 1e6), min_size=2, max_size=60),
+    st.floats(1.0, 2.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_summarize_shift_equivariance(xs, scale):
+    a = summarize(xs)
+    b = summarize([x * scale for x in xs])
+    assert np.isclose(b.mean, a.mean * scale, rtol=1e-9)
+    assert np.isclose(b.median, a.median * scale, rtol=1e-9)

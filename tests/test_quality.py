@@ -1,0 +1,36 @@
+"""Tests for the quality-vs-LP harness."""
+
+import pytest
+
+from repro.experiments import QualityRow, quality_experiment
+
+
+class TestQualityRow:
+    def test_gaps(self):
+        row = QualityRow(instance="x", lp_bound=100.0, minmin=130.0, pa_cga=110.0)
+        assert row.minmin_gap == pytest.approx(0.30)
+        assert row.pa_cga_gap == pytest.approx(0.10)
+
+
+class TestQualityExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return quality_experiment(
+            instances=["u_i_hilo.0", "u_c_lolo.0"], max_evaluations=1000, seed=1
+        )
+
+    def test_rows_per_instance(self, result):
+        assert [r.instance for r in result.rows] == ["u_i_hilo.0", "u_c_lolo.0"]
+
+    def test_ordering_invariants(self, result):
+        for row in result.rows:
+            assert row.lp_bound <= row.pa_cga + 1e-6
+            assert row.pa_cga <= row.minmin * 1.0001  # elitist seed
+
+    def test_mean_gap_positive(self, result):
+        assert result.mean_gap() >= 0.0
+
+    def test_table_renders(self, result):
+        out = result.table()
+        assert "LP bound" in out
+        assert "u_i_hilo.0" in out

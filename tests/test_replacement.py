@@ -1,0 +1,40 @@
+"""Tests for replacement policies."""
+
+from repro.cga.replacement import (
+    REPLACEMENTS,
+    replace_always,
+    replace_if_better,
+    replace_if_not_worse,
+)
+
+
+class TestReplaceIfBetter:
+    def test_strict_improvement_accepted(self):
+        assert replace_if_better(1.0, 2.0)
+
+    def test_tie_rejected(self):
+        assert not replace_if_better(2.0, 2.0)
+
+    def test_worse_rejected(self):
+        assert not replace_if_better(3.0, 2.0)
+
+
+class TestReplaceIfNotWorse:
+    def test_tie_accepted(self):
+        assert replace_if_not_worse(2.0, 2.0)
+
+    def test_worse_rejected(self):
+        assert not replace_if_not_worse(2.1, 2.0)
+
+    def test_better_accepted(self):
+        assert replace_if_not_worse(1.0, 2.0)
+
+
+class TestReplaceAlways:
+    def test_accepts_everything(self):
+        assert replace_always(99.0, 1.0)
+        assert replace_always(1.0, 99.0)
+
+
+def test_registry():
+    assert set(REPLACEMENTS) == {"if-better", "if-not-worse", "always"}

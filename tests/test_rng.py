@@ -1,0 +1,114 @@
+"""Tests for the seed-tree utilities."""
+
+import numpy as np
+import pytest
+
+from repro.rng import (
+    DEFAULT_SEED,
+    hash_name,
+    interleave_choice,
+    make_rng,
+    seed_for_run,
+    spawn_rngs,
+    stream_for,
+)
+
+
+class TestMakeRng:
+    def test_from_int_is_deterministic(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_from_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_from_seedsequence(self):
+        ss = np.random.SeedSequence(5)
+        a = make_rng(ss).random()
+        b = make_rng(np.random.SeedSequence(5)).random()
+        assert a == b
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_streams_differ(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_deterministic(self):
+        xs = [g.random() for g in spawn_rngs(3, 3)]
+        ys = [g.random() for g in spawn_rngs(3, 3)]
+        assert xs == ys
+
+    def test_zero_spawn_ok(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestSeedTree:
+    def test_runs_independent(self):
+        a = np.random.default_rng(seed_for_run(0, 0)).random()
+        b = np.random.default_rng(seed_for_run(0, 1)).random()
+        assert a != b
+
+    def test_run_stable_regardless_of_neighbors(self):
+        assert (
+            np.random.default_rng(seed_for_run(9, 5)).random()
+            == np.random.default_rng(seed_for_run(9, 5)).random()
+        )
+
+    def test_negative_run_raises(self):
+        with pytest.raises(ValueError):
+            seed_for_run(0, -1)
+
+    def test_stream_for_path_sensitivity(self):
+        assert stream_for(1, 0, 0).random() != stream_for(1, 0, 1).random()
+
+    def test_stream_for_negative_path(self):
+        with pytest.raises(ValueError):
+            stream_for(1, -2)
+
+
+class TestHashName:
+    def test_stable_known_value(self):
+        # FNV-1a of "a" is a published constant
+        assert hash_name("a") == 0xAF63DC4C8601EC8C
+
+    def test_distinct_names(self):
+        assert hash_name("u_c_hihi.0") != hash_name("u_c_hilo.0")
+
+    def test_empty_string(self):
+        assert hash_name("") == 0xCBF29CE484222325
+
+
+class TestInterleaveChoice:
+    def test_degenerate_single(self, rng):
+        assert interleave_choice(rng, [1.0]) == 0
+
+    def test_zero_weight_never_chosen(self, rng):
+        picks = {interleave_choice(rng, [0.0, 1.0]) for _ in range(50)}
+        assert picks == {1}
+
+    def test_rejects_all_zero(self, rng):
+        with pytest.raises(ValueError):
+            interleave_choice(rng, [0.0, 0.0])
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ValueError):
+            interleave_choice(rng, [1.0, -0.1])
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            interleave_choice(rng, [])
+
+
+def test_default_seed_is_int():
+    assert isinstance(DEFAULT_SEED, int)

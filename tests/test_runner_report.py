@@ -1,0 +1,147 @@
+"""Tests for the multi-run runner and the report helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cga import AsyncCGA, CGAConfig, StopCondition
+from repro.experiments import ascii_table, format_float, run_many, write_csv
+from repro.experiments.report import ascii_chart, ascii_series
+
+
+CFG = CGAConfig(grid_rows=4, grid_cols=4, ls_iterations=1, seed_with_minmin=False)
+
+
+class TestRunMany:
+    def _factory(self, instance):
+        def factory(ss):
+            return AsyncCGA(instance, CFG, rng=np.random.default_rng(ss)).run(
+                StopCondition(max_generations=2)
+            )
+
+        return factory
+
+    def test_collects_n_runs(self, tiny_instance):
+        res = run_many(self._factory(tiny_instance), 4, master_seed=0, label="x")
+        assert res.n_runs == 4
+        assert res.label == "x"
+
+    def test_runs_are_independent(self, tiny_instance):
+        res = run_many(self._factory(tiny_instance), 5, master_seed=0)
+        assert len(set(res.best_fitnesses.tolist())) > 1
+
+    def test_reproducible(self, tiny_instance):
+        a = run_many(self._factory(tiny_instance), 3, master_seed=1)
+        b = run_many(self._factory(tiny_instance), 3, master_seed=1)
+        assert np.array_equal(a.best_fitnesses, b.best_fitnesses)
+
+    def test_run_i_stable_under_n_runs(self, tiny_instance):
+        a = run_many(self._factory(tiny_instance), 2, master_seed=1)
+        b = run_many(self._factory(tiny_instance), 4, master_seed=1)
+        assert np.array_equal(a.best_fitnesses, b.best_fitnesses[:2])
+
+    def test_stats_and_accessors(self, tiny_instance):
+        res = run_many(self._factory(tiny_instance), 4, master_seed=0)
+        stats = res.fitness_stats()
+        assert stats.n == 4
+        assert res.best_overall().best_fitness == res.best_fitnesses.min()
+        assert res.mean_evaluations() == pytest.approx(res.evaluations.mean())
+
+    def test_rejects_zero_runs(self, tiny_instance):
+        with pytest.raises(ValueError):
+            run_many(self._factory(tiny_instance), 0, master_seed=0)
+
+
+class TestFormatFloat:
+    def test_large_value_plain(self):
+        assert format_float(7437591.3) == "7437591"
+
+    def test_small_value_keeps_decimals(self):
+        assert format_float(5240.1) == "5240.10"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_infinity(self):
+        assert format_float(float("inf")) == "inf"
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        out = ascii_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            ascii_table(["a", "b"], [["1"]])
+
+    def test_non_string_cells(self):
+        out = ascii_table(["x"], [[42]])
+        assert "42" in out
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "out.csv"
+        write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart({}) == "(no data)"
+        assert ascii_chart({"a": []}) == "(no data)"
+
+    def test_renders_all_series_markers(self):
+        out = ascii_chart({"one": [1, 2, 3], "two": [3, 2, 1]})
+        assert "1=one" in out
+        assert "2=two" in out
+        assert "1" in out.splitlines()[0] or any("1" in l for l in out.splitlines())
+
+    def test_dimensions(self):
+        out = ascii_chart({"a": list(range(10))}, width=30, height=8)
+        body_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(body_lines) == 8
+
+    def test_constant_series_no_crash(self):
+        out = ascii_chart({"flat": [5, 5, 5]})
+        assert "flat" in out
+
+    def test_labels(self):
+        out = ascii_chart({"a": [1, 2]}, x_label="generations", y_label="makespan")
+        assert "generations" in out
+        assert "makespan" in out
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1]}, width=4)
+
+    def test_y_axis_ticks_span_range(self):
+        out = ascii_chart({"a": [0.0, 100.0]})
+        assert "100" in out
+        assert "0" in out
+
+    def test_different_lengths_allowed(self):
+        out = ascii_chart({"short": [1, 2], "long": list(range(100))})
+        assert "short" in out and "long" in out
+
+
+class TestAsciiSeries:
+    def test_empty(self):
+        assert ascii_series([]) == ""
+
+    def test_constant(self):
+        out = ascii_series([5, 5, 5])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+
+    def test_monotone_ramp(self):
+        out = ascii_series([0, 1, 2, 3, 4, 5, 6, 7])
+        assert out[0] != out[-1]
+
+    def test_downsampling(self):
+        out = ascii_series(list(range(1000)), width=50)
+        assert len(out) == 50

@@ -1,0 +1,150 @@
+"""Tests for the readers-writer lock, including concurrency stress."""
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel import LockManager, RWLock
+
+
+class TestBasicProtocol:
+    def test_read_reentrant_across_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        lock.acquire_read()  # second reader enters concurrently
+        lock.release_read()
+        lock.release_read()
+
+    def test_write_excludes_write(self):
+        lock = RWLock()
+        lock.acquire_write()
+        grabbed = []
+
+        def contender():
+            lock.acquire_write()
+            grabbed.append(True)
+            lock.release_write()
+
+        t = threading.Thread(target=contender)
+        t.start()
+        time.sleep(0.05)
+        assert not grabbed  # still blocked
+        lock.release_write()
+        t.join(timeout=2)
+        assert grabbed
+
+    def test_read_blocks_write(self):
+        lock = RWLock()
+        lock.acquire_read()
+        grabbed = []
+
+        def writer():
+            lock.acquire_write()
+            grabbed.append(True)
+            lock.release_write()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)
+        assert not grabbed
+        lock.release_read()
+        t.join(timeout=2)
+        assert grabbed
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        order = []
+
+        def writer():
+            lock.acquire_write()
+            order.append("w")
+            lock.release_write()
+
+        def late_reader():
+            lock.acquire_read()
+            order.append("r")
+            lock.release_read()
+
+        tw = threading.Thread(target=writer)
+        tw.start()
+        time.sleep(0.05)  # writer now waiting
+        tr = threading.Thread(target=late_reader)
+        tr.start()
+        time.sleep(0.05)
+        lock.release_read()
+        tw.join(timeout=2)
+        tr.join(timeout=2)
+        assert order[0] == "w"  # the waiting writer went first
+
+    def test_release_without_acquire_raises(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_context_managers(self):
+        lock = RWLock()
+        with lock.read_locked():
+            pass
+        with lock.write_locked():
+            pass
+
+    def test_context_manager_releases_on_exception(self):
+        lock = RWLock()
+        with pytest.raises(ValueError):
+            with lock.write_locked():
+                raise ValueError("boom")
+        # lock must be free again
+        lock.acquire_write()
+        lock.release_write()
+
+
+class TestStress:
+    def test_counter_integrity_under_contention(self):
+        # writers increment a plain int; RW exclusion must keep the
+        # read-modify-write races away.
+        lock = RWLock()
+        state = {"v": 0}
+        n_writers, n_incr = 4, 300
+
+        def writer():
+            for _ in range(n_incr):
+                with lock.write_locked():
+                    v = state["v"]
+                    state["v"] = v + 1
+
+        readers_saw = []
+
+        def reader():
+            for _ in range(200):
+                with lock.read_locked():
+                    readers_saw.append(state["v"])
+
+        threads = [threading.Thread(target=writer) for _ in range(n_writers)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert state["v"] == n_writers * n_incr
+        assert all(0 <= v <= n_writers * n_incr for v in readers_saw)
+
+
+class TestLockManager:
+    def test_one_lock_per_individual(self):
+        mgr = LockManager(10)
+        assert len(mgr) == 10
+
+    def test_independent_cells(self):
+        mgr = LockManager(2)
+        with mgr.write(0):
+            # a different cell is not blocked
+            with mgr.read(1):
+                pass
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LockManager(0)

@@ -1,0 +1,85 @@
+"""Tests for the simulated-annealing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SimulatedAnnealing
+from repro.cga import StopCondition
+from repro.heuristics import min_min
+from repro.scheduling.validation import check_completion_times, validate_assignment
+
+
+class TestConstruction:
+    def test_starts_from_minmin(self, tiny_instance):
+        sa = SimulatedAnnealing(tiny_instance, rng=0)
+        assert np.array_equal(sa.current.s, min_min(tiny_instance).s)
+
+    def test_random_start(self, tiny_instance):
+        sa = SimulatedAnnealing(tiny_instance, seed_with_minmin=False, rng=0)
+        assert not np.array_equal(sa.current.s, min_min(tiny_instance).s)
+
+    def test_temperature_scales_with_makespan(self, tiny_instance):
+        sa = SimulatedAnnealing(tiny_instance, initial_temperature=0.5, rng=0)
+        assert sa.temperature == pytest.approx(0.5 * min_min(tiny_instance).makespan())
+
+    def test_parameter_validation(self, tiny_instance):
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(tiny_instance, initial_temperature=0.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(tiny_instance, cooling=1.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(tiny_instance, cooling=0.0)
+
+
+class TestRun:
+    def test_never_loses_best(self, small_instance):
+        sa = SimulatedAnnealing(small_instance, rng=1)
+        start = sa.best.makespan()
+        res = sa.run(StopCondition(max_evaluations=3000))
+        assert res.best_fitness <= start
+
+    def test_best_assignment_consistent(self, small_instance):
+        sa = SimulatedAnnealing(small_instance, rng=2)
+        res = sa.run(StopCondition(max_evaluations=2000))
+        validate_assignment(small_instance, res.best_assignment)
+        from repro.scheduling import makespan
+
+        assert makespan(small_instance, res.best_assignment) == pytest.approx(
+            res.best_fitness
+        )
+
+    def test_incumbent_ct_stays_exact(self, small_instance):
+        sa = SimulatedAnnealing(small_instance, rng=3)
+        sa.run(StopCondition(max_evaluations=3000))
+        check_completion_times(small_instance, sa.current.s, sa.current.ct)
+
+    def test_deterministic(self, tiny_instance):
+        a = SimulatedAnnealing(tiny_instance, rng=5).run(StopCondition(max_evaluations=1000))
+        b = SimulatedAnnealing(tiny_instance, rng=5).run(StopCondition(max_evaluations=1000))
+        assert a.best_fitness == b.best_fitness
+
+    def test_temperature_decays(self, tiny_instance):
+        sa = SimulatedAnnealing(tiny_instance, rng=0)
+        t0 = sa.temperature
+        sa.run(StopCondition(max_evaluations=2000))
+        assert sa.temperature < t0
+
+    def test_improves_random_start_strongly(self, small_instance):
+        sa = SimulatedAnnealing(small_instance, seed_with_minmin=False, rng=4)
+        start = sa.best.makespan()
+        res = sa.run(StopCondition(max_evaluations=5000))
+        assert res.best_fitness < 0.7 * start
+
+    def test_history_recorded(self, small_instance):
+        sa = SimulatedAnnealing(small_instance, rng=0)
+        res = sa.run(StopCondition(max_evaluations=2500))
+        assert len(res.history) >= 3
+        bests = [row[2] for row in res.history]
+        assert all(b <= a + 1e-9 for a, b in zip(bests, bests[1:]))
+
+    def test_extra_metadata(self, tiny_instance):
+        res = SimulatedAnnealing(tiny_instance, rng=0).run(
+            StopCondition(max_evaluations=100)
+        )
+        assert res.extra["algorithm"] == "simulated-annealing"
+        assert res.extra["final_temperature"] > 0

@@ -1,0 +1,152 @@
+"""Tests for the (S, CT) schedule representation."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import Schedule, compute_completion_times
+from repro.scheduling.validation import check_completion_times
+
+
+class TestComputeCompletionTimes:
+    def test_matches_manual_sum(self, tiny_instance):
+        s = np.zeros(tiny_instance.ntasks, dtype=np.int32)
+        ct = compute_completion_times(tiny_instance, s)
+        assert ct[0] == pytest.approx(tiny_instance.etc[:, 0].sum())
+        assert np.all(ct[1:] == 0)
+
+    def test_includes_ready_times(self, tiny_instance):
+        import repro.etc.model as model
+
+        inst = model.ETCMatrix(
+            tiny_instance.etc, ready_times=np.full(tiny_instance.nmachines, 3.5)
+        )
+        s = np.zeros(inst.ntasks, dtype=np.int32)
+        ct = compute_completion_times(inst, s)
+        assert ct[1] == pytest.approx(3.5)
+
+    def test_balanced_assignment(self, tiny_instance):
+        rng = np.random.default_rng(0)
+        s = rng.integers(0, tiny_instance.nmachines, tiny_instance.ntasks)
+        ct = compute_completion_times(tiny_instance, s)
+        expected = np.zeros(tiny_instance.nmachines)
+        for t, m in enumerate(s):
+            expected[m] += tiny_instance.etc[t, m]
+        assert np.allclose(ct, expected)
+
+
+class TestScheduleConstruction:
+    def test_random_valid(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        assert sched.s.shape == (tiny_instance.ntasks,)
+        check_completion_times(tiny_instance, sched.s, sched.ct)
+
+    def test_rejects_wrong_shape(self, tiny_instance):
+        with pytest.raises(ValueError, match="shape"):
+            Schedule(tiny_instance, np.zeros(3, dtype=np.int32))
+
+    def test_rejects_out_of_range(self, tiny_instance):
+        s = np.zeros(tiny_instance.ntasks, dtype=np.int32)
+        s[0] = tiny_instance.nmachines
+        with pytest.raises(ValueError, match="out-of-range"):
+            Schedule(tiny_instance, s)
+
+    def test_owns_its_arrays(self, tiny_instance):
+        s = np.zeros(tiny_instance.ntasks, dtype=np.int32)
+        sched = Schedule(tiny_instance, s)
+        s[0] = 1
+        assert sched.s[0] == 0
+
+    def test_copy_independent(self, tiny_instance, rng):
+        a = Schedule.random(tiny_instance, rng)
+        b = a.copy()
+        b.move(0, (a.s[0] + 1) % tiny_instance.nmachines)
+        assert a != b
+        check_completion_times(tiny_instance, a.s, a.ct)
+
+
+class TestIncrementalMutators:
+    def test_move_updates_ct(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        old_machine = int(sched.s[5])
+        target = (old_machine + 1) % tiny_instance.nmachines
+        sched.move(5, target)
+        assert sched.s[5] == target
+        check_completion_times(tiny_instance, sched.s, sched.ct)
+
+    def test_move_noop_same_machine(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        before = sched.ct.copy()
+        sched.move(3, int(sched.s[3]))
+        assert np.array_equal(sched.ct, before)
+
+    def test_swap_updates_ct(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        sched.swap(0, 1)
+        check_completion_times(tiny_instance, sched.s, sched.ct)
+
+    def test_swap_exchanges_machines(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        ma, mb = int(sched.s[2]), int(sched.s[9])
+        sched.swap(2, 9)
+        assert sched.s[2] == mb and sched.s[9] == ma
+
+    def test_apply_delta(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        tasks = np.array([0, 4, 8])
+        machines = (sched.s[tasks] + 1) % tiny_instance.nmachines
+        sched.apply_delta(tasks, machines)
+        assert np.array_equal(sched.s[tasks], machines)
+        check_completion_times(tiny_instance, sched.s, sched.ct)
+
+    def test_apply_delta_empty(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        before = sched.ct.copy()
+        sched.apply_delta(np.array([], dtype=int), np.array([], dtype=np.int32))
+        assert np.array_equal(sched.ct, before)
+
+    def test_apply_delta_shape_mismatch(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        with pytest.raises(ValueError, match="same shape"):
+            sched.apply_delta(np.array([0, 1]), np.array([0]))
+
+    def test_set_assignment_recomputes(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        new = np.zeros(tiny_instance.ntasks, dtype=np.int32)
+        sched.set_assignment(new)
+        assert sched.makespan() == pytest.approx(tiny_instance.etc[:, 0].sum())
+
+    def test_long_mutation_chain_stays_exact(self, small_instance, rng):
+        sched = Schedule.random(small_instance, rng)
+        for _ in range(2000):
+            t = int(rng.integers(0, small_instance.ntasks))
+            m = int(rng.integers(0, small_instance.nmachines))
+            sched.move(t, m)
+        drift = sched.resync()
+        assert drift < 1e-6  # incremental float updates stay tight
+
+
+class TestObjectiveAccessors:
+    def test_makespan_is_ct_max(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        assert sched.makespan() == pytest.approx(sched.ct.max())
+
+    def test_most_loaded_machine(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        assert sched.ct[sched.most_loaded_machine()] == sched.makespan()
+
+    def test_tasks_on(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        for m in range(tiny_instance.nmachines):
+            tasks = sched.tasks_on(m)
+            assert np.all(sched.s[tasks] == m)
+        total = sum(sched.tasks_on(m).size for m in range(tiny_instance.nmachines))
+        assert total == tiny_instance.ntasks
+
+    def test_equality_by_assignment(self, tiny_instance, rng):
+        a = Schedule.random(tiny_instance, rng)
+        b = Schedule(tiny_instance, a.s)
+        assert a == b
+
+    def test_repr_contains_makespan(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        assert "makespan=" in repr(sched)

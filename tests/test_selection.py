@@ -1,0 +1,164 @@
+"""Tests for parent selection."""
+
+import numpy as np
+import pytest
+
+from repro.cga.selection import (
+    SELECTIONS,
+    best_two,
+    binary_tournament_pair,
+    center_plus_best,
+    linear_rank_pair,
+    random_pair,
+    roulette_pair,
+)
+
+
+@pytest.fixture
+def fitness():
+    # position 2 is best, then 0
+    return np.array([5.0, 9.0, 1.0, 7.0, 6.0])
+
+
+class TestBestTwo:
+    def test_returns_two_best(self, fitness, rng):
+        a, b = best_two(fitness, rng)
+        assert (a, b) == (2, 0)
+
+    def test_ties_broken_by_position(self, rng):
+        f = np.array([3.0, 1.0, 1.0, 9.0])
+        assert best_two(f, rng) == (1, 2)
+
+    def test_deterministic(self, fitness):
+        rngs = [np.random.default_rng(i) for i in range(3)]
+        picks = {best_two(fitness, r) for r in rngs}
+        assert len(picks) == 1
+
+    def test_needs_two(self, rng):
+        with pytest.raises(ValueError):
+            best_two(np.array([1.0]), rng)
+
+
+class TestTournament:
+    def test_picks_valid_positions(self, fitness, rng):
+        for _ in range(50):
+            a, b = binary_tournament_pair(fitness, rng)
+            assert 0 <= a < fitness.size
+            assert 0 <= b < fitness.size
+
+    def test_biased_toward_best(self, fitness, rng):
+        wins = sum(
+            1
+            for _ in range(400)
+            if 2 in binary_tournament_pair(fitness, rng)
+        )
+        # best individual wins any tournament it enters; it enters one of
+        # two slots with p ~ 1 - (3/5)^4 per pair
+        assert wins > 150
+
+    def test_needs_two(self, rng):
+        with pytest.raises(ValueError):
+            binary_tournament_pair(np.array([1.0]), rng)
+
+
+class TestRandomPair:
+    def test_distinct(self, fitness, rng):
+        for _ in range(50):
+            a, b = random_pair(fitness, rng)
+            assert a != b
+
+    def test_uniformish(self, fitness, rng):
+        counts = np.zeros(fitness.size)
+        for _ in range(500):
+            a, b = random_pair(fitness, rng)
+            counts[a] += 1
+            counts[b] += 1
+        assert counts.min() > 100  # every position gets picked
+
+
+class TestLinearRank:
+    def test_valid_positions(self, fitness, rng):
+        for _ in range(50):
+            a, b = linear_rank_pair(fitness, rng)
+            assert a != b
+            assert 0 <= a < fitness.size
+
+    def test_best_selected_most(self, fitness, rng):
+        counts = np.zeros(fitness.size)
+        for _ in range(600):
+            a, b = linear_rank_pair(fitness, rng)
+            counts[a] += 1
+            counts[b] += 1
+        assert counts[2] == counts.max()
+
+    def test_needs_two(self, rng):
+        with pytest.raises(ValueError):
+            linear_rank_pair(np.array([3.0]), rng)
+
+
+class TestCenterPlusBest:
+    def test_includes_center(self, fitness, rng):
+        pair = center_plus_best(fitness, rng)
+        assert 0 in pair
+
+    def test_best_other_neighbor_chosen(self, fitness, rng):
+        a, b = center_plus_best(fitness, rng)
+        other = a if a != 0 else b
+        assert other == 2  # global best sits at position 2
+
+    def test_best_first_ordering(self, rng):
+        # center is the best: it must come first
+        f = np.array([1.0, 5.0, 3.0])
+        assert center_plus_best(f, rng) == (0, 2)
+        # a neighbor is better: neighbor first
+        f = np.array([4.0, 5.0, 3.0])
+        assert center_plus_best(f, rng) == (2, 0)
+
+    def test_needs_two(self, rng):
+        with pytest.raises(ValueError):
+            center_plus_best(np.array([1.0]), rng)
+
+
+class TestRoulette:
+    def test_distinct_valid_positions(self, fitness, rng):
+        for _ in range(50):
+            a, b = roulette_pair(fitness, rng)
+            assert a != b
+            assert 0 <= a < fitness.size
+
+    def test_best_favored(self, fitness, rng):
+        counts = np.zeros(fitness.size)
+        for _ in range(600):
+            a, b = roulette_pair(fitness, rng)
+            counts[a] += 1
+            counts[b] += 1
+        assert counts[2] == counts.max()
+
+    def test_needs_two(self, rng):
+        with pytest.raises(ValueError):
+            roulette_pair(np.array([2.0]), rng)
+
+
+def test_registry_contents():
+    assert set(SELECTIONS) == {
+        "best2",
+        "tournament",
+        "random",
+        "rank",
+        "center+best",
+        "roulette",
+    }
+
+
+def test_all_selectors_work_in_engine(tiny_instance):
+    from repro.cga import AsyncCGA, CGAConfig, StopCondition
+
+    for name in SELECTIONS:
+        config = CGAConfig(
+            grid_rows=4, grid_cols=4, selection=name, ls_iterations=1,
+            seed_with_minmin=False,
+        )
+        eng = AsyncCGA(tiny_instance, config, rng=0)
+        res = eng.run(StopCondition(max_generations=2))
+        eng.pop.check_invariants()
+        assert res.evaluations == 32

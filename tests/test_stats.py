@@ -1,0 +1,157 @@
+"""Tests for the statistics module."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SummaryStats, mann_whitney_u, notches_overlap, summarize
+from repro.experiments.stats import bootstrap_ci, holm_bonferroni, wilcoxon_signed_rank
+
+
+class TestSummarize:
+    def test_basic_moments(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == pytest.approx(3.0)
+        assert s.median == pytest.approx(3.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+
+    def test_std_is_sample_std(self):
+        s = summarize([1.0, 3.0])
+        assert s.std == pytest.approx(np.std([1, 3], ddof=1))
+
+    def test_singleton(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+        assert s.ci95_lo == s.ci95_hi == 7.0
+
+    def test_notch_width_shrinks_with_n(self):
+        small = summarize(list(range(10)))
+        big = summarize(list(range(10)) * 16)
+        assert (big.notch_hi - big.notch_lo) < (small.notch_hi - small.notch_lo)
+
+    def test_notch_centered_on_median(self):
+        s = summarize([1.0, 2.0, 3.0, 10.0])
+        assert s.notch_lo <= s.median <= s.notch_hi
+
+    def test_iqr(self):
+        s = summarize(list(range(101)))
+        assert s.iqr == pytest.approx(50.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, float("nan")])
+
+    def test_ci_contains_mean_for_wellbehaved_sample(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(100, 5, size=200)
+        s = summarize(x)
+        assert s.ci95_lo < s.mean < s.ci95_hi
+
+
+class TestBootstrapCI:
+    def test_deterministic_given_seed(self):
+        x = np.arange(20.0)
+        assert bootstrap_ci(x, seed=1) == bootstrap_ci(x, seed=1)
+
+    def test_interval_ordering(self):
+        x = np.arange(50.0)
+        lo, hi = bootstrap_ci(x)
+        assert lo < hi
+
+
+class TestMannWhitney:
+    def test_detects_clear_separation(self):
+        a = list(range(0, 20))
+        b = list(range(100, 120))
+        _, p = mann_whitney_u(a, b)
+        assert p < 1e-6
+
+    def test_no_difference(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=50)
+        b = rng.normal(size=50)
+        _, p = mann_whitney_u(a, b)
+        assert p > 0.01
+
+    def test_identical_constant_samples(self):
+        _, p = mann_whitney_u([5.0] * 10, [5.0] * 10)
+        assert p == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+
+class TestWilcoxon:
+    def test_detects_consistent_pairwise_shift(self):
+        a = [10.0, 12.0, 9.0, 14.0, 11.0, 13.0, 10.5, 12.5]
+        b = [x + 2.0 for x in a]
+        _, p = wilcoxon_signed_rank(a, b)
+        assert p < 0.05
+
+    def test_identical_pairs(self):
+        _, p = wilcoxon_signed_rank([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert p == 1.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0], [1.0, 2.0])
+
+    def test_no_shift_insignificant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=30)
+        b = a + rng.normal(scale=0.01, size=30) * rng.choice([-1, 1], 30)
+        _, p = wilcoxon_signed_rank(a, b)
+        assert p > 0.01
+
+
+class TestHolmBonferroni:
+    def test_all_tiny_p_rejected(self):
+        assert holm_bonferroni([1e-6, 1e-7, 1e-8]) == [True, True, True]
+
+    def test_all_large_p_accepted(self):
+        assert holm_bonferroni([0.5, 0.9, 0.7]) == [False, False, False]
+
+    def test_step_down_behaviour(self):
+        # smallest p tested at alpha/3; 0.01 < 0.0167 rejected, then
+        # 0.03 vs alpha/2 = 0.025 accepted, stopping the procedure
+        assert holm_bonferroni([0.03, 0.01, 0.2]) == [False, True, False]
+
+    def test_less_conservative_than_bonferroni(self):
+        # plain Bonferroni at alpha/4 = 0.0125 would accept 0.02; Holm
+        # rejects it after rejecting the smaller ones
+        result = holm_bonferroni([0.001, 0.002, 0.003, 0.02])
+        assert result == [True, True, True, True]
+
+    def test_empty(self):
+        assert holm_bonferroni([]) == []
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            holm_bonferroni([0.5, 1.2])
+
+
+class TestNotchesOverlap:
+    def _stats(self, lo, hi):
+        return SummaryStats(
+            n=10, mean=0, std=0, minimum=0, q1=0, median=(lo + hi) / 2, q3=0,
+            maximum=0, notch_lo=lo, notch_hi=hi, ci95_lo=0, ci95_hi=0,
+        )
+
+    def test_disjoint(self):
+        assert not notches_overlap(self._stats(0, 1), self._stats(2, 3))
+
+    def test_touching_counts_as_overlap(self):
+        assert notches_overlap(self._stats(0, 1), self._stats(1, 2))
+
+    def test_nested(self):
+        assert notches_overlap(self._stats(0, 10), self._stats(4, 5))
+
+    def test_order_invariant(self):
+        a, b = self._stats(0, 1), self._stats(5, 6)
+        assert notches_overlap(a, b) == notches_overlap(b, a)

@@ -1,0 +1,134 @@
+"""Tests for the Struggle GA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import StruggleGA
+from repro.cga import StopCondition
+from repro.scheduling.validation import check_completion_times, validate_assignment
+
+
+class TestConstruction:
+    def test_population_shapes(self, tiny_instance):
+        ga = StruggleGA(tiny_instance, pop_size=10, rng=0)
+        assert ga.s.shape == (10, tiny_instance.ntasks)
+        assert ga.fitness.shape == (10,)
+
+    def test_minmin_seed(self, tiny_instance):
+        from repro.heuristics import min_min
+
+        ga = StruggleGA(tiny_instance, pop_size=8, rng=0)
+        assert np.array_equal(ga.s[0], min_min(tiny_instance).s)
+
+    def test_no_seed_option(self, tiny_instance):
+        from repro.heuristics import min_min
+
+        ga = StruggleGA(tiny_instance, pop_size=8, seed_with_minmin=False, rng=0)
+        assert not np.array_equal(ga.s[0], min_min(tiny_instance).s)
+
+    def test_initial_ct_consistent(self, tiny_instance):
+        ga = StruggleGA(tiny_instance, pop_size=6, rng=0)
+        for i in range(6):
+            check_completion_times(tiny_instance, ga.s[i], ga.ct[i])
+
+    def test_rejects_tiny_population(self, tiny_instance):
+        with pytest.raises(ValueError):
+            StruggleGA(tiny_instance, pop_size=1)
+
+    def test_rejects_bad_tournament(self, tiny_instance):
+        with pytest.raises(ValueError):
+            StruggleGA(tiny_instance, tournament=0)
+
+
+class TestRun:
+    def test_improves(self, small_instance):
+        ga = StruggleGA(small_instance, pop_size=16, rng=1)
+        initial = float(ga.fitness.min())
+        res = ga.run(StopCondition(max_evaluations=800))
+        assert res.best_fitness <= initial
+        assert res.evaluations == 800
+
+    def test_population_stays_consistent(self, tiny_instance):
+        ga = StruggleGA(tiny_instance, pop_size=8, rng=2)
+        ga.run(StopCondition(max_evaluations=300))
+        for i in range(8):
+            validate_assignment(tiny_instance, ga.s[i])
+            check_completion_times(tiny_instance, ga.s[i], ga.ct[i])
+            assert ga.fitness[i] == pytest.approx(ga.ct[i].max())
+
+    def test_deterministic(self, tiny_instance):
+        a = StruggleGA(tiny_instance, pop_size=8, rng=3).run(StopCondition(max_evaluations=200))
+        b = StruggleGA(tiny_instance, pop_size=8, rng=3).run(StopCondition(max_evaluations=200))
+        assert a.best_fitness == b.best_fitness
+
+    def test_history_shape(self, tiny_instance):
+        ga = StruggleGA(tiny_instance, pop_size=8, rng=0)
+        res = ga.run(StopCondition(max_evaluations=40))
+        assert len(res.history) == 1 + 40 // 8
+        gens = [row[0] for row in res.history]
+        assert gens == sorted(gens)
+
+    def test_extra_metadata(self, tiny_instance):
+        res = StruggleGA(tiny_instance, pop_size=8, rng=0).run(
+            StopCondition(max_evaluations=16)
+        )
+        assert res.extra["algorithm"] == "struggle-ga"
+
+
+class TestReplacementPolicies:
+    def test_all_policies_run_and_improve(self, small_instance):
+        for policy in StruggleGA.REPLACEMENTS:
+            ga = StruggleGA(small_instance, pop_size=16, replacement=policy, rng=1)
+            initial = float(ga.fitness.min())
+            res = ga.run(StopCondition(max_evaluations=600))
+            assert res.best_fitness <= initial, policy
+            assert res.extra["replacement"] == policy
+
+    def test_unknown_policy_rejected(self, tiny_instance):
+        with pytest.raises(ValueError, match="replacement"):
+            StruggleGA(tiny_instance, replacement="crowding")
+
+    def test_worst_policy_targets_worst(self, tiny_instance):
+        ga = StruggleGA(tiny_instance, pop_size=8, replacement="worst", rng=0)
+        worst = int(ga.fitness.argmax())
+        child = ga.s[0].copy()
+        assert ga._pick_victim(child) == worst
+
+    def test_struggle_keeps_more_diversity_than_worst(self, small_instance):
+        # ref [19]'s central finding: similarity-based replacement
+        # preserves genotypic diversity versus replace-worst
+        def final_diversity(policy):
+            ga = StruggleGA(
+                small_instance, pop_size=24, replacement=policy,
+                seed_with_minmin=False, rng=3,
+            )
+            ga.run(StopCondition(max_evaluations=3000))
+            pairs = 0
+            dist = 0.0
+            for i in range(ga.pop_size):
+                for j in range(i + 1, ga.pop_size):
+                    dist += float((ga.s[i] != ga.s[j]).mean())
+                    pairs += 1
+            return dist / pairs
+
+        assert final_diversity("struggle") > final_diversity("worst")
+
+
+class TestStruggleReplacement:
+    def test_replaces_most_similar_when_better(self, tiny_instance):
+        ga = StruggleGA(tiny_instance, pop_size=4, rng=0)
+        # craft a child identical to individual 2 except better: we force
+        # similarity to pick index 2
+        child = ga.s[2].copy()
+        rival = ga._most_similar(child)
+        assert rival == 2
+
+    def test_best_never_degrades(self, small_instance):
+        ga = StruggleGA(small_instance, pop_size=16, rng=4)
+        best0 = float(ga.fitness.min())
+        trace = []
+        for _ in range(5):
+            res = ga.run(StopCondition(max_evaluations=100))
+            trace.append(res.best_fitness)
+        assert all(b <= best0 + 1e-9 for b in trace)
+        assert all(b <= a + 1e-9 for a, b in zip(trace, trace[1:]))

@@ -1,0 +1,81 @@
+"""Tests for the sweep policies (§3.2's update-order experiment)."""
+
+import numpy as np
+import pytest
+
+from repro.cga import CGAConfig, StopCondition
+from repro.cga.sweep import SWEEP_POLICIES, sweep_order
+from repro.parallel import SimulatedPACGA
+
+
+class TestSweepOrder:
+    def test_line_is_identity(self):
+        block = np.arange(5, 15)
+        assert np.array_equal(sweep_order(block, "line"), block)
+
+    def test_reverse(self):
+        block = np.arange(4)
+        assert sweep_order(block, "reverse").tolist() == [3, 2, 1, 0]
+
+    def test_shuffle_is_permutation(self):
+        block = np.arange(20, 60)
+        out = sweep_order(block, "shuffle", block_id=2)
+        assert sorted(out.tolist()) == block.tolist()
+
+    def test_shuffle_fixed_per_block(self):
+        block = np.arange(30)
+        a = sweep_order(block, "shuffle", block_id=1)
+        b = sweep_order(block, "shuffle", block_id=1)
+        assert np.array_equal(a, b)
+
+    def test_shuffle_differs_between_blocks(self):
+        block = np.arange(30)
+        a = sweep_order(block, "shuffle", block_id=0)
+        b = sweep_order(block, "shuffle", block_id=1)
+        assert not np.array_equal(a, b)
+
+    def test_returns_copy(self):
+        block = np.arange(6)
+        out = sweep_order(block, "line")
+        out[0] = 99
+        assert block[0] == 0
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown sweep"):
+            sweep_order(np.arange(3), "zigzag")
+
+
+class TestSweepInConfig:
+    def test_default_is_line(self):
+        assert CGAConfig().sweep == "line"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sweep"):
+            CGAConfig(sweep="diagonal")
+
+    def test_describe_mentions_policy(self):
+        assert "shuffle sweep" in CGAConfig(sweep="shuffle").describe()
+
+    @pytest.mark.parametrize("policy", SWEEP_POLICIES)
+    def test_engines_run_under_every_policy(self, tiny_instance, policy):
+        config = CGAConfig(
+            grid_rows=4, grid_cols=4, n_threads=2, ls_iterations=1,
+            seed_with_minmin=False, sweep=policy,
+        )
+        sim = SimulatedPACGA(tiny_instance, config, seed=0)
+        res = sim.run(StopCondition(max_generations=3))
+        sim.pop.check_invariants()
+        assert res.evaluations >= 3 * 16
+
+    def test_policies_change_outcomes(self, small_instance):
+        def best(policy):
+            config = CGAConfig(
+                grid_rows=6, grid_cols=6, n_threads=2, ls_iterations=1,
+                seed_with_minmin=False, sweep=policy,
+            )
+            return SimulatedPACGA(small_instance, config, seed=3).run(
+                StopCondition(max_generations=5)
+            ).best_fitness
+
+        results = {p: best(p) for p in SWEEP_POLICIES}
+        assert len(set(results.values())) > 1  # order matters to trajectories

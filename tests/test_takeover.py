@@ -1,0 +1,65 @@
+"""Tests for the takeover-time (selection pressure) study."""
+
+import pytest
+
+from repro.experiments.takeover import TakeoverResult, takeover_experiment
+
+
+@pytest.fixture(scope="module")
+def sync_l5():
+    return takeover_experiment(neighborhood="l5", update="sync", max_generations=80)
+
+
+@pytest.fixture(scope="module")
+def sync_c9():
+    return takeover_experiment(neighborhood="c9", update="sync", max_generations=80)
+
+
+@pytest.fixture(scope="module")
+def async_l5():
+    return takeover_experiment(neighborhood="l5", update="async", max_generations=80)
+
+
+class TestCurveShape:
+    def test_starts_with_single_copy(self, sync_l5):
+        assert sync_l5.proportions[0] == pytest.approx(1 / 256)
+
+    def test_monotone_nondecreasing(self, sync_l5):
+        p = sync_l5.proportions
+        assert all(b >= a for a, b in zip(p, p[1:]))
+
+    def test_reaches_full_takeover(self, sync_l5):
+        assert sync_l5.proportions[-1] == 1.0
+        assert sync_l5.takeover_generation is not None
+
+    def test_generations_to_half_before_full(self, sync_l5):
+        half = sync_l5.generations_to(0.5)
+        full = sync_l5.takeover_generation
+        assert half is not None and half < full
+
+
+class TestSelectionPressureOrdering:
+    def test_larger_neighborhood_faster_takeover(self, sync_l5, sync_c9):
+        # C9 reaches 2 cells per generation on the diagonal; L5 only 1
+        assert sync_c9.takeover_generation < sync_l5.takeover_generation
+
+    def test_async_much_faster_than_sync(self, sync_l5, async_l5):
+        # immediate replacement + line sweep carries the genotype across
+        # the grid within a sweep: the paper's faster-convergence premise
+        assert async_l5.takeover_generation < sync_l5.takeover_generation
+
+    def test_sync_l5_takeover_matches_grid_radius(self, sync_l5):
+        # spread is 1 Manhattan step per generation from the center of a
+        # 16x16 torus: full takeover needs ~16 generations
+        assert 12 <= sync_l5.takeover_generation <= 20
+
+
+class TestValidation:
+    def test_unknown_update(self):
+        with pytest.raises(ValueError, match="update"):
+            takeover_experiment(update="wavefront")
+
+    def test_generations_to_unreached(self):
+        r = TakeoverResult(neighborhood="l5", update="sync", proportions=[0.1, 0.2])
+        assert r.generations_to(0.9) is None
+        assert r.takeover_generation is None

@@ -1,0 +1,113 @@
+"""Tests for the tracked-contention simulation mode."""
+
+import numpy as np
+import pytest
+
+from repro.cga import CGAConfig, StopCondition
+from repro.parallel import CostModel, SimulatedPACGA
+
+
+CFG = CGAConfig(grid_rows=6, grid_cols=6, ls_iterations=2, seed_with_minmin=False)
+
+
+class TestConstruction:
+    def test_mode_validation(self, tiny_instance):
+        with pytest.raises(ValueError, match="contention"):
+            SimulatedPACGA(tiny_instance, CFG, contention="optimistic")
+
+    def test_default_is_meanfield(self, tiny_instance):
+        sim = SimulatedPACGA(tiny_instance, CFG)
+        assert sim.contention == "meanfield"
+
+    def test_model_validates_new_fields(self):
+        with pytest.raises(ValueError):
+            CostModel(t_cacheline=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(t_write_hold=-0.1)
+
+
+class TestTrackedSemantics:
+    def test_deterministic(self, tiny_instance):
+        def once():
+            sim = SimulatedPACGA(
+                tiny_instance, CFG.with_(n_threads=3), seed=4, contention="tracked"
+            )
+            return sim.run(StopCondition(virtual_time=0.003))
+
+        a, b = once(), once()
+        assert a.best_fitness == b.best_fitness
+        assert a.evaluations == b.evaluations
+        assert a.extra["conflict_wait_s"] == b.extra["conflict_wait_s"]
+
+    def test_extra_reports_conflicts(self, tiny_instance):
+        sim = SimulatedPACGA(
+            tiny_instance, CFG.with_(n_threads=2), seed=0, contention="tracked"
+        )
+        res = sim.run(StopCondition(max_generations=3))
+        assert res.extra["contention"] == "tracked"
+        assert res.extra["lock_conflicts"] >= 0
+        assert res.extra["conflict_wait_s"] >= 0.0
+
+    def test_single_thread_tracked_equals_meanfield_genetics(self, tiny_instance):
+        # with one thread there is no cross traffic: both modes must
+        # produce the same search trajectory
+        a = SimulatedPACGA(
+            tiny_instance, CFG.with_(n_threads=1), seed=2, contention="tracked"
+        ).run(StopCondition(max_generations=3))
+        b = SimulatedPACGA(
+            tiny_instance, CFG.with_(n_threads=1), seed=2, contention="meanfield"
+        ).run(StopCondition(max_generations=3))
+        assert a.best_fitness == b.best_fitness
+        assert np.array_equal(a.best_assignment, b.best_assignment)
+
+    def test_population_invariants(self, tiny_instance):
+        sim = SimulatedPACGA(
+            tiny_instance, CFG.with_(n_threads=4), seed=1, contention="tracked"
+        )
+        sim.run(StopCondition(virtual_time=0.005))
+        sim.pop.check_invariants()
+
+    def test_genetics_identical_across_modes(self, small_instance):
+        # contention only changes virtual timing; at equal generation
+        # counts the same seeds must visit the same populations
+        a = SimulatedPACGA(
+            small_instance, CFG.with_(n_threads=3), seed=5, contention="tracked"
+        ).run(StopCondition(max_generations=3))
+        b = SimulatedPACGA(
+            small_instance, CFG.with_(n_threads=3), seed=5, contention="meanfield"
+        ).run(StopCondition(max_generations=3))
+        assert a.best_fitness == b.best_fitness
+
+
+class TestTrackedTiming:
+    def test_cross_traffic_slows_threads(self, small_instance):
+        # same evaluation count: tracked multi-thread clocks must exceed
+        # a zero-cacheline variant's clocks
+        expensive = SimulatedPACGA(
+            small_instance, CFG.with_(n_threads=4), seed=0, contention="tracked"
+        ).run(StopCondition(max_generations=3))
+        cheap_model = CostModel(t_cacheline=0.0, jitter_sigma=0.0)
+        cheap = SimulatedPACGA(
+            small_instance,
+            CFG.with_(n_threads=4),
+            seed=0,
+            contention="tracked",
+            cost_model=cheap_model,
+        ).run(StopCondition(max_generations=3))
+        assert max(expensive.extra["per_thread_clocks"]) > max(
+            cheap.extra["per_thread_clocks"]
+        )
+
+    def test_forced_conflicts_detected(self, tiny_instance):
+        # absurdly long write holds force queuing to become visible
+        sticky = CostModel(t_write_hold=500.0, t_read_hold=200.0, jitter_sigma=0.0)
+        sim = SimulatedPACGA(
+            tiny_instance,
+            CFG.with_(n_threads=4),
+            seed=0,
+            contention="tracked",
+            cost_model=sticky,
+        )
+        res = sim.run(StopCondition(max_generations=4))
+        assert res.extra["lock_conflicts"] > 0
+        assert res.extra["conflict_wait_s"] > 0.0

@@ -1,0 +1,93 @@
+"""Tests for the Gantt renderer and run-result persistence."""
+
+import numpy as np
+import pytest
+
+from repro import AsyncCGA, CGAConfig, StopCondition
+from repro.scheduling import Schedule
+from repro.util import (
+    load_result,
+    render_gantt,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+class TestGantt:
+    def test_renders_all_machines(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        out = render_gantt(sched)
+        for m in range(tiny_instance.nmachines):
+            assert f"m{m:02d}" in out
+        assert "makespan" in out
+
+    def test_machine_truncation(self, small_instance, rng):
+        sched = Schedule.random(small_instance, rng)
+        out = render_gantt(sched, max_machines=3)
+        assert "more machines" in out
+        assert "m03" not in out
+
+    def test_ready_time_shown_as_leading_dots(self):
+        from repro.etc import ETCMatrix
+
+        inst = ETCMatrix(np.ones((2, 2)) * 5, ready_times=np.array([10.0, 0.0]))
+        sched = Schedule(inst, np.array([0, 1], dtype=np.int32))
+        line0 = render_gantt(sched).splitlines()[0]
+        assert "." in line0
+
+    def test_rejects_narrow_width(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        with pytest.raises(ValueError):
+            render_gantt(sched, width=5)
+
+    def test_loads_column_matches_ct(self, tiny_instance, rng):
+        sched = Schedule.random(tiny_instance, rng)
+        lines = render_gantt(sched).splitlines()
+        shown = float(lines[0].rsplit("|", 1)[1].replace(",", ""))
+        assert shown == pytest.approx(round(sched.ct[0]), abs=1)
+
+
+class TestPersistence:
+    @pytest.fixture
+    def result(self, tiny_instance):
+        eng = AsyncCGA(
+            tiny_instance,
+            CGAConfig(grid_rows=4, grid_cols=4, ls_iterations=1, seed_with_minmin=False),
+            rng=0,
+        )
+        return eng.run(StopCondition(max_generations=3))
+
+    def test_dict_roundtrip(self, result):
+        back = result_from_dict(result_to_dict(result))
+        assert back.best_fitness == result.best_fitness
+        assert np.array_equal(back.best_assignment, result.best_assignment)
+        assert back.evaluations == result.evaluations
+        assert back.history == result.history
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = tmp_path / "runs" / "r0.json"
+        save_result(result, path)
+        back = load_result(path)
+        assert back.best_fitness == result.best_fitness
+        assert back.extra == result.extra or back.extra is not None
+
+    def test_assignment_dtype_restored(self, result, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(result, path)
+        assert load_result(path).best_assignment.dtype == np.int32
+
+    def test_rejects_unknown_version(self, result):
+        data = result_to_dict(result)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict(data)
+
+    def test_numpy_values_in_extra_serialize(self, result, tmp_path):
+        result.extra["np_scalar"] = np.float64(1.5)
+        result.extra["np_array"] = np.arange(3)
+        path = tmp_path / "r.json"
+        save_result(result, path)
+        back = load_result(path)
+        assert back.extra["np_scalar"] == 1.5
+        assert back.extra["np_array"] == [0, 1, 2]
