@@ -28,7 +28,7 @@ from repro.etc import (
 )
 from repro.scheduling import Schedule, flowtime, makespan
 from repro.heuristics import HEURISTICS, min_min
-from repro.cga import AsyncCGA, CGAConfig, RunResult, StopCondition, SyncCGA
+from repro.cga import AsyncCGA, CGAConfig, RunResult, StopCondition, SyncCGA, VectorizedSyncCGA
 from repro.parallel import (
     CostModel,
     ProcessPACGA,
@@ -55,6 +55,7 @@ __all__ = [
     "StopCondition",
     "AsyncCGA",
     "SyncCGA",
+    "VectorizedSyncCGA",
     "RunResult",
     "ThreadedPACGA",
     "ProcessPACGA",

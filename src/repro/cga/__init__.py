@@ -14,7 +14,16 @@ from repro.cga.grid import Grid2D
 from repro.cga.neighborhood import NEIGHBORHOODS, neighbor_table
 from repro.cga.population import Population
 from repro.cga.engine import AsyncCGA, SyncCGA, EvolutionOps, RunResult, evolve_individual
+from repro.cga.vectorized import VectorizedSyncCGA
 from repro.cga.local_search import h2ll
+
+#: name -> sequential engine class, the registry used by the CLI and the
+#: experiment harnesses (the parallel engines live in ``repro.parallel``).
+SEQUENTIAL_ENGINES = {
+    "async": AsyncCGA,
+    "sync": SyncCGA,
+    "vectorized": VectorizedSyncCGA,
+}
 
 __all__ = [
     "CGAConfig",
@@ -25,6 +34,8 @@ __all__ = [
     "Population",
     "AsyncCGA",
     "SyncCGA",
+    "VectorizedSyncCGA",
+    "SEQUENTIAL_ENGINES",
     "EvolutionOps",
     "RunResult",
     "evolve_individual",

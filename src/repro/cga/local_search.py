@@ -135,24 +135,43 @@ def random_move_ls(
     if iterations <= 0:
         return 0
     etc_t = instance.etc_t
+    nm = instance.nmachines
     moves = 0
+
+    # top-3 (value, machine) pairs, descending: the "max of the rest"
+    # excluding the two machines touched by a move is always among the
+    # top 3, so the inner loop needs no np.delete allocation — the old
+    # formulation allocated an (nm-2,) copy per iteration.
+    def top3() -> list[tuple[float, int]]:
+        if nm <= 3:
+            order = np.argsort(ct)[::-1]
+        else:
+            part = np.argpartition(ct, nm - 3)[nm - 3:]
+            order = part[np.argsort(ct[part])[::-1]]
+        return [(float(ct[i]), int(i)) for i in order[:3]]
+
+    peak = top3()
     for _ in range(iterations):
         t = int(rng.integers(0, instance.ntasks))
-        m = int(rng.integers(0, instance.nmachines))
+        m = int(rng.integers(0, nm))
         old = int(s[t])
         if old == m:
             continue
-        before = float(ct.max())
-        new_src = ct[old] - etc_t[old, t]
-        new_dst = ct[m] + etc_t[m, t]
-        # makespan after the move, computed without touching the arrays
-        rest = np.delete(ct, [old, m]).max(initial=0.0)
+        before = peak[0][0]  # the current makespan
+        new_src = float(ct[old] - etc_t[old, t])
+        new_dst = float(ct[m] + etc_t[m, t])
+        rest = 0.0  # ready-time-free floor, as np.delete(...).max(initial=0.0)
+        for value, machine in peak:
+            if machine != old and machine != m:
+                rest = value
+                break
         after = max(rest, new_src, new_dst)
         if after < before:
             ct[old] = new_src
             ct[m] = new_dst
             s[t] = m
             moves += 1
+            peak = top3()  # only accepted moves change ct
     return moves
 
 

@@ -41,7 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--instance", default="u_i_hihi.0")
     p.add_argument(
         "--engine",
-        choices=["sim", "async", "sync", "threads", "processes"],
+        choices=["sim", "async", "sync", "vectorized", "threads", "processes"],
         default="sim",
     )
     p.add_argument("--threads", type=int, default=3)
@@ -156,7 +156,7 @@ def _cmd_heuristics(args) -> int:
 
 
 def _cmd_solve(args) -> int:
-    from repro.cga import AsyncCGA, CGAConfig, StopCondition, SyncCGA
+    from repro.cga import AsyncCGA, CGAConfig, StopCondition, SyncCGA, VectorizedSyncCGA
     from repro.etc import load_benchmark
     from repro.parallel import ProcessPACGA, SimulatedPACGA, ThreadedPACGA
 
@@ -184,6 +184,8 @@ def _cmd_solve(args) -> int:
         engine = AsyncCGA(inst, config, rng=args.seed)
     elif args.engine == "sync":
         engine = SyncCGA(inst, config, rng=args.seed)
+    elif args.engine == "vectorized":
+        engine = VectorizedSyncCGA(inst, config, rng=args.seed)
     elif args.engine == "threads":
         engine = ThreadedPACGA(inst, config, seed=args.seed)
     else:

@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cga.config import CGAConfig, StopCondition
-from repro.cga.engine import AsyncCGA, SyncCGA
 from repro.etc.model import ETCMatrix
 from repro.rng import make_rng
 
@@ -75,8 +74,12 @@ def takeover_experiment(
     or the offspring equals a parent — we simply set probabilities to
     zero).
     """
-    if update not in ("async", "sync"):
-        raise ValueError(f"update must be 'async' or 'sync', got {update!r}")
+    from repro.cga import SEQUENTIAL_ENGINES
+
+    if update not in SEQUENTIAL_ENGINES:
+        raise ValueError(
+            f"update must be one of {sorted(SEQUENTIAL_ENGINES)}, got {update!r}"
+        )
     inst = _takeover_instance()
     config = CGAConfig(
         grid_rows=grid_rows,
@@ -89,7 +92,7 @@ def takeover_experiment(
         replacement="if-better",
         seed_with_minmin=False,
     )
-    engine_cls = AsyncCGA if update == "async" else SyncCGA
+    engine_cls = SEQUENTIAL_ENGINES[update]
     engine = engine_cls(inst, config, rng=make_rng(seed), record_history=False)
 
     # uniform worst genotype everywhere, one optimum in the center

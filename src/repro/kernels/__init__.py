@@ -1,0 +1,80 @@
+"""Batch, whole-population NumPy kernels.
+
+The scalar operators in :mod:`repro.cga` breed one cell at a time —
+clear, lock-friendly, and the semantic reference for everything here —
+but a synchronous generation is embarrassingly data-parallel: all
+``pop_size`` selections, crossovers, mutations, local-search passes and
+evaluations can be expressed as a handful of array operations over the
+flat population buffers (``s``: ``(P, ntasks)``, ``ct``:
+``(P, nmachines)``, ``fitness``: ``(P,)``) that
+:class:`repro.cga.population.Population` already stores.
+
+Every kernel is the batch analogue of a scalar operator and is gated by
+equivalence tests (``tests/test_kernels.py``): batch completion times
+must match :func:`repro.scheduling.schedule.compute_completion_times`
+row by row, batch CT deltas must match :meth:`Schedule.apply_delta`,
+and the batch H2LL pass must preserve the same invariants as
+:func:`repro.cga.local_search.h2ll` (makespan never increases, CT stays
+exact).  :class:`repro.cga.vectorized.VectorizedSyncCGA` composes these
+kernels into a whole-generation engine.
+"""
+
+from repro.kernels.batch_ct import (
+    batch_completion_times,
+    batch_ct_delta,
+    batch_resync_drift,
+)
+from repro.kernels.batch_fitness import (
+    BATCH_FITNESS,
+    batch_makespan,
+    batch_mean_flowtime,
+    batch_weighted_fitness,
+    resolve_batch_fitness,
+)
+from repro.kernels.batch_select import (
+    BATCH_SELECTIONS,
+    batch_best_two,
+    batch_center_plus_best,
+    batch_random_pair,
+    batch_tournament_pair,
+    resolve_batch_selection,
+)
+from repro.kernels.batch_variation import (
+    BATCH_CROSSOVER_MASKS,
+    BATCH_MUTATIONS,
+    batch_move_mutation,
+    batch_rebalance_mutation,
+    batch_swap_mutation,
+    crossover_mask,
+    resolve_batch_crossover,
+    resolve_batch_mutation,
+)
+from repro.kernels.batch_ls import BATCH_LOCAL_SEARCHES, batch_h2ll, resolve_batch_local_search
+
+__all__ = [
+    "batch_completion_times",
+    "batch_ct_delta",
+    "batch_resync_drift",
+    "BATCH_FITNESS",
+    "batch_makespan",
+    "batch_mean_flowtime",
+    "batch_weighted_fitness",
+    "resolve_batch_fitness",
+    "BATCH_SELECTIONS",
+    "batch_best_two",
+    "batch_center_plus_best",
+    "batch_random_pair",
+    "batch_tournament_pair",
+    "resolve_batch_selection",
+    "BATCH_CROSSOVER_MASKS",
+    "BATCH_MUTATIONS",
+    "batch_move_mutation",
+    "batch_rebalance_mutation",
+    "batch_swap_mutation",
+    "crossover_mask",
+    "resolve_batch_crossover",
+    "resolve_batch_mutation",
+    "BATCH_LOCAL_SEARCHES",
+    "batch_h2ll",
+    "resolve_batch_local_search",
+]

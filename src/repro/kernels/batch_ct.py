@@ -1,0 +1,82 @@
+"""Batch completion-time kernels.
+
+The scalar reference is :func:`repro.scheduling.schedule.compute_completion_times`
+(one ``np.add.at`` scatter per individual).  For a whole population the
+scatter is expressed as a single :func:`numpy.bincount` over the
+flattened ``(P * nmachines)`` index space — bincount compiles to one C
+loop and is several times faster than ``np.add.at`` on this workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.etc.model import ETCMatrix
+
+__all__ = ["batch_completion_times", "batch_ct_delta", "batch_resync_drift"]
+
+
+def _as_batch(S: np.ndarray, ntasks: int) -> np.ndarray:
+    S = np.asarray(S)
+    if S.ndim != 2 or S.shape[1] != ntasks:
+        raise ValueError(f"S must be (P, ntasks={ntasks}), got {S.shape}")
+    return S
+
+
+def batch_completion_times(instance: ETCMatrix, S: np.ndarray) -> np.ndarray:
+    """Completion times of every individual: ``(P, ntasks) -> (P, nmachines)``.
+
+    ``out[p, m] = ready[m] + sum of ETC[t, m] over tasks t with
+    S[p, t] = m`` — eq. 2 applied to the whole population with one
+    flattened ``bincount`` scatter-add.
+    """
+    nt, nm = instance.ntasks, instance.nmachines
+    S = _as_batch(S, nt)
+    P = S.shape[0]
+    vals = instance.etc[np.arange(nt)[None, :], S]  # (P, nt) gather
+    flat_idx = (np.arange(P)[:, None] * nm + S).ravel()
+    ct = np.bincount(flat_idx, weights=vals.ravel(), minlength=P * nm)
+    return ct.reshape(P, nm) + instance.ready_times[None, :]
+
+
+def batch_ct_delta(
+    instance: ETCMatrix,
+    ct: np.ndarray,
+    old_S: np.ndarray,
+    new_S: np.ndarray,
+) -> None:
+    """Update ``ct`` in place for a batch reassignment ``old_S -> new_S``.
+
+    The vectorized analogue of :meth:`Schedule.apply_delta`: only the
+    genes where the two assignment matrices disagree contribute, so the
+    cost is O(#changed genes) scatter work regardless of ``ntasks``.
+    """
+    nt, nm = instance.ntasks, instance.nmachines
+    old_S = _as_batch(old_S, nt)
+    new_S = _as_batch(new_S, nt)
+    if old_S.shape != new_S.shape:
+        raise ValueError("old_S and new_S must have the same shape")
+    P = old_S.shape[0]
+    if ct.shape != (P, nm):
+        raise ValueError(f"ct must be (P={P}, nmachines={nm}), got {ct.shape}")
+    rows, tasks = np.nonzero(old_S != new_S)
+    if rows.size == 0:
+        return
+    old = old_S[rows, tasks]
+    new = new_S[rows, tasks]
+    etc = instance.etc
+    size = P * nm
+    sub = np.bincount(rows * nm + old, weights=etc[tasks, old], minlength=size)
+    add = np.bincount(rows * nm + new, weights=etc[tasks, new], minlength=size)
+    ct += (add - sub).reshape(P, nm)
+
+
+def batch_resync_drift(instance: ETCMatrix, S: np.ndarray, ct: np.ndarray) -> float:
+    """Largest |incremental CT - recomputed CT| over the population.
+
+    The batch analogue of :meth:`Schedule.resync`'s drift report, used
+    to assert the CT invariant (~1e-9 relative) after long chains of
+    incremental kernel updates.
+    """
+    fresh = batch_completion_times(instance, S)
+    return float(np.abs(fresh - ct).max(initial=0.0))

@@ -1,0 +1,108 @@
+"""Batch parent selection over the precomputed neighbor table.
+
+Each kernel maps the ``(P, k)`` neighborhood-fitness matrix (gathered
+as ``pop.fitness[neighbor_table]``) to two ``(P,)`` arrays of *local*
+neighborhood positions, best first — the batch analogue of the scalar
+selectors in :mod:`repro.cga.selection`.  All P selections use one RNG
+draw block per generation, so a vectorized run is statistically (not
+bitwise) equivalent to P sequential scalar draws.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "batch_best_two",
+    "batch_tournament_pair",
+    "batch_random_pair",
+    "batch_center_plus_best",
+    "BATCH_SELECTIONS",
+    "resolve_batch_selection",
+]
+
+BatchSelector = Callable[[np.ndarray, np.random.Generator], tuple[np.ndarray, np.ndarray]]
+
+
+def _check(fit: np.ndarray) -> None:
+    if fit.ndim != 2 or fit.shape[1] < 2:
+        raise ValueError(f"need a (P, k>=2) neighborhood-fitness matrix, got {fit.shape}")
+
+
+def batch_best_two(fit: np.ndarray, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """The two fittest members of every neighborhood (the paper's operator).
+
+    Stable sort along the neighborhood axis, ties broken by position —
+    row-for-row identical to :func:`repro.cga.selection.best_two`.
+    """
+    _check(fit)
+    order = np.argsort(fit, axis=1, kind="stable")
+    return order[:, 0], order[:, 1]
+
+
+def batch_tournament_pair(
+    fit: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two independent binary tournaments per neighborhood."""
+    _check(fit)
+    P, k = fit.shape
+    contenders = rng.integers(0, k, size=(P, 4))
+    rows = np.arange(P)
+    first = np.where(
+        fit[rows, contenders[:, 0]] <= fit[rows, contenders[:, 1]],
+        contenders[:, 0],
+        contenders[:, 1],
+    )
+    second = np.where(
+        fit[rows, contenders[:, 2]] <= fit[rows, contenders[:, 3]],
+        contenders[:, 2],
+        contenders[:, 3],
+    )
+    return first, second
+
+
+def batch_random_pair(
+    fit: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two distinct uniformly random members per neighborhood."""
+    _check(fit)
+    P, k = fit.shape
+    a = rng.integers(0, k, size=P)
+    b = rng.integers(0, k - 1, size=P)
+    b += b >= a  # skip over a, keeping b uniform on the other k-1 positions
+    return a, b
+
+
+def batch_center_plus_best(
+    fit: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Every cell mates with its best *other* neighbor (center kept)."""
+    _check(fit)
+    P = fit.shape[0]
+    others = 1 + fit[:, 1:].argmin(axis=1)
+    rows = np.arange(P)
+    center_better = fit[rows, 0] < fit[rows, others]
+    first = np.where(center_better, 0, others)
+    second = np.where(center_better, others, 0)
+    return first, second
+
+
+#: registry keyed by the same names as :data:`repro.cga.selection.SELECTIONS`.
+BATCH_SELECTIONS: dict[str, BatchSelector] = {
+    "best2": batch_best_two,
+    "tournament": batch_tournament_pair,
+    "random": batch_random_pair,
+    "center+best": batch_center_plus_best,
+}
+
+
+def resolve_batch_selection(name: str) -> BatchSelector:
+    """Look up a batch selector; raises for selectors with no batch kernel."""
+    try:
+        return BATCH_SELECTIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"no batch selection kernel for {name!r}; known: {', '.join(BATCH_SELECTIONS)}"
+        ) from None

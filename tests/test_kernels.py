@@ -1,0 +1,262 @@
+"""Kernel-vs-scalar equivalence: batch kernels must reproduce the
+scalar ``Schedule``/operator semantics on randomized instances.
+
+These tests gate the vectorized engine: every batch kernel is checked
+against its scalar reference (``compute_completion_times``,
+``Schedule.apply_delta``, the fitness functions, the selectors) or, for
+the randomized kernels, against the invariants the scalar operator
+guarantees (CT stays exact, makespan never increases under H2LL,
+assignments stay in range).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cga.fitness import makespan_fitness, weighted_fitness
+from repro.cga.selection import best_two, center_plus_best
+from repro.etc import make_instance
+from repro.kernels import (
+    BATCH_CROSSOVER_MASKS,
+    BATCH_FITNESS,
+    BATCH_LOCAL_SEARCHES,
+    BATCH_MUTATIONS,
+    BATCH_SELECTIONS,
+    batch_best_two,
+    batch_center_plus_best,
+    batch_completion_times,
+    batch_ct_delta,
+    batch_h2ll,
+    batch_makespan,
+    batch_mean_flowtime,
+    batch_random_pair,
+    batch_resync_drift,
+    batch_tournament_pair,
+    batch_weighted_fitness,
+    crossover_mask,
+    resolve_batch_fitness,
+    resolve_batch_selection,
+)
+from repro.scheduling.schedule import Schedule, compute_completion_times
+
+# shared hypothesis strategy: a random instance geometry + seed
+geometries = st.tuples(
+    st.integers(min_value=2, max_value=40),  # ntasks
+    st.integers(min_value=2, max_value=12),  # nmachines
+    st.integers(min_value=0, max_value=2**31 - 1),  # seed
+)
+
+
+def _random_batch(ntasks, nmachines, seed, P=7):
+    inst = make_instance(ntasks, nmachines, consistency="i", seed=seed % 997, name="prop")
+    rng = np.random.default_rng(seed)
+    S = rng.integers(0, nmachines, size=(P, ntasks)).astype(np.int32)
+    return inst, rng, S
+
+
+class TestBatchCompletionTimes:
+    @settings(max_examples=25, deadline=None)
+    @given(geometries)
+    def test_matches_scalar_rowwise(self, geom):
+        inst, _, S = _random_batch(*geom)
+        ct = batch_completion_times(inst, S)
+        for i in range(S.shape[0]):
+            np.testing.assert_allclose(
+                ct[i], compute_completion_times(inst, S[i]), rtol=1e-12
+            )
+
+    def test_respects_ready_times(self, rng):
+        inst = make_instance(10, 3, consistency="i", seed=5)
+        ready = np.array([1.0, 2.0, 3.0])
+        from repro.etc.model import ETCMatrix
+
+        inst2 = ETCMatrix(inst.etc, ready_times=ready, name="ready")
+        S = rng.integers(0, 3, size=(4, 10)).astype(np.int32)
+        ct = batch_completion_times(inst2, S)
+        for i in range(4):
+            np.testing.assert_allclose(ct[i], compute_completion_times(inst2, S[i]))
+
+    def test_rejects_bad_shape(self, tiny_instance):
+        with pytest.raises(ValueError, match="must be"):
+            batch_completion_times(tiny_instance, np.zeros(tiny_instance.ntasks, dtype=np.int32))
+
+
+class TestBatchCtDelta:
+    @settings(max_examples=25, deadline=None)
+    @given(geometries)
+    def test_matches_apply_delta(self, geom):
+        inst, rng, S = _random_batch(*geom)
+        ct = batch_completion_times(inst, S)
+        new_S = S.copy()
+        # random reassignment of a random subset of genes per row
+        flip = rng.random(S.shape) < 0.4
+        new_S[flip] = rng.integers(0, inst.nmachines, size=int(flip.sum()), dtype=np.int32)
+        batch_ct_delta(inst, ct, S, new_S)
+        for i in range(S.shape[0]):
+            sched = Schedule(inst, S[i])
+            changed = np.flatnonzero(S[i] != new_S[i])
+            sched.apply_delta(changed, new_S[i, changed])
+            np.testing.assert_allclose(ct[i], sched.ct, rtol=1e-9, atol=1e-6)
+
+    def test_noop_delta_keeps_ct(self, tiny_instance, rng):
+        S = rng.integers(0, tiny_instance.nmachines, size=(3, tiny_instance.ntasks)).astype(np.int32)
+        ct = batch_completion_times(tiny_instance, S)
+        expected = ct.copy()
+        batch_ct_delta(tiny_instance, ct, S, S.copy())
+        np.testing.assert_array_equal(ct, expected)
+
+
+class TestBatchFitness:
+    @settings(max_examples=25, deadline=None)
+    @given(geometries)
+    def test_makespan_and_flowtime_match_scalar(self, geom):
+        inst, _, S = _random_batch(*geom)
+        ct = batch_completion_times(inst, S)
+        ms = batch_makespan(S, ct, inst)
+        wf = batch_weighted_fitness(S, ct, inst)
+        mf = batch_mean_flowtime(S, inst)
+        for i in range(S.shape[0]):
+            assert ms[i] == pytest.approx(makespan_fitness(S[i], ct[i], inst))
+            assert wf[i] == pytest.approx(weighted_fitness(S[i], ct[i], inst))
+            assert mf[i] == pytest.approx(
+                weighted_fitness(S[i], ct[i], inst, lam=0.0), rel=1e-9
+            )
+
+    def test_registry_covers_scalar_names(self):
+        from repro.cga.fitness import FITNESS
+
+        assert set(BATCH_FITNESS) == set(FITNESS)
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError, match="no batch fitness"):
+            resolve_batch_fitness("tardiness")
+
+
+class TestBatchSelection:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_best_two_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        fit = rng.random((11, 5)) * 100
+        a, b = batch_best_two(fit, rng)
+        for i in range(fit.shape[0]):
+            sa, sb = best_two(fit[i], rng)
+            assert (int(a[i]), int(b[i])) == (sa, sb)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_center_plus_best_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        fit = rng.random((11, 5)) * 100
+        a, b = batch_center_plus_best(fit, rng)
+        for i in range(fit.shape[0]):
+            sa, sb = center_plus_best(fit[i], rng)
+            assert (int(a[i]), int(b[i])) == (sa, sb)
+
+    def test_random_pair_distinct(self, rng):
+        fit = rng.random((200, 5))
+        a, b = batch_random_pair(fit, rng)
+        assert np.all(a != b)
+        assert a.min() >= 0 and a.max() < 5
+        assert b.min() >= 0 and b.max() < 5
+
+    def test_tournament_in_range(self, rng):
+        fit = rng.random((200, 5))
+        a, b = batch_tournament_pair(fit, rng)
+        for arr in (a, b):
+            assert arr.min() >= 0 and arr.max() < 5
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError, match="no batch selection"):
+            resolve_batch_selection("rank")  # no batch kernel (weighted sampling)
+
+
+class TestCrossoverMask:
+    @pytest.mark.parametrize("name", sorted(BATCH_CROSSOVER_MASKS))
+    def test_child_ct_consistent(self, name, tiny_instance, rng):
+        P, nt = 9, tiny_instance.ntasks
+        S1 = rng.integers(0, tiny_instance.nmachines, size=(P, nt)).astype(np.int32)
+        S2 = rng.integers(0, tiny_instance.nmachines, size=(P, nt)).astype(np.int32)
+        ct = batch_completion_times(tiny_instance, S1)
+        mask = crossover_mask(name, P, nt, rng)
+        child = np.where(mask, S2, S1)
+        batch_ct_delta(tiny_instance, ct, S1, child)
+        assert batch_resync_drift(tiny_instance, child, ct) < 1e-6
+
+    def test_opx_mask_is_suffix(self, rng):
+        mask = crossover_mask("opx", 50, 20, rng)
+        # each row: False prefix then True suffix, both non-empty
+        for row in mask:
+            changes = np.flatnonzero(np.diff(row.astype(int)))
+            assert changes.size == 1 and not row[0] and row[-1]
+
+    def test_tpx_mask_is_window(self, rng):
+        mask = crossover_mask("tpx", 50, 20, rng)
+        for row in mask:
+            changes = np.flatnonzero(np.diff(row.astype(int)))
+            assert changes.size <= 2  # single (possibly empty/edge) window
+
+    def test_inactive_rows_untouched(self, rng):
+        active = np.zeros(10, dtype=bool)
+        mask = crossover_mask("tpx", 10, 20, rng, active=active)
+        assert not mask.any()
+
+
+class TestBatchMutations:
+    @pytest.mark.parametrize("name", sorted(BATCH_MUTATIONS))
+    @settings(max_examples=15, deadline=None)
+    @given(geometries)
+    def test_ct_invariant_and_valid_assignment(self, name, geom):
+        inst, rng, S = _random_batch(*geom)
+        ct = batch_completion_times(inst, S)
+        active = rng.random(S.shape[0]) < 0.7
+        BATCH_MUTATIONS[name](S, ct, inst, rng, active)
+        assert S.min() >= 0 and S.max() < inst.nmachines
+        assert batch_resync_drift(inst, S, ct) < 1e-6
+
+    def test_inactive_rows_untouched(self, tiny_instance, rng):
+        S = rng.integers(0, tiny_instance.nmachines, size=(6, tiny_instance.ntasks)).astype(np.int32)
+        ct = batch_completion_times(tiny_instance, S)
+        before_s, before_ct = S.copy(), ct.copy()
+        for name in BATCH_MUTATIONS:
+            BATCH_MUTATIONS[name](S, ct, tiny_instance, rng, np.zeros(6, dtype=bool))
+        np.testing.assert_array_equal(S, before_s)
+        np.testing.assert_array_equal(ct, before_ct)
+
+
+class TestBatchH2LL:
+    @settings(max_examples=15, deadline=None)
+    @given(geometries)
+    def test_h2ll_invariants(self, geom):
+        """Batch H2LL: monotone per-row makespan, exact CT, valid S."""
+        inst, rng, S = _random_batch(*geom)
+        ct = batch_completion_times(inst, S)
+        before = ct.max(axis=1).copy()
+        moves = batch_h2ll(S, ct, inst, rng, iterations=5)
+        after = ct.max(axis=1)
+        assert np.all(after <= before + 1e-9)
+        assert S.min() >= 0 and S.max() < inst.nmachines
+        assert batch_resync_drift(inst, S, ct) < 1e-6
+        assert moves >= 0
+
+    def test_improves_unbalanced_population(self, small_instance, rng):
+        """Everything on machine 0: one pass must strictly improve."""
+        P = 8
+        S = np.zeros((P, small_instance.ntasks), dtype=np.int32)
+        ct = batch_completion_times(small_instance, S)
+        before = ct.max(axis=1).copy()
+        moves = batch_h2ll(S, ct, small_instance, rng, iterations=3)
+        assert moves > 0
+        assert np.all(ct.max(axis=1) < before)
+
+    def test_zero_iterations_noop(self, tiny_instance, rng):
+        S = rng.integers(0, tiny_instance.nmachines, size=(3, tiny_instance.ntasks)).astype(np.int32)
+        ct = batch_completion_times(tiny_instance, S)
+        assert batch_h2ll(S, ct, tiny_instance, rng, iterations=0) == 0
+
+    def test_registry(self):
+        assert "h2ll" in BATCH_LOCAL_SEARCHES
+        assert set(BATCH_SELECTIONS) >= {"best2", "tournament", "random"}
