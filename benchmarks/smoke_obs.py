@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""CI observability smoke test: schemas valid, overhead bounded.
+
+Runs a short instrumented PA-CGA (thread engine, 2 threads) into a
+telemetry bundle and fails the build when
+
+1. the bundle is incomplete or any artifact violates its schema
+   (metrics.json merged/per-thread shape, Chrome trace_event fields,
+   JSONL time-series rows), or
+2. the *instrumented* run is more than ``REPRO_OBS_MAX_OVERHEAD``
+   (default 10%) slower than an uninstrumented run at the same
+   evaluation budget — best of three runs each, so a noisy CI neighbor
+   does not fail the build.
+
+Usage: PYTHONPATH=src python benchmarks/smoke_obs.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import CGAConfig, Observer, StopCondition, ThreadedPACGA, load_benchmark
+
+MAX_OVERHEAD = float(os.environ.get("REPRO_OBS_MAX_OVERHEAD", "0.10"))
+RUNS = 3
+BUDGET = 1536
+
+
+def check(ok: bool, what: str) -> None:
+    if not ok:
+        print(f"FAIL: {what}", file=sys.stderr)
+        sys.exit(1)
+
+
+def validate_bundle(out: Path, n_threads: int) -> None:
+    expected = {"meta.json", "metrics.json", "timeseries.jsonl", "trace.json", "report.md"}
+    check({p.name for p in out.iterdir()} == expected, f"bundle files != {expected}")
+
+    metrics = json.loads((out / "metrics.json").read_text())
+    check(set(metrics) == {"merged", "per_thread"}, "metrics.json top-level shape")
+    check(
+        set(metrics["per_thread"]) == {str(t) for t in range(n_threads)},
+        f"metrics.json must carry {n_threads} per-thread series",
+    )
+    for name, rec in [("merged", metrics["merged"]), *metrics["per_thread"].items()]:
+        check(
+            {"name", "counters", "gauges", "histograms"} <= set(rec),
+            f"recorder {name} missing sections",
+        )
+        for key, h in rec["histograms"].items():
+            check(
+                {"bounds", "counts", "count", "sum", "mean", "p50", "p99"} <= set(h),
+                f"histogram {key} schema",
+            )
+            check(len(h["counts"]) == len(h["bounds"]) + 1, f"histogram {key} buckets")
+            check(sum(h["counts"]) == h["count"], f"histogram {key} count mismatch")
+    merged = metrics["merged"]["counters"]
+    check(merged.get("breeding.evaluations", 0) >= BUDGET, "merged evaluation count")
+    check("sweep_us" in metrics["merged"]["histograms"], "sweep latency histogram")
+
+    rows = [
+        json.loads(line) for line in (out / "timeseries.jsonl").read_text().splitlines()
+    ]
+    check(len(rows) >= 1, "time series must have rows")
+    for row in rows:
+        check(
+            {"t_s", "evaluations", "best", "mean", "entropy"} <= set(row),
+            "time-series row schema",
+        )
+    check(
+        rows == sorted(rows, key=lambda r: r["evaluations"]),
+        "time-series rows must be ordered by evaluations",
+    )
+
+    trace = json.loads((out / "trace.json").read_text())
+    check(
+        set(trace) == {"traceEvents", "displayTimeUnit"}, "trace.json top-level shape"
+    )
+    events = trace["traceEvents"]
+    check(len(events) > 0, "trace must contain events")
+    for ev in events:
+        check(
+            ev["ph"] in ("M", "X", "i", "C") and "tid" in ev and "pid" in ev,
+            f"trace event schema: {ev}",
+        )
+        if ev["ph"] == "X":
+            check(ev["ts"] >= 0 and ev["dur"] >= 0, "span timestamps")
+    lanes = {ev["tid"] for ev in events if ev["ph"] == "X"}
+    check(lanes == set(range(n_threads)), "one span lane per worker thread")
+
+    meta = json.loads((out / "meta.json").read_text())
+    check(meta.get("result", {}).get("evaluations", 0) >= BUDGET, "meta.json result")
+
+
+def timed_run(inst, cfg, obs_factory) -> float:
+    best = float("inf")
+    for _ in range(RUNS):
+        obs = obs_factory()
+        eng = ThreadedPACGA(inst, cfg, seed=0, obs=obs)
+        t0 = time.perf_counter()
+        eng.run(StopCondition(max_evaluations=BUDGET))
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> int:
+    inst = load_benchmark("u_c_hihi.0")
+    n_threads = 2
+    # Table 1 / Fig. 5 configuration (10 LS iterations): the overhead
+    # ceiling is judged against the workload the paper actually runs
+    cfg = CGAConfig(ls_iterations=10, n_threads=n_threads)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bundle"
+        obs = Observer(out=out, sample_every_evals=256)
+        eng = ThreadedPACGA(inst, cfg, seed=0, obs=obs)
+        eng.run(StopCondition(max_evaluations=BUDGET))
+        obs.finalize()
+        validate_bundle(out, n_threads)
+    print("bundle schemas: OK")
+
+    plain = timed_run(inst, cfg, lambda: None)
+    instrumented = timed_run(
+        inst, cfg, lambda: Observer(out=None, sample_every_evals=256)
+    )
+    overhead = instrumented / plain - 1.0
+    print(f"uninstrumented : {plain:8.3f} s (best of {RUNS})")
+    print(f"instrumented   : {instrumented:8.3f} s (best of {RUNS})")
+    print(f"overhead       : {100 * overhead:+.1f}% (ceiling: {100 * MAX_OVERHEAD:.0f}%)")
+    check(overhead <= MAX_OVERHEAD, "instrumentation overhead above ceiling")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

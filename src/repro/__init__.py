@@ -37,6 +37,8 @@ from repro.parallel import (
     XEON_E5440,
 )
 from repro.baselines import CMALTH, StruggleGA
+from repro.cga.hooks import EngineHooks
+from repro.obs import Observer, ObsConfig
 
 __version__ = "1.0.0"
 
@@ -64,5 +66,8 @@ __all__ = [
     "XEON_E5440",
     "StruggleGA",
     "CMALTH",
+    "EngineHooks",
+    "Observer",
+    "ObsConfig",
     "__version__",
 ]

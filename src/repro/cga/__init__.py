@@ -14,6 +14,7 @@ from repro.cga.grid import Grid2D
 from repro.cga.neighborhood import NEIGHBORHOODS, neighbor_table
 from repro.cga.population import Population
 from repro.cga.engine import AsyncCGA, SyncCGA, EvolutionOps, RunResult, evolve_individual
+from repro.cga.hooks import EngineHooks, as_hooks
 from repro.cga.vectorized import VectorizedSyncCGA
 from repro.cga.local_search import h2ll
 
@@ -40,4 +41,6 @@ __all__ = [
     "RunResult",
     "evolve_individual",
     "h2ll",
+    "EngineHooks",
+    "as_hooks",
 ]

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import ObsConfig
 
 from repro.cga.crossover import CROSSOVERS
 from repro.cga.grid import Grid2D
@@ -104,6 +107,10 @@ class CGAConfig:
     n_threads: int = 1
     sweep: str = "line"  # §3.2: fixed line sweep per block
     partition: str = "runs"  # §3.2: contiguous row-major runs
+    #: optional declarative telemetry settings; engines materialize it
+    #: into a live ``repro.obs.Observer`` and auto-finalize the bundle
+    #: on stop.  None (default) means no instrumentation at all.
+    obs: "ObsConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.grid_rows < 1 or self.grid_cols < 1:

@@ -55,9 +55,14 @@ def allele_entropy(pop: Population) -> float:
     if nmachines < 2:
         return 0.0
     n = pop.size
-    counts = np.zeros((pop.instance.ntasks, nmachines))
-    tasks = np.tile(np.arange(pop.instance.ntasks), n)
-    np.add.at(counts, (tasks, pop.s.ravel()), 1.0)
+    ntasks = pop.instance.ntasks
+    # bincount over (task, machine) codes — equivalent to np.add.at on a
+    # (ntasks, nmachines) table but an order of magnitude faster, which
+    # matters because the obs sampler calls this on every tick
+    codes = pop.s + np.arange(ntasks, dtype=pop.s.dtype) * nmachines
+    counts = np.bincount(codes.ravel(), minlength=ntasks * nmachines).reshape(
+        ntasks, nmachines
+    )
     probs = counts / n
     with np.errstate(divide="ignore", invalid="ignore"):
         terms = np.where(probs > 0, -probs * np.log(probs), 0.0)

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.crossover import child_with_ct
+from repro.cga.hooks import EngineHooks, as_hooks
 from repro.cga.neighborhood import neighbor_table
 from repro.cga.population import Population
 from repro.cga.sweep import sweep_order
@@ -31,7 +32,15 @@ from repro.heuristics.minmin import min_min
 from repro.rng import make_rng
 from repro.scheduling.schedule import Schedule
 
-__all__ = ["EvolutionOps", "NullLocks", "RunResult", "evolve_individual", "AsyncCGA", "SyncCGA"]
+__all__ = [
+    "EvolutionOps",
+    "EngineHooks",
+    "NullLocks",
+    "RunResult",
+    "evolve_individual",
+    "AsyncCGA",
+    "SyncCGA",
+]
 
 
 @dataclass(frozen=True)
@@ -166,16 +175,17 @@ class _EngineBase:
         config: CGAConfig | None = None,
         rng: np.random.Generator | int | None = None,
         record_history: bool = True,
-        on_generation: Callable | None = None,
+        on_generation: Callable | EngineHooks | None = None,
+        obs=None,
     ):
         self.instance = instance
         self.config = config or CGAConfig()
         self.rng = make_rng(rng)
         self.record_history = record_history
-        #: optional hook called as ``on_generation(engine, generation,
-        #: evaluations)`` after every completed generation — for live
-        #: diversity tracking, adaptive control or progress display.
-        self.on_generation = on_generation
+        #: lifecycle hooks (``on_generation``, ``on_improvement``,
+        #: ``on_stop``); a bare callable is accepted for backward
+        #: compatibility and becomes the ``on_generation`` slot.
+        self.hooks = as_hooks(on_generation)
         self.grid = self.config.grid
         self.neighbors = neighbor_table(self.grid, self.config.neighborhood)
         self.ops = self.config.resolve()
@@ -185,17 +195,56 @@ class _EngineBase:
         self.pop = Population(instance, self.grid)
         seeds = [min_min(instance)] if self.config.seed_with_minmin else None
         self.pop.init_random(self.rng, seed_schedules=seeds, fitness_fn=self.ops.fitness)
+        self._best_seen = math.inf
+        # observability attaches last so the initial-population
+        # evaluations above stay out of the breeding-phase metrics; with
+        # obs disabled nothing is imported and no recorder exists.
+        from repro.obs.observer import resolve_observer  # cheap, no cycles
+
+        self.obs = resolve_observer(self.config, obs)
+        self._obs_hooks: EngineHooks | None = None
+        if self.obs is not None:
+            from repro.obs.instrument import instrumented_ops
+
+            self.ops = instrumented_ops(self.ops, self.obs.recorder("main"))
+            self._obs_hooks = self.obs.engine_hooks()
+
+    @property
+    def on_generation(self) -> Callable | None:
+        """Back-compat view of ``hooks.on_generation`` (bare attribute API)."""
+        return self.hooks.on_generation
+
+    @on_generation.setter
+    def on_generation(self, fn: Callable | None) -> None:
+        self.hooks.on_generation = fn
 
     def _snapshot(self, generation: int, evaluations: int, history: list) -> None:
+        hooks, obs_hooks = self.hooks, self._obs_hooks
+        best = None
         if self.record_history:
             _, best = self.pop.best()
             history.append((generation, evaluations, best, self.pop.mean_fitness()))
-        if self.on_generation is not None and generation > 0:
-            self.on_generation(self, generation, evaluations)
+        track_best = hooks.on_improvement is not None or obs_hooks is not None
+        if track_best:
+            if best is None:
+                _, best = self.pop.best()
+            if best < self._best_seen:
+                improved = generation > 0  # the initial snapshot only seeds
+                self._best_seen = best
+                if improved:
+                    if hooks.on_improvement is not None:
+                        hooks.on_improvement(self, generation, evaluations, best)
+                    if obs_hooks is not None and obs_hooks.on_improvement is not None:
+                        obs_hooks.on_improvement(self, generation, evaluations, best)
+        if generation > 0:
+            if hooks.on_generation is not None:
+                hooks.on_generation(self, generation, evaluations)
+            if obs_hooks is not None and obs_hooks.on_generation is not None:
+                obs_hooks.on_generation(self, generation, evaluations)
 
     def _result(self, evaluations, generations, elapsed, history, **extra) -> RunResult:
         best_idx, best_fit = self.pop.best()
-        return RunResult(
+        result = RunResult(
             best_fitness=best_fit,
             best_assignment=self.pop.s[best_idx].copy(),
             evaluations=evaluations,
@@ -204,6 +253,11 @@ class _EngineBase:
             history=history,
             extra=extra,
         )
+        if self.hooks.on_stop is not None:
+            self.hooks.on_stop(self, result)
+        if self._obs_hooks is not None and self._obs_hooks.on_stop is not None:
+            self._obs_hooks.on_stop(self, result)
+        return result
 
 
 class AsyncCGA(_EngineBase):

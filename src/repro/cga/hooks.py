@@ -1,0 +1,62 @@
+"""Engine lifecycle hooks.
+
+Historically the sequential engines exposed a single undocumented
+``on_generation`` callable; this module formalizes it as a small,
+mutable protocol object with three slots:
+
+* ``on_generation(engine, generation, evaluations)`` — after every
+  completed generation (never for the initial snapshot);
+* ``on_improvement(engine, generation, evaluations, best)`` — whenever
+  the population best strictly improves between snapshots;
+* ``on_stop(engine, result)`` — once, with the final
+  :class:`~repro.cga.engine.RunResult`, before ``run`` returns.
+
+Backward compatibility: everywhere a hooks object is accepted, a bare
+callable still works and is treated as ``EngineHooks(on_generation=f)``
+— :func:`as_hooks` performs that normalization.  The observability
+layer (:mod:`repro.obs`) attaches through exactly this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["EngineHooks", "as_hooks"]
+
+
+class EngineHooks:
+    """Mutable bundle of the three engine lifecycle callbacks."""
+
+    __slots__ = ("on_generation", "on_improvement", "on_stop")
+
+    def __init__(
+        self,
+        on_generation: Callable | None = None,
+        on_improvement: Callable | None = None,
+        on_stop: Callable | None = None,
+    ):
+        self.on_generation = on_generation
+        self.on_improvement = on_improvement
+        self.on_stop = on_stop
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        set_ = [s for s in self.__slots__ if getattr(self, s) is not None]
+        return f"EngineHooks({', '.join(set_) or 'empty'})"
+
+
+def as_hooks(hook: "EngineHooks | Callable | None") -> EngineHooks:
+    """Normalize a bare ``on_generation`` callable into :class:`EngineHooks`.
+
+    ``None`` yields an empty hooks object, an existing hooks object is
+    returned as-is (not copied — engines may mutate it via the
+    ``engine.on_generation`` compatibility property).
+    """
+    if hook is None:
+        return EngineHooks()
+    if isinstance(hook, EngineHooks):
+        return hook
+    if callable(hook):
+        return EngineHooks(on_generation=hook)
+    raise TypeError(
+        f"expected EngineHooks, callable or None, got {type(hook).__name__}"
+    )

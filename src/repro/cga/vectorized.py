@@ -65,8 +65,9 @@ class VectorizedSyncCGA(_EngineBase):
         rng: np.random.Generator | int | None = None,
         record_history: bool = True,
         on_generation=None,
+        obs=None,
     ):
-        super().__init__(instance, config, rng, record_history, on_generation)
+        super().__init__(instance, config, rng, record_history, on_generation, obs)
         cfg = self.config
         try:
             self._select = resolve_batch_selection(cfg.selection)
@@ -97,18 +98,29 @@ class VectorizedSyncCGA(_EngineBase):
         history: list[tuple[int, int, float, float]] = []
         evaluations = 0
         generations = 0
-        t0 = time.perf_counter()
+        # phase-timing instrumentation: rec is None on the uninstrumented
+        # path, so the guards below compile to a cheap identity check per
+        # *generation* (a batch of pop_size breeding steps)
+        obs = self.obs
+        rec = obs.recorder("main") if obs is not None else None
+        tracer = obs.thread_tracer(0, "vectorized") if obs is not None else None
+        perf = time.perf_counter
+        t0 = perf()
         self._snapshot(0, 0, history)
         while True:
-            elapsed = time.perf_counter() - t0
+            elapsed = perf() - t0
             _, best = pop.best()
             if stop.done(evaluations, generations, elapsed, best):
                 break
+            gen_start = perf()
             # -- selection: gather every neighborhood's fitness at once ----
             fit_nb = pop.fitness[neighbors]  # (P, k)
             a, b = self._select(fit_nb, rng)
             p1 = neighbors[rows, a]
             p2 = neighbors[rows, b]
+            if rec is not None:
+                t = perf()
+                rec.observe("phase.select_us", (t - gen_start) * 1e6)
             # -- recombination: inheritance mask + incremental CT delta ----
             child_s = pop.s[p1]  # fancy indexing copies the parent rows
             child_ct = pop.ct[p1]
@@ -119,30 +131,58 @@ class VectorizedSyncCGA(_EngineBase):
                 new_s = np.where(mask, pop.s[p2], child_s)
                 batch_ct_delta(inst, child_ct, child_s, new_s)
                 child_s = new_s
+            if rec is not None:
+                rec.observe("phase.crossover_us", (perf() - t) * 1e6)
+                t = perf()
             # -- mutation and local search, in place on the children -------
             self._mutate(child_s, child_ct, inst, rng, rng.random(P) < cfg.p_mut)
+            if rec is not None:
+                rec.observe("phase.mutate_us", (perf() - t) * 1e6)
+                t = perf()
             if self._local_search is not None and cfg.ls_iterations > 0:
                 ls_rows = np.flatnonzero(rng.random(P) < cfg.p_ls)
                 if ls_rows.size == P:
-                    self._local_search(
+                    moves = self._local_search(
                         child_s, child_ct, inst, rng, cfg.ls_iterations, cfg.ls_candidates
                     )
                 elif ls_rows.size:
                     sub_s = child_s[ls_rows]
                     sub_ct = child_ct[ls_rows]
-                    self._local_search(
+                    moves = self._local_search(
                         sub_s, sub_ct, inst, rng, cfg.ls_iterations, cfg.ls_candidates
                     )
                     child_s[ls_rows] = sub_s
                     child_ct[ls_rows] = sub_ct
+                else:
+                    moves = 0
+                if rec is not None:
+                    rec.observe("phase.ls_us", (perf() - t) * 1e6)
+                    rec.inc("ls.calls", int(ls_rows.size))
+                    rec.inc("ls.moves_accepted", int(moves))
+                    rec.inc("ls.moves_tried", int(ls_rows.size) * cfg.ls_iterations)
+                    t = perf()
             # -- evaluation + synchronous elitist replacement --------------
             child_fit = self._fitness(child_s, child_ct, inst)
+            if rec is not None:
+                rec.observe("phase.fitness_us", (perf() - t) * 1e6)
             accept = self._accept(child_fit, pop.fitness)
             np.copyto(pop.s, child_s, where=accept[:, None])
             np.copyto(pop.ct, child_ct, where=accept[:, None])
             np.copyto(pop.fitness, child_fit, where=accept)
             evaluations += P
             generations += 1
+            if rec is not None:
+                rec.inc("breeding.evaluations", P)
+                rec.inc("breeding.steps", P)
+                rec.inc("breeding.replacements", int(accept.sum()))
+                rec.inc("sweeps")
+                if tracer is not None:
+                    tracer.complete(
+                        "generation",
+                        gen_start - obs.epoch,
+                        perf() - gen_start,
+                        {"generation": generations},
+                    )
             self._snapshot(generations, evaluations, history)
         return self._result(
             evaluations, generations, time.perf_counter() - t0, history

@@ -4,7 +4,9 @@ Commands:
 
 * ``instances``   — list the twelve benchmark instances and metadata;
 * ``heuristics``  — run every constructive heuristic on one instance;
-* ``solve``       — run PA-CGA (any engine) on an instance;
+* ``solve``       — run PA-CGA (any engine) on an instance
+  (``run`` is an alias); ``--obs-out DIR`` collects a full telemetry
+  bundle (metrics.json, trace.json, timeseries.jsonl, report.md);
 * ``generate``    — generate an ETC instance file;
 * ``speedup`` / ``operators`` / ``comparison`` / ``convergence`` —
   run the paper-artifact harnesses at CLI-chosen budgets.
@@ -37,25 +39,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--instance", default="u_i_hihi.0")
     p.add_argument("--lp-bound", action="store_true", help="also compute the LP lower bound")
 
-    p = sub.add_parser("solve", help="run PA-CGA on an instance")
-    p.add_argument("--instance", default="u_i_hihi.0")
-    p.add_argument(
-        "--engine",
-        choices=["sim", "async", "sync", "vectorized", "threads", "processes"],
-        default="sim",
-    )
-    p.add_argument("--threads", type=int, default=3)
-    p.add_argument("--crossover", choices=["opx", "tpx", "uniform"], default="tpx")
-    p.add_argument(
-        "--fitness", choices=["makespan", "makespan+flowtime"], default="makespan"
-    )
-    p.add_argument("--ls-iters", type=int, default=10)
-    p.add_argument("--evals", type=int, default=None, help="evaluation budget")
-    p.add_argument("--vtime", type=float, default=None, help="virtual seconds (sim engine)")
-    p.add_argument("--wall", type=float, default=None, help="wall-clock seconds")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--gantt", action="store_true", help="print the best schedule")
-    p.add_argument("--out", default=None, help="write the run result as JSON")
+    for name, help_ in (
+        ("solve", "run PA-CGA on an instance"),
+        ("run", "alias for solve"),
+    ):
+        p = sub.add_parser(name, help=help_)
+        p.add_argument("--instance", default="u_i_hihi.0")
+        p.add_argument(
+            "--engine",
+            choices=[
+                "sim",
+                "async",
+                "sync",
+                "vectorized",
+                "threads",
+                "processes",
+                # aliases spelling out the paper's engine
+                "pacga-sim",
+                "pacga-threads",
+                "pacga-processes",
+            ],
+            default="sim",
+        )
+        p.add_argument("--threads", type=int, default=3)
+        p.add_argument("--crossover", choices=["opx", "tpx", "uniform"], default="tpx")
+        p.add_argument(
+            "--fitness", choices=["makespan", "makespan+flowtime"], default="makespan"
+        )
+        p.add_argument("--ls-iters", type=int, default=10)
+        p.add_argument("--evals", type=int, default=None, help="evaluation budget")
+        p.add_argument(
+            "--vtime", type=float, default=None, help="virtual seconds (sim engine)"
+        )
+        p.add_argument("--wall", type=float, default=None, help="wall-clock seconds")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--gantt", action="store_true", help="print the best schedule")
+        p.add_argument("--out", default=None, help="write the run result as JSON")
+        p.add_argument(
+            "--obs-out",
+            default=None,
+            help="collect run telemetry and write the bundle to this directory",
+        )
+        p.add_argument(
+            "--obs-trace",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="include a Chrome trace_event timeline in the bundle",
+        )
+        p.add_argument(
+            "--obs-sample-every",
+            type=int,
+            default=256,
+            metavar="EVALS",
+            help="time-series sampling cadence in evaluations",
+        )
 
     p = sub.add_parser("generate", help="generate an ETC instance file")
     p.add_argument("--ntasks", type=int, default=512)
@@ -109,6 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0, help="budget multiplier")
     p.add_argument("--runs", type=int, default=2)
     p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="also write per-cell observability bundles under <out>/telemetry/",
+    )
 
     return parser
 
@@ -161,8 +203,13 @@ def _cmd_solve(args) -> int:
     from repro.parallel import ProcessPACGA, SimulatedPACGA, ThreadedPACGA
 
     inst = load_benchmark(args.instance)
+    engine_name = {
+        "pacga-sim": "sim",
+        "pacga-threads": "threads",
+        "pacga-processes": "processes",
+    }.get(args.engine, args.engine)
     config = CGAConfig(
-        n_threads=args.threads if args.engine in ("sim", "threads", "processes") else 1,
+        n_threads=args.threads if engine_name in ("sim", "threads", "processes") else 1,
         crossover=args.crossover,
         fitness=args.fitness,
         ls_iterations=args.ls_iters,
@@ -178,25 +225,46 @@ def _cmd_solve(args) -> int:
         bounds["max_evaluations"] = 5000
     stop = StopCondition(**bounds)
 
-    if args.engine == "sim":
-        engine = SimulatedPACGA(inst, config, seed=args.seed)
-    elif args.engine == "async":
-        engine = AsyncCGA(inst, config, rng=args.seed)
-    elif args.engine == "sync":
-        engine = SyncCGA(inst, config, rng=args.seed)
-    elif args.engine == "vectorized":
-        engine = VectorizedSyncCGA(inst, config, rng=args.seed)
-    elif args.engine == "threads":
-        engine = ThreadedPACGA(inst, config, seed=args.seed)
+    obs = None
+    if args.obs_out is not None:
+        from repro.obs import Observer
+
+        obs = Observer(
+            out=args.obs_out,
+            trace=args.obs_trace,
+            sample_every_evals=args.obs_sample_every,
+        )
+        obs.meta.update(
+            {"instance": inst.name, "engine": engine_name, "seed": args.seed}
+        )
+
+    if engine_name == "sim":
+        engine = SimulatedPACGA(inst, config, seed=args.seed, obs=obs)
+    elif engine_name == "async":
+        engine = AsyncCGA(inst, config, rng=args.seed, obs=obs)
+    elif engine_name == "sync":
+        engine = SyncCGA(inst, config, rng=args.seed, obs=obs)
+    elif engine_name == "vectorized":
+        engine = VectorizedSyncCGA(inst, config, rng=args.seed, obs=obs)
+    elif engine_name == "threads":
+        engine = ThreadedPACGA(inst, config, seed=args.seed, obs=obs)
     else:
-        engine = ProcessPACGA(inst, config, seed=args.seed)
+        engine = ProcessPACGA(inst, config, seed=args.seed, obs=obs)
 
     result = engine.run(stop)
     print(f"instance      : {inst.name}")
-    print(f"engine        : {args.engine} ({config.n_threads} thread(s))")
+    print(f"engine        : {engine_name} ({config.n_threads} thread(s))")
     print(f"best makespan : {result.best_fitness:,.2f}")
     print(f"evaluations   : {result.evaluations:,}")
     print(f"generations   : {result.generations}")
+    if obs is not None:
+        paths = obs.finalize()
+        print()
+        print(obs.summary())
+        if paths:
+            print(f"telemetry bundle: {args.obs_out}")
+            for kind, path in sorted(paths.items()):
+                print(f"  {kind:<10} {path}")
     if args.gantt:
         from repro.util import render_gantt
 
@@ -327,6 +395,7 @@ def _cmd_reproduce(args) -> int:
         scale=args.scale,
         n_runs=args.runs,
         seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        telemetry=args.telemetry,
     )
     print(report.summary())
     return 0
@@ -339,7 +408,7 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_instances()
     if args.command == "heuristics":
         return _cmd_heuristics(args)
-    if args.command == "solve":
+    if args.command in ("solve", "run"):
         return _cmd_solve(args)
     if args.command == "generate":
         return _cmd_generate(args)

@@ -57,8 +57,13 @@ def run_campaign(
     scale: float = 1.0,
     n_runs: int = 2,
     seed: int = DEFAULT_SEED,
+    telemetry: bool = False,
 ) -> CampaignReport:
-    """Regenerate every paper artifact at ``scale`` × bench budgets."""
+    """Regenerate every paper artifact at ``scale`` × bench budgets.
+
+    With ``telemetry=True``, the speedup and convergence harnesses also
+    write per-cell observability bundles under ``{out_dir}/telemetry/``.
+    """
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
     if n_runs < 1:
@@ -66,13 +71,17 @@ def run_campaign(
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     report = CampaignReport(out_dir=out)
+    obs_root = out / "telemetry" if telemetry else None
 
     # Table 1 — the configuration itself
     _emit(report, "table1", CGAConfig(n_threads=3).describe())
 
     # Figure 4 — speedup
     fig4 = speedup_experiment(
-        virtual_time=0.5 * scale, n_runs=n_runs, seed=seed
+        virtual_time=0.5 * scale,
+        n_runs=n_runs,
+        seed=seed,
+        obs_out=str(obs_root / "fig4") if obs_root else None,
     )
     _emit(report, "fig4", fig4.table())
     write_csv(
@@ -106,7 +115,10 @@ def run_campaign(
 
     # Figure 6 — convergence
     fig6 = convergence_experiment(
-        virtual_time=0.5 * scale, n_runs=max(3, n_runs), seed=seed
+        virtual_time=0.5 * scale,
+        n_runs=max(3, n_runs),
+        seed=seed,
+        obs_out=str(obs_root / "fig6") if obs_root else None,
     )
     fig6_lines = [
         f"{n} thread(s): final={fig6.final_mean[n]:,.0f} "
@@ -125,5 +137,7 @@ def run_campaign(
         quality.table() + f"\n\nmean PA-CGA gap above LP: {100 * quality.mean_gap():.2f}%",
     )
 
+    if obs_root is not None and obs_root.exists():
+        report.artifacts["telemetry"] = obs_root
     _emit(report, "index", report.summary())
     return report

@@ -60,6 +60,7 @@ def convergence_experiment(
     cost_model: CostModel = XEON_E5440,
     grid_points: int = 64,
     base_config: CGAConfig | None = None,
+    obs_out: str | None = None,
 ) -> ConvergenceResult:
     """Regenerate Figure 6.
 
@@ -67,6 +68,9 @@ def convergence_experiment(
     completion; runs are linearly interpolated onto a ``grid_points``
     generation grid spanning the *shortest* trace (so every curve is an
     average of all its runs at every plotted point).
+
+    With ``obs_out`` set, the first run of every thread count writes a
+    telemetry bundle to ``{obs_out}/n{threads}``.
     """
     inst = load_benchmark(instance) if isinstance(instance, str) else instance
     base = base_config or CGAConfig()
@@ -82,8 +86,24 @@ def convergence_experiment(
         runs = []
         gens_reached = []
         for r in range(n_runs):
+            obs = None
+            if obs_out is not None and r == 0:
+                from pathlib import Path
+
+                from repro.obs import Observer
+
+                obs = Observer(
+                    out=Path(obs_out) / f"n{n}",
+                    sample_every_evals=None,
+                    sample_every_s=virtual_time / 50,
+                )
+                obs.auto_finalize = True
             sim = SimulatedPACGA(
-                inst, config, seed=seed_for_run(seed, r), cost_model=cost_model
+                inst,
+                config,
+                seed=seed_for_run(seed, r),
+                cost_model=cost_model,
+                obs=obs,
             )
             res = sim.run(stop)
             hist = np.array(res.history, dtype=np.float64)  # (rows, 4)

@@ -67,11 +67,17 @@ def speedup_experiment(
     seed: int = DEFAULT_SEED,
     cost_model: CostModel = XEON_E5440,
     base_config: CGAConfig | None = None,
+    obs_out: str | None = None,
 ) -> SpeedupResult:
     """Regenerate Figure 4.
 
     ``virtual_time`` is modeled seconds (the paper used 90 real ones;
     only ratios matter, so the default keeps runs short).
+
+    With ``obs_out`` set, the *first* run of every (ls depth, threads)
+    cell writes a full telemetry bundle to
+    ``{obs_out}/iter{it}_n{n}`` — virtual-time trace spans per logical
+    thread plus the convergence time series.
     """
     inst = load_benchmark(instance) if isinstance(instance, str) else instance
     base = base_config or CGAConfig()
@@ -82,12 +88,31 @@ def speedup_experiment(
     for it in ls_iterations:
         for n in thread_counts:
             config = base.with_(n_threads=n, ls_iterations=it)
+            first_run = [True]
 
-            def factory(ss, _config=config):
+            def factory(ss, _config=config, _it=it, _n=n, _first=first_run):
+                obs = None
+                if obs_out is not None and _first[0]:
+                    _first[0] = False
+                    from pathlib import Path
+
+                    from repro.obs import Observer
+
+                    obs = Observer(
+                        out=Path(obs_out) / f"iter{_it}_n{_n}",
+                        sample_every_evals=None,
+                        sample_every_s=virtual_time / 50,
+                    )
+                    obs.auto_finalize = True
                 sim = SimulatedPACGA(
-                    inst, _config, seed=ss, cost_model=cost_model, history_stride=10**9
+                    inst,
+                    _config,
+                    seed=ss,
+                    cost_model=cost_model,
+                    history_stride=10**9,
+                    obs=obs,
                 )
-                result.boundary_fractions.setdefault(n, sim.boundary_fraction)
+                result.boundary_fractions.setdefault(_n, sim.boundary_fraction)
                 return sim.run(stop)
 
             runs = run_many(factory, n_runs, seed, label=f"iter={it},n={n}")

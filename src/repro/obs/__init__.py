@@ -1,0 +1,51 @@
+"""repro.obs — run-telemetry for every engine.
+
+Per-thread lock-free metrics (:mod:`repro.obs.metrics`), Chrome
+trace-event timelines (:mod:`repro.obs.trace`), JSONL convergence time
+series (:mod:`repro.obs.timeseries`) and report rendering
+(:mod:`repro.obs.report`), all behind the :class:`Observer` facade::
+
+    from repro import load_benchmark, CGAConfig, StopCondition, ThreadedPACGA
+    from repro.obs import Observer
+
+    obs = Observer(out="out/bundle")
+    engine = ThreadedPACGA(load_benchmark("u_i_hihi.0"),
+                           CGAConfig(n_threads=4), obs=obs)
+    engine.run(StopCondition(max_evaluations=20_000))
+    obs.finalize(meta={"engine": "threads"})   # writes out/bundle/
+
+Design rule: each worker thread owns a private recorder/tracer and the
+registry merges on read, so instrumentation never adds shared-state
+contention to the engines whose contention it measures.  With
+``obs=None`` (the default everywhere) no collector is constructed at
+all — the disabled path is allocation-free.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Histogram,
+    MetricRecorder,
+    MetricsRegistry,
+)
+from repro.obs.trace import ThreadTracer, Tracer
+from repro.obs.timeseries import TimeSeriesSampler
+from repro.obs.observer import ObsConfig, Observer, resolve_observer
+from repro.obs.instrument import instrumented_ops
+from repro.obs.report import load_bundle, render_markdown, render_terminal
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "Histogram",
+    "MetricRecorder",
+    "MetricsRegistry",
+    "Tracer",
+    "ThreadTracer",
+    "TimeSeriesSampler",
+    "ObsConfig",
+    "Observer",
+    "resolve_observer",
+    "instrumented_ops",
+    "load_bundle",
+    "render_markdown",
+    "render_terminal",
+]

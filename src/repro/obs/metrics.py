@@ -1,0 +1,246 @@
+"""Lock-free per-thread metric recorders and the merge-on-read registry.
+
+The cardinal rule of this subsystem: *instrumentation must not create
+the contention it measures*.  Every worker therefore owns a private
+:class:`MetricRecorder` — plain dict/list mutation, no locks, no atomic
+sections — and :class:`MetricsRegistry` merges the per-thread snapshots
+only when a reader asks (end of run, or a sampler tick).  Counter and
+histogram merges are exact: integer/float sums over disjoint per-thread
+state, so the merged view equals what a single global recorder would
+have seen, minus the cache-line ping-pong a global recorder would have
+caused.
+
+Three instrument kinds, mirroring the usual statsd/Prometheus trio:
+
+* **counter** — monotonically accumulated float (``inc``);
+* **gauge** — last-written value (``set_gauge``; merge keeps each
+  thread's value under a ``name{thread=...}`` key plus a global last);
+* **histogram** — fixed, shared bucket boundaries chosen at recorder
+  creation, so merging is a bucket-wise vector add (``observe``).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Iterable, Sequence
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "Histogram",
+    "MetricRecorder",
+    "MetricsRegistry",
+]
+
+#: default histogram boundaries for microsecond latencies: log-spaced
+#: from 1 µs to ~10 s.  Shared boundaries make cross-thread merges a
+#: plain vector addition.
+DEFAULT_LATENCY_BUCKETS_US: tuple[float, ...] = tuple(
+    10.0 ** (e / 2.0) for e in range(0, 15)
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact sum/min/max bookkeeping.
+
+    ``bounds`` are inclusive upper bucket edges; one implicit overflow
+    bucket catches everything above ``bounds[-1]``.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US):
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("histogram bounds must be non-empty and increasing")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample (C bisection over the fixed edges)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: upper edge of the bucket holding rank q,
+        clamped to the observed max so it never exceeds a real sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                edge = self.bounds[i] if i < len(self.bounds) else self.max
+                return min(edge, self.max)
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        """Bucket-wise exact merge; requires identical boundaries."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (bounds + counts + moments)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricRecorder:
+    """One thread's private metric state — mutate freely, never share.
+
+    The owning worker is the only writer; the registry reads it only
+    after the worker has quiesced (join) or tolerates a slightly stale
+    snapshot (live sampling), which is safe because CPython dict reads
+    of float values never observe torn state.
+    """
+
+    __slots__ = ("name", "counters", "gauges", "histograms", "_bounds")
+
+    def __init__(
+        self,
+        name: str = "main",
+        histogram_bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US,
+    ):
+        self.name = str(name)
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self._bounds = tuple(histogram_bounds)
+
+    def inc(self, key: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``key`` (creates it at 0)."""
+        self.counters[key] = self.counters.get(key, 0.0) + value
+
+    def set_gauge(self, key: str, value: float) -> None:
+        """Overwrite gauge ``key``."""
+        self.gauges[key] = value
+
+    def observe(self, key: str, value: float) -> None:
+        """Record ``value`` into histogram ``key`` (created on demand)."""
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram(self._bounds)
+        hist.observe(value)
+
+    def hist(self, key: str) -> Histogram:
+        """The histogram for ``key`` (created on demand) — hot-path
+        callers pre-bind ``hist(key).observe`` to skip the name lookup
+        on every sample."""
+        h = self.histograms.get(key)
+        if h is None:
+            h = self.histograms[key] = Histogram(self._bounds)
+        return h
+
+    def snapshot(self) -> dict:
+        """Deep-copy the state into a JSON-ready dict."""
+        return {
+            "name": self.name,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "MetricRecorder":
+        """Rebuild a recorder from :meth:`snapshot` output (cross-process)."""
+        rec = cls(snap.get("name", "main"))
+        rec.counters.update(snap.get("counters", {}))
+        rec.gauges.update(snap.get("gauges", {}))
+        for key, h in snap.get("histograms", {}).items():
+            hist = Histogram(h["bounds"])
+            hist.counts = list(h["counts"])
+            hist.count = h["count"]
+            hist.total = h["sum"]
+            hist.min = h["min"] if h["min"] is not None else math.inf
+            hist.max = h["max"] if h["max"] is not None else -math.inf
+            rec.histograms[key] = hist
+        return rec
+
+
+class MetricsRegistry:
+    """Factory + merge point for per-thread recorders.
+
+    ``recorder(thread)`` hands each worker its private instance;
+    :meth:`merged` folds all of them into one exact aggregate whenever
+    a reader wants the global view.
+    """
+
+    def __init__(self, histogram_bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US):
+        self._bounds = tuple(histogram_bounds)
+        self._recorders: dict[str, MetricRecorder] = {}
+
+    def recorder(self, thread: str | int) -> MetricRecorder:
+        """The private recorder for ``thread`` (created on first ask)."""
+        key = str(thread)
+        rec = self._recorders.get(key)
+        if rec is None:
+            rec = self._recorders[key] = MetricRecorder(key, self._bounds)
+        return rec
+
+    def adopt(self, recorder: MetricRecorder) -> None:
+        """Register an externally built recorder (e.g. a forked worker's)."""
+        self._recorders[recorder.name] = recorder
+
+    def __len__(self) -> int:
+        return len(self._recorders)
+
+    def __iter__(self) -> Iterable[MetricRecorder]:
+        return iter(self._recorders.values())
+
+    def merged(self) -> MetricRecorder:
+        """Exact cross-thread aggregate: counters/histograms summed."""
+        out = MetricRecorder("merged", self._bounds)
+        for rec in self._recorders.values():
+            for key, v in rec.counters.items():
+                out.counters[key] = out.counters.get(key, 0.0) + v
+            for key, v in rec.gauges.items():
+                out.gauges[f"{key}{{thread={rec.name}}}"] = v
+                out.gauges[key] = v  # last writer wins for the global view
+            for key, hist in rec.histograms.items():
+                tgt = out.histograms.get(key)
+                if tgt is None:
+                    tgt = out.histograms[key] = Histogram(hist.bounds)
+                tgt.merge(hist)
+        return out
+
+    def snapshot(self) -> dict:
+        """JSON-ready bundle: merged view plus per-thread breakdown."""
+        return {
+            "merged": self.merged().snapshot(),
+            "per_thread": {
+                name: rec.snapshot() for name, rec in sorted(self._recorders.items())
+            },
+        }

@@ -1,0 +1,269 @@
+"""The run-telemetry facade: one :class:`Observer` per engine run.
+
+An observer bundles the three collectors of this package — per-thread
+:class:`~repro.obs.metrics.MetricRecorder` objects behind a
+:class:`~repro.obs.metrics.MetricsRegistry`, a Chrome-trace
+:class:`~repro.obs.trace.Tracer`, and a JSONL
+:class:`~repro.obs.timeseries.TimeSeriesSampler` — plus the bundle
+writer that serializes all of them into one directory::
+
+    bundle/
+      meta.json        # engine, instance, config, outcome
+      metrics.json     # merged + per-thread counters/gauges/histograms
+      trace.json       # Chrome trace_event JSON (chrome://tracing, Perfetto)
+      timeseries.jsonl # one sampled convergence row per line
+      report.md        # rendered human-readable summary
+
+Engines take ``obs=Observer(...)`` (or a frozen :class:`ObsConfig` via
+``CGAConfig.obs``) and attach through the
+:class:`~repro.cga.hooks.EngineHooks` protocol; with ``obs=None`` no
+collector object is ever constructed and the hot paths run their
+uninstrumented branches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_US, MetricsRegistry
+from repro.obs.timeseries import TimeSeriesSampler
+from repro.obs.trace import Tracer
+
+__all__ = ["ObsConfig", "Observer", "resolve_observer"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Declarative observer settings, embeddable in ``CGAConfig.obs``.
+
+    A frozen value object so configs stay hashable/comparable; engines
+    materialize it into a live :class:`Observer` at construction and
+    finalize the bundle automatically on stop.
+    """
+
+    out: str | None = None
+    trace: bool = True
+    sample_every_evals: int | None = 256
+    sample_every_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.sample_every_evals is None and self.sample_every_s is None:
+            raise ValueError("ObsConfig needs at least one sampling cadence")
+
+
+class Observer:
+    """Collects one run's telemetry; lock-free on every hot path.
+
+    Parameters
+    ----------
+    out:
+        Bundle directory (created by :meth:`finalize`); None keeps
+        everything in memory.
+    trace:
+        Collect Chrome trace events (timeline spans per thread).
+    sample_every_evals / sample_every_s:
+        Time-series cadence, see :class:`TimeSeriesSampler`.
+    """
+
+    def __init__(
+        self,
+        out: str | os.PathLike | None = None,
+        trace: bool = True,
+        sample_every_evals: int | None = 256,
+        sample_every_s: float | None = None,
+        histogram_bounds=DEFAULT_LATENCY_BUCKETS_US,
+    ):
+        self.out = Path(out) if out is not None else None
+        self.registry = MetricsRegistry(histogram_bounds)
+        self.tracer = Tracer() if trace else None
+        self.sampler = TimeSeriesSampler(sample_every_evals, sample_every_s)
+        self.meta: dict = {}
+        self.epoch = time.perf_counter()
+        #: finalize the bundle automatically when the run ends (set by
+        #: :meth:`from_config` so config-driven telemetry needs no manual
+        #: finalize call)
+        self.auto_finalize = False
+        self._finalized: dict[str, Path] | None = None
+
+    @classmethod
+    def from_config(cls, config: ObsConfig) -> "Observer":
+        """Materialize an :class:`ObsConfig`; the bundle auto-finalizes
+        when the engine's ``on_stop`` hook fires."""
+        obs = cls(
+            out=config.out,
+            trace=config.trace,
+            sample_every_evals=config.sample_every_evals,
+            sample_every_s=config.sample_every_s,
+        )
+        obs.auto_finalize = True
+        return obs
+
+    # -- collection API -------------------------------------------------
+    def recorder(self, thread: str | int):
+        """The private metric recorder for ``thread``."""
+        return self.registry.recorder(thread)
+
+    def thread_tracer(self, tid: int, name: str | None = None):
+        """The trace lane for ``tid``; None when tracing is disabled."""
+        if self.tracer is None:
+            return None
+        return self.tracer.thread(tid, name)
+
+    def elapsed(self) -> float:
+        """Wall seconds since the observer was created."""
+        return time.perf_counter() - self.epoch
+
+    def maybe_sample(
+        self,
+        evaluations: int,
+        provider: Callable[[], dict],
+        t_s: float | None = None,
+        force: bool = False,
+    ) -> bool:
+        """Tick the time-series sampler (wall clock unless ``t_s`` given)."""
+        t = self.elapsed() if t_s is None else t_s
+        return self.sampler.tick(evaluations, t, provider, force=force)
+
+    # -- engine integration ---------------------------------------------
+    def engine_hooks(self):
+        """The :class:`EngineHooks` bundle the sequential engines chain in."""
+        from repro.cga.hooks import EngineHooks
+
+        def on_generation(engine, generation, evaluations):
+            self.maybe_sample(
+                evaluations, lambda: self.engine_row(engine, generation, evaluations)
+            )
+
+        def on_improvement(engine, generation, evaluations, best):
+            self.recorder("main").inc("improvements")
+            tt = self.thread_tracer(0, "main")
+            if tt is not None:
+                tt.instant("improvement", {"best": best, "generation": generation})
+
+        def on_stop(engine, result):
+            self.maybe_sample(
+                result.evaluations,
+                lambda: self.engine_row(engine, result.generations, result.evaluations),
+                force=True,
+            )
+            self.record_result(result)
+            if self.auto_finalize:
+                self.finalize()
+
+        return EngineHooks(on_generation, on_improvement, on_stop)
+
+    def engine_row(self, engine, generation: int, evaluations: int) -> dict:
+        """One canonical time-series row computed from a live engine."""
+        from repro.cga.diversity import allele_entropy
+
+        _, best = engine.pop.best()
+        t = self.elapsed()
+        row = {
+            "generation": generation,
+            "best": best,
+            "mean": engine.pop.mean_fitness(),
+            "entropy": allele_entropy(engine.pop),
+            "evals_per_s": evaluations / t if t > 0 else 0.0,
+        }
+        row.update(self.dynamics_row())
+        return row
+
+    def dynamics_row(self) -> dict:
+        """Cumulative LS-acceptance and lock-time fields from the metrics."""
+        c = self.registry.merged().counters
+        tried = c.get("ls.moves_tried", 0.0)
+        row = {
+            "ls_accept_rate": (c.get("ls.moves_accepted", 0.0) / tried) if tried else None,
+            "lock_wait_s": c.get("lock.read_wait_s_total", 0.0)
+            + c.get("lock.write_wait_s_total", 0.0),
+            "lock_hold_s": c.get("lock.read_hold_s_total", 0.0)
+            + c.get("lock.write_hold_s_total", 0.0),
+        }
+        return row
+
+    def record_result(self, result) -> None:
+        """Stamp a finished :class:`RunResult` into the metadata."""
+        self.meta.setdefault("result", {}).update(
+            {
+                "best_fitness": result.best_fitness,
+                "evaluations": result.evaluations,
+                "generations": result.generations,
+                "elapsed_s": result.elapsed_s,
+                "extra": {
+                    k: v
+                    for k, v in result.extra.items()
+                    if isinstance(v, (int, float, str, bool, list))
+                },
+            }
+        )
+
+    # -- bundle ----------------------------------------------------------
+    def finalize(self, meta: dict | None = None) -> dict[str, Path]:
+        """Write the bundle (idempotent); returns artifact paths.
+
+        With ``out=None`` nothing is written and an empty dict returns —
+        the collectors remain inspectable in memory.
+        """
+        if meta:
+            self.meta.update(meta)
+        if self.out is None:
+            return {}
+        if self._finalized is not None:
+            return self._finalized
+        self.out.mkdir(parents=True, exist_ok=True)
+        paths: dict[str, Path] = {}
+
+        paths["metrics"] = self.out / "metrics.json"
+        with open(paths["metrics"], "w", encoding="utf-8") as fh:
+            json.dump(self.registry.snapshot(), fh, indent=1)
+
+        paths["timeseries"] = self.out / "timeseries.jsonl"
+        self.sampler.write(paths["timeseries"])
+
+        if self.tracer is not None:
+            paths["trace"] = self.out / "trace.json"
+            self.tracer.write(paths["trace"])
+
+        self.meta.setdefault("n_timeseries_rows", len(self.sampler))
+        self.meta.setdefault(
+            "n_trace_events", self.tracer.n_events if self.tracer else 0
+        )
+        paths["meta"] = self.out / "meta.json"
+        with open(paths["meta"], "w", encoding="utf-8") as fh:
+            json.dump(self.meta, fh, indent=1, default=str)
+
+        from repro.obs.report import render_markdown
+
+        paths["report"] = self.out / "report.md"
+        paths["report"].write_text(
+            render_markdown(self.meta, self.registry.snapshot(), self.sampler.rows),
+            encoding="utf-8",
+        )
+        self._finalized = paths
+        return paths
+
+    def summary(self) -> str:
+        """Terminal-friendly one-screen summary of the collected run."""
+        from repro.obs.report import render_terminal
+
+        return render_terminal(self.meta, self.registry.snapshot(), self.sampler.rows)
+
+
+def resolve_observer(config, obs) -> "Observer | None":
+    """The engine-side obs resolution rule.
+
+    An explicitly passed :class:`Observer` wins; otherwise a frozen
+    ``config.obs`` :class:`ObsConfig` (when the config carries one) is
+    materialized with auto-finalize semantics.
+    """
+    if obs is not None:
+        return obs
+    cfg = getattr(config, "obs", None)
+    if cfg is not None:
+        return Observer.from_config(cfg)
+    return None

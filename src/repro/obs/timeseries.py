@@ -1,0 +1,95 @@
+"""Periodic JSONL time-series sampler for convergence telemetry.
+
+A :class:`TimeSeriesSampler` is ticked from an engine's generation loop
+(or a designated worker thread) with the cheap coordinates it already
+has — evaluation count and wall/virtual clock — and decides on its own
+cadence whether a row is due.  Only when a row fires does it call the
+engine-supplied ``provider`` to compute the expensive fields (entropy
+diversity, mean fitness, lock-wait aggregates), so sampling cost is
+paid at the sampling rate, never per breeding step.
+
+Rows are dicts; the canonical fields emitted by the engines are::
+
+    t_s, generation, evaluations, best, mean, entropy,
+    evals_per_s, ls_accept_rate, lock_wait_s, lock_hold_s
+
+but the schema is open — anything JSON-serializable goes through.  The
+bundle stores one row per line (JSONL) so multi-hour runs stream to
+disk and load with one ``json.loads`` per line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+__all__ = ["TimeSeriesSampler"]
+
+
+class TimeSeriesSampler:
+    """Cadence-gated row collector.
+
+    Parameters
+    ----------
+    every_evals:
+        Emit a row each time the evaluation counter advances by at
+        least this much (None disables the evaluation cadence).
+    every_s:
+        Emit a row each time the clock advances by at least this many
+        seconds (None disables the time cadence).  Either cadence
+        firing produces a row; both clocks then reset.
+    """
+
+    def __init__(self, every_evals: int | None = 256, every_s: float | None = None):
+        if every_evals is not None and every_evals < 1:
+            raise ValueError(f"every_evals must be >= 1, got {every_evals}")
+        if every_s is not None and every_s <= 0:
+            raise ValueError(f"every_s must be positive, got {every_s}")
+        if every_evals is None and every_s is None:
+            raise ValueError("need at least one cadence (every_evals or every_s)")
+        self.every_evals = every_evals
+        self.every_s = every_s
+        self.rows: list[dict] = []
+        self._last_evals = 0
+        self._last_t = 0.0
+
+    def due(self, evaluations: int, t_s: float) -> bool:
+        """Would a tick at these coordinates emit a row?"""
+        if self.every_evals is not None and evaluations - self._last_evals >= self.every_evals:
+            return True
+        if self.every_s is not None and t_s - self._last_t >= self.every_s:
+            return True
+        return False
+
+    def tick(
+        self,
+        evaluations: int,
+        t_s: float,
+        provider: Callable[[], dict],
+        force: bool = False,
+    ) -> bool:
+        """Emit a row if the cadence says so; returns True when it did.
+
+        ``provider`` is only invoked on emission — keep every expensive
+        computation inside it.
+        """
+        if not force and not self.due(evaluations, t_s):
+            return False
+        row = {"t_s": t_s, "evaluations": evaluations}
+        row.update(provider())
+        self.rows.append(row)
+        self._last_evals = evaluations
+        self._last_t = t_s
+        return True
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_jsonl(self) -> str:
+        """All rows as JSON-lines text (trailing newline included)."""
+        return "".join(json.dumps(row) + "\n" for row in self.rows)
+
+    def write(self, path) -> None:
+        """Serialize the rows to ``path`` as JSONL."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())

@@ -1,0 +1,163 @@
+"""Span/instant trace events with a Chrome ``trace_event`` exporter.
+
+Each worker appends events to its own private list (same no-shared-state
+rule as :mod:`repro.obs.metrics`); :meth:`Tracer.export` interleaves the
+per-thread buffers into the Chrome trace-event JSON format, loadable in
+``chrome://tracing`` or https://ui.perfetto.dev — drop the file on the
+page and the block-parallel execution timeline renders as one lane per
+thread.
+
+Timestamps are microseconds relative to the tracer's epoch.  Real
+engines stamp events with ``time.perf_counter``; the virtual-time
+simulator passes explicit virtual timestamps instead, so a simulated
+interleaving is inspectable with exactly the same tooling.
+
+Format reference: "Trace Event Format" (Google), the ``X`` (complete),
+``i`` (instant) and ``M`` (metadata) phases are used here.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+__all__ = ["ThreadTracer", "Tracer"]
+
+
+class _Span:
+    """Context manager produced by :meth:`ThreadTracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_args", "_t0")
+
+    def __init__(self, tracer: "ThreadTracer", name: str, args: dict | None):
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        t1 = time.perf_counter()
+        self._tracer.complete(
+            self._name, self._t0 - self._tracer.epoch, t1 - self._t0, self._args
+        )
+
+
+class ThreadTracer:
+    """One thread's private event buffer.
+
+    ``tid`` becomes the Chrome trace lane id; all methods are plain list
+    appends — no locks anywhere.
+    """
+
+    __slots__ = ("tid", "epoch", "events")
+
+    def __init__(self, tid: int, epoch: float):
+        self.tid = int(tid)
+        self.epoch = epoch
+        self.events: list[dict[str, Any]] = []
+
+    def span(self, name: str, args: dict | None = None) -> _Span:
+        """``with tracer.span("sweep"):`` — a timed complete event."""
+        return _Span(self, name, args)
+
+    def complete(
+        self, name: str, start_s: float, dur_s: float, args: dict | None = None
+    ) -> None:
+        """Record a complete ('X') event from explicit timestamps.
+
+        ``start_s`` is seconds since the tracer epoch — virtual-time
+        engines call this directly with simulated clocks.
+        """
+        ev: dict[str, Any] = {
+            "name": name,
+            "ph": "X",
+            "ts": start_s * 1e6,
+            "dur": dur_s * 1e6,
+            "pid": 1,
+            "tid": self.tid,
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def instant(self, name: str, args: dict | None = None, at_s: float | None = None) -> None:
+        """Record an instant ('i') event, thread-scoped."""
+        ts = (time.perf_counter() - self.epoch) if at_s is None else at_s
+        ev: dict[str, Any] = {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "ts": ts * 1e6,
+            "pid": 1,
+            "tid": self.tid,
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def counter(self, name: str, values: dict[str, float], at_s: float | None = None) -> None:
+        """Record a counter ('C') event — renders as a stacked area lane."""
+        ts = (time.perf_counter() - self.epoch) if at_s is None else at_s
+        self.events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": ts * 1e6,
+                "pid": 1,
+                "tid": self.tid,
+                "args": dict(values),
+            }
+        )
+
+
+class Tracer:
+    """Per-thread tracer factory plus the Chrome JSON exporter."""
+
+    def __init__(self, epoch: float | None = None):
+        #: perf_counter value all real-time spans are measured against
+        self.epoch = time.perf_counter() if epoch is None else epoch
+        self._threads: dict[int, ThreadTracer] = {}
+        self._thread_names: dict[int, str] = {}
+
+    def thread(self, tid: int, name: str | None = None) -> ThreadTracer:
+        """The private tracer for lane ``tid`` (created on first ask)."""
+        tt = self._threads.get(tid)
+        if tt is None:
+            tt = self._threads[tid] = ThreadTracer(tid, self.epoch)
+            self._thread_names[tid] = name or f"worker-{tid}"
+        return tt
+
+    def adopt(self, tid: int, events: list[dict], name: str | None = None) -> None:
+        """Merge events recorded out-of-process (forked workers)."""
+        self.thread(tid, name).events.extend(events)
+
+    @property
+    def n_events(self) -> int:
+        """Total events across all lanes."""
+        return sum(len(t.events) for t in self._threads.values())
+
+    def export(self) -> dict:
+        """The Chrome trace-event JSON object (Perfetto-loadable)."""
+        events: list[dict[str, Any]] = []
+        for tid in sorted(self._threads):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": self._thread_names[tid]},
+                }
+            )
+        for tid in sorted(self._threads):
+            events.extend(self._threads[tid].events)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path) -> None:
+        """Serialize :meth:`export` to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.export(), fh)

@@ -15,7 +15,12 @@ Three engines share the breeding step of ``repro.cga.engine``:
   figures reproducibly on any host (DESIGN.md §4.2).
 """
 
-from repro.parallel.rwlock import RWLock, LockManager
+from repro.parallel.rwlock import (
+    LockManager,
+    RWLock,
+    TrackedLockManager,
+    TrackedRWLock,
+)
 from repro.parallel.threads import ThreadedPACGA
 from repro.parallel.processes import ProcessPACGA
 from repro.parallel.costmodel import CostModel, XEON_E5440
@@ -25,6 +30,8 @@ from repro.parallel.calibrate import measure_cost_model, time_breeding_step
 __all__ = [
     "RWLock",
     "LockManager",
+    "TrackedRWLock",
+    "TrackedLockManager",
     "ThreadedPACGA",
     "ProcessPACGA",
     "CostModel",

@@ -15,6 +15,14 @@ the paper's cheaper concurrent reads instead.
 
 Requires the ``fork`` start method (Linux): children inherit the
 instance and the shared arrays without serialization.
+
+Observability: each forked worker records into a process-private
+:class:`~repro.obs.metrics.MetricRecorder` and ships the snapshot (plus
+its trace-event buffer) back over a queue at exit; the parent adopts
+them into the shared :class:`~repro.obs.Observer` and meanwhile samples
+the convergence time series by polling the shared-memory population —
+telemetry costs the workers one queue put at shutdown, nothing per step
+beyond the same instrumented operators the thread engine uses.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from repro.cga.neighborhood import neighbor_table
 from repro.cga.population import Population
 from repro.cga.sweep import sweep_order
 from repro.heuristics.minmin import min_min
+from repro.parallel.rwlock import TrackedLockManager
 from repro.rng import spawn_rngs
 
 __all__ = ["ProcessPACGA"]
@@ -43,6 +52,9 @@ class _ExclusiveLockManager:
 
     def __init__(self, locks):
         self._locks = locks
+
+    def __len__(self) -> int:
+        return len(self._locks)
 
     @contextmanager
     def _held(self, idx: int):
@@ -74,7 +86,9 @@ class ProcessPACGA:
     population in the parent; :meth:`run` forks the workers.
     """
 
-    def __init__(self, instance, config: CGAConfig | None = None, seed: int | None = 0):
+    def __init__(
+        self, instance, config: CGAConfig | None = None, seed: int | None = 0, obs=None
+    ):
         self.instance = instance
         self.config = config or CGAConfig()
         self.grid = self.config.grid
@@ -106,6 +120,16 @@ class ProcessPACGA:
         self.pop.init_random(self._init_rng, seed_schedules=seeds, fitness_fn=self.ops.fitness)
         self.locks = _ExclusiveLockManager([self._ctx.Lock() for _ in range(n)])
 
+        from repro.obs.observer import resolve_observer
+
+        self.obs = resolve_observer(self.config, obs)
+        if self.obs is not None:
+            self.locks = TrackedLockManager(self.locks)
+            block_id = np.empty(self.grid.size, dtype=np.int64)
+            for bid, block in enumerate(self.blocks):
+                block_id[block] = bid
+            self.crosses = (block_id[self.neighbors] != block_id[:, None]).any(axis=1)
+
     def run(self, stop: StopCondition) -> RunResult:
         """Fork one worker per block and evolve until ``stop``."""
         n = self.config.n_threads
@@ -117,12 +141,28 @@ class ProcessPACGA:
 
         eval_counts = self._ctx.RawArray("l", n)
         gen_counts = self._ctx.RawArray("l", n)
+        obs = self.obs
+        live_evals = self._ctx.RawArray("l", n) if obs is not None else None
+        telemetry_q = self._ctx.SimpleQueue() if obs is not None else None
         t0 = time.perf_counter()
 
         def worker(tid: int) -> None:
             block = self.orders[tid]
             rng = self._worker_rngs[tid]
             pop, ops, neighbors, locks = self.pop, self.ops, self.neighbors, self.locks
+            rec = None
+            tracer = None
+            if obs is not None:
+                from repro.obs.instrument import instrumented_ops
+                from repro.obs.metrics import MetricRecorder
+                from repro.obs.trace import ThreadTracer
+
+                # process-private collectors; shipped back over the queue
+                rec = MetricRecorder(str(tid))
+                locks = locks.bind(rec)
+                ops = instrumented_ops(ops, rec)
+                tracer = ThreadTracer(tid, t0) if obs.tracer is not None else None
+                crosses = self.crosses
             evals = 0
             gens = 0
             while True:
@@ -132,12 +172,40 @@ class ProcessPACGA:
                     break
                 if gen_cap is not None and gens >= gen_cap:
                     break
-                for idx in block:
-                    evolve_individual(pop, int(idx), neighbors[idx], ops, rng, locks)
-                    evals += 1
-                gens += 1
+                if rec is None:
+                    for idx in block:
+                        evolve_individual(pop, int(idx), neighbors[idx], ops, rng, locks)
+                        evals += 1
+                    gens += 1
+                else:
+                    sweep_start = time.perf_counter()
+                    boundary = 0
+                    for idx in block:
+                        i = int(idx)
+                        evolve_individual(pop, i, neighbors[i], ops, rng, locks)
+                        evals += 1
+                        if crosses[i]:
+                            boundary += 1
+                    sweep_end = time.perf_counter()
+                    gens += 1
+                    rec.observe("sweep_us", (sweep_end - sweep_start) * 1e6)
+                    rec.inc("sweeps")
+                    rec.inc("boundary_evals", boundary)
+                    if tracer is not None:
+                        tracer.complete(
+                            "sweep",
+                            sweep_start - t0,
+                            sweep_end - sweep_start,
+                            {"generation": gens},
+                        )
+                    live_evals[tid] = evals
             eval_counts[tid] = evals
             gen_counts[tid] = gens
+            if rec is not None:
+                locks.flush()  # publish buffered lock totals before snapshotting
+                telemetry_q.put(
+                    (tid, rec.snapshot(), tracer.events if tracer is not None else [])
+                )
 
         if n == 1:
             # no point forking a single worker; run inline
@@ -149,6 +217,16 @@ class ProcessPACGA:
             ]
             for p in procs:
                 p.start()
+            if obs is not None:
+                # the parent samples the shared-memory population while
+                # the workers run (they only write telemetry at exit)
+                while any(p.is_alive() for p in procs):
+                    total = int(sum(live_evals))
+                    if self.sampler_due(total):
+                        obs.maybe_sample(
+                            total, lambda: obs.engine_row(self, 0, total)
+                        )
+                    time.sleep(0.02)
             for p in procs:
                 p.join()
             if any(p.exitcode != 0 for p in procs):
@@ -156,8 +234,17 @@ class ProcessPACGA:
                 raise RuntimeError(f"PA-CGA workers failed: {bad}")
         elapsed = time.perf_counter() - t0
 
+        if obs is not None:
+            while not telemetry_q.empty():
+                tid, snapshot, events = telemetry_q.get()
+                from repro.obs.metrics import MetricRecorder
+
+                obs.registry.adopt(MetricRecorder.from_snapshot(snapshot))
+                if obs.tracer is not None:
+                    obs.tracer.adopt(tid, events, f"pacga-w{tid}")
+
         best_idx, best_fit = self.pop.best()
-        return RunResult(
+        result = RunResult(
             best_fitness=best_fit,
             best_assignment=self.pop.s[best_idx].copy(),
             evaluations=int(sum(eval_counts)),
@@ -169,4 +256,23 @@ class ProcessPACGA:
                 "per_thread_generations": list(gen_counts),
                 "n_threads": n,
             },
+        )
+        if obs is not None:
+            obs.maybe_sample(
+                result.evaluations,
+                lambda: obs.engine_row(self, result.generations, result.evaluations),
+                force=True,
+            )
+            obs.record_result(result)
+            obs.meta.setdefault("engine", "processes")
+            obs.meta.setdefault("n_threads", n)
+            obs.meta.setdefault("instance", getattr(self.instance, "name", None))
+            if obs.auto_finalize:
+                obs.finalize()
+        return result
+
+    def sampler_due(self, evaluations: int) -> bool:
+        """Cheap parent-side cadence check (avoids provider invocation)."""
+        return self.obs is not None and self.obs.sampler.due(
+            evaluations, self.obs.elapsed()
         )

@@ -12,9 +12,11 @@ behind the much more frequent neighbor reads.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+from time import perf_counter as _perf
 
-__all__ = ["RWLock", "LockManager"]
+__all__ = ["RWLock", "LockManager", "TrackedRWLock", "TrackedLockManager"]
 
 
 class RWLock:
@@ -87,6 +89,228 @@ class RWLock:
             yield
         finally:
             self.release_write()
+
+
+def _record(recorder, kind: str, wait_s: float, hold_s: float) -> None:
+    """Fold one acquisition's wait/hold into a metric recorder.
+
+    ``recorder`` is duck-typed (``inc``/``observe``, e.g.
+    :class:`repro.obs.MetricRecorder`) so the lock layer stays free of
+    any observability import.  Emits, per ``kind`` in {read, write}::
+
+        lock.<kind>_acquires           counter
+        lock.<kind>_wait_s_total       counter (seconds)
+        lock.<kind>_hold_s_total       counter (seconds)
+        lock.<kind>_wait_us            histogram (microseconds)
+    """
+    recorder.inc(f"lock.{kind}_acquires")
+    recorder.inc(f"lock.{kind}_wait_s_total", wait_s)
+    recorder.inc(f"lock.{kind}_hold_s_total", hold_s)
+    recorder.observe(f"lock.{kind}_wait_us", wait_s * 1e6)
+
+
+class TrackedRWLock(RWLock):
+    """A :class:`RWLock` that times acquisition waits and hold spans.
+
+    The timing decorator path of the observability layer — and the one
+    implementation shared by product code and the contention tests, so
+    the semantics asserted in ``tests/test_tracked_contention.py`` are
+    the semantics the engines ship.  ``recorder`` must be private to
+    the measuring thread (single-owner use) or tolerate merged counts;
+    engines that share locks across threads use
+    :class:`TrackedLockManager`, which routes each acquisition to the
+    *acquiring* thread's recorder instead.
+    """
+
+    __slots__ = ("recorder",)
+
+    def __init__(self, recorder) -> None:
+        super().__init__()
+        self.recorder = recorder
+
+    @contextmanager
+    def read_locked(self):
+        """Shared section, timed into the recorder."""
+        t0 = time.perf_counter()
+        self.acquire_read()
+        t1 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.release_read()
+            _record(self.recorder, "read", t1 - t0, time.perf_counter() - t1)
+
+    @contextmanager
+    def write_locked(self):
+        """Exclusive section, timed into the recorder."""
+        t0 = time.perf_counter()
+        self.acquire_write()
+        t1 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.release_write()
+            _record(self.recorder, "write", t1 - t0, time.perf_counter() - t1)
+
+
+class _TimedAcquire:
+    """Slotted timing wrapper around one lock acquisition.
+
+    A hand-rolled context manager (not ``@contextmanager``) because this
+    sits on the hottest path of the instrumented engines: one generator
+    object per neighbor read is measurable overhead at PA-CGA rates.
+    """
+
+    __slots__ = ("_cm", "_stats", "_t0", "_t1")
+
+    def __init__(self, cm, stats):
+        self._cm = cm
+        self._stats = stats
+
+    def __enter__(self):
+        self._t0 = _perf()
+        out = self._cm.__enter__()
+        self._t1 = _perf()
+        return out
+
+    def __exit__(self, exc_type, exc, tb):
+        out = self._cm.__exit__(exc_type, exc, tb)
+        end = _perf()
+        st = self._stats
+        wait = self._t1 - self._t0
+        st.sampled += 1
+        st.wait_s += wait
+        st.hold_s += end - self._t1
+        st.observe_wait(wait * 1e6)
+        return out
+
+
+class _LockStats:
+    """Per-thread, per-kind accumulator for lock wait/hold times.
+
+    Acquisition *counts* are exact; wait/hold *timing* is sampled — one
+    acquisition in ``mask + 1`` is clocked, the way Go's mutex profiler
+    and ``perf`` keep profiling off the hot path.  Writes use
+    ``mask=0`` (every acquisition timed: rare and load-bearing for the
+    writer-preference analysis); the far more frequent neighbor reads
+    use ``mask=7``.  On :meth:`flush` the sampled wait/hold sums are
+    scaled by the inverse sampling rate, giving unbiased total
+    estimates; the wait histogram keeps raw sampled observations.
+    :class:`_TimedAcquire` mutates the attributes directly.
+    """
+
+    __slots__ = ("kind", "mask", "acquires", "sampled", "wait_s", "hold_s", "observe_wait")
+
+    def __init__(self, kind: str, recorder, mask: int = 0):
+        self.kind = kind
+        self.mask = mask
+        self.acquires = 0
+        self.sampled = 0
+        self.wait_s = 0.0
+        self.hold_s = 0.0
+        self.observe_wait = recorder.hist(f"lock.{kind}_wait_us").observe
+
+    def flush(self, recorder) -> None:
+        """Publish the accumulated totals as counters (idempotent adds)."""
+        scale = float(self.mask + 1)
+        recorder.inc(f"lock.{self.kind}_acquires", self.acquires)
+        recorder.inc(f"lock.{self.kind}_timed", self.sampled)
+        recorder.inc(f"lock.{self.kind}_wait_s_total", self.wait_s * scale)
+        recorder.inc(f"lock.{self.kind}_hold_s_total", self.hold_s * scale)
+        self.acquires = 0
+        self.sampled = 0
+        self.wait_s = 0.0
+        self.hold_s = 0.0
+
+
+class _BoundLocks:
+    """One thread's pre-bound view of a :class:`TrackedLockManager`.
+
+    Returned by :meth:`TrackedLockManager.bind`; hot loops should hold
+    onto it and call ``read``/``write`` here, skipping the
+    ``threading.local`` lookup the manager itself must pay per call.
+    """
+
+    __slots__ = ("_read", "_write", "_recorder", "read_stats", "write_stats")
+
+    #: time one read acquisition in 8; see :class:`_LockStats`
+    READ_SAMPLE_MASK = 7
+
+    def __init__(self, base, recorder):
+        self._read = base.read
+        self._write = base.write
+        self._recorder = recorder
+        self.read_stats = _LockStats("read", recorder, mask=self.READ_SAMPLE_MASK)
+        self.write_stats = _LockStats("write", recorder)
+
+    def read(self, idx: int):
+        """Shared access to individual ``idx``; timing is sampled."""
+        st = self.read_stats
+        st.acquires += 1
+        if (st.acquires - 1) & st.mask:
+            return self._read(idx)
+        return _TimedAcquire(self._read(idx), st)
+
+    def write(self, idx: int):
+        """Timed exclusive access to individual ``idx``."""
+        st = self.write_stats
+        st.acquires += 1
+        return _TimedAcquire(self._write(idx), st)
+
+    def flush(self) -> None:
+        """Publish the accumulated wait/hold totals as counters."""
+        self.read_stats.flush(self._recorder)
+        self.write_stats.flush(self._recorder)
+
+
+class TrackedLockManager:
+    """Timing decorator around any read/write lock manager.
+
+    Wraps the two-method ``read(idx)``/``write(idx)`` protocol and
+    charges each acquisition to the recorder the *calling thread* bound
+    via :meth:`bind` — per-thread recording keeps the instrumentation
+    itself lock-free (the no-added-contention rule of ``repro.obs``).
+    Threads that never bind pass through untimed.  Wait/hold totals
+    accumulate thread-locally; they land in the recorder's counters on
+    :meth:`flush`.  ``bind`` also returns the thread's
+    :class:`_BoundLocks` view, which skips the per-call thread-local
+    lookup — worker hot loops should use that directly.
+    """
+
+    __slots__ = ("_base", "_local")
+
+    def __init__(self, base: "LockManager"):
+        self._base = base
+        self._local = threading.local()
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    def bind(self, recorder) -> "_BoundLocks":
+        """Attach the calling thread's private metric recorder."""
+        bound = _BoundLocks(self._base, recorder)
+        self._local.bound = bound
+        return bound
+
+    def flush(self) -> None:
+        """Publish the calling thread's accumulated lock totals."""
+        bound = getattr(self._local, "bound", None)
+        if bound is not None:
+            bound.flush()
+
+    def read(self, idx: int):
+        """Timed shared access to individual ``idx``."""
+        bound = getattr(self._local, "bound", None)
+        if bound is None:
+            return self._base.read(idx)
+        return bound.read(idx)
+
+    def write(self, idx: int):
+        """Timed exclusive access to individual ``idx``."""
+        bound = getattr(self._local, "bound", None)
+        if bound is None:
+            return self._base.write(idx)
+        return bound.write(idx)
 
 
 class LockManager:

@@ -71,6 +71,12 @@ class SimulatedPACGA:
           cacheline-transfer charge.  Contention then *emerges* from
           the interleaving instead of being parameterized — the
           validation ablation compares both (DESIGN.md A7).
+    obs:
+        Optional :class:`repro.obs.Observer`.  The simulator records per
+        logical-thread metrics and stamps trace spans with *virtual*
+        clocks, so the exported timeline shows modeled time; in
+        ``tracked`` mode the emergent lock waits land in the
+        ``lock.*_wait_s_total`` counters.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class SimulatedPACGA:
         cost_model: CostModel = XEON_E5440,
         history_stride: int = 1,
         contention: str = "meanfield",
+        obs=None,
     ):
         if history_stride < 1:
             raise ValueError(f"history_stride must be >= 1, got {history_stride}")
@@ -119,6 +126,10 @@ class SimulatedPACGA:
         seeds = [min_min(instance)] if self.config.seed_with_minmin else None
         self.pop.init_random(self._init_rng, seed_schedules=seeds, fitness_fn=self.ops.fitness)
 
+        from repro.obs.observer import resolve_observer
+
+        self.obs = resolve_observer(self.config, obs)
+
     # ------------------------------------------------------------------
     def run(self, stop: StopCondition) -> RunResult:
         """Simulate until the virtual budget or evaluation cap is hit.
@@ -145,6 +156,15 @@ class SimulatedPACGA:
         gens = [0] * n
         evals = [0] * n
         completions = 0
+        obs = self.obs
+        recs = None
+        if obs is not None:
+            # one recorder and trace lane per *logical* thread; spans are
+            # stamped with virtual clocks, so the exported timeline shows
+            # modeled time, not wall time
+            recs = [obs.recorder(tid) for tid in range(n)]
+            tracers = [obs.thread_tracer(tid, f"sim-{tid}") for tid in range(n)]
+            sweep_starts = [0.0] * n
         tracked = self.contention == "tracked" and n > 1
         if tracked:
             # virtual release times of each individual's locks (seconds)
@@ -180,6 +200,9 @@ class SimulatedPACGA:
                     continue
             if stop.max_evaluations is not None and total_evals >= stop.max_evaluations:
                 continue
+
+            if recs is not None and pos == 0:
+                sweep_starts[tid] = clock
 
             idx = int(block[pos])
             evolve_individual(pop, idx, neighbors[idx], ops, self._gene_rngs[tid])
@@ -221,6 +244,14 @@ class SimulatedPACGA:
                     write_start = blocked_until
                 write_until[idx] = write_start + write_hold
                 clock = write_start + write_hold
+                if recs is not None:
+                    r = recs[tid]
+                    if read_wait > 0:
+                        r.inc("lock.read_wait_s_total", read_wait)
+                        r.inc("lock.conflicts")
+                    if write_wait > 0:
+                        r.inc("lock.write_wait_s_total", write_wait)
+                        r.inc("lock.conflicts")
             else:
                 cost = model.step_cost(
                     n, ls_depth, bool(self.crosses[idx]), self._jitter_rngs[tid]
@@ -229,6 +260,12 @@ class SimulatedPACGA:
             clocks[tid] = clock
             evals[tid] += 1
             total_evals += 1
+            if recs is not None:
+                rec = recs[tid]
+                rec.inc("breeding.evaluations")
+                rec.inc("breeding.steps")
+                if self.crosses[idx]:
+                    rec.inc("boundary_evals")
 
             pos += 1
             if pos == len(block):
@@ -240,11 +277,28 @@ class SimulatedPACGA:
                     history.append(
                         (total_evals / pop.size, total_evals, best, pop.mean_fitness())
                     )
+                if recs is not None:
+                    rec = recs[tid]
+                    dur = clock - sweep_starts[tid]
+                    rec.inc("sweeps")
+                    rec.observe("sweep_us", dur / _US)
+                    if tracers[tid] is not None:
+                        tracers[tid].complete(
+                            "sweep", sweep_starts[tid], dur, {"generation": gens[tid]}
+                        )
+                    obs.maybe_sample(
+                        total_evals,
+                        lambda: {
+                            **obs.engine_row(self, min(gens), total_evals),
+                            "virtual_t_s": clock,
+                        },
+                        t_s=clock,
+                    )
             positions[tid] = pos
             heapq.heappush(heap, (clock, tid))
 
         best_idx, best_fit = pop.best()
-        return RunResult(
+        result = RunResult(
             best_fitness=best_fit,
             best_assignment=pop.s[best_idx].copy(),
             evaluations=total_evals,
@@ -269,3 +323,22 @@ class SimulatedPACGA:
                 ),
             },
         )
+        if obs is not None:
+            v_final = max(clocks) if clocks else 0.0
+            obs.maybe_sample(
+                total_evals,
+                lambda: {
+                    **obs.engine_row(self, result.generations, total_evals),
+                    "virtual_t_s": v_final,
+                },
+                t_s=v_final,
+                force=True,
+            )
+            obs.record_result(result)
+            obs.meta.setdefault("engine", "sim")
+            obs.meta.setdefault("n_threads", n)
+            obs.meta.setdefault("contention", self.contention)
+            obs.meta.setdefault("instance", getattr(self.instance, "name", None))
+            if obs.auto_finalize:
+                obs.finalize()
+        return result

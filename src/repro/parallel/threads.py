@@ -11,6 +11,14 @@ corrupt the CT invariants, and the test suite checks they never do) but
 not wall-clock speedup; use :class:`repro.parallel.processes.ProcessPACGA`
 for real parallelism or :class:`repro.parallel.simengine.SimulatedPACGA`
 for the paper's performance model.
+
+Observability: pass ``obs=repro.obs.Observer(...)`` and every worker
+gets a private metric recorder (evals, sweep latency, boundary reads,
+phase timings via instrumented operators), the per-individual locks are
+wrapped in a :class:`~repro.parallel.rwlock.TrackedLockManager` for
+wait/hold timing, and worker 0 samples the convergence time series.
+With ``obs=None`` the original untimed loop runs — the two code paths
+are kept separate so the disabled mode costs nothing.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ from repro.cga.neighborhood import neighbor_table
 from repro.cga.population import Population
 from repro.cga.sweep import sweep_order
 from repro.heuristics.minmin import min_min
-from repro.parallel.rwlock import LockManager
+from repro.parallel.rwlock import LockManager, TrackedLockManager
 from repro.rng import spawn_rngs
 
 __all__ = ["ThreadedPACGA"]
@@ -45,9 +53,13 @@ class ThreadedPACGA:
     seed:
         Root of the per-thread seed tree (thread ``t`` receives spawn
         ``t``, plus one stream for population init).
+    obs:
+        Optional :class:`repro.obs.Observer` for run telemetry.
     """
 
-    def __init__(self, instance, config: CGAConfig | None = None, seed: int | None = 0):
+    def __init__(
+        self, instance, config: CGAConfig | None = None, seed: int | None = 0, obs=None
+    ):
         self.instance = instance
         self.config = config or CGAConfig()
         self.grid = self.config.grid
@@ -67,6 +79,19 @@ class ThreadedPACGA:
         self.pop.init_random(self._init_rng, seed_schedules=seeds, fitness_fn=self.ops.fitness)
         self.locks = LockManager(self.grid.size)
 
+        from repro.obs.observer import resolve_observer
+
+        self.obs = resolve_observer(self.config, obs)
+        if self.obs is not None:
+            # lock wait/hold timing routes to each acquiring thread's
+            # private recorder (bound in the worker)
+            self.locks = TrackedLockManager(self.locks)
+            block_id = np.empty(self.grid.size, dtype=np.int64)
+            for bid, block in enumerate(self.blocks):
+                block_id[block] = bid
+            #: does cell idx's neighborhood leave its own block?
+            self.crosses = (block_id[self.neighbors] != block_id[:, None]).any(axis=1)
+
     def run(self, stop: StopCondition) -> RunResult:
         """Algorithm 2: parallel block evolution until ``stop``.
 
@@ -84,6 +109,8 @@ class ThreadedPACGA:
 
         eval_counts = [0] * n
         gen_counts = [0] * n
+        obs = self.obs
+        evals_live = [0] * n  # sweep-granular progress, read by the sampler
         t0 = time.perf_counter()
 
         def worker(tid: int) -> None:
@@ -106,8 +133,63 @@ class ThreadedPACGA:
             eval_counts[tid] = evals
             gen_counts[tid] = gens
 
+        def instrumented_worker(tid: int) -> None:
+            from repro.obs.instrument import instrumented_ops
+
+            block = self.orders[tid]
+            rng = self._thread_rngs[tid]
+            pop, neighbors = self.pop, self.neighbors
+            rec = obs.recorder(tid)
+            # the bound view skips the thread-local lookup per acquisition
+            locks = self.locks.bind(rec)
+            ops = instrumented_ops(self.ops, rec)
+            tracer = obs.thread_tracer(tid, f"pacga-{tid}")
+            crosses = self.crosses
+            perf = time.perf_counter
+            evals = 0
+            gens = 0
+            boundary = 0
+            while True:
+                if wall is not None and perf() - t0 >= wall:
+                    break
+                if eval_share is not None and evals >= eval_share:
+                    break
+                if gen_cap is not None and gens >= gen_cap:
+                    break
+                sweep_start = perf()
+                for idx in block:
+                    i = int(idx)
+                    evolve_individual(pop, i, neighbors[i], ops, rng, locks)
+                    evals += 1
+                    if crosses[i]:
+                        boundary += 1
+                sweep_end = perf()
+                gens += 1
+                rec.observe("sweep_us", (sweep_end - sweep_start) * 1e6)
+                rec.inc("sweeps")
+                if tracer is not None:
+                    tracer.complete(
+                        "sweep",
+                        sweep_start - obs.epoch,
+                        sweep_end - sweep_start,
+                        {"generation": gens},
+                    )
+                evals_live[tid] = evals
+                if tid == 0:
+                    # a single designated sampler thread: the population
+                    # snapshot is read lock-free (approximate by design)
+                    total = sum(evals_live)
+                    obs.maybe_sample(
+                        total, lambda: obs.engine_row(self, gens, total)
+                    )
+            rec.counters["boundary_evals"] = rec.counters.get("boundary_evals", 0.0) + boundary
+            locks.flush()  # publish this thread's buffered lock wait/hold totals
+            eval_counts[tid] = evals
+            gen_counts[tid] = gens
+
+        target = worker if obs is None else instrumented_worker
         threads = [
-            threading.Thread(target=worker, args=(tid,), name=f"pacga-{tid}")
+            threading.Thread(target=target, args=(tid,), name=f"pacga-{tid}")
             for tid in range(n)
         ]
         for t in threads:
@@ -117,7 +199,7 @@ class ThreadedPACGA:
         elapsed = time.perf_counter() - t0
 
         best_idx, best_fit = self.pop.best()
-        return RunResult(
+        result = RunResult(
             best_fitness=best_fit,
             best_assignment=self.pop.s[best_idx].copy(),
             evaluations=sum(eval_counts),
@@ -130,3 +212,16 @@ class ThreadedPACGA:
                 "n_threads": n,
             },
         )
+        if obs is not None:
+            obs.maybe_sample(
+                result.evaluations,
+                lambda: obs.engine_row(self, result.generations, result.evaluations),
+                force=True,
+            )
+            obs.record_result(result)
+            obs.meta.setdefault("engine", "threads")
+            obs.meta.setdefault("n_threads", n)
+            obs.meta.setdefault("instance", getattr(self.instance, "name", None))
+            if obs.auto_finalize:
+                obs.finalize()
+        return result

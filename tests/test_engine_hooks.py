@@ -1,9 +1,11 @@
-"""Tests for the per-generation engine hook."""
+"""Tests for the engine lifecycle hooks (and the legacy bare-callable
+``on_generation`` compatibility path)."""
 
 import pytest
 
-from repro.cga import AsyncCGA, CGAConfig, StopCondition, SyncCGA
+from repro.cga import AsyncCGA, CGAConfig, EngineHooks, StopCondition, SyncCGA, as_hooks
 from repro.cga.diversity import diversity_report
+from repro.cga.engine import RunResult
 
 
 CFG = CGAConfig(grid_rows=4, grid_cols=4, ls_iterations=1, seed_with_minmin=False)
@@ -68,3 +70,71 @@ class TestOnGeneration:
         eng = AsyncCGA(tiny_instance, CFG, rng=0)
         assert eng.on_generation is None
         eng.run(StopCondition(max_generations=1))
+
+
+class TestAsHooks:
+    def test_none_gives_empty_hooks(self):
+        hooks = as_hooks(None)
+        assert hooks.on_generation is None
+        assert hooks.on_improvement is None
+        assert hooks.on_stop is None
+
+    def test_callable_becomes_on_generation(self):
+        f = lambda e, g, ev: None
+        hooks = as_hooks(f)
+        assert hooks.on_generation is f
+        assert hooks.on_stop is None
+
+    def test_hooks_pass_through_unchanged(self):
+        hooks = EngineHooks(on_stop=lambda e, r: None)
+        assert as_hooks(hooks) is hooks
+
+    def test_rejects_non_callables(self):
+        with pytest.raises(TypeError):
+            as_hooks(42)
+
+
+class TestHookProtocol:
+    def test_all_three_hooks_fire(self, tiny_instance):
+        events = {"gen": [], "improved": [], "stopped": []}
+        hooks = EngineHooks(
+            on_generation=lambda e, g, ev: events["gen"].append(g),
+            on_improvement=lambda e, g, ev, best: events["improved"].append(best),
+            on_stop=lambda e, r: events["stopped"].append(r),
+        )
+        eng = AsyncCGA(tiny_instance, CFG, rng=0, on_generation=hooks)
+        res = eng.run(StopCondition(max_generations=5))
+        assert events["gen"] == [1, 2, 3, 4, 5]
+        # an improvement event carries the new strictly-better best
+        bests = events["improved"]
+        assert bests == sorted(bests, reverse=True)
+        assert len(set(bests)) == len(bests)
+        # on_stop fires exactly once, with the returned result
+        assert len(events["stopped"]) == 1
+        assert events["stopped"][0] is res
+        assert isinstance(res, RunResult)
+
+    def test_improvement_not_fired_for_initial_snapshot(self, tiny_instance):
+        improved = []
+        hooks = EngineHooks(
+            on_improvement=lambda e, g, ev, best: improved.append((g, best))
+        )
+        eng = AsyncCGA(tiny_instance, CFG, rng=0, on_generation=hooks)
+        eng.run(StopCondition(max_generations=3))
+        assert all(g >= 1 for g, _ in improved)
+
+    def test_on_generation_property_setter(self, tiny_instance):
+        # legacy attribute assignment after construction still works
+        eng = AsyncCGA(tiny_instance, CFG, rng=0)
+        calls = []
+        eng.on_generation = lambda e, g, ev: calls.append(g)
+        assert eng.on_generation is not None
+        eng.run(StopCondition(max_generations=2))
+        assert calls == [1, 2]
+
+    def test_works_on_sync_engine(self, tiny_instance):
+        stopped = []
+        hooks = EngineHooks(on_stop=lambda e, r: stopped.append(r.generations))
+        eng = SyncCGA(tiny_instance, CFG, rng=0, on_generation=hooks)
+        eng.run(StopCondition(max_generations=2))
+        assert stopped == [2]

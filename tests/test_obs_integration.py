@@ -1,0 +1,221 @@
+"""End-to-end observability tests: engines -> bundles, and the
+zero-overhead-when-disabled guarantee."""
+
+import json
+
+import pytest
+
+from repro.cga import AsyncCGA, CGAConfig, StopCondition
+from repro.cga.vectorized import VectorizedSyncCGA
+from repro.obs import ObsConfig, Observer, load_bundle, render_markdown, render_terminal
+from repro.obs.metrics import MetricRecorder
+from repro.obs.observer import resolve_observer
+from repro.parallel import SimulatedPACGA, ThreadedPACGA
+
+
+CFG = CGAConfig(grid_rows=6, grid_cols=6, ls_iterations=2, seed_with_minmin=False)
+BUNDLE_FILES = {"meta.json", "metrics.json", "timeseries.jsonl", "trace.json", "report.md"}
+
+
+class TestSequentialBundle:
+    def test_async_bundle_complete_and_consistent(self, tiny_instance, tmp_path):
+        out = tmp_path / "bundle"
+        obs = Observer(out=out, sample_every_evals=36)
+        eng = AsyncCGA(tiny_instance, CFG, rng=0, obs=obs)
+        res = eng.run(StopCondition(max_evaluations=180))
+        obs.finalize()
+
+        assert {p.name for p in out.iterdir()} == BUNDLE_FILES
+        metrics = json.loads((out / "metrics.json").read_text())
+        # breeding counters agree exactly with the engine's own counts
+        assert metrics["merged"]["counters"]["breeding.evaluations"] == res.evaluations
+        assert metrics["merged"]["counters"]["breeding.steps"] == res.evaluations
+        # phase histograms observed one sample per step
+        assert metrics["merged"]["histograms"]["phase.fitness_us"]["count"] == res.evaluations
+
+        rows = [
+            json.loads(line)
+            for line in (out / "timeseries.jsonl").read_text().splitlines()
+        ]
+        assert rows, "sampler must emit at least the forced final row"
+        assert rows[-1]["evaluations"] == res.evaluations
+        assert all({"t_s", "evaluations", "best", "mean", "entropy"} <= set(r) for r in rows)
+        # best is monotone non-increasing under if-better replacement
+        bests = [r["best"] for r in rows]
+        assert bests == sorted(bests, reverse=True)
+
+        trace = json.loads((out / "trace.json").read_text())
+        assert trace["traceEvents"], "trace must contain events"
+
+        meta = json.loads((out / "meta.json").read_text())
+        assert meta["result"]["evaluations"] == res.evaluations
+
+    def test_vectorized_bundle(self, tiny_instance, tmp_path):
+        out = tmp_path / "vec"
+        obs = Observer(out=out, sample_every_evals=36)
+        eng = VectorizedSyncCGA(tiny_instance, CFG, rng=0, obs=obs)
+        res = eng.run(StopCondition(max_generations=4))
+        obs.finalize()
+        metrics = json.loads((out / "metrics.json").read_text())
+        assert metrics["merged"]["counters"]["breeding.evaluations"] == res.evaluations
+        assert "phase.select_us" in metrics["merged"]["histograms"]
+
+    def test_ls_acceptance_rate_in_rows(self, tiny_instance, tmp_path):
+        obs = Observer(out=tmp_path / "b", sample_every_evals=36)
+        AsyncCGA(tiny_instance, CFG, rng=0, obs=obs).run(
+            StopCondition(max_evaluations=108)
+        )
+        rates = [r.get("ls_accept_rate") for r in obs.sampler.rows]
+        assert any(r is not None and 0.0 <= r <= 1.0 for r in rates)
+
+
+class TestThreadedBundle:
+    def test_per_thread_series(self, tiny_instance, tmp_path):
+        n = 3
+        out = tmp_path / "bundle"
+        obs = Observer(out=out, sample_every_evals=64)
+        eng = ThreadedPACGA(tiny_instance, CFG.with_(n_threads=n), seed=0, obs=obs)
+        res = eng.run(StopCondition(max_evaluations=360))
+        obs.finalize()
+
+        metrics = json.loads((out / "metrics.json").read_text())
+        # the acceptance criterion: the bundle carries N threads' series
+        assert set(metrics["per_thread"]) == {str(t) for t in range(n)}
+        for tid in range(n):
+            per = metrics["per_thread"][str(tid)]["counters"]
+            assert per["breeding.evaluations"] > 0
+            assert per["sweeps"] >= 1
+            assert per["lock.write_acquires"] > 0
+        merged = metrics["merged"]["counters"]
+        assert merged["breeding.evaluations"] == res.evaluations
+        assert "sweep_us" in metrics["merged"]["histograms"]
+
+        trace = json.loads((out / "trace.json").read_text())
+        lanes = {e["tid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert lanes == set(range(n))
+
+    def test_boundary_reads_counted(self, tiny_instance, tmp_path):
+        obs = Observer(out=None, sample_every_evals=64)
+        eng = ThreadedPACGA(tiny_instance, CFG.with_(n_threads=2), seed=0, obs=obs)
+        eng.run(StopCondition(max_generations=2))
+        merged = obs.registry.merged().counters
+        # 6x6 grid split in 2 blocks: boundary cells certainly exist
+        assert merged["boundary_evals"] > 0
+
+
+class TestSimulatedBundle:
+    def test_virtual_time_rows_and_spans(self, tiny_instance, tmp_path):
+        out = tmp_path / "sim"
+        obs = Observer(out=out, sample_every_evals=None, sample_every_s=0.001)
+        eng = SimulatedPACGA(
+            tiny_instance, CFG.with_(n_threads=2), seed=0, obs=obs
+        )
+        res = eng.run(StopCondition(virtual_time=0.01))
+        obs.finalize()
+        rows = obs.sampler.rows
+        assert rows and rows[-1]["evaluations"] == res.evaluations
+        # rows are stamped with the *virtual* clock
+        assert rows[-1]["t_s"] <= res.elapsed_s + 0.01
+        assert all("virtual_t_s" in r for r in rows)
+        trace = json.loads((out / "trace.json").read_text())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert spans
+        # span timestamps are virtual microseconds within the budget
+        assert all(0.0 <= e["ts"] <= 0.05e6 for e in spans)
+
+    def test_tracked_contention_counters(self, tiny_instance):
+        from repro.parallel.costmodel import CostModel
+
+        sticky = CostModel(t_write_hold=500.0, t_read_hold=200.0, jitter_sigma=0.0)
+        obs = Observer(out=None, sample_every_evals=10**9)
+        eng = SimulatedPACGA(
+            tiny_instance,
+            CFG.with_(n_threads=4),
+            seed=0,
+            contention="tracked",
+            cost_model=sticky,
+            obs=obs,
+        )
+        res = eng.run(StopCondition(max_generations=4))
+        merged = obs.registry.merged().counters
+        assert merged["lock.conflicts"] == res.extra["lock_conflicts"]
+        waits = merged.get("lock.read_wait_s_total", 0.0) + merged.get(
+            "lock.write_wait_s_total", 0.0
+        )
+        assert waits == pytest.approx(res.extra["conflict_wait_s"])
+
+
+class TestConfigDriven:
+    def test_obsconfig_auto_finalizes(self, tiny_instance, tmp_path):
+        out = tmp_path / "auto"
+        cfg = CFG.with_(obs=ObsConfig(out=str(out), sample_every_evals=36))
+        AsyncCGA(tiny_instance, cfg, rng=0).run(StopCondition(max_evaluations=72))
+        # no manual finalize: the on_stop hook wrote the bundle
+        assert {p.name for p in out.iterdir()} == BUNDLE_FILES
+
+    def test_obsconfig_validates_cadence(self):
+        with pytest.raises(ValueError):
+            ObsConfig(sample_every_evals=None, sample_every_s=None)
+
+    def test_explicit_observer_wins(self, tiny_instance):
+        cfg = CFG.with_(obs=ObsConfig(sample_every_evals=36))
+        mine = Observer(out=None)
+        assert resolve_observer(cfg, mine) is mine
+        assert resolve_observer(cfg, None) is not None
+        assert resolve_observer(CFG, None) is None
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_no_recorder_allocations_without_obs(self, tiny_instance, monkeypatch):
+        # the disabled path must never construct a MetricRecorder: patch
+        # the constructor to explode and run every engine family dry
+        def boom(self, *a, **k):
+            raise AssertionError("MetricRecorder constructed on the disabled path")
+
+        monkeypatch.setattr(MetricRecorder, "__init__", boom)
+        AsyncCGA(tiny_instance, CFG, rng=0).run(StopCondition(max_generations=2))
+        ThreadedPACGA(tiny_instance, CFG.with_(n_threads=2), seed=0).run(
+            StopCondition(max_generations=2)
+        )
+        SimulatedPACGA(tiny_instance, CFG.with_(n_threads=2), seed=0).run(
+            StopCondition(max_generations=2)
+        )
+        VectorizedSyncCGA(tiny_instance, CFG, rng=0).run(
+            StopCondition(max_generations=2)
+        )
+
+    def test_disabled_engines_keep_plain_ops(self, tiny_instance):
+        eng = AsyncCGA(tiny_instance, CFG, rng=0)
+        assert eng.obs is None
+        assert eng.ops is not None
+        # instrumented ops wrap callables in closures named 'select' etc.
+        # on the obs path only; the plain path keeps the registry functions
+        from repro.cga.selection import SELECTIONS
+
+        assert eng.ops.select is SELECTIONS[CFG.selection]
+
+
+class TestReporting:
+    def test_render_and_load_bundle(self, tiny_instance, tmp_path):
+        out = tmp_path / "bundle"
+        obs = Observer(out=out, sample_every_evals=36)
+        AsyncCGA(tiny_instance, CFG, rng=0, obs=obs).run(
+            StopCondition(max_evaluations=108)
+        )
+        obs.finalize()
+        meta, metrics, rows = load_bundle(out)
+        term = render_terminal(meta, metrics, rows)
+        md = render_markdown(meta, metrics, rows)
+        for text in (term, md):
+            assert "Phase timings" in text
+            assert "Convergence time series" in text
+        report = (out / "report.md").read_text()
+        assert report == md
+
+    def test_summary_without_out_dir(self, tiny_instance):
+        obs = Observer(out=None, sample_every_evals=36)
+        AsyncCGA(tiny_instance, CFG, rng=0, obs=obs).run(
+            StopCondition(max_evaluations=72)
+        )
+        assert obs.finalize() == {}
+        assert "Phase timings" in obs.summary()

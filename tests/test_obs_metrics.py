@@ -1,0 +1,169 @@
+"""Tests for repro.obs.metrics — recorders, histograms, exact merging."""
+
+import math
+
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BUCKETS_US, Histogram, MetricRecorder, MetricsRegistry
+
+
+class TestHistogram:
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+    def test_bucketing(self):
+        h = Histogram([1.0, 10.0, 100.0])
+        for v in (0.5, 1.0, 5.0, 100.0, 1e6):
+            h.observe(v)
+        # inclusive upper edges; 1e6 lands in the overflow bucket
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(0.5 + 1.0 + 5.0 + 100.0 + 1e6)
+        assert h.min == 0.5 and h.max == 1e6
+
+    def test_mean_and_quantile(self):
+        h = Histogram([1.0, 2.0, 4.0, 8.0])
+        for v in (0.5, 1.5, 3.0, 6.0):
+            h.observe(v)
+        assert h.mean == pytest.approx(11.0 / 4.0)
+        assert h.quantile(0.0) == 0.0 or h.quantile(0.0) <= h.quantile(1.0)
+        assert h.quantile(1.0) <= h.max
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_histogram(self):
+        h = Histogram([1.0])
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        d = h.to_dict()
+        assert d["min"] is None and d["max"] is None
+
+    def test_merge_is_exact(self):
+        # merging per-thread histograms must equal one global histogram
+        bounds = [1.0, 10.0, 100.0, 1000.0]
+        samples_a = [0.1, 5.0, 50.0, 5000.0]
+        samples_b = [2.0, 20.0, 200.0]
+        h_all = Histogram(bounds)
+        h_a, h_b = Histogram(bounds), Histogram(bounds)
+        for v in samples_a:
+            h_a.observe(v)
+            h_all.observe(v)
+        for v in samples_b:
+            h_b.observe(v)
+            h_all.observe(v)
+        h_a.merge(h_b)
+        assert h_a.counts == h_all.counts
+        assert h_a.count == h_all.count
+        assert h_a.total == pytest.approx(h_all.total)
+        assert h_a.min == h_all.min and h_a.max == h_all.max
+
+    def test_merge_requires_identical_bounds(self):
+        with pytest.raises(ValueError, match="bounds"):
+            Histogram([1.0, 2.0]).merge(Histogram([1.0, 3.0]))
+
+
+class TestMetricRecorder:
+    def test_counters_and_gauges(self):
+        rec = MetricRecorder("7")
+        rec.inc("evals")
+        rec.inc("evals", 4.0)
+        rec.set_gauge("temp", 0.5)
+        rec.set_gauge("temp", 0.25)
+        assert rec.counters["evals"] == 5.0
+        assert rec.gauges["temp"] == 0.25
+        assert rec.name == "7"
+
+    def test_observe_creates_histograms_on_demand(self):
+        rec = MetricRecorder("x", histogram_bounds=[1.0, 10.0])
+        rec.observe("lat", 5.0)
+        rec.observe("lat", 0.5)
+        assert rec.histograms["lat"].count == 2
+
+    def test_snapshot_roundtrip(self):
+        rec = MetricRecorder("3", histogram_bounds=[1.0, 10.0])
+        rec.inc("a", 2.5)
+        rec.set_gauge("g", 7.0)
+        rec.observe("h", 3.0)
+        clone = MetricRecorder.from_snapshot(rec.snapshot())
+        assert clone.name == "3"
+        assert clone.counters == rec.counters
+        assert clone.gauges == rec.gauges
+        assert clone.histograms["h"].counts == rec.histograms["h"].counts
+        assert clone.histograms["h"].total == rec.histograms["h"].total
+
+    def test_empty_histogram_roundtrip(self):
+        rec = MetricRecorder("0", histogram_bounds=[1.0])
+        rec.histograms["h"] = Histogram([1.0])
+        clone = MetricRecorder.from_snapshot(rec.snapshot())
+        assert clone.histograms["h"].min == math.inf
+        assert clone.histograms["h"].max == -math.inf
+
+
+class TestMetricsRegistry:
+    def test_recorder_identity(self):
+        reg = MetricsRegistry()
+        assert reg.recorder(0) is reg.recorder("0")
+        assert reg.recorder(0) is not reg.recorder(1)
+        assert len(reg) == 2
+
+    def test_merge_counters_exact(self):
+        # the acceptance property: N per-thread recorders merge to the
+        # exact totals a single global recorder would have seen
+        reg = MetricsRegistry(histogram_bounds=[1.0, 10.0, 100.0])
+        expected = 0.0
+        for tid in range(4):
+            rec = reg.recorder(tid)
+            for i in range(10 * (tid + 1)):
+                rec.inc("evals")
+                expected += 1.0
+        assert reg.merged().counters["evals"] == expected == 100.0
+
+    def test_merge_histograms_exact(self):
+        bounds = [1.0, 10.0, 100.0]
+        reg = MetricsRegistry(histogram_bounds=bounds)
+        reference = Histogram(bounds)
+        samples = {0: [0.5, 5.0], 1: [50.0, 500.0], 2: [2.0]}
+        for tid, vals in samples.items():
+            rec = reg.recorder(tid)
+            for v in vals:
+                rec.observe("lat", v)
+                reference.observe(v)
+        merged = reg.merged().histograms["lat"]
+        assert merged.counts == reference.counts
+        assert merged.total == pytest.approx(reference.total)
+
+    def test_merge_gauges_keep_per_thread_views(self):
+        reg = MetricsRegistry()
+        reg.recorder(0).set_gauge("q", 1.0)
+        reg.recorder(1).set_gauge("q", 2.0)
+        merged = reg.merged()
+        assert merged.gauges["q{thread=0}"] == 1.0
+        assert merged.gauges["q{thread=1}"] == 2.0
+        assert merged.gauges["q"] in (1.0, 2.0)
+
+    def test_adopt_external_recorder(self):
+        reg = MetricsRegistry()
+        reg.recorder(0).inc("n", 1.0)
+        external = MetricRecorder("1")
+        external.inc("n", 2.0)
+        reg.adopt(external)
+        assert reg.merged().counters["n"] == 3.0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.recorder("main").inc("x")
+        snap = reg.snapshot()
+        assert set(snap) == {"merged", "per_thread"}
+        assert "main" in snap["per_thread"]
+        assert snap["merged"]["counters"]["x"] == 1.0
+
+    def test_default_bounds_are_increasing(self):
+        assert all(
+            a < b
+            for a, b in zip(DEFAULT_LATENCY_BUCKETS_US, DEFAULT_LATENCY_BUCKETS_US[1:])
+        )

@@ -1,0 +1,74 @@
+"""Tests for repro.obs.timeseries — cadence gating and JSONL output."""
+
+import json
+
+import pytest
+
+from repro.obs import TimeSeriesSampler
+
+
+class TestValidation:
+    def test_needs_a_cadence(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(every_evals=None, every_s=None)
+
+    def test_rejects_bad_cadences(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(every_evals=0)
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(every_evals=None, every_s=0.0)
+
+
+class TestCadence:
+    def test_eval_cadence(self):
+        s = TimeSeriesSampler(every_evals=100)
+        emitted = [ev for ev in range(0, 1001, 50) if s.tick(ev, 0.0, dict)]
+        # fires at every 100-eval boundary, not at 50-eval half steps
+        assert emitted == [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+        assert len(s) == 10
+
+    def test_time_cadence(self):
+        s = TimeSeriesSampler(every_evals=None, every_s=1.0)
+        emitted = [t for t in (0.2, 0.9, 1.1, 1.5, 2.3) if s.tick(0, t, dict)]
+        assert emitted == [1.1, 2.3]
+
+    def test_provider_called_only_on_emission(self):
+        calls = []
+        s = TimeSeriesSampler(every_evals=10)
+
+        def provider():
+            calls.append(1)
+            return {"x": 1}
+
+        for ev in range(0, 25):
+            s.tick(ev, 0.0, provider)
+        assert len(calls) == len(s) == 2
+
+    def test_force_overrides_cadence(self):
+        s = TimeSeriesSampler(every_evals=1000)
+        assert not s.tick(1, 0.0, dict)
+        assert s.tick(1, 0.0, dict, force=True)
+        assert len(s) == 1
+
+    def test_row_carries_coordinates_and_provider_fields(self):
+        s = TimeSeriesSampler(every_evals=1)
+        s.tick(5, 0.25, lambda: {"best": 42.0})
+        (row,) = s.rows
+        assert row == {"t_s": 0.25, "evaluations": 5, "best": 42.0}
+
+
+class TestSerialization:
+    def test_jsonl_roundtrip(self, tmp_path):
+        s = TimeSeriesSampler(every_evals=1)
+        s.tick(1, 0.1, lambda: {"best": 1.0})
+        s.tick(2, 0.2, lambda: {"best": 0.5})
+        path = tmp_path / "ts.jsonl"
+        s.write(path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows == s.rows
+
+    def test_empty_sampler_writes_empty_file(self, tmp_path):
+        s = TimeSeriesSampler(every_evals=1)
+        path = tmp_path / "ts.jsonl"
+        s.write(path)
+        assert path.read_text() == ""

@@ -1,0 +1,76 @@
+"""Tests for repro.obs.trace — Chrome trace_event JSON export."""
+
+import json
+
+from repro.obs import ThreadTracer, Tracer
+
+
+class TestThreadTracer:
+    def test_complete_event_schema(self):
+        tt = ThreadTracer(3, epoch=0.0)
+        tt.complete("sweep", 0.5, 0.25, {"generation": 2})
+        (ev,) = tt.events
+        assert ev["ph"] == "X"
+        assert ev["name"] == "sweep"
+        assert ev["tid"] == 3 and ev["pid"] == 1
+        assert ev["ts"] == 0.5e6 and ev["dur"] == 0.25e6  # microseconds
+        assert ev["args"] == {"generation": 2}
+
+    def test_span_context_manager(self):
+        tt = ThreadTracer(0, epoch=0.0)
+        with tt.span("work"):
+            pass
+        (ev,) = tt.events
+        assert ev["ph"] == "X" and ev["name"] == "work"
+        assert ev["dur"] >= 0.0
+
+    def test_instant_and_counter(self):
+        tt = ThreadTracer(1, epoch=0.0)
+        tt.instant("improvement", {"best": 1.0}, at_s=0.1)
+        tt.counter("evals", {"n": 5.0}, at_s=0.2)
+        inst, ctr = tt.events
+        assert inst["ph"] == "i" and inst["s"] == "t" and inst["ts"] == 0.1e6
+        assert ctr["ph"] == "C" and ctr["args"] == {"n": 5.0}
+
+
+class TestTracer:
+    def test_thread_lanes_are_cached(self):
+        tr = Tracer(epoch=0.0)
+        assert tr.thread(0) is tr.thread(0)
+        assert tr.thread(0) is not tr.thread(1)
+
+    def test_export_schema(self):
+        tr = Tracer(epoch=0.0)
+        tr.thread(1, "pacga-1").complete("sweep", 0.0, 0.1)
+        tr.thread(0, "pacga-0").complete("sweep", 0.0, 0.2)
+        doc = tr.export()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        # thread_name metadata records come first, sorted by tid
+        metas = [e for e in events if e["ph"] == "M"]
+        assert [m["tid"] for m in metas] == [0, 1]
+        assert metas[0]["args"]["name"] == "pacga-0"
+        assert all(e["ph"] in ("M", "X") for e in events)
+        # the whole document must be valid JSON
+        json.loads(json.dumps(doc))
+
+    def test_adopt_merges_foreign_events(self):
+        tr = Tracer(epoch=0.0)
+        foreign = ThreadTracer(5, epoch=0.0)
+        foreign.complete("sweep", 0.0, 0.1)
+        foreign.instant("done")
+        tr.adopt(5, foreign.events, "forked-5")
+        assert tr.n_events == 2
+        names = {
+            e["args"]["name"] for e in tr.export()["traceEvents"] if e["ph"] == "M"
+        }
+        assert names == {"forked-5"}
+
+    def test_write_is_loadable(self, tmp_path):
+        tr = Tracer(epoch=0.0)
+        tr.thread(0).complete("sweep", 0.0, 1e-3, {"generation": 1})
+        path = tmp_path / "trace.json"
+        tr.write(path)
+        doc = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
