@@ -38,36 +38,42 @@ VECTORIZED_BUDGET = StopCondition(max_evaluations=256 * 400)
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 _results: dict[str, float] = {}
+#: best makespan per engine at the same budget — `repro obs check` gates
+#: future runs against these (quality_makespan in BENCH_throughput.json)
+_quality: dict[str, float] = {}
 
 
-def _throughput(engine, budget: StopCondition = BUDGET) -> float:
+def _throughput(key: str, engine, budget: StopCondition = BUDGET) -> float:
     res = engine.run(budget)
+    _quality[key] = res.best_fitness
     return res.evaluations / res.elapsed_s
 
 
 @pytest.mark.parametrize("n_threads", [1, 2, 4])
 def test_threaded_engine(benchmark, n_threads):
+    key = f"threads({n_threads})"
     rate = benchmark.pedantic(
-        lambda: _throughput(ThreadedPACGA(INST, CFG.with_(n_threads=n_threads), seed=0)),
+        lambda: _throughput(key, ThreadedPACGA(INST, CFG.with_(n_threads=n_threads), seed=0)),
         rounds=1,
         iterations=1,
     )
-    _results[f"threads({n_threads})"] = rate
+    _results[key] = rate
 
 
 @pytest.mark.parametrize("n_threads", [1, 2])
 def test_process_engine(benchmark, n_threads):
+    key = f"processes({n_threads})"
     rate = benchmark.pedantic(
-        lambda: _throughput(ProcessPACGA(INST, CFG.with_(n_threads=n_threads), seed=0)),
+        lambda: _throughput(key, ProcessPACGA(INST, CFG.with_(n_threads=n_threads), seed=0)),
         rounds=1,
         iterations=1,
     )
-    _results[f"processes({n_threads})"] = rate
+    _results[key] = rate
 
 
 def test_sequential_engine(benchmark):
     rate = benchmark.pedantic(
-        lambda: _throughput(AsyncCGA(INST, CFG, rng=0, record_history=False)),
+        lambda: _throughput("async(1)", AsyncCGA(INST, CFG, rng=0, record_history=False)),
         rounds=1,
         iterations=1,
     )
@@ -79,6 +85,7 @@ def test_vectorized_engine(benchmark):
     rate = benchmark.pedantic(
         lambda: max(
             _throughput(
+                "vectorized(1)",
                 VectorizedSyncCGA(INST, CFG, rng=0, record_history=False),
                 VECTORIZED_BUDGET,
             )
@@ -93,7 +100,8 @@ def test_vectorized_engine(benchmark):
 def test_simulated_engine_and_report(benchmark):
     rate = benchmark.pedantic(
         lambda: _throughput(
-            SimulatedPACGA(INST, CFG.with_(n_threads=3), seed=0, history_stride=10**9)
+            "simulated(3)",
+            SimulatedPACGA(INST, CFG.with_(n_threads=3), seed=0, history_stride=10**9),
         ),
         rounds=1,
         iterations=1,
@@ -123,6 +131,7 @@ def test_simulated_engine_and_report(benchmark):
         "budget_evaluations": BUDGET.max_evaluations,
         "vectorized_budget_evaluations": VECTORIZED_BUDGET.max_evaluations,
         "engines_evals_per_s": {k: round(v, 1) for k, v in sorted(_results.items())},
+        "quality_makespan": {k: round(v, 1) for k, v in sorted(_quality.items())},
     }
     (REPO_ROOT / "BENCH_throughput.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"

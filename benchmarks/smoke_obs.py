@@ -9,8 +9,10 @@ telemetry bundle and fails the build when
    JSONL time-series rows), or
 2. the *instrumented* run is more than ``REPRO_OBS_MAX_OVERHEAD``
    (default 10%) slower than an uninstrumented run at the same
-   evaluation budget — best of three runs each, so a noisy CI neighbor
-   does not fail the build.
+   evaluation budget — **median of three** timed runs each (not a
+   single pair, not best-of: the median discards one-off scheduler
+   hiccups in either direction), so a noisy CI neighbor does not flake
+   the build.
 
 Usage: PYTHONPATH=src python benchmarks/smoke_obs.py
 """
@@ -19,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import statistics
 import sys
 import tempfile
 import time
@@ -98,14 +101,14 @@ def validate_bundle(out: Path, n_threads: int) -> None:
 
 
 def timed_run(inst, cfg, obs_factory) -> float:
-    best = float("inf")
+    times = []
     for _ in range(RUNS):
         obs = obs_factory()
         eng = ThreadedPACGA(inst, cfg, seed=0, obs=obs)
         t0 = time.perf_counter()
         eng.run(StopCondition(max_evaluations=BUDGET))
-        best = min(best, time.perf_counter() - t0)
-    return best
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
 
 
 def main() -> int:
@@ -129,8 +132,8 @@ def main() -> int:
         inst, cfg, lambda: Observer(out=None, sample_every_evals=256)
     )
     overhead = instrumented / plain - 1.0
-    print(f"uninstrumented : {plain:8.3f} s (best of {RUNS})")
-    print(f"instrumented   : {instrumented:8.3f} s (best of {RUNS})")
+    print(f"uninstrumented : {plain:8.3f} s (median of {RUNS})")
+    print(f"instrumented   : {instrumented:8.3f} s (median of {RUNS})")
     print(f"overhead       : {100 * overhead:+.1f}% (ceiling: {100 * MAX_OVERHEAD:.0f}%)")
     check(overhead <= MAX_OVERHEAD, "instrumentation overhead above ceiling")
     print("OK")

@@ -209,6 +209,46 @@ class _EngineBase:
             self.ops = instrumented_ops(self.ops, self.obs.recorder("main"))
             self._obs_hooks = self.obs.engine_hooks()
 
+    def _start_runtime(self):
+        """Attach the observer's live publisher/watchdog for this run.
+
+        The sequential engines are their own single "worker": the
+        heartbeat advances once per generation, so a generation loop
+        stuck inside one breeding step (a hung fitness function, a
+        livelocked local search) is flagged by the watchdog's monitor
+        thread.  Returns the heartbeat board, or None when the observer
+        requests no runtime attachment (then the loop stays untouched).
+        """
+        obs = self.obs
+        if obs is None or not obs.runtime_wanted:
+            return None
+        from repro.obs.watchdog import HeartbeatBoard
+
+        board = HeartbeatBoard(1)
+        self._live_state = {"generation": 0, "evaluations": 0}
+
+        def progress() -> dict:
+            _, best = self.pop.best()
+            return {
+                **self._live_state,
+                "best": best,
+                "heartbeats": board.read(),
+                "workers_done": [bool(board.done[0])],
+            }
+
+        def fire_stall(event) -> None:
+            if self.hooks.on_stall is not None:
+                self.hooks.on_stall(self, event)
+
+        obs.start_runtime(board, progress, on_stall=fire_stall)
+        return board
+
+    def _stop_runtime(self, board) -> None:
+        if board is not None:
+            board.mark_done(0)
+        if self.obs is not None:
+            self.obs.stop_runtime()
+
     @property
     def on_generation(self) -> Callable | None:
         """Back-compat view of ``hooks.on_generation`` (bare attribute API)."""
@@ -275,20 +315,28 @@ class AsyncCGA(_EngineBase):
         history: list[tuple[int, int, float, float]] = []
         evaluations = 0
         generations = 0
+        board = self._start_runtime()
         t0 = time.perf_counter()
         self._snapshot(0, 0, history)
-        while True:
-            elapsed = time.perf_counter() - t0
-            _, best = pop.best()
-            if stop.done(evaluations, generations, elapsed, best):
-                break
-            for idx in sweep:
-                evolve_individual(pop, idx, self.neighbors[idx], ops, rng)
-                evaluations += 1
-                if stop.max_evaluations is not None and evaluations >= stop.max_evaluations:
+        try:
+            while True:
+                elapsed = time.perf_counter() - t0
+                _, best = pop.best()
+                if stop.done(evaluations, generations, elapsed, best):
                     break
-            generations += 1
-            self._snapshot(generations, evaluations, history)
+                for idx in sweep:
+                    evolve_individual(pop, idx, self.neighbors[idx], ops, rng)
+                    evaluations += 1
+                    if stop.max_evaluations is not None and evaluations >= stop.max_evaluations:
+                        break
+                generations += 1
+                if board is not None:
+                    board.beat(0)
+                    self._live_state["generation"] = generations
+                    self._live_state["evaluations"] = evaluations
+                self._snapshot(generations, evaluations, history)
+        finally:
+            self._stop_runtime(board)
         return self._result(
             evaluations, generations, time.perf_counter() - t0, history
         )

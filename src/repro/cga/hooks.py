@@ -9,7 +9,11 @@ mutable protocol object with three slots:
 * ``on_improvement(engine, generation, evaluations, best)`` — whenever
   the population best strictly improves between snapshots;
 * ``on_stop(engine, result)`` — once, with the final
-  :class:`~repro.cga.engine.RunResult`, before ``run`` returns.
+  :class:`~repro.cga.engine.RunResult`, before ``run`` returns;
+* ``on_stall(engine, event)`` — from the observability watchdog, with a
+  :class:`~repro.obs.watchdog.StallEvent`, when a worker's heartbeat
+  has not advanced within the configured deadline.  Fired from the
+  watchdog's monitor thread, never from the stalled worker itself.
 
 Backward compatibility: everywhere a hooks object is accepted, a bare
 callable still works and is treated as ``EngineHooks(on_generation=f)``
@@ -25,19 +29,21 @@ __all__ = ["EngineHooks", "as_hooks"]
 
 
 class EngineHooks:
-    """Mutable bundle of the three engine lifecycle callbacks."""
+    """Mutable bundle of the engine lifecycle callbacks."""
 
-    __slots__ = ("on_generation", "on_improvement", "on_stop")
+    __slots__ = ("on_generation", "on_improvement", "on_stop", "on_stall")
 
     def __init__(
         self,
         on_generation: Callable | None = None,
         on_improvement: Callable | None = None,
         on_stop: Callable | None = None,
+        on_stall: Callable | None = None,
     ):
         self.on_generation = on_generation
         self.on_improvement = on_improvement
         self.on_stop = on_stop
+        self.on_stall = on_stall
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         set_ = [s for s in self.__slots__ if getattr(self, s) is not None]

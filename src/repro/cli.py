@@ -6,7 +6,14 @@ Commands:
 * ``heuristics``  — run every constructive heuristic on one instance;
 * ``solve``       — run PA-CGA (any engine) on an instance
   (``run`` is an alias); ``--obs-out DIR`` collects a full telemetry
-  bundle (metrics.json, trace.json, timeseries.jsonl, report.md);
+  bundle (metrics.json, trace.json, timeseries.jsonl, report.md),
+  ``--obs-live PORT`` additionally serves live OpenMetrics/JSON
+  snapshots while the run executes, and ``--obs-stall-deadline S``
+  arms the worker watchdog;
+* ``obs``         — live/longitudinal telemetry tooling: ``watch`` a
+  running bundle, ``ingest`` finished bundles into a JSONL run
+  history, ``history``/``diff`` past runs, and ``check`` a run against
+  a baseline with regression gates (nonzero exit on regression);
 * ``generate``    — generate an ETC instance file;
 * ``speedup`` / ``operators`` / ``comparison`` / ``convergence`` —
   run the paper-artifact harnesses at CLI-chosen budgets.
@@ -43,7 +50,15 @@ def build_parser() -> argparse.ArgumentParser:
         ("solve", "run PA-CGA on an instance"),
         ("run", "alias for solve"),
     ):
-        p = sub.add_parser(name, help=help_)
+        p = sub.add_parser(
+            name,
+            help=help_,
+            epilog=(
+                "engine aliases: pacga-sim = sim, pacga-threads = threads, "
+                "pacga-processes = processes (the paper's PA-CGA engine on "
+                "its three substrates)"
+            ),
+        )
         p.add_argument("--instance", default="u_i_hihi.0")
         p.add_argument(
             "--engine",
@@ -80,19 +95,92 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="collect run telemetry and write the bundle to this directory",
         )
+        # the --obs-* defaults are None sentinels so "flag given without
+        # --obs-out" is detectable and rejected with a clear error
         p.add_argument(
             "--obs-trace",
             action=argparse.BooleanOptionalAction,
-            default=True,
-            help="include a Chrome trace_event timeline in the bundle",
+            default=None,
+            help="include a Chrome trace_event timeline in the bundle (default: on)",
         )
         p.add_argument(
             "--obs-sample-every",
             type=int,
-            default=256,
+            default=None,
             metavar="EVALS",
-            help="time-series sampling cadence in evaluations",
+            help="time-series sampling cadence in evaluations (default: 256)",
         )
+        p.add_argument(
+            "--obs-live",
+            type=int,
+            default=None,
+            metavar="PORT",
+            help=(
+                "publish live.json into the bundle while running and serve "
+                "/metrics (OpenMetrics) + /live.json on this port (0 = ephemeral)"
+            ),
+        )
+        p.add_argument(
+            "--obs-stall-deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help=(
+                "arm the worker watchdog: report a stall event when a worker's "
+                "heartbeat does not advance for this long"
+            ),
+        )
+
+    p = sub.add_parser("obs", help="live + longitudinal telemetry tooling")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser("watch", help="render a bundle's live.json in place")
+    q.add_argument("bundle", help="telemetry bundle directory")
+    q.add_argument("--interval", type=float, default=1.0, help="refresh seconds")
+    q.add_argument("--once", action="store_true", help="render one frame and exit")
+
+    q = obs_sub.add_parser(
+        "ingest", help="append a finished bundle's summary to a run history"
+    )
+    q.add_argument("bundle", help="telemetry bundle directory")
+    q.add_argument("--history", required=True, help="JSONL run registry (appended)")
+
+    q = obs_sub.add_parser("history", help="list a JSONL run registry")
+    q.add_argument("file")
+    q.add_argument("--limit", type=int, default=None, help="show only the newest N runs")
+
+    q = obs_sub.add_parser(
+        "diff", help="compare two runs (bundle dirs, summary .json, or history .jsonl)"
+    )
+    q.add_argument("a")
+    q.add_argument("b")
+
+    q = obs_sub.add_parser(
+        "check",
+        help="regression gate against a baseline; exits nonzero on regression",
+    )
+    q.add_argument(
+        "run", help="run under test: bundle dir, summary .json, or history .jsonl"
+    )
+    q.add_argument(
+        "--baseline",
+        required=True,
+        help="baseline: summary .json / history .jsonl / BENCH_throughput.json",
+    )
+    q.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="allowed makespan (quality) regression in percent",
+    )
+    q.add_argument(
+        "--throughput-tolerance",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="allowed evals/s drop in percent (default: same as --tolerance)",
+    )
 
     p = sub.add_parser("generate", help="generate an ETC instance file")
     p.add_argument("--ntasks", type=int, default=512)
@@ -202,6 +290,25 @@ def _cmd_solve(args) -> int:
     from repro.etc import load_benchmark
     from repro.parallel import ProcessPACGA, SimulatedPACGA, ThreadedPACGA
 
+    if args.obs_out is None:
+        stray = [
+            flag
+            for flag, value in (
+                ("--obs-trace/--no-obs-trace", args.obs_trace),
+                ("--obs-sample-every", args.obs_sample_every),
+                ("--obs-live", args.obs_live),
+                ("--obs-stall-deadline", args.obs_stall_deadline),
+            )
+            if value is not None
+        ]
+        if stray:
+            print(
+                f"error: {', '.join(stray)} configure the telemetry bundle and "
+                "require --obs-out DIR (no bundle directory was given)",
+                file=sys.stderr,
+            )
+            return 2
+
     inst = load_benchmark(args.instance)
     engine_name = {
         "pacga-sim": "sim",
@@ -231,12 +338,25 @@ def _cmd_solve(args) -> int:
 
         obs = Observer(
             out=args.obs_out,
-            trace=args.obs_trace,
-            sample_every_evals=args.obs_sample_every,
+            trace=True if args.obs_trace is None else args.obs_trace,
+            sample_every_evals=(
+                256 if args.obs_sample_every is None else args.obs_sample_every
+            ),
+            live=args.obs_live is not None,
+            live_port=args.obs_live,
+            stall_deadline_s=args.obs_stall_deadline,
         )
         obs.meta.update(
             {"instance": inst.name, "engine": engine_name, "seed": args.seed}
         )
+        if args.obs_live is not None:
+            print(f"live telemetry : {args.obs_out}/live.json", flush=True)
+            if args.obs_live:
+                print(
+                    f"live endpoint  : http://127.0.0.1:{args.obs_live}/metrics "
+                    "(OpenMetrics) and /live.json",
+                    flush=True,
+                )
 
     if engine_name == "sim":
         engine = SimulatedPACGA(inst, config, seed=args.seed, obs=obs)
@@ -276,6 +396,58 @@ def _cmd_solve(args) -> int:
         save_result(result, args.out)
         print(f"result written to {args.out}")
     return 0
+
+
+def _cmd_obs(args) -> int:
+    if args.obs_command == "watch":
+        from repro.obs.live import watch
+
+        return watch(args.bundle, interval_s=args.interval, once=args.once)
+
+    from repro.obs import history as hist
+
+    if args.obs_command == "ingest":
+        row = hist.append_history(args.history, hist.summarize_bundle(args.bundle))
+        print(f"recorded {row['run_id']} -> {args.history}")
+        print(hist.render_history([row]))
+        return 0
+
+    if args.obs_command == "history":
+        rows = hist.load_history(args.file)
+        print(hist.render_history(rows, limit=args.limit))
+        return 0
+
+    if args.obs_command == "diff":
+        a = hist.summarize_source(args.a)
+        b = hist.summarize_source(args.b)
+        print(hist.render_diff(a, b))
+        return 0
+
+    if args.obs_command == "check":
+        current = hist.summarize_source(args.run)
+        baseline = hist.load_baseline(args.baseline, row=current)
+        problems = hist.check_row(
+            current,
+            baseline,
+            tolerance_pct=args.tolerance,
+            throughput_tolerance_pct=args.throughput_tolerance,
+        )
+        print(
+            f"run {current.get('run_id', '?')} vs baseline "
+            f"{baseline.get('run_id', args.baseline)}"
+        )
+        for key in ("best_fitness", "evals_per_s"):
+            cur, base = current.get(key), baseline.get(key)
+            if cur is not None and base is not None:
+                print(f"  {key:<14}: {cur:,.2f} (baseline {base:,.2f})")
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print("OK: within tolerance")
+        return 0
+
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")  # pragma: no cover
 
 
 def _cmd_generate(args) -> int:
@@ -410,6 +582,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_heuristics(args)
     if args.command in ("solve", "run"):
         return _cmd_solve(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "speedup":

@@ -2,8 +2,12 @@
 
 Per-thread lock-free metrics (:mod:`repro.obs.metrics`), Chrome
 trace-event timelines (:mod:`repro.obs.trace`), JSONL convergence time
-series (:mod:`repro.obs.timeseries`) and report rendering
-(:mod:`repro.obs.report`), all behind the :class:`Observer` facade::
+series (:mod:`repro.obs.timeseries`), report rendering
+(:mod:`repro.obs.report`), live export — atomic ``live.json`` +
+OpenMetrics endpoint (:mod:`repro.obs.live`) — the worker-heartbeat
+watchdog (:mod:`repro.obs.watchdog`) and the cross-run history /
+regression gates (:mod:`repro.obs.history`), all behind the
+:class:`Observer` facade::
 
     from repro import load_benchmark, CGAConfig, StopCondition, ThreadedPACGA
     from repro.obs import Observer
@@ -32,6 +36,15 @@ from repro.obs.timeseries import TimeSeriesSampler
 from repro.obs.observer import ObsConfig, Observer, resolve_observer
 from repro.obs.instrument import instrumented_ops
 from repro.obs.report import load_bundle, render_markdown, render_terminal
+from repro.obs.live import LivePublisher, render_openmetrics
+from repro.obs.watchdog import HeartbeatBoard, StallEvent, Watchdog
+from repro.obs.history import (
+    append_history,
+    check_row,
+    load_baseline,
+    load_history,
+    summarize_bundle,
+)
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_US",
@@ -48,4 +61,14 @@ __all__ = [
     "load_bundle",
     "render_markdown",
     "render_terminal",
+    "LivePublisher",
+    "render_openmetrics",
+    "HeartbeatBoard",
+    "StallEvent",
+    "Watchdog",
+    "append_history",
+    "check_row",
+    "load_baseline",
+    "load_history",
+    "summarize_bundle",
 ]

@@ -1,0 +1,301 @@
+"""Cross-run history: an append-only JSONL run registry + regression gates.
+
+The paper's Table 1/Table 2 comparisons (and the related parallel-GA
+literature they sit in) only mean something when run quality and
+throughput are *tracked*, not eyeballed.  This module closes that loop:
+
+* :func:`summarize_bundle` distills one finished telemetry bundle
+  (``meta.json`` + ``metrics.json`` + final result) into a flat summary
+  row;
+* :func:`append_history` / :func:`load_history` maintain the
+  append-only JSONL registry (one row per run — append-only so CI can
+  accumulate it as an artifact across builds);
+* :func:`diff_rows` compares two runs field by field;
+* :func:`check_row` is the regression gate: best makespan must not rise
+  and throughput must not fall beyond the configured tolerances versus
+  a baseline.  :func:`load_baseline` also understands the repo's
+  committed ``BENCH_throughput.json`` shape, so CI gates every build's
+  bench run against the committed numbers.
+
+Everything here is offline tooling — nothing in this module is ever
+imported on an engine hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = [
+    "summarize_bundle",
+    "summarize_source",
+    "append_history",
+    "load_history",
+    "render_history",
+    "diff_rows",
+    "render_diff",
+    "load_baseline",
+    "check_row",
+]
+
+#: fields a summary row carries (missing values are stored as None)
+ROW_FIELDS = (
+    "run_id",
+    "recorded_unix",
+    "engine",
+    "instance",
+    "n_threads",
+    "seed",
+    "best_fitness",
+    "evaluations",
+    "generations",
+    "elapsed_s",
+    "evals_per_s",
+    "stalls",
+    "lock_wait_s",
+    "interrupted",
+)
+
+
+def summarize_bundle(bundle_dir) -> dict:
+    """One flat summary row from a telemetry bundle directory.
+
+    Tolerates partial (crash-finalized) bundles: only ``meta.json`` is
+    required, metrics enrich the row when present.
+    """
+    root = Path(bundle_dir)
+    meta = json.loads((root / "meta.json").read_text(encoding="utf-8"))
+    counters: dict = {}
+    metrics_path = root / "metrics.json"
+    if metrics_path.exists():
+        counters = (
+            json.loads(metrics_path.read_text(encoding="utf-8"))
+            .get("merged", {})
+            .get("counters", {})
+        )
+    result = meta.get("result", {})
+    elapsed = result.get("elapsed_s")
+    evals = result.get("evaluations")
+    row = {
+        "run_id": meta.get("run_id") or root.resolve().name,
+        "recorded_unix": None,  # stamped by append_history
+        "engine": meta.get("engine"),
+        "instance": meta.get("instance"),
+        "n_threads": meta.get("n_threads"),
+        "seed": meta.get("seed"),
+        "best_fitness": result.get("best_fitness"),
+        "evaluations": evals,
+        "generations": result.get("generations"),
+        "elapsed_s": elapsed,
+        "evals_per_s": (evals / elapsed) if evals and elapsed else None,
+        "stalls": int(counters.get("watchdog.stalls", 0)),
+        "lock_wait_s": counters.get("lock.read_wait_s_total", 0.0)
+        + counters.get("lock.write_wait_s_total", 0.0),
+        "interrupted": bool(meta.get("interrupted")),
+    }
+    return row
+
+
+def summarize_source(path) -> dict:
+    """A summary row from a bundle dir, a summary ``.json`` file, or
+    the last row of a history ``.jsonl`` file."""
+    p = Path(path)
+    if p.is_dir():
+        return summarize_bundle(p)
+    if p.suffix == ".jsonl":
+        rows = load_history(p)
+        if not rows:
+            raise ValueError(f"history file {p} is empty")
+        return rows[-1]
+    return json.loads(p.read_text(encoding="utf-8"))
+
+
+def append_history(history_path, row: dict) -> dict:
+    """Append ``row`` to the JSONL registry (created on first use);
+    stamps ``recorded_unix`` and returns the stored row."""
+    path = Path(history_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    stored = {k: row.get(k) for k in ROW_FIELDS}
+    stored.update({k: v for k, v in row.items() if k not in stored})
+    if stored.get("recorded_unix") is None:
+        stored["recorded_unix"] = round(time.time(), 3)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(stored) + "\n")
+    return stored
+
+
+def load_history(history_path) -> list[dict]:
+    """All rows of a JSONL registry (empty list for a missing file)."""
+    path = Path(history_path)
+    if not path.exists():
+        return []
+    return [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+
+
+def _fmt(v, digits: int = 2) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        return f"{v:,.{digits}f}"
+    return f"{v:,}" if isinstance(v, int) else str(v)
+
+
+def render_history(rows: list[dict], limit: int | None = None) -> str:
+    """Fixed-width table of the newest ``limit`` rows."""
+    from repro.obs.report import _table
+
+    if limit is not None:
+        rows = rows[-limit:]
+    if not rows:
+        return "(history is empty)"
+    headers = ["run", "engine", "instance", "thr", "makespan", "evals", "evals/s", "stalls"]
+    body = [
+        [
+            str(r.get("run_id", "-"))[:24],
+            _fmt(r.get("engine")),
+            _fmt(r.get("instance")),
+            _fmt(r.get("n_threads")),
+            _fmt(r.get("best_fitness")),
+            _fmt(r.get("evaluations")),
+            _fmt(r.get("evals_per_s"), 0),
+            _fmt(r.get("stalls")),
+        ]
+        for r in rows
+    ]
+    return _table(headers, body)
+
+
+#: fields compared by ``repro obs diff`` — (key, lower-is-better)
+DIFF_FIELDS = (
+    ("best_fitness", True),
+    ("evaluations", False),
+    ("elapsed_s", True),
+    ("evals_per_s", False),
+    ("stalls", True),
+    ("lock_wait_s", True),
+)
+
+
+def diff_rows(a: dict, b: dict) -> list[dict]:
+    """Field-by-field comparison of two summary rows (B relative to A)."""
+    out = []
+    for key, lower_better in DIFF_FIELDS:
+        va, vb = a.get(key), b.get(key)
+        delta_pct = None
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)) and va:
+            delta_pct = 100.0 * (vb - va) / abs(va)
+        better = None
+        if delta_pct is not None and abs(delta_pct) > 1e-9:
+            better = (delta_pct < 0) == lower_better
+        out.append({"field": key, "a": va, "b": vb, "delta_pct": delta_pct, "better": better})
+    return out
+
+
+def render_diff(a: dict, b: dict) -> str:
+    """Human-readable ``repro obs diff A B`` table."""
+    from repro.obs.report import _table
+
+    rows = []
+    for d in diff_rows(a, b):
+        delta = "-"
+        if d["delta_pct"] is not None:
+            arrow = "" if d["better"] is None else (" +" if d["better"] else " !")
+            delta = f"{d['delta_pct']:+.1f}%{arrow}"
+        rows.append([d["field"], _fmt(d["a"]), _fmt(d["b"]), delta])
+    head = (
+        f"A: {a.get('run_id', '?')} ({a.get('engine')}, {a.get('instance')})\n"
+        f"B: {b.get('run_id', '?')} ({b.get('engine')}, {b.get('instance')})\n"
+        "('+' = B better, '!' = B worse)\n\n"
+    )
+    return head + _table(["field", "A", "B", "B vs A"], rows)
+
+
+def _engine_key(row: dict) -> str | None:
+    """The ``BENCH_throughput.json`` engine key, e.g. ``threads(2)``."""
+    engine, n = row.get("engine"), row.get("n_threads")
+    if engine is None:
+        return None
+    alias = {"sim": "simulated"}.get(engine, engine)
+    return f"{alias}({n if n is not None else 1})"
+
+
+def load_baseline(path, row: dict | None = None) -> dict:
+    """A baseline row from a summary/history file or the committed
+    ``BENCH_throughput.json``.
+
+    The bench file carries per-engine throughput (``engines_evals_per_s``)
+    and optional per-engine quality (``quality_makespan``); ``row`` (the
+    run under test) selects the matching engine entry.
+    """
+    data = summarize_source(path)
+    if "engines_evals_per_s" not in data:
+        return data
+    key = _engine_key(row or {})
+    engines = data["engines_evals_per_s"]
+    if key not in engines:
+        raise KeyError(
+            f"baseline {path} has no engine entry {key!r} "
+            f"(available: {', '.join(sorted(engines))})"
+        )
+    return {
+        "run_id": f"baseline:{key}",
+        "engine": (row or {}).get("engine"),
+        "instance": data.get("instance"),
+        "evals_per_s": engines[key],
+        "best_fitness": data.get("quality_makespan", {}).get(key),
+    }
+
+
+def check_row(
+    current: dict,
+    baseline: dict,
+    tolerance_pct: float = 10.0,
+    throughput_tolerance_pct: float | None = None,
+) -> list[str]:
+    """The regression gate; returns the list of violations (empty = pass).
+
+    * quality: ``best_fitness`` (makespan, lower is better) may not
+      exceed the baseline by more than ``tolerance_pct`` percent;
+    * throughput: ``evals_per_s`` may not fall below the baseline by
+      more than ``throughput_tolerance_pct`` (defaults to
+      ``tolerance_pct``) percent;
+    * a run that recorded stall events or was interrupted fails outright.
+
+    Metrics absent from the baseline are skipped, so a throughput-only
+    baseline (``BENCH_throughput.json`` without quality entries) gates
+    throughput alone.
+    """
+    if throughput_tolerance_pct is None:
+        throughput_tolerance_pct = tolerance_pct
+    problems: list[str] = []
+
+    base_ms, cur_ms = baseline.get("best_fitness"), current.get("best_fitness")
+    if base_ms is not None and cur_ms is not None:
+        ceiling = base_ms * (1.0 + tolerance_pct / 100.0)
+        if cur_ms > ceiling:
+            problems.append(
+                f"makespan regression: {cur_ms:,.2f} > {base_ms:,.2f} "
+                f"+{tolerance_pct:g}% (ceiling {ceiling:,.2f})"
+            )
+
+    base_tp, cur_tp = baseline.get("evals_per_s"), current.get("evals_per_s")
+    if base_tp is not None and cur_tp is not None:
+        floor = base_tp * (1.0 - throughput_tolerance_pct / 100.0)
+        if cur_tp < floor:
+            problems.append(
+                f"throughput regression: {cur_tp:,.1f} evals/s < {base_tp:,.1f} "
+                f"-{throughput_tolerance_pct:g}% (floor {floor:,.1f})"
+            )
+
+    if current.get("stalls"):
+        problems.append(f"run recorded {current['stalls']} worker stall event(s)")
+    if current.get("interrupted"):
+        problems.append("run was interrupted (partial bundle)")
+    return problems

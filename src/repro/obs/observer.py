@@ -1,6 +1,6 @@
 """The run-telemetry facade: one :class:`Observer` per engine run.
 
-An observer bundles the three collectors of this package — per-thread
+An observer bundles the collectors of this package — per-thread
 :class:`~repro.obs.metrics.MetricRecorder` objects behind a
 :class:`~repro.obs.metrics.MetricsRegistry`, a Chrome-trace
 :class:`~repro.obs.trace.Tracer`, and a JSONL
@@ -11,7 +11,8 @@ writer that serializes all of them into one directory::
       meta.json        # engine, instance, config, outcome
       metrics.json     # merged + per-thread counters/gauges/histograms
       trace.json       # Chrome trace_event JSON (chrome://tracing, Perfetto)
-      timeseries.jsonl # one sampled convergence row per line
+      timeseries.jsonl # one sampled convergence row per line (streamed)
+      live.json        # latest live snapshot (only with live export on)
       report.md        # rendered human-readable summary
 
 Engines take ``obs=Observer(...)`` (or a frozen :class:`ObsConfig` via
@@ -19,6 +20,18 @@ Engines take ``obs=Observer(...)`` (or a frozen :class:`ObsConfig` via
 :class:`~repro.cga.hooks.EngineHooks` protocol; with ``obs=None`` no
 collector object is ever constructed and the hot paths run their
 uninstrumented branches.
+
+Live layer (PR 3): ``live=True`` / ``live_port=N`` attach a
+:class:`~repro.obs.live.LivePublisher` (atomic ``live.json`` +
+OpenMetrics endpoint) and ``stall_deadline_s`` attaches a
+:class:`~repro.obs.watchdog.Watchdog` over the engine's heartbeat
+board; both are created by :meth:`start_runtime` only when requested,
+so a plain bundle-collecting observer spawns no extra threads.
+
+Crash safety: the observer is a context manager — on an exception or
+``KeyboardInterrupt`` inside the ``with`` block the partial bundle is
+finalized with the error stamped into ``meta.json``, and the
+time-series rows were already streamed to disk as they fired.
 """
 
 from __future__ import annotations
@@ -50,6 +63,10 @@ class ObsConfig:
     trace: bool = True
     sample_every_evals: int | None = 256
     sample_every_s: float | None = None
+    live: bool = False
+    live_port: int | None = None
+    live_every_s: float = 0.5
+    stall_deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.sample_every_evals is None and self.sample_every_s is None:
@@ -62,12 +79,24 @@ class Observer:
     Parameters
     ----------
     out:
-        Bundle directory (created by :meth:`finalize`); None keeps
-        everything in memory.
+        Bundle directory (created eagerly so the time series can stream
+        into it); None keeps everything in memory.
     trace:
         Collect Chrome trace events (timeline spans per thread).
     sample_every_evals / sample_every_s:
         Time-series cadence, see :class:`TimeSeriesSampler`.
+    live:
+        Publish an atomically-replaced ``live.json`` into ``out`` while
+        the run executes (implied by ``live_port``).
+    live_port:
+        Also serve ``/metrics`` (OpenMetrics) and ``/live.json`` on
+        this TCP port (0 picks an ephemeral port).
+    live_every_s:
+        Live publish cadence.
+    stall_deadline_s:
+        Enable the worker watchdog: a worker whose heartbeat has not
+        advanced for this many seconds is reported as stalled (None
+        disables the watchdog entirely).
     """
 
     def __init__(
@@ -77,11 +106,27 @@ class Observer:
         sample_every_evals: int | None = 256,
         sample_every_s: float | None = None,
         histogram_bounds=DEFAULT_LATENCY_BUCKETS_US,
+        live: bool = False,
+        live_port: int | None = None,
+        live_every_s: float = 0.5,
+        stall_deadline_s: float | None = None,
     ):
         self.out = Path(out) if out is not None else None
         self.registry = MetricsRegistry(histogram_bounds)
         self.tracer = Tracer() if trace else None
-        self.sampler = TimeSeriesSampler(sample_every_evals, sample_every_s)
+        stream_to = None
+        if self.out is not None:
+            self.out.mkdir(parents=True, exist_ok=True)
+            stream_to = self.out / "timeseries.jsonl"
+        self.sampler = TimeSeriesSampler(
+            sample_every_evals, sample_every_s, stream_to=stream_to
+        )
+        self.live = bool(live) or live_port is not None
+        self.live_port = live_port
+        self.live_every_s = live_every_s
+        self.stall_deadline_s = stall_deadline_s
+        self.publisher = None
+        self.watchdog = None
         self.meta: dict = {}
         self.epoch = time.perf_counter()
         #: finalize the bundle automatically when the run ends (set by
@@ -99,6 +144,10 @@ class Observer:
             trace=config.trace,
             sample_every_evals=config.sample_every_evals,
             sample_every_s=config.sample_every_s,
+            live=config.live,
+            live_port=config.live_port,
+            live_every_s=config.live_every_s,
+            stall_deadline_s=config.stall_deadline_s,
         )
         obs.auto_finalize = True
         return obs
@@ -128,6 +177,57 @@ class Observer:
         """Tick the time-series sampler (wall clock unless ``t_s`` given)."""
         t = self.elapsed() if t_s is None else t_s
         return self.sampler.tick(evaluations, t, provider, force=force)
+
+    # -- live runtime (publisher + watchdog) -----------------------------
+    @property
+    def runtime_wanted(self) -> bool:
+        """Do the live settings ask for any runtime attachment?  Engines
+        skip heartbeat-board construction entirely when this is False."""
+        return self.live or self.stall_deadline_s is not None
+
+    def start_runtime(
+        self,
+        board=None,
+        progress: Callable[[], dict] | None = None,
+        on_stall: Callable | None = None,
+    ) -> None:
+        """Attach the live publisher and/or watchdog for one run.
+
+        Engines call this at run start with their heartbeat ``board``
+        and a lock-free ``progress`` provider; with neither live export
+        nor a stall deadline configured this is a no-op and no thread
+        or socket is created.
+        """
+        if self.live and self.publisher is None:
+            from repro.obs.live import LivePublisher
+
+            self.publisher = LivePublisher(
+                self,
+                progress=progress,
+                out=self.out,
+                port=self.live_port,
+                every_s=self.live_every_s,
+            ).start()
+        if self.stall_deadline_s is not None and board is not None and self.watchdog is None:
+            from repro.obs.watchdog import Watchdog
+
+            self.watchdog = Watchdog(
+                board,
+                self.stall_deadline_s,
+                on_stall=on_stall,
+                recorder=self.recorder("watchdog"),
+                tracer_for=lambda w: self.thread_tracer(w),
+            ).start()
+
+    def stop_runtime(self) -> None:
+        """Stop the watchdog and publisher (final ``live.json`` publish
+        happens here, after the engine's recorders are final)."""
+        if self.watchdog is not None:
+            self.watchdog.stop()
+            self.watchdog = None
+        if self.publisher is not None:
+            self.publisher.stop()
+            self.publisher = None
 
     # -- engine integration ---------------------------------------------
     def engine_hooks(self):
@@ -202,6 +302,23 @@ class Observer:
             }
         )
 
+    # -- crash safety ----------------------------------------------------
+    def __enter__(self) -> "Observer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Finalize even on error: a crashed run leaves a partial bundle
+        (streamed time series + whatever the recorders held) with the
+        exception stamped into ``meta.json``."""
+        self.stop_runtime()
+        if exc_type is not None:
+            self.meta["interrupted"] = {
+                "type": exc_type.__name__,
+                "message": str(exc),
+            }
+        self.finalize()
+        return False
+
     # -- bundle ----------------------------------------------------------
     def finalize(self, meta: dict | None = None) -> dict[str, Path]:
         """Write the bundle (idempotent); returns artifact paths.
@@ -211,7 +328,9 @@ class Observer:
         """
         if meta:
             self.meta.update(meta)
+        self.stop_runtime()
         if self.out is None:
+            self.sampler.close()
             return {}
         if self._finalized is not None:
             return self._finalized

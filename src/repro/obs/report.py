@@ -127,6 +127,18 @@ def _sections(meta: dict, metrics: dict, rows: list[dict]):
             )
         )
 
+    stalls = counters.get("watchdog.stalls", 0.0)
+    if stalls:
+        recoveries = counters.get("watchdog.recoveries", 0.0)
+        sections.append(
+            (
+                "Watchdog",
+                f"stall events: {_fmt(int(stalls))}\n"
+                f"recoveries: {_fmt(int(recoveries))}\n"
+                f"unrecovered at exit: {_fmt(int(stalls - recoveries))}",
+            )
+        )
+
     tried = counters.get("ls.moves_tried", 0.0)
     if tried:
         accepted = counters.get("ls.moves_accepted", 0.0)

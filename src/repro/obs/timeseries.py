@@ -14,13 +14,21 @@ Rows are dicts; the canonical fields emitted by the engines are::
     evals_per_s, ls_accept_rate, lock_wait_s, lock_hold_s
 
 but the schema is open — anything JSON-serializable goes through.  The
-bundle stores one row per line (JSONL) so multi-hour runs stream to
-disk and load with one ``json.loads`` per line.
+bundle stores one row per line (JSONL).
+
+Streaming: when constructed with ``stream_to`` (the Observer passes the
+bundle's ``timeseries.jsonl``), every emitted row is appended to the
+file immediately and flushed — a run that crashes mid-way leaves every
+sampled row on disk, and a multi-hour run never holds its full history
+in memory: the in-memory ``rows`` list is capped at ``keep_rows``
+(evicting from position 1 so the first row — the convergence baseline —
+and the newest tail both survive for reports).
 """
 
 from __future__ import annotations
 
 import json
+from pathlib import Path
 from typing import Callable
 
 __all__ = ["TimeSeriesSampler"]
@@ -38,20 +46,44 @@ class TimeSeriesSampler:
         Emit a row each time the clock advances by at least this many
         seconds (None disables the time cadence).  Either cadence
         firing produces a row; both clocks then reset.
+    stream_to:
+        Optional JSONL path; emitted rows are appended (and flushed)
+        incrementally instead of being serialized only at
+        :meth:`write` time.  The file is truncated on the first emit.
+    keep_rows:
+        In-memory retention cap when streaming (ignored otherwise: an
+        unbounded in-memory sampler stays exact for :meth:`write`).
     """
 
-    def __init__(self, every_evals: int | None = 256, every_s: float | None = None):
+    def __init__(
+        self,
+        every_evals: int | None = 256,
+        every_s: float | None = None,
+        stream_to=None,
+        keep_rows: int = 4096,
+    ):
         if every_evals is not None and every_evals < 1:
             raise ValueError(f"every_evals must be >= 1, got {every_evals}")
         if every_s is not None and every_s <= 0:
             raise ValueError(f"every_s must be positive, got {every_s}")
         if every_evals is None and every_s is None:
             raise ValueError("need at least one cadence (every_evals or every_s)")
+        if keep_rows < 2:
+            raise ValueError(f"keep_rows must be >= 2, got {keep_rows}")
         self.every_evals = every_evals
         self.every_s = every_s
         self.rows: list[dict] = []
+        self.keep_rows = keep_rows
+        self.n_total = 0
+        self.stream_path = Path(stream_to) if stream_to is not None else None
+        self._sink = None
         self._last_evals = 0
         self._last_t = 0.0
+
+    @property
+    def streaming(self) -> bool:
+        """Whether rows go to disk incrementally."""
+        return self.stream_path is not None
 
     def due(self, evaluations: int, t_s: float) -> bool:
         """Would a tick at these coordinates emit a row?"""
@@ -77,19 +109,47 @@ class TimeSeriesSampler:
             return False
         row = {"t_s": t_s, "evaluations": evaluations}
         row.update(provider())
+        if self.stream_path is not None:
+            if self._sink is None:
+                self.stream_path.parent.mkdir(parents=True, exist_ok=True)
+                self._sink = open(self.stream_path, "w", encoding="utf-8")
+            self._sink.write(json.dumps(row) + "\n")
+            self._sink.flush()
+            if len(self.rows) >= self.keep_rows:
+                # keep row 0 (the baseline) and the newest tail
+                del self.rows[1]
         self.rows.append(row)
+        self.n_total += 1
         self._last_evals = evaluations
         self._last_t = t_s
         return True
 
     def __len__(self) -> int:
-        return len(self.rows)
+        """Total rows emitted (including any streamed past the cap)."""
+        return self.n_total
+
+    def close(self) -> None:
+        """Flush and close the streaming sink (idempotent)."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
 
     def to_jsonl(self) -> str:
-        """All rows as JSON-lines text (trailing newline included)."""
+        """The retained rows as JSON-lines text (trailing newline)."""
         return "".join(json.dumps(row) + "\n" for row in self.rows)
 
     def write(self, path) -> None:
-        """Serialize the rows to ``path`` as JSONL."""
+        """Serialize the rows to ``path`` as JSONL.
+
+        When streaming to the same path the file is already complete
+        (and may hold more rows than memory retains): only flush it.
+        """
+        path = Path(path)
+        if self.stream_path is not None and path == self.stream_path:
+            self.close()
+            if not path.exists():  # no row ever fired; leave an empty file
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.touch()
+            return
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_jsonl())

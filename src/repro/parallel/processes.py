@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.engine import RunResult, evolve_individual
+from repro.cga.hooks import as_hooks
 from repro.cga.neighborhood import neighbor_table
 from repro.cga.population import Population
 from repro.cga.sweep import sweep_order
@@ -87,10 +88,16 @@ class ProcessPACGA:
     """
 
     def __init__(
-        self, instance, config: CGAConfig | None = None, seed: int | None = 0, obs=None
+        self,
+        instance,
+        config: CGAConfig | None = None,
+        seed: int | None = 0,
+        obs=None,
+        hooks=None,
     ):
         self.instance = instance
         self.config = config or CGAConfig()
+        self.hooks = as_hooks(hooks)
         self.grid = self.config.grid
         try:
             self._ctx = multiprocessing.get_context("fork")
@@ -144,6 +151,34 @@ class ProcessPACGA:
         obs = self.obs
         live_evals = self._ctx.RawArray("l", n) if obs is not None else None
         telemetry_q = self._ctx.SimpleQueue() if obs is not None else None
+        board = None
+        if obs is not None and obs.runtime_wanted:
+            from repro.obs.watchdog import HeartbeatBoard
+
+            # fork-shared heartbeat counters: children beat, the parent's
+            # watchdog/publisher read — no queue traffic while running
+            board = HeartbeatBoard(
+                n,
+                counters=self._ctx.RawArray("l", n),
+                done=self._ctx.RawArray("b", n),
+            )
+
+            def progress() -> dict:
+                _, best = self.pop.best()
+                beats = board.read()
+                return {
+                    "generation": min(beats) if beats else 0,
+                    "evaluations": int(sum(live_evals)),
+                    "best": best,
+                    "heartbeats": beats,
+                    "workers_done": [bool(d) for d in board.done],
+                }
+
+            def fire_stall(event) -> None:
+                if self.hooks.on_stall is not None:
+                    self.hooks.on_stall(self, event)
+
+            obs.start_runtime(board, progress, on_stall=fire_stall)
         t0 = time.perf_counter()
 
         def worker(tid: int) -> None:
@@ -191,6 +226,8 @@ class ProcessPACGA:
                     rec.observe("sweep_us", (sweep_end - sweep_start) * 1e6)
                     rec.inc("sweeps")
                     rec.inc("boundary_evals", boundary)
+                    if board is not None:
+                        board.beat(tid)
                     if tracer is not None:
                         tracer.complete(
                             "sweep",
@@ -201,37 +238,44 @@ class ProcessPACGA:
                     live_evals[tid] = evals
             eval_counts[tid] = evals
             gen_counts[tid] = gens
+            if board is not None:
+                board.mark_done(tid)  # budget exhausted != stalled
             if rec is not None:
                 locks.flush()  # publish buffered lock totals before snapshotting
                 telemetry_q.put(
                     (tid, rec.snapshot(), tracer.events if tracer is not None else [])
                 )
 
-        if n == 1:
-            # no point forking a single worker; run inline
-            worker(0)
-        else:
-            procs = [
-                self._ctx.Process(target=worker, args=(tid,), name=f"pacga-w{tid}")
-                for tid in range(n)
-            ]
-            for p in procs:
-                p.start()
+        try:
+            if n == 1:
+                # no point forking a single worker; run inline
+                worker(0)
+            else:
+                procs = [
+                    self._ctx.Process(target=worker, args=(tid,), name=f"pacga-w{tid}")
+                    for tid in range(n)
+                ]
+                for p in procs:
+                    p.start()
+                if obs is not None:
+                    # the parent samples the shared-memory population while
+                    # the workers run (they only write telemetry at exit)
+                    while any(p.is_alive() for p in procs):
+                        total = int(sum(live_evals))
+                        if self.sampler_due(total):
+                            obs.maybe_sample(
+                                total, lambda: obs.engine_row(self, 0, total)
+                            )
+                        time.sleep(0.02)
+                for p in procs:
+                    p.join()
+                if any(p.exitcode != 0 for p in procs):
+                    bad = [p.name for p in procs if p.exitcode != 0]
+                    raise RuntimeError(f"PA-CGA workers failed: {bad}")
+        except BaseException:
             if obs is not None:
-                # the parent samples the shared-memory population while
-                # the workers run (they only write telemetry at exit)
-                while any(p.is_alive() for p in procs):
-                    total = int(sum(live_evals))
-                    if self.sampler_due(total):
-                        obs.maybe_sample(
-                            total, lambda: obs.engine_row(self, 0, total)
-                        )
-                    time.sleep(0.02)
-            for p in procs:
-                p.join()
-            if any(p.exitcode != 0 for p in procs):
-                bad = [p.name for p in procs if p.exitcode != 0]
-                raise RuntimeError(f"PA-CGA workers failed: {bad}")
+                obs.stop_runtime()
+            raise
         elapsed = time.perf_counter() - t0
 
         if obs is not None:
@@ -242,6 +286,9 @@ class ProcessPACGA:
                 obs.registry.adopt(MetricRecorder.from_snapshot(snapshot))
                 if obs.tracer is not None:
                     obs.tracer.adopt(tid, events, f"pacga-w{tid}")
+            # stop after adopting the workers' snapshots: the final
+            # live.json publish then matches the finalized bundle
+            obs.stop_runtime()
 
         best_idx, best_fit = self.pop.best()
         result = RunResult(
@@ -269,6 +316,8 @@ class ProcessPACGA:
             obs.meta.setdefault("instance", getattr(self.instance, "name", None))
             if obs.auto_finalize:
                 obs.finalize()
+        if self.hooks.on_stop is not None:
+            self.hooks.on_stop(self, result)
         return result
 
     def sampler_due(self, evaluations: int) -> bool:

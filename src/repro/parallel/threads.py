@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.engine import RunResult, evolve_individual
+from repro.cga.hooks import as_hooks
 from repro.cga.neighborhood import neighbor_table
 from repro.cga.population import Population
 from repro.cga.sweep import sweep_order
@@ -54,14 +55,27 @@ class ThreadedPACGA:
         Root of the per-thread seed tree (thread ``t`` receives spawn
         ``t``, plus one stream for population init).
     obs:
-        Optional :class:`repro.obs.Observer` for run telemetry.
+        Optional :class:`repro.obs.Observer` for run telemetry.  With
+        live export or a stall deadline configured on the observer, the
+        run additionally publishes ``live.json``/OpenMetrics and runs
+        the worker-heartbeat watchdog.
+    hooks:
+        Optional :class:`~repro.cga.hooks.EngineHooks` (or bare
+        callable); this engine dispatches ``on_stall`` (from the
+        watchdog monitor thread) and ``on_stop``.
     """
 
     def __init__(
-        self, instance, config: CGAConfig | None = None, seed: int | None = 0, obs=None
+        self,
+        instance,
+        config: CGAConfig | None = None,
+        seed: int | None = 0,
+        obs=None,
+        hooks=None,
     ):
         self.instance = instance
         self.config = config or CGAConfig()
+        self.hooks = as_hooks(hooks)
         self.grid = self.config.grid
         self.neighbors = neighbor_table(self.grid, self.config.neighborhood)
         self.blocks = self.grid.partition_scheme(
@@ -111,6 +125,30 @@ class ThreadedPACGA:
         gen_counts = [0] * n
         obs = self.obs
         evals_live = [0] * n  # sweep-granular progress, read by the sampler
+        board = None
+        if obs is not None and obs.runtime_wanted:
+            from repro.obs.watchdog import HeartbeatBoard
+
+            board = HeartbeatBoard(n)
+
+            def progress() -> dict:
+                # lock-free snapshot, approximate by design (same rule
+                # as the sampler thread)
+                _, best = self.pop.best()
+                beats = board.read()
+                return {
+                    "generation": min(beats) if beats else 0,
+                    "evaluations": sum(evals_live),
+                    "best": best,
+                    "heartbeats": beats,
+                    "workers_done": [bool(d) for d in board.done],
+                }
+
+            def fire_stall(event) -> None:
+                if self.hooks.on_stall is not None:
+                    self.hooks.on_stall(self, event)
+
+            obs.start_runtime(board, progress, on_stall=fire_stall)
         t0 = time.perf_counter()
 
         def worker(tid: int) -> None:
@@ -165,6 +203,8 @@ class ThreadedPACGA:
                         boundary += 1
                 sweep_end = perf()
                 gens += 1
+                if board is not None:
+                    board.beat(tid)
                 rec.observe("sweep_us", (sweep_end - sweep_start) * 1e6)
                 rec.inc("sweeps")
                 if tracer is not None:
@@ -184,6 +224,8 @@ class ThreadedPACGA:
                     )
             rec.counters["boundary_evals"] = rec.counters.get("boundary_evals", 0.0) + boundary
             locks.flush()  # publish this thread's buffered lock wait/hold totals
+            if board is not None:
+                board.mark_done(tid)  # budget exhausted != stalled
             eval_counts[tid] = evals
             gen_counts[tid] = gens
 
@@ -192,10 +234,16 @@ class ThreadedPACGA:
             threading.Thread(target=target, args=(tid,), name=f"pacga-{tid}")
             for tid in range(n)
         ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            if obs is not None:
+                # final live.json publish happens after the workers'
+                # recorders have quiesced, so live counts == bundle counts
+                obs.stop_runtime()
         elapsed = time.perf_counter() - t0
 
         best_idx, best_fit = self.pop.best()
@@ -224,4 +272,6 @@ class ThreadedPACGA:
             obs.meta.setdefault("instance", getattr(self.instance, "name", None))
             if obs.auto_finalize:
                 obs.finalize()
+        if self.hooks.on_stop is not None:
+            self.hooks.on_stop(self, result)
         return result

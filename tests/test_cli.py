@@ -22,6 +22,15 @@ class TestParser:
         assert args.threads == 3
         assert args.crossover == "tpx"
 
+    def test_run_help_lists_engine_aliases(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["run", "--help"])
+        assert exc.value.code == 0
+        out = " ".join(capsys.readouterr().out.split())  # undo argparse wrapping
+        assert "pacga-sim = sim" in out
+        assert "pacga-threads = threads" in out
+        assert "pacga-processes = processes" in out
+
 
 class TestInstances:
     def test_lists_all_twelve(self, capsys):
@@ -107,6 +116,58 @@ class TestSolve:
         main(["solve", "--instance", "u_i_hilo.0", "--evals", "400", "--seed", "9"])
         b = capsys.readouterr().out
         assert a == b
+
+
+class TestObsFlagValidation:
+    """Obs flags configure the bundle, so without --obs-out they are an
+    error, not silently ignored."""
+
+    BASE = ["solve", "--instance", "u_i_hilo.0", "--evals", "100"]
+
+    @pytest.mark.parametrize(
+        "flags, named",
+        [
+            (["--obs-trace"], "--obs-trace"),
+            (["--no-obs-trace"], "--obs-trace"),
+            (["--obs-sample-every", "64"], "--obs-sample-every"),
+            (["--obs-live", "0"], "--obs-live"),
+            (["--obs-stall-deadline", "5"], "--obs-stall-deadline"),
+        ],
+    )
+    def test_obs_flag_without_obs_out_is_rejected(self, flags, named, capsys):
+        assert main(self.BASE + flags) == 2
+        err = capsys.readouterr().err
+        assert named in err
+        assert "require --obs-out" in err
+
+    def test_obs_flags_accepted_with_obs_out(self, tmp_path, capsys):
+        out = tmp_path / "bundle"
+        rc = main(
+            self.BASE
+            + [
+                "--engine",
+                "async",
+                "--obs-out",
+                str(out),
+                "--obs-sample-every",
+                "64",
+                "--no-obs-trace",
+            ]
+        )
+        assert rc == 0
+        assert (out / "metrics.json").exists()
+        assert not (out / "trace.json").exists()
+
+    def test_obs_live_announces_endpoint(self, tmp_path, capsys):
+        out = tmp_path / "bundle"
+        rc = main(
+            self.BASE
+            + ["--engine", "async", "--obs-out", str(out), "--obs-live", "0"]
+        )
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert f"live telemetry : {out}/live.json" in stdout
+        assert (out / "live.json").exists()
 
 
 class TestGenerate:

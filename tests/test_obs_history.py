@@ -1,0 +1,292 @@
+"""Run history registry, diffs, and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs import history as hist
+
+
+def make_row(**over):
+    row = {
+        "run_id": "runA",
+        "engine": "threads",
+        "instance": "u_c_hihi.0",
+        "n_threads": 2,
+        "seed": 0,
+        "best_fitness": 100.0,
+        "evaluations": 2560,
+        "generations": 10,
+        "elapsed_s": 2.0,
+        "evals_per_s": 1280.0,
+        "stalls": 0,
+        "lock_wait_s": 0.01,
+        "interrupted": False,
+    }
+    row.update(over)
+    return row
+
+
+@pytest.fixture
+def bundle(tmp_path):
+    """A minimal finished-bundle directory."""
+    out = tmp_path / "bundle"
+    out.mkdir()
+    (out / "meta.json").write_text(
+        json.dumps(
+            {
+                "engine": "threads",
+                "instance": "tiny",
+                "n_threads": 2,
+                "seed": 7,
+                "result": {
+                    "best_fitness": 81.5,
+                    "evaluations": 1000,
+                    "generations": 8,
+                    "elapsed_s": 0.5,
+                },
+            }
+        )
+    )
+    (out / "metrics.json").write_text(
+        json.dumps(
+            {
+                "merged": {
+                    "counters": {
+                        "watchdog.stalls": 2.0,
+                        "lock.read_wait_s_total": 0.25,
+                        "lock.write_wait_s_total": 0.05,
+                    }
+                }
+            }
+        )
+    )
+    return out
+
+
+class TestSummarize:
+    def test_summarize_bundle(self, bundle):
+        row = hist.summarize_bundle(bundle)
+        assert row["run_id"] == "bundle"
+        assert row["engine"] == "threads"
+        assert row["best_fitness"] == 81.5
+        assert row["evals_per_s"] == 2000.0
+        assert row["stalls"] == 2
+        assert row["lock_wait_s"] == pytest.approx(0.30)
+        assert row["interrupted"] is False
+
+    def test_partial_bundle_needs_only_meta(self, tmp_path):
+        out = tmp_path / "partial"
+        out.mkdir()
+        (out / "meta.json").write_text(
+            json.dumps({"engine": "async", "interrupted": {"type": "KeyboardInterrupt"}})
+        )
+        row = hist.summarize_bundle(out)
+        assert row["interrupted"] is True
+        assert row["stalls"] == 0
+        assert row["evals_per_s"] is None
+
+    def test_summarize_source_json_and_jsonl(self, tmp_path, bundle):
+        as_json = tmp_path / "row.json"
+        as_json.write_text(json.dumps(make_row()))
+        assert hist.summarize_source(as_json)["run_id"] == "runA"
+        assert hist.summarize_source(bundle)["engine"] == "threads"
+        reg = tmp_path / "hist.jsonl"
+        hist.append_history(reg, make_row(run_id="first"))
+        hist.append_history(reg, make_row(run_id="second"))
+        assert hist.summarize_source(reg)["run_id"] == "second"
+        with pytest.raises(ValueError):
+            empty = tmp_path / "empty.jsonl"
+            empty.write_text("")
+            hist.summarize_source(empty)
+
+
+class TestRegistry:
+    def test_append_and_load(self, tmp_path):
+        reg = tmp_path / "runs.jsonl"
+        stored = hist.append_history(reg, make_row())
+        assert stored["recorded_unix"] is not None
+        rows = hist.load_history(reg)
+        assert len(rows) == 1 and rows[0]["run_id"] == "runA"
+        hist.append_history(reg, make_row(run_id="runB"))
+        assert [r["run_id"] for r in hist.load_history(reg)] == ["runA", "runB"]
+
+    def test_load_missing_is_empty(self, tmp_path):
+        assert hist.load_history(tmp_path / "nope.jsonl") == []
+
+    def test_render_history(self):
+        text = hist.render_history([make_row(), make_row(run_id="runB")], limit=1)
+        assert "runB" in text and "runA" not in text
+        assert "makespan" in text
+        assert hist.render_history([]) == "(history is empty)"
+
+
+class TestDiff:
+    def test_diff_directions(self):
+        a = make_row()
+        b = make_row(run_id="runB", best_fitness=90.0, evals_per_s=640.0)
+        by_field = {d["field"]: d for d in hist.diff_rows(a, b)}
+        assert by_field["best_fitness"]["better"] is True  # lower makespan
+        assert by_field["evals_per_s"]["better"] is False  # lower throughput
+        assert by_field["best_fitness"]["delta_pct"] == pytest.approx(-10.0)
+
+    def test_render_diff_markers(self):
+        a, b = make_row(), make_row(run_id="runB", best_fitness=120.0)
+        text = hist.render_diff(a, b)
+        assert "'+' = B better" in text
+        assert "+20.0% !" in text
+
+
+class TestCheckRow:
+    def test_identical_passes(self):
+        assert hist.check_row(make_row(), make_row()) == []
+
+    def test_twenty_percent_makespan_regression_fails(self):
+        """Acceptance scenario: a synthetic 20% quality regression must
+        trip the default 10% gate."""
+        cur = make_row(best_fitness=120.0)
+        problems = hist.check_row(cur, make_row(), tolerance_pct=10.0)
+        assert len(problems) == 1
+        assert "makespan regression" in problems[0]
+
+    def test_makespan_within_tolerance_passes(self):
+        cur = make_row(best_fitness=109.0)
+        assert hist.check_row(cur, make_row(), tolerance_pct=10.0) == []
+
+    def test_throughput_floor(self):
+        cur = make_row(evals_per_s=600.0)  # >50% drop vs 1280
+        problems = hist.check_row(cur, make_row())
+        assert any("throughput regression" in p for p in problems)
+        # a looser throughput-specific tolerance lets it pass
+        assert (
+            hist.check_row(cur, make_row(), throughput_tolerance_pct=60.0) == []
+        )
+
+    def test_stalls_and_interrupt_fail_outright(self):
+        assert any(
+            "stall" in p for p in hist.check_row(make_row(stalls=3), make_row())
+        )
+        assert any(
+            "interrupted" in p
+            for p in hist.check_row(make_row(interrupted=True), make_row())
+        )
+
+    def test_missing_baseline_fields_skip(self):
+        baseline = {"run_id": "sparse"}
+        assert hist.check_row(make_row(best_fitness=999.0), baseline) == []
+
+
+class TestBenchBaseline:
+    def make_bench(self, tmp_path, **extra):
+        data = {
+            "instance": "u_c_hihi.0",
+            "engines_evals_per_s": {"threads(2)": 1000.0, "simulated(4)": 9000.0},
+        }
+        data.update(extra)
+        path = tmp_path / "BENCH_throughput.json"
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_engine_entry_selected(self, tmp_path):
+        path = self.make_bench(tmp_path)
+        base = hist.load_baseline(path, row=make_row())
+        assert base["evals_per_s"] == 1000.0
+        assert base["run_id"] == "baseline:threads(2)"
+        assert base["best_fitness"] is None  # no quality entries committed
+
+    def test_sim_alias(self, tmp_path):
+        path = self.make_bench(tmp_path)
+        base = hist.load_baseline(path, row=make_row(engine="sim", n_threads=4))
+        assert base["evals_per_s"] == 9000.0
+
+    def test_quality_entry_used_when_present(self, tmp_path):
+        path = self.make_bench(tmp_path, quality_makespan={"threads(2)": 100.0})
+        base = hist.load_baseline(path, row=make_row())
+        assert base["best_fitness"] == 100.0
+        assert hist.check_row(make_row(best_fitness=130.0), base) != []
+
+    def test_unknown_engine_raises(self, tmp_path):
+        path = self.make_bench(tmp_path)
+        with pytest.raises(KeyError, match="threads\\(8\\)"):
+            hist.load_baseline(path, row=make_row(n_threads=8))
+
+    def test_committed_bench_file_gates_throughput(self, tmp_path):
+        """The repo's committed BENCH_throughput.json works as a check
+        baseline for a threads(2) run."""
+        from pathlib import Path
+
+        bench = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+        row = make_row(evals_per_s=10**9)  # absurdly fast: must pass the floor
+        base = hist.load_baseline(bench, row=row)
+        assert base["evals_per_s"] > 0
+        assert hist.check_row(row, base, throughput_tolerance_pct=50.0) == []
+
+
+class TestObsCli:
+    def test_ingest_history_diff_check(self, tmp_path, bundle, capsys):
+        from repro.cli import main
+
+        reg = tmp_path / "runs.jsonl"
+        assert main(["obs", "ingest", str(bundle), "--history", str(reg)]) == 0
+        out = capsys.readouterr().out
+        assert "recorded bundle" in out
+
+        assert main(["obs", "history", str(reg)]) == 0
+        assert "bundle" in capsys.readouterr().out
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(make_row()))
+        b.write_text(json.dumps(make_row(run_id="runB", best_fitness=90.0)))
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        assert "best_fitness" in capsys.readouterr().out
+
+    def test_check_exit_codes(self, tmp_path, capsys):
+        """Acceptance: nonzero on a synthetic 20% makespan regression,
+        zero against a matching baseline."""
+        from repro.cli import main
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(make_row()))
+
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(make_row(run_id="good")))
+        assert main(["obs", "check", str(good), "--baseline", str(baseline)]) == 0
+        assert "OK: within tolerance" in capsys.readouterr().out
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(make_row(run_id="bad", best_fitness=120.0)))
+        rc = main(
+            ["obs", "check", str(bad), "--baseline", str(baseline), "--tolerance", "10"]
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION: makespan regression" in captured.err
+
+    def test_check_against_bench_shape(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bench = tmp_path / "BENCH_throughput.json"
+        bench.write_text(
+            json.dumps(
+                {
+                    "instance": "u_c_hihi.0",
+                    "engines_evals_per_s": {"threads(2)": 1000.0},
+                }
+            )
+        )
+        run = tmp_path / "run.json"
+        run.write_text(json.dumps(make_row(evals_per_s=950.0)))
+        assert main(["obs", "check", str(run), "--baseline", str(bench)]) == 0
+        run.write_text(json.dumps(make_row(evals_per_s=100.0)))
+        assert main(["obs", "check", str(run), "--baseline", str(bench)]) == 1
+        capsys.readouterr()
+
+    def test_watch_once_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "live.json").write_text(
+            json.dumps({"updated_t_s": 1.0, "meta": {}, "progress": {}, "metrics": {}})
+        )
+        assert main(["obs", "watch", str(tmp_path), "--once"]) == 0
+        assert "live run" in capsys.readouterr().out

@@ -195,6 +195,54 @@ class TestZeroOverheadWhenDisabled:
         assert eng.ops.select is SELECTIONS[CFG.selection]
 
 
+class TestCrashSafety:
+    def test_context_manager_finalizes_partial_bundle(self, tiny_instance, tmp_path):
+        out = tmp_path / "crashed"
+        with pytest.raises(RuntimeError, match="boom"):
+            with Observer(out=out, sample_every_evals=36) as obs:
+                AsyncCGA(tiny_instance, CFG, rng=0, obs=obs).run(
+                    StopCondition(max_evaluations=108)
+                )
+                raise RuntimeError("boom")
+        # the exception propagated AND the partial bundle exists
+        assert {p.name for p in out.iterdir()} == BUNDLE_FILES
+        meta = json.loads((out / "meta.json").read_text())
+        assert meta["interrupted"] == {"type": "RuntimeError", "message": "boom"}
+
+    def test_keyboard_interrupt_finalizes(self, tiny_instance, tmp_path):
+        out = tmp_path / "ctrlc"
+        with pytest.raises(KeyboardInterrupt):
+            with Observer(out=out, sample_every_evals=36) as obs:
+                AsyncCGA(tiny_instance, CFG, rng=0, obs=obs).run(
+                    StopCondition(max_evaluations=72)
+                )
+                raise KeyboardInterrupt
+        meta = json.loads((out / "meta.json").read_text())
+        assert meta["interrupted"]["type"] == "KeyboardInterrupt"
+
+    def test_clean_exit_has_no_interrupt_stamp(self, tiny_instance, tmp_path):
+        out = tmp_path / "clean"
+        with Observer(out=out, sample_every_evals=36) as obs:
+            AsyncCGA(tiny_instance, CFG, rng=0, obs=obs).run(
+                StopCondition(max_evaluations=72)
+            )
+        meta = json.loads((out / "meta.json").read_text())
+        assert "interrupted" not in meta
+
+    def test_rows_streamed_before_finalize(self, tiny_instance, tmp_path):
+        """Every sampled row is already on disk while the run executes,
+        so a hard crash (no finalize at all) still leaves the series."""
+        out = tmp_path / "streaming"
+        obs = Observer(out=out, sample_every_evals=36)
+        AsyncCGA(tiny_instance, CFG, rng=0, obs=obs).run(
+            StopCondition(max_evaluations=144)
+        )
+        # no finalize() call here, on purpose
+        lines = (out / "timeseries.jsonl").read_text().splitlines()
+        assert len(lines) >= 1
+        assert lines == [json.dumps(r) for r in obs.sampler.rows]
+
+
 class TestReporting:
     def test_render_and_load_bundle(self, tiny_instance, tmp_path):
         out = tmp_path / "bundle"

@@ -72,3 +72,53 @@ class TestSerialization:
         path = tmp_path / "ts.jsonl"
         s.write(path)
         assert path.read_text() == ""
+
+
+class TestStreaming:
+    def test_rows_hit_disk_per_tick(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        s = TimeSeriesSampler(every_evals=1, stream_to=path)
+        assert s.streaming
+        s.tick(1, 0.1, lambda: {"best": 2.0})
+        # visible on disk before any write()/close() — crash-safe
+        assert json.loads(path.read_text().splitlines()[0])["best"] == 2.0
+        s.tick(2, 0.2, lambda: {"best": 1.0})
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_eviction_keeps_baseline_and_tail(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        s = TimeSeriesSampler(every_evals=1, stream_to=path, keep_rows=4)
+        for ev in range(1, 11):
+            s.tick(ev, ev / 10.0, lambda ev=ev: {"n": ev})
+        # the file holds everything ...
+        assert len(path.read_text().splitlines()) == 10
+        assert len(s) == s.n_total == 10
+        # ... memory holds the first row plus the newest tail
+        assert len(s.rows) == 4
+        assert [r["n"] for r in s.rows] == [1, 8, 9, 10]
+
+    def test_write_to_stream_path_is_flush_only(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        s = TimeSeriesSampler(every_evals=1, stream_to=path, keep_rows=2)
+        for ev in range(1, 6):
+            s.tick(ev, 0.0, lambda ev=ev: {"n": ev})
+        s.write(path)  # must not truncate to the retained subset
+        assert len(path.read_text().splitlines()) == 5
+        s.close()  # idempotent
+
+    def test_write_elsewhere_serializes_retained_rows(self, tmp_path):
+        s = TimeSeriesSampler(every_evals=1, stream_to=tmp_path / "a.jsonl")
+        s.tick(1, 0.0, lambda: {"n": 1})
+        other = tmp_path / "b.jsonl"
+        s.write(other)
+        assert json.loads(other.read_text())["n"] == 1
+
+    def test_no_rows_leaves_empty_stream_file(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        s = TimeSeriesSampler(every_evals=10**9, stream_to=path)
+        s.write(path)
+        assert path.exists() and path.read_text() == ""
+
+    def test_keep_rows_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(every_evals=1, keep_rows=1)

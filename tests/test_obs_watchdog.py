@@ -1,0 +1,217 @@
+"""Worker-heartbeat watchdog: stall detection, engine integration."""
+
+import json
+
+import pytest
+
+from repro.cga import AsyncCGA, CGAConfig, StopCondition
+from repro.cga.hooks import EngineHooks, as_hooks
+from repro.obs import Observer
+from repro.obs.metrics import MetricRecorder
+from repro.obs.trace import Tracer
+from repro.obs.watchdog import HeartbeatBoard, StallEvent, Watchdog
+from repro.parallel import ThreadedPACGA
+
+
+CFG = CGAConfig(grid_rows=6, grid_cols=6, ls_iterations=2, seed_with_minmin=False)
+
+
+class TestHeartbeatBoard:
+    def test_beat_and_read(self):
+        board = HeartbeatBoard(3)
+        board.beat(0)
+        board.beat(0)
+        board.beat(2)
+        assert board.read() == [2, 0, 1]
+        assert len(board) == 3
+
+    def test_done_flags(self):
+        board = HeartbeatBoard(2)
+        assert board.active() == [True, True]
+        board.mark_done(1)
+        assert board.active() == [True, False]
+
+    def test_external_buffers(self):
+        counters, done = [5, 5], [0, 0]
+        board = HeartbeatBoard(2, counters=counters, done=done)
+        board.beat(0)
+        assert counters == [6, 5]
+
+    def test_mismatched_buffers_rejected(self):
+        with pytest.raises(ValueError):
+            HeartbeatBoard(2, counters=[0, 0], done=[0])
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestWatchdog:
+    def test_frozen_worker_flagged_once_within_deadline(self):
+        """The satellite scenario: worker 1's heartbeat is pinned."""
+        clock = FakeClock()
+        board = HeartbeatBoard(2)
+        seen = []
+        dog = Watchdog(board, deadline_s=1.0, on_stall=seen.append, clock=clock)
+
+        # both healthy inside the deadline
+        clock.t = 0.5
+        board.beat(0)
+        board.beat(1)
+        assert dog.poll() == []
+
+        # worker 1 freezes; worker 0 keeps beating (still under deadline)
+        for t in (1.0, 1.3):
+            clock.t = t
+            board.beat(0)
+            assert dog.poll() == []
+        clock.t = 1.6  # 1.1s since worker 1's last beat; w0 beat just now
+        board.beat(0)
+        events = dog.poll()
+        assert [e.worker for e in events] == [1]
+        assert events[0].stalled_s >= 1.0
+        assert not events[0].recovered
+        assert dog.stalled_workers == [1]
+        # flagged once per episode, not on every poll
+        clock.t = 2.0
+        board.beat(0)
+        assert dog.poll() == []
+        assert [e.worker for e in seen] == [1]
+
+    def test_recovery_rearms(self):
+        clock = FakeClock()
+        board = HeartbeatBoard(1)
+        dog = Watchdog(board, deadline_s=1.0, clock=clock)
+        clock.t = 1.5
+        assert [e.recovered for e in dog.poll()] == [False]
+        board.beat(0)
+        clock.t = 1.6
+        recov = dog.poll()
+        assert [e.recovered for e in recov] == [True]
+        assert dog.stalled_workers == []
+        # a second freeze is a new episode
+        clock.t = 3.0
+        assert [e.recovered for e in dog.poll()] == [False]
+
+    def test_done_worker_never_flagged(self):
+        clock = FakeClock()
+        board = HeartbeatBoard(2)
+        board.mark_done(0)
+        dog = Watchdog(board, deadline_s=0.5, clock=clock)
+        clock.t = 10.0
+        assert [e.worker for e in dog.poll()] == [1]
+
+    def test_events_land_in_metrics_and_trace(self):
+        clock = FakeClock()
+        board = HeartbeatBoard(2)
+        rec = MetricRecorder("watchdog")
+        tracer = Tracer()
+        dog = Watchdog(
+            board,
+            deadline_s=1.0,
+            recorder=rec,
+            tracer_for=lambda w: tracer.thread(w),
+            clock=clock,
+        )
+        clock.t = 2.0
+        dog.poll()
+        board.beat(0)
+        clock.t = 2.5
+        dog.poll()
+        assert rec.counters["watchdog.stalls"] == 2
+        assert rec.counters["watchdog.recoveries"] == 1
+        assert rec.gauges["watchdog.stalled_s.worker0"] == 0.0
+        assert rec.gauges["watchdog.stalled_s.worker1"] == 2.0
+        names = [e["name"] for e in tracer.export()["traceEvents"] if e["ph"] == "i"]
+        assert names.count("stall") == 2 and names.count("recovery") == 1
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            Watchdog(HeartbeatBoard(1), deadline_s=0.0)
+
+
+class TestHooksProtocol:
+    def test_on_stall_slot(self):
+        hooks = EngineHooks(on_stall=lambda e, ev: None)
+        assert hooks.on_stall is not None
+        assert "on_stall" in repr(hooks)
+        assert as_hooks(hooks) is hooks
+        assert as_hooks(None).on_stall is None
+
+
+class TestThreadedIntegration:
+    def test_injected_frozen_worker_reports_stall(self, tiny_instance, tmp_path, monkeypatch):
+        """A ThreadedPACGA worker whose heartbeat is pinned is reported
+        as a stall event within the configured deadline, and
+        EngineHooks.on_stall fires."""
+        original_beat = HeartbeatBoard.beat
+
+        def pinned_beat(self, worker):
+            if worker != 1:  # worker 1's heartbeat never advances
+                original_beat(self, worker)
+
+        monkeypatch.setattr(HeartbeatBoard, "beat", pinned_beat)
+
+        stalls = []
+        hooks = EngineHooks(on_stall=lambda engine, event: stalls.append(event))
+        out = tmp_path / "bundle"
+        obs = Observer(out=out, sample_every_evals=10**9, stall_deadline_s=0.1)
+        eng = ThreadedPACGA(
+            tiny_instance, CFG.with_(n_threads=2), seed=0, obs=obs, hooks=hooks
+        )
+        eng.run(StopCondition(wall_time_s=0.8))
+        obs.finalize()
+
+        assert stalls, "on_stall hook must fire for the frozen worker"
+        assert all(isinstance(e, StallEvent) for e in stalls)
+        assert {e.worker for e in stalls} == {1}
+        assert stalls[0].stalled_s >= 0.1
+
+        metrics = json.loads((out / "metrics.json").read_text())
+        merged = metrics["merged"]["counters"]
+        assert merged["watchdog.stalls"] >= 1
+        trace = json.loads((out / "trace.json").read_text())
+        stall_events = [
+            e for e in trace["traceEvents"] if e["ph"] == "i" and e["name"] == "stall"
+        ]
+        assert stall_events and all(e["tid"] == 1 for e in stall_events)
+
+    def test_healthy_run_reports_no_stall(self, tiny_instance):
+        obs = Observer(out=None, sample_every_evals=10**9, stall_deadline_s=5.0)
+        eng = ThreadedPACGA(tiny_instance, CFG.with_(n_threads=2), seed=0, obs=obs)
+        eng.run(StopCondition(max_generations=3))
+        assert obs.registry.merged().counters.get("watchdog.stalls", 0) == 0
+
+    def test_workers_done_not_stalled_after_budget(self, tiny_instance):
+        # deadline far shorter than the post-run teardown: done workers
+        # must be exempt, so no stall is recorded after the budget ends
+        obs = Observer(out=None, sample_every_evals=10**9, stall_deadline_s=0.05)
+        eng = ThreadedPACGA(tiny_instance, CFG.with_(n_threads=2), seed=0, obs=obs)
+        eng.run(StopCondition(max_generations=2))
+        import time
+
+        time.sleep(0.12)  # past the deadline; watchdog already stopped
+        assert obs.registry.merged().counters.get("watchdog.stalls", 0) == 0
+
+
+class TestAsyncIntegration:
+    def test_async_heartbeat_and_watchdog_lifecycle(self, tiny_instance):
+        # a healthy sequential run under a generous deadline: the board
+        # beats per generation and the watchdog detaches cleanly
+        obs = Observer(out=None, sample_every_evals=36, stall_deadline_s=10.0)
+        eng = AsyncCGA(tiny_instance, CFG, rng=0, obs=obs)
+        res = eng.run(StopCondition(max_generations=4))
+        assert res.generations == 4
+        assert obs.watchdog is None  # stopped and detached
+        assert obs.registry.merged().counters.get("watchdog.stalls", 0) == 0
+
+    def test_no_board_when_runtime_not_wanted(self, tiny_instance):
+        obs = Observer(out=None, sample_every_evals=36)
+        assert not obs.runtime_wanted
+        eng = AsyncCGA(tiny_instance, CFG, rng=0, obs=obs)
+        eng.run(StopCondition(max_generations=2))
+        assert obs.watchdog is None and obs.publisher is None
