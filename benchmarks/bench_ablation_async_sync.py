@@ -14,7 +14,6 @@ This bench measures both sides with identical operators and seeds:
 * final quality at a larger budget — recorded, not asserted.
 """
 
-import numpy as np
 
 from repro.cga import AsyncCGA, CGAConfig, StopCondition, SyncCGA
 from repro.etc import load_benchmark

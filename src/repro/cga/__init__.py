@@ -18,13 +18,12 @@ from repro.cga.hooks import EngineHooks, as_hooks
 from repro.cga.vectorized import VectorizedSyncCGA
 from repro.cga.local_search import h2ll
 
-#: name -> sequential engine class, the registry used by the CLI and the
-#: experiment harnesses (the parallel engines live in ``repro.parallel``).
-SEQUENTIAL_ENGINES = {
-    "async": AsyncCGA,
-    "sync": SyncCGA,
-    "vectorized": VectorizedSyncCGA,
-}
+from repro.runtime.registry import sequential_engines as _sequential_engines
+
+#: name -> sequential engine class, derived from the runtime engine
+#: registry (:mod:`repro.runtime.registry`) — the single source of truth
+#: also behind the CLI and the experiment harnesses.
+SEQUENTIAL_ENGINES = _sequential_engines()
 
 __all__ = [
     "CGAConfig",

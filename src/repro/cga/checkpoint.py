@@ -1,42 +1,40 @@
-"""Checkpoint / resume for the sequential engines.
+"""Checkpoint / resume — compatibility façade over ``repro.runtime``.
 
-Paper-scale runs (90 s × 100 runs × 16 cells) are long; checkpointing
-lets a campaign survive interruption *bit-exactly*: the population
-arrays and the engine's RNG state are captured, and a resumed run
-continues the identical stochastic trajectory (verified by the test
-suite against an uninterrupted run).
+Historically this module snapshotted the sequential engines only
+(format v1: population arrays + one RNG state, config stored as a
+``repr`` string).  The implementation now lives in
+:mod:`repro.runtime.checkpoint`, which writes format v2 (real config
+dict, per-stream RNG states, resumable progress) for *every*
+checkpointable engine; v1 files still load.
 
-Scope: :class:`AsyncCGA` / :class:`SyncCGA` (and any engine exposing
-``pop`` and a single ``rng``).  The parallel engines interleave many
-streams mid-sweep; checkpoint them at run() boundaries by persisting
-their ``RunResult`` instead (``repro.util.persist``).
+This façade keeps the original call signatures and the original
+*semantics*: :func:`restore_engine` / :func:`load_checkpoint` restore
+the stochastic state (population + RNG streams) but leave the
+evaluation/generation counters at zero, so an engine restored here and
+run for ``k`` more generations behaves exactly like the historical API.
+Use :func:`repro.runtime.checkpoint.resume_engine` for full resume
+(continued counters, identical cumulative ``RunResult``).
 """
 
 from __future__ import annotations
 
-import json
 import os
-from pathlib import Path
 
-import numpy as np
+from repro.runtime.checkpoint import (
+    capture_state,
+    load_state,
+    restore_state,
+)
+from repro.runtime.checkpoint import (
+    save_checkpoint as _save_checkpoint,
+)
 
 __all__ = ["engine_state", "restore_engine", "save_checkpoint", "load_checkpoint"]
 
-_FORMAT_VERSION = 1
-
 
 def engine_state(engine) -> dict:
-    """Capture a sequential engine's full stochastic state."""
-    pop = engine.pop
-    return {
-        "format_version": _FORMAT_VERSION,
-        "config": repr(engine.config),
-        "instance": engine.instance.name,
-        "s": pop.s.tolist(),
-        "ct": pop.ct.tolist(),
-        "fitness": pop.fitness.tolist(),
-        "rng_state": engine.rng.bit_generator.state,
-    }
+    """Capture an engine's full stochastic state (checkpoint format v2)."""
+    return capture_state(engine)
 
 
 def restore_engine(engine, state: dict) -> None:
@@ -44,40 +42,17 @@ def restore_engine(engine, state: dict) -> None:
 
     The engine must have been constructed with the same instance and
     configuration; both are verified before anything is touched.
+    Progress counters are *not* resumed (historical semantics — the next
+    ``run`` counts from zero).
     """
-    version = state.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported checkpoint version: {version!r}")
-    if state["config"] != repr(engine.config):
-        raise ValueError(
-            "checkpoint was taken under a different configuration; "
-            "construct the engine with the same CGAConfig before restoring"
-        )
-    if state["instance"] != engine.instance.name:
-        raise ValueError(
-            f"checkpoint is for instance {state['instance']!r}, "
-            f"engine has {engine.instance.name!r}"
-        )
-    pop = engine.pop
-    s = np.asarray(state["s"], dtype=pop.s.dtype)
-    ct = np.asarray(state["ct"], dtype=pop.ct.dtype)
-    fitness = np.asarray(state["fitness"], dtype=pop.fitness.dtype)
-    if s.shape != pop.s.shape:
-        raise ValueError(f"population shape mismatch: {s.shape} vs {pop.s.shape}")
-    pop.s[:] = s
-    pop.ct[:] = ct
-    pop.fitness[:] = fitness
-    engine.rng.bit_generator.state = state["rng_state"]
+    restore_state(engine, state, resume=False)
 
 
 def save_checkpoint(engine, path: str | os.PathLike) -> None:
     """Write the engine state as JSON (creating parent directories)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(engine_state(engine)), encoding="utf-8")
+    _save_checkpoint(engine, path)
 
 
 def load_checkpoint(engine, path: str | os.PathLike) -> None:
     """Restore an engine from a file written by :func:`save_checkpoint`."""
-    state = json.loads(Path(path).read_text(encoding="utf-8"))
-    restore_engine(engine, state)
+    restore_engine(engine, load_state(path))

@@ -15,7 +15,6 @@ swapped once per generation), used by the async-vs-sync ablation.
 from __future__ import annotations
 
 import math
-import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
@@ -25,11 +24,14 @@ import numpy as np
 from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.crossover import child_with_ct
 from repro.cga.hooks import EngineHooks, as_hooks
-from repro.cga.neighborhood import neighbor_table
 from repro.cga.population import Population
-from repro.cga.sweep import sweep_order
-from repro.heuristics.minmin import min_min
-from repro.rng import make_rng
+from repro.runtime.budget import Budget
+from repro.runtime.context import (
+    attach_runtime,
+    build_context,
+    detach_runtime,
+    finish_run,
+)
 from repro.scheduling.schedule import Schedule
 
 __all__ = [
@@ -167,7 +169,17 @@ class RunResult:
 
 
 class _EngineBase:
-    """Shared setup for the sequential engines."""
+    """Shared setup for the sequential engines.
+
+    Setup (operator resolution, population init, RNG, observer) is the
+    runtime's :func:`~repro.runtime.context.build_context`; the engine
+    keeps its historical attribute surface (``instance``, ``config``,
+    ``rng``, ``grid``, ``neighbors``, ``ops``, ``sweep``, ``pop``,
+    ``obs``) so callers and subclasses are unaffected.
+    """
+
+    #: canonical registry name (overridden per engine class).
+    engine_name = ""
 
     def __init__(
         self,
@@ -178,30 +190,24 @@ class _EngineBase:
         on_generation: Callable | EngineHooks | None = None,
         obs=None,
     ):
+        ctx = build_context(instance, config, rng=rng, obs=obs)
         self.instance = instance
-        self.config = config or CGAConfig()
-        self.rng = make_rng(rng)
+        self.config = ctx.config
+        self.rng = ctx.rng
         self.record_history = record_history
         #: lifecycle hooks (``on_generation``, ``on_improvement``,
         #: ``on_stop``); a bare callable is accepted for backward
         #: compatibility and becomes the ``on_generation`` slot.
         self.hooks = as_hooks(on_generation)
-        self.grid = self.config.grid
-        self.neighbors = neighbor_table(self.grid, self.config.neighborhood)
-        self.ops = self.config.resolve()
-        self.sweep = sweep_order(
-            np.arange(self.grid.size), self.config.sweep, block_id=0
-        )
-        self.pop = Population(instance, self.grid)
-        seeds = [min_min(instance)] if self.config.seed_with_minmin else None
-        self.pop.init_random(self.rng, seed_schedules=seeds, fitness_fn=self.ops.fitness)
+        self.grid = ctx.grid
+        self.neighbors = ctx.neighbors
+        self.ops = ctx.ops
+        self.sweep = ctx.sweep
+        self.pop = ctx.pop
         self._best_seen = math.inf
-        # observability attaches last so the initial-population
-        # evaluations above stay out of the breeding-phase metrics; with
-        # obs disabled nothing is imported and no recorder exists.
-        from repro.obs.observer import resolve_observer  # cheap, no cycles
-
-        self.obs = resolve_observer(self.config, obs)
+        self._ckpt: tuple[int, Callable] | None = None
+        self._resume: dict | None = None
+        self.obs = ctx.obs
         self._obs_hooks: EngineHooks | None = None
         if self.obs is not None:
             from repro.obs.instrument import instrumented_ops
@@ -219,35 +225,59 @@ class _EngineBase:
         thread.  Returns the heartbeat board, or None when the observer
         requests no runtime attachment (then the loop stays untouched).
         """
-        obs = self.obs
-        if obs is None or not obs.runtime_wanted:
-            return None
-        from repro.obs.watchdog import HeartbeatBoard
-
-        board = HeartbeatBoard(1)
         self._live_state = {"generation": 0, "evaluations": 0}
-
-        def progress() -> dict:
-            _, best = self.pop.best()
-            return {
-                **self._live_state,
-                "best": best,
-                "heartbeats": board.read(),
-                "workers_done": [bool(board.done[0])],
-            }
-
-        def fire_stall(event) -> None:
-            if self.hooks.on_stall is not None:
-                self.hooks.on_stall(self, event)
-
-        obs.start_runtime(board, progress, on_stall=fire_stall)
-        return board
+        return attach_runtime(
+            self,
+            1,
+            lambda: (self._live_state["generation"], self._live_state["evaluations"]),
+        )
 
     def _stop_runtime(self, board) -> None:
-        if board is not None:
-            board.mark_done(0)
-        if self.obs is not None:
-            self.obs.stop_runtime()
+        detach_runtime(self, board, mark_done=(0,))
+
+    # -- checkpoint protocol (runtime.checkpoint) ------------------------
+    def arm_checkpoint(self, every: int | None, saver: Callable | None) -> None:
+        """Install (or clear) a generation-boundary checkpoint callback."""
+        self._ckpt = None if saver is None else (every, saver)
+
+    def _maybe_checkpoint(self, generation: int) -> None:
+        if self._ckpt is not None and generation % self._ckpt[0] == 0:
+            self._ckpt[1](self)
+
+    def capture_state(self) -> dict:
+        """Engine-specific checkpoint payload (single-stream engines)."""
+        budget = getattr(self, "_budget", None)
+        return {
+            "rng_streams": {"main": self.rng.bit_generator.state},
+            "progress": {
+                "evaluations": budget.evaluations if budget is not None else 0,
+                "generations": budget.generations if budget is not None else 0,
+                "history": [list(row) for row in getattr(self, "_history", [])],
+                "best_seen": None if math.isinf(self._best_seen) else self._best_seen,
+            },
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a :meth:`capture_state` payload; next ``run`` resumes it."""
+        self.rng.bit_generator.state = payload["rng_streams"]["main"]
+        progress = payload.get("progress")
+        if progress and (progress.get("generations") or progress.get("history")):
+            self._resume = {
+                "evaluations": int(progress.get("evaluations", 0)),
+                "generations": int(progress.get("generations", 0)),
+                "history": [tuple(row) for row in progress.get("history", [])],
+                "best_seen": progress.get("best_seen"),
+            }
+        else:
+            self._resume = None
+
+    def _consume_resume(self) -> dict | None:
+        """Pop the pending resume payload and apply its best-seen mark."""
+        resume, self._resume = self._resume, None
+        if resume is not None:
+            best = resume.get("best_seen")
+            self._best_seen = math.inf if best is None else best
+        return resume
 
     @property
     def on_generation(self) -> Callable | None:
@@ -293,11 +323,7 @@ class _EngineBase:
             history=history,
             extra=extra,
         )
-        if self.hooks.on_stop is not None:
-            self.hooks.on_stop(self, result)
-        if self._obs_hooks is not None and self._obs_hooks.on_stop is not None:
-            self._obs_hooks.on_stop(self, result)
-        return result
+        return finish_run(self, result, engine_name=self.engine_name)
 
 
 class AsyncCGA(_EngineBase):
@@ -308,37 +334,47 @@ class AsyncCGA(_EngineBase):
     paper builds on.
     """
 
+    engine_name = "async"
+
     def run(self, stop: StopCondition) -> RunResult:
         """Evolve until ``stop`` triggers; returns the run trace."""
         pop, ops, rng = self.pop, self.ops, self.rng
         sweep = [int(i) for i in self.sweep]
-        history: list[tuple[int, int, float, float]] = []
-        evaluations = 0
-        generations = 0
+        resume = self._consume_resume()
+        history: list[tuple[int, int, float, float]] = (
+            resume["history"] if resume else []
+        )
+        budget = self._budget = Budget(
+            stop,
+            evaluations=resume["evaluations"] if resume else 0,
+            generations=resume["generations"] if resume else 0,
+        )
+        self._history = history
         board = self._start_runtime()
-        t0 = time.perf_counter()
-        self._snapshot(0, 0, history)
+        budget.start()
+        if resume is None:
+            self._snapshot(0, 0, history)
         try:
             while True:
-                elapsed = time.perf_counter() - t0
                 _, best = pop.best()
-                if stop.done(evaluations, generations, elapsed, best):
+                if budget.exhausted(best):
                     break
                 for idx in sweep:
                     evolve_individual(pop, idx, self.neighbors[idx], ops, rng)
-                    evaluations += 1
-                    if stop.max_evaluations is not None and evaluations >= stop.max_evaluations:
+                    budget.spend()
+                    if budget.cap_reached():
                         break
-                generations += 1
+                generation = budget.next_generation()
                 if board is not None:
                     board.beat(0)
-                    self._live_state["generation"] = generations
-                    self._live_state["evaluations"] = evaluations
-                self._snapshot(generations, evaluations, history)
+                    self._live_state["generation"] = generation
+                    self._live_state["evaluations"] = budget.evaluations
+                self._snapshot(generation, budget.evaluations, history)
+                self._maybe_checkpoint(generation)
         finally:
             self._stop_runtime(board)
         return self._result(
-            evaluations, generations, time.perf_counter() - t0, history
+            budget.evaluations, budget.generations, budget.elapsed, history
         )
 
 
@@ -350,36 +386,46 @@ class SyncCGA(_EngineBase):
     for the async/sync ablation (DESIGN.md A3).
     """
 
+    engine_name = "sync"
+
     def run(self, stop: StopCondition) -> RunResult:
         """Evolve until ``stop`` triggers; returns the run trace."""
         pop, ops, rng = self.pop, self.ops, self.rng
-        history: list[tuple[int, int, float, float]] = []
-        evaluations = 0
-        generations = 0
-        t0 = time.perf_counter()
-        self._snapshot(0, 0, history)
+        resume = self._consume_resume()
+        history: list[tuple[int, int, float, float]] = (
+            resume["history"] if resume else []
+        )
+        budget = self._budget = Budget(
+            stop,
+            evaluations=resume["evaluations"] if resume else 0,
+            generations=resume["generations"] if resume else 0,
+        )
+        self._history = history
+        budget.start()
+        if resume is None:
+            self._snapshot(0, 0, history)
         while True:
-            elapsed = time.perf_counter() - t0
             _, best = pop.best()
-            if stop.done(evaluations, generations, elapsed, best):
+            if budget.exhausted(best):
                 break
             aux = pop.clone()
             for idx in range(pop.size):
                 # breed against the frozen parent generation (pop), write
                 # into aux so no offspring is visible this generation
-                child_replaced = evolve_individual(
+                evolve_individual(
                     _SyncView(pop, aux), idx, self.neighbors[idx], ops, rng
                 )
-                evaluations += 1
-                if stop.max_evaluations is not None and evaluations >= stop.max_evaluations:
+                budget.spend()
+                if budget.cap_reached():
                     break
             pop.s[:] = aux.s
             pop.ct[:] = aux.ct
             pop.fitness[:] = aux.fitness
-            generations += 1
-            self._snapshot(generations, evaluations, history)
+            generation = budget.next_generation()
+            self._snapshot(generation, budget.evaluations, history)
+            self._maybe_checkpoint(generation)
         return self._result(
-            evaluations, generations, time.perf_counter() - t0, history
+            budget.evaluations, budget.generations, budget.elapsed, history
         )
 
 

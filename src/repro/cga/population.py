@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.etc.model import ETCMatrix
 from repro.cga.grid import Grid2D
-from repro.scheduling.schedule import Schedule, compute_completion_times
+from repro.scheduling.schedule import Schedule
 from repro.scheduling.validation import check_completion_times, validate_assignment
 
 __all__ = ["Population"]

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Callable
 
-import numpy as np
 
 __all__ = ["replace_if_better", "replace_if_not_worse", "replace_always", "REPLACEMENTS"]
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.engine import _EngineBase, RunResult
+from repro.runtime.budget import Budget
 from repro.kernels import (
     BATCH_CROSSOVER_MASKS,
     batch_completion_times,
@@ -57,6 +58,8 @@ class VectorizedSyncCGA(_EngineBase):
     registries in :mod:`repro.kernels` (raising ``ValueError`` for
     operators without a batch kernel).
     """
+
+    engine_name = "vectorized"
 
     def __init__(
         self,
@@ -95,9 +98,16 @@ class VectorizedSyncCGA(_EngineBase):
         nt = inst.ntasks
         rows = np.arange(P)
         neighbors = self.neighbors
-        history: list[tuple[int, int, float, float]] = []
-        evaluations = 0
-        generations = 0
+        resume = self._consume_resume()
+        history: list[tuple[int, int, float, float]] = (
+            resume["history"] if resume else []
+        )
+        budget = self._budget = Budget(
+            stop,
+            evaluations=resume["evaluations"] if resume else 0,
+            generations=resume["generations"] if resume else 0,
+        )
+        self._history = history
         # phase-timing instrumentation: rec is None on the uninstrumented
         # path, so the guards below compile to a cheap identity check per
         # *generation* (a batch of pop_size breeding steps)
@@ -105,12 +115,12 @@ class VectorizedSyncCGA(_EngineBase):
         rec = obs.recorder("main") if obs is not None else None
         tracer = obs.thread_tracer(0, "vectorized") if obs is not None else None
         perf = time.perf_counter
-        t0 = perf()
-        self._snapshot(0, 0, history)
+        budget.start()
+        if resume is None:
+            self._snapshot(0, 0, history)
         while True:
-            elapsed = perf() - t0
             _, best = pop.best()
-            if stop.done(evaluations, generations, elapsed, best):
+            if budget.exhausted(best):
                 break
             gen_start = perf()
             # -- selection: gather every neighborhood's fitness at once ----
@@ -169,8 +179,8 @@ class VectorizedSyncCGA(_EngineBase):
             np.copyto(pop.s, child_s, where=accept[:, None])
             np.copyto(pop.ct, child_ct, where=accept[:, None])
             np.copyto(pop.fitness, child_fit, where=accept)
-            evaluations += P
-            generations += 1
+            budget.spend(P)
+            generation = budget.next_generation()
             if rec is not None:
                 rec.inc("breeding.evaluations", P)
                 rec.inc("breeding.steps", P)
@@ -181,11 +191,12 @@ class VectorizedSyncCGA(_EngineBase):
                         "generation",
                         gen_start - obs.epoch,
                         perf() - gen_start,
-                        {"generation": generations},
+                        {"generation": generation},
                     )
-            self._snapshot(generations, evaluations, history)
+            self._snapshot(generation, budget.evaluations, history)
+            self._maybe_checkpoint(generation)
         return self._result(
-            evaluations, generations, time.perf_counter() - t0, history
+            budget.evaluations, budget.generations, budget.elapsed, history
         )
 
     def resync_drift(self) -> float:

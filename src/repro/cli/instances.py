@@ -1,0 +1,91 @@
+"""``repro instances`` / ``heuristics`` / ``generate``: instance tooling."""
+
+from __future__ import annotations
+
+__all__ = ["register", "HANDLERS"]
+
+
+def register(sub) -> None:
+    sub.add_parser("instances", help="list the benchmark instances")
+
+    p = sub.add_parser("heuristics", help="run every heuristic on an instance")
+    p.add_argument("--instance", default="u_i_hihi.0")
+    p.add_argument(
+        "--lp-bound", action="store_true", help="also compute the LP lower bound"
+    )
+
+    p = sub.add_parser("generate", help="generate an ETC instance file")
+    p.add_argument("--ntasks", type=int, default=512)
+    p.add_argument("--nmachines", type=int, default=16)
+    p.add_argument("--consistency", choices=["c", "i", "s"], default="i")
+    p.add_argument("--task-het", default="hi")
+    p.add_argument("--machine-het", default="hi")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+
+
+def _cmd_instances(args) -> int:
+    from repro.etc import BENCHMARK_INSTANCES
+    from repro.experiments import ascii_table
+
+    rows = [
+        [
+            info.name,
+            info.consistency.name.lower(),
+            info.task_het,
+            info.machine_het,
+            f"{info.pj_min:g}",
+            f"{info.pj_max:g}",
+        ]
+        for info in BENCHMARK_INSTANCES.values()
+    ]
+    print(
+        ascii_table(
+            ["instance", "consistency", "task het", "machine het", "pj min", "pj max"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_heuristics(args) -> int:
+    import numpy as np
+
+    from repro.etc import load_benchmark
+    from repro.experiments import ascii_table
+    from repro.heuristics import HEURISTICS
+    from repro.scheduling.bounds import lp_lower_bound
+
+    inst = load_benchmark(args.instance)
+    rng = np.random.default_rng(0)
+    rows = []
+    for name, fn in HEURISTICS.items():
+        rows.append([name, f"{fn(inst, rng).makespan():,.2f}"])
+    print(f"{inst}\n")
+    print(ascii_table(["heuristic", "makespan"], rows))
+    if args.lp_bound:
+        print(f"\nLP lower bound: {lp_lower_bound(inst):,.2f}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.etc import make_instance, save_instance
+
+    inst = make_instance(
+        args.ntasks,
+        args.nmachines,
+        consistency=args.consistency,
+        task_het=args.task_het,
+        machine_het=args.machine_het,
+        seed=args.seed,
+    )
+    save_instance(inst, args.out)
+    print(f"wrote {inst} to {args.out}")
+    return 0
+
+
+HANDLERS = {
+    "instances": _cmd_instances,
+    "heuristics": _cmd_heuristics,
+    "generate": _cmd_generate,
+}

@@ -1,0 +1,119 @@
+"""``repro obs``: live + longitudinal telemetry tooling."""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["register", "HANDLERS"]
+
+
+def register(sub) -> None:
+    p = sub.add_parser("obs", help="live + longitudinal telemetry tooling")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser("watch", help="render a bundle's live.json in place")
+    q.add_argument("bundle", help="telemetry bundle directory")
+    q.add_argument("--interval", type=float, default=1.0, help="refresh seconds")
+    q.add_argument("--once", action="store_true", help="render one frame and exit")
+
+    q = obs_sub.add_parser(
+        "ingest", help="append a finished bundle's summary to a run history"
+    )
+    q.add_argument("bundle", help="telemetry bundle directory")
+    q.add_argument("--history", required=True, help="JSONL run registry (appended)")
+
+    q = obs_sub.add_parser("history", help="list a JSONL run registry")
+    q.add_argument("file")
+    q.add_argument(
+        "--limit", type=int, default=None, help="show only the newest N runs"
+    )
+
+    q = obs_sub.add_parser(
+        "diff", help="compare two runs (bundle dirs, summary .json, or history .jsonl)"
+    )
+    q.add_argument("a")
+    q.add_argument("b")
+
+    q = obs_sub.add_parser(
+        "check",
+        help="regression gate against a baseline; exits nonzero on regression",
+    )
+    q.add_argument(
+        "run", help="run under test: bundle dir, summary .json, or history .jsonl"
+    )
+    q.add_argument(
+        "--baseline",
+        required=True,
+        help="baseline: summary .json / history .jsonl / BENCH_throughput.json",
+    )
+    q.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="allowed makespan (quality) regression in percent",
+    )
+    q.add_argument(
+        "--throughput-tolerance",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="allowed evals/s drop in percent (default: same as --tolerance)",
+    )
+
+
+def _cmd_obs(args) -> int:
+    if args.obs_command == "watch":
+        from repro.obs.live import watch
+
+        return watch(args.bundle, interval_s=args.interval, once=args.once)
+
+    from repro.obs import history as hist
+
+    if args.obs_command == "ingest":
+        row = hist.append_history(args.history, hist.summarize_bundle(args.bundle))
+        print(f"recorded {row['run_id']} -> {args.history}")
+        print(hist.render_history([row]))
+        return 0
+
+    if args.obs_command == "history":
+        rows = hist.load_history(args.file)
+        print(hist.render_history(rows, limit=args.limit))
+        return 0
+
+    if args.obs_command == "diff":
+        a = hist.summarize_source(args.a)
+        b = hist.summarize_source(args.b)
+        print(hist.render_diff(a, b))
+        return 0
+
+    if args.obs_command == "check":
+        current = hist.summarize_source(args.run)
+        baseline = hist.load_baseline(args.baseline, row=current)
+        problems = hist.check_row(
+            current,
+            baseline,
+            tolerance_pct=args.tolerance,
+            throughput_tolerance_pct=args.throughput_tolerance,
+        )
+        print(
+            f"run {current.get('run_id', '?')} vs baseline "
+            f"{baseline.get('run_id', args.baseline)}"
+        )
+        for key in ("best_fitness", "evals_per_s"):
+            cur, base = current.get(key), baseline.get(key)
+            if cur is not None and base is not None:
+                print(f"  {key:<14}: {cur:,.2f} (baseline {base:,.2f})")
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print("OK: within tolerance")
+        return 0
+
+    raise AssertionError(
+        f"unhandled obs command {args.obs_command!r}"
+    )  # pragma: no cover
+
+
+HANDLERS = {"obs": _cmd_obs}

@@ -1,0 +1,232 @@
+"""``repro solve`` / ``repro run``: one PA-CGA run on one instance."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.engines import alias_epilog, build_config, engine_choices
+
+__all__ = ["register", "HANDLERS", "print_result"]
+
+
+def register(sub) -> None:
+    for name, help_ in (
+        ("solve", "run PA-CGA on an instance"),
+        ("run", "alias for solve"),
+    ):
+        p = sub.add_parser(name, help=help_, epilog=alias_epilog())
+        p.add_argument("--instance", default="u_i_hihi.0")
+        p.add_argument("--engine", choices=engine_choices(), default="sim")
+        p.add_argument("--threads", type=int, default=3)
+        p.add_argument("--crossover", choices=["opx", "tpx", "uniform"], default="tpx")
+        p.add_argument(
+            "--fitness", choices=["makespan", "makespan+flowtime"], default="makespan"
+        )
+        p.add_argument("--ls-iters", type=int, default=10)
+        p.add_argument("--evals", type=int, default=None, help="evaluation budget")
+        p.add_argument(
+            "--vtime", type=float, default=None, help="virtual seconds (sim engine)"
+        )
+        p.add_argument("--wall", type=float, default=None, help="wall-clock seconds")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--gantt", action="store_true", help="print the best schedule")
+        p.add_argument("--out", default=None, help="write the run result as JSON")
+        p.add_argument(
+            "--checkpoint",
+            default=None,
+            metavar="PATH",
+            help=(
+                "write a resumable snapshot to this file at every sweep "
+                "boundary (resume with `repro resume PATH`; the threads "
+                "engine switches to its deterministic lockstep schedule)"
+            ),
+        )
+        p.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=None,
+            metavar="GENS",
+            help="checkpoint cadence in generations (default: 1)",
+        )
+        p.add_argument(
+            "--obs-out",
+            default=None,
+            help="collect run telemetry and write the bundle to this directory",
+        )
+        # the --obs-* defaults are None sentinels so "flag given without
+        # --obs-out" is detectable and rejected with a clear error
+        p.add_argument(
+            "--obs-trace",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="include a Chrome trace_event timeline in the bundle (default: on)",
+        )
+        p.add_argument(
+            "--obs-sample-every",
+            type=int,
+            default=None,
+            metavar="EVALS",
+            help="time-series sampling cadence in evaluations (default: 256)",
+        )
+        p.add_argument(
+            "--obs-live",
+            type=int,
+            default=None,
+            metavar="PORT",
+            help=(
+                "publish live.json into the bundle while running and serve "
+                "/metrics (OpenMetrics) + /live.json on this port (0 = ephemeral)"
+            ),
+        )
+        p.add_argument(
+            "--obs-stall-deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help=(
+                "arm the worker watchdog: report a stall event when a worker's "
+                "heartbeat does not advance for this long"
+            ),
+        )
+
+
+def _reject_stray_flags(args) -> int | None:
+    """Exit code 2 when bundle/checkpoint modifier flags lack their target."""
+    if args.obs_out is None:
+        stray = [
+            flag
+            for flag, value in (
+                ("--obs-trace/--no-obs-trace", args.obs_trace),
+                ("--obs-sample-every", args.obs_sample_every),
+                ("--obs-live", args.obs_live),
+                ("--obs-stall-deadline", args.obs_stall_deadline),
+            )
+            if value is not None
+        ]
+        if stray:
+            print(
+                f"error: {', '.join(stray)} configure the telemetry bundle and "
+                "require --obs-out DIR (no bundle directory was given)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.checkpoint is None and args.checkpoint_every is not None:
+        print(
+            "error: --checkpoint-every sets the snapshot cadence and "
+            "requires --checkpoint PATH (no checkpoint file was given)",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
+def _build_observer(args, inst, engine_name):
+    from repro.obs import Observer
+
+    obs = Observer(
+        out=args.obs_out,
+        trace=True if args.obs_trace is None else args.obs_trace,
+        sample_every_evals=(
+            256 if args.obs_sample_every is None else args.obs_sample_every
+        ),
+        live=args.obs_live is not None,
+        live_port=args.obs_live,
+        stall_deadline_s=args.obs_stall_deadline,
+    )
+    obs.meta.update({"instance": inst.name, "engine": engine_name, "seed": args.seed})
+    if args.obs_live is not None:
+        print(f"live telemetry : {args.obs_out}/live.json", flush=True)
+        if args.obs_live:
+            print(
+                f"live endpoint  : http://127.0.0.1:{args.obs_live}/metrics "
+                "(OpenMetrics) and /live.json",
+                flush=True,
+            )
+    return obs
+
+
+def print_result(args, inst, engine_name, config, result, obs=None) -> None:
+    """The shared solve/resume report block."""
+    print(f"instance      : {inst.name}")
+    print(f"engine        : {engine_name} ({config.n_threads} thread(s))")
+    print(f"best makespan : {result.best_fitness:,.2f}")
+    print(f"evaluations   : {result.evaluations:,}")
+    print(f"generations   : {result.generations}")
+    if obs is not None:
+        paths = obs.finalize()
+        print()
+        print(obs.summary())
+        if paths:
+            print(f"telemetry bundle: {args.obs_out}")
+            for kind, path in sorted(paths.items()):
+                print(f"  {kind:<10} {path}")
+    if args.gantt:
+        from repro.util import render_gantt
+
+        print()
+        print(render_gantt(result.best_schedule(inst)))
+    if args.out:
+        from repro.util import save_result
+
+        save_result(result, args.out)
+        print(f"result written to {args.out}")
+
+
+def _cmd_solve(args) -> int:
+    from repro.cga import StopCondition
+    from repro.etc import load_benchmark
+    from repro.runtime import resolve_engine, run_with_checkpoints
+
+    rc = _reject_stray_flags(args)
+    if rc is not None:
+        return rc
+
+    spec = resolve_engine(args.engine)
+    if args.checkpoint is not None and not spec.checkpointable:
+        from repro.runtime import checkpointable_engines
+
+        print(
+            f"error: engine {spec.name!r} does not support checkpoints "
+            f"(checkpointable engines: {', '.join(checkpointable_engines())})",
+            file=sys.stderr,
+        )
+        return 2
+
+    inst = load_benchmark(args.instance)
+    config = build_config(args, spec)
+    bounds = {}
+    if args.evals is not None:
+        bounds["max_evaluations"] = args.evals
+    if args.vtime is not None:
+        bounds["virtual_time"] = args.vtime
+    if args.wall is not None:
+        bounds["wall_time_s"] = args.wall
+    if not bounds:
+        bounds["max_evaluations"] = 5000
+    stop = StopCondition(**bounds)
+
+    obs = None
+    if args.obs_out is not None:
+        obs = _build_observer(args, inst, spec.name)
+
+    extras = {}
+    if args.checkpoint is not None and spec.name == "threads":
+        # free-running threads are schedule-dependent; only the lockstep
+        # schedule quiesces at sweep boundaries
+        extras["lockstep"] = True
+    engine = spec.create(inst, config, seed=args.seed, obs=obs, **extras)
+
+    if args.checkpoint is not None:
+        result = run_with_checkpoints(
+            engine, stop, args.checkpoint, every_generations=args.checkpoint_every or 1
+        )
+    else:
+        result = engine.run(stop)
+    print_result(args, inst, spec.name, config, result, obs=obs)
+    if args.checkpoint is not None:
+        print(f"checkpoint    : {args.checkpoint}")
+    return 0
+
+
+HANDLERS = {"solve": _cmd_solve, "run": _cmd_solve}

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 __all__ = ["BatchArrival", "MachineJoin", "MachineLeave"]
 

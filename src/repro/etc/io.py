@@ -12,7 +12,6 @@ Two on-disk formats are supported:
 
 from __future__ import annotations
 
-import io
 import os
 from pathlib import Path
 

@@ -13,7 +13,7 @@ Replica 0 of each class is *exactly* the instance the registry's
 from __future__ import annotations
 
 from repro.etc.generator import ETCGeneratorSpec, generate_etc, rescale_to_range
-from repro.etc.model import Consistency, ETCMatrix
+from repro.etc.model import ETCMatrix
 from repro.etc.registry import (
     BENCHMARK_INSTANCES,
     BENCHMARK_NMACHINES,

@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 from repro.cga.config import CGAConfig, StopCondition
 from repro.etc.registry import instance_names, load_benchmark
 from repro.experiments.report import ascii_table, format_float
+from repro.experiments.runner import engine_factory
 from repro.heuristics.minmin import min_min
-from repro.parallel.simengine import SimulatedPACGA
 from repro.rng import DEFAULT_SEED
 from repro.scheduling.bounds import lp_lower_bound
 
@@ -84,7 +84,8 @@ def quality_experiment(
     stop = StopCondition(max_evaluations=max_evaluations)
     for name in names:
         inst = load_benchmark(name)
-        run = SimulatedPACGA(inst, cfg, seed=seed, history_stride=10**9).run(stop)
+        factory = engine_factory("sim", inst, cfg, stop, history_stride=10**9)
+        run = factory(seed)
         result.rows.append(
             QualityRow(
                 instance=name,

@@ -9,7 +9,7 @@ same regardless of how many runs surround it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -18,11 +18,29 @@ from repro.cga.engine import RunResult
 from repro.experiments.stats import SummaryStats, summarize
 from repro.rng import seed_for_run
 
-__all__ = ["MultiRunResult", "run_many"]
+__all__ = ["MultiRunResult", "run_many", "engine_factory"]
 
 #: factory(seed_sequence) → RunResult; the seed is a SeedSequence so the
 #: factory can spawn per-thread streams from it.
 EngineFactory = Callable[[np.random.SeedSequence], RunResult]
+
+
+def engine_factory(engine, instance, config, stop, **engine_kwargs) -> EngineFactory:
+    """A seeded :data:`EngineFactory` resolved through the engine registry.
+
+    ``engine`` is any canonical name or alias from
+    :mod:`repro.runtime.registry`; each invocation constructs a fresh
+    engine seeded with the run's ``SeedSequence`` (the registry applies
+    the engine's seeding convention) and runs it to ``stop``.
+    """
+    from repro.runtime.registry import create_engine
+
+    def factory(seed: np.random.SeedSequence) -> RunResult:
+        return create_engine(engine, instance, config, seed=seed, **engine_kwargs).run(
+            stop
+        )
+
+    return factory
 
 
 @dataclass

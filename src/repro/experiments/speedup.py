@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.cga.config import CGAConfig, StopCondition
 from repro.etc.model import ETCMatrix

@@ -20,7 +20,6 @@ import numpy as np
 
 from repro.cga.config import CGAConfig, StopCondition
 from repro.etc.model import ETCMatrix
-from repro.rng import make_rng
 
 __all__ = ["TakeoverResult", "takeover_experiment"]
 
@@ -74,11 +73,15 @@ def takeover_experiment(
     or the offspring equals a parent — we simply set probabilities to
     zero).
     """
-    from repro.cga import SEQUENTIAL_ENGINES
+    from repro.runtime.registry import checkpointable_engines, resolve_engine
 
-    if update not in SEQUENTIAL_ENGINES:
+    try:
+        spec = resolve_engine(update)
+    except ValueError:
+        spec = None
+    if spec is None or not spec.checkpointable:
         raise ValueError(
-            f"update must be one of {sorted(SEQUENTIAL_ENGINES)}, got {update!r}"
+            f"update must be one of {sorted(checkpointable_engines())}, got {update!r}"
         )
     inst = _takeover_instance()
     config = CGAConfig(
@@ -92,8 +95,8 @@ def takeover_experiment(
         replacement="if-better",
         seed_with_minmin=False,
     )
-    engine_cls = SEQUENTIAL_ENGINES[update]
-    engine = engine_cls(inst, config, rng=make_rng(seed), record_history=False)
+    extras = {"record_history": False} if "record_history" in spec.extra_kwargs else {}
+    engine = spec.create(inst, config, seed=seed, **extras)
 
     # uniform worst genotype everywhere, one optimum in the center
     worst = np.full(inst.ntasks, inst.nmachines - 1, dtype=np.int32)

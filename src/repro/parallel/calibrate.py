@@ -15,7 +15,6 @@ from __future__ import annotations
 import time
 from dataclasses import replace
 
-import numpy as np
 
 from repro.cga.config import CGAConfig
 from repro.cga.engine import NullLocks, evolve_individual

@@ -36,12 +36,9 @@ import numpy as np
 from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.engine import RunResult, evolve_individual
 from repro.cga.hooks import as_hooks
-from repro.cga.neighborhood import neighbor_table
-from repro.cga.population import Population
-from repro.cga.sweep import sweep_order
-from repro.heuristics.minmin import min_min
 from repro.parallel.rwlock import TrackedLockManager
-from repro.rng import spawn_rngs
+from repro.runtime.budget import Budget
+from repro.runtime.context import attach_runtime, build_context, finish_run
 
 __all__ = ["ProcessPACGA"]
 
@@ -87,6 +84,8 @@ class ProcessPACGA:
     population in the parent; :meth:`run` forks the workers.
     """
 
+    engine_name = "processes"
+
     def __init__(
         self,
         instance,
@@ -95,10 +94,6 @@ class ProcessPACGA:
         obs=None,
         hooks=None,
     ):
-        self.instance = instance
-        self.config = config or CGAConfig()
-        self.hooks = as_hooks(hooks)
-        self.grid = self.config.grid
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX platforms
@@ -106,79 +101,58 @@ class ProcessPACGA:
                 "ProcessPACGA requires the 'fork' start method (POSIX); "
                 "use ThreadedPACGA or SimulatedPACGA instead"
             ) from exc
-        self.neighbors = neighbor_table(self.grid, self.config.neighborhood)
-        self.blocks = self.grid.partition_scheme(
-            self.config.n_threads, self.config.partition
+        grid = (config or CGAConfig()).grid
+        n = grid.size
+        shared = (
+            _shared_array(self._ctx, np.int32, (n, instance.ntasks)),
+            _shared_array(self._ctx, np.float64, (n, instance.nmachines)),
+            _shared_array(self._ctx, np.float64, (n,)),
         )
-        self.orders = [
-            sweep_order(block, self.config.sweep, block_id=i)
-            for i, block in enumerate(self.blocks)
-        ]
-        self.ops = self.config.resolve()
-        rngs = spawn_rngs(seed, self.config.n_threads + 1)
-        self._init_rng, self._worker_rngs = rngs[0], rngs[1:]
-
-        n = self.grid.size
-        s = _shared_array(self._ctx, np.int32, (n, instance.ntasks))
-        ct = _shared_array(self._ctx, np.float64, (n, instance.nmachines))
-        fit = _shared_array(self._ctx, np.float64, (n,))
-        self.pop = Population(instance, self.grid, s=s, ct=ct, fitness=fit)
-        seeds = [min_min(instance)] if self.config.seed_with_minmin else None
-        self.pop.init_random(self._init_rng, seed_schedules=seeds, fitness_fn=self.ops.fitness)
+        ctx = build_context(
+            instance,
+            config,
+            seed=seed,
+            workers=(config or CGAConfig()).n_threads,
+            pop_arrays=shared,
+            obs=obs,
+        )
+        self.instance = instance
+        self.config = ctx.config
+        self.hooks = as_hooks(hooks)
+        self.grid = ctx.grid
+        self.neighbors = ctx.neighbors
+        self.blocks = ctx.blocks
+        self.orders = ctx.orders
+        self.ops = ctx.ops
+        self._init_rng, self._worker_rngs = ctx.init_rng, ctx.worker_rngs
+        self.pop = ctx.pop
         self.locks = _ExclusiveLockManager([self._ctx.Lock() for _ in range(n)])
-
-        from repro.obs.observer import resolve_observer
-
-        self.obs = resolve_observer(self.config, obs)
+        self.crosses = ctx.crosses
+        self.obs = ctx.obs
         if self.obs is not None:
             self.locks = TrackedLockManager(self.locks)
-            block_id = np.empty(self.grid.size, dtype=np.int64)
-            for bid, block in enumerate(self.blocks):
-                block_id[block] = bid
-            self.crosses = (block_id[self.neighbors] != block_id[:, None]).any(axis=1)
 
     def run(self, stop: StopCondition) -> RunResult:
         """Fork one worker per block and evolve until ``stop``."""
         n = self.config.n_threads
-        eval_share = None
-        if stop.max_evaluations is not None:
-            eval_share = max(1, stop.max_evaluations // n)
-        gen_cap = stop.max_generations
-        wall = stop.wall_time_s
+        budget = Budget(stop)
+        eval_share = budget.eval_share(n)
 
         eval_counts = self._ctx.RawArray("l", n)
         gen_counts = self._ctx.RawArray("l", n)
         obs = self.obs
         live_evals = self._ctx.RawArray("l", n) if obs is not None else None
         telemetry_q = self._ctx.SimpleQueue() if obs is not None else None
-        board = None
-        if obs is not None and obs.runtime_wanted:
-            from repro.obs.watchdog import HeartbeatBoard
-
-            # fork-shared heartbeat counters: children beat, the parent's
-            # watchdog/publisher read — no queue traffic while running
-            board = HeartbeatBoard(
-                n,
-                counters=self._ctx.RawArray("l", n),
-                done=self._ctx.RawArray("b", n),
-            )
-
-            def progress() -> dict:
-                _, best = self.pop.best()
-                beats = board.read()
-                return {
-                    "generation": min(beats) if beats else 0,
-                    "evaluations": int(sum(live_evals)),
-                    "best": best,
-                    "heartbeats": beats,
-                    "workers_done": [bool(d) for d in board.done],
-                }
-
-            def fire_stall(event) -> None:
-                if self.hooks.on_stall is not None:
-                    self.hooks.on_stall(self, event)
-
-            obs.start_runtime(board, progress, on_stall=fire_stall)
+        # fork-shared heartbeat counters: children beat, the parent's
+        # watchdog/publisher read — no queue traffic while running
+        board = attach_runtime(
+            self,
+            n,
+            lambda: (None, int(sum(live_evals))),
+            counters=self._ctx.RawArray("l", n),
+            done=self._ctx.RawArray("b", n),
+        )
+        budget.start()
         t0 = time.perf_counter()
 
         def worker(tid: int) -> None:
@@ -200,13 +174,7 @@ class ProcessPACGA:
                 crosses = self.crosses
             evals = 0
             gens = 0
-            while True:
-                if wall is not None and time.perf_counter() - t0 >= wall:
-                    break
-                if eval_share is not None and evals >= eval_share:
-                    break
-                if gen_cap is not None and gens >= gen_cap:
-                    break
+            while not budget.worker_exhausted(evals, gens, eval_share):
                 if rec is None:
                     for idx in block:
                         evolve_individual(pop, int(idx), neighbors[idx], ops, rng, locks)
@@ -304,21 +272,9 @@ class ProcessPACGA:
                 "n_threads": n,
             },
         )
-        if obs is not None:
-            obs.maybe_sample(
-                result.evaluations,
-                lambda: obs.engine_row(self, result.generations, result.evaluations),
-                force=True,
-            )
-            obs.record_result(result)
-            obs.meta.setdefault("engine", "processes")
-            obs.meta.setdefault("n_threads", n)
-            obs.meta.setdefault("instance", getattr(self.instance, "name", None))
-            if obs.auto_finalize:
-                obs.finalize()
-        if self.hooks.on_stop is not None:
-            self.hooks.on_stop(self, result)
-        return result
+        return finish_run(
+            self, result, engine_name=self.engine_name, meta={"n_threads": n}
+        )
 
     def sampler_due(self, evaluations: int) -> bool:
         """Cheap parent-side cadence check (avoids provider invocation)."""

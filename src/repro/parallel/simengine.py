@@ -28,12 +28,9 @@ import numpy as np
 
 from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.engine import RunResult, evolve_individual
-from repro.cga.neighborhood import neighbor_table
-from repro.cga.population import Population
-from repro.cga.sweep import sweep_order
-from repro.heuristics.minmin import min_min
+from repro.cga.hooks import as_hooks
 from repro.parallel.costmodel import XEON_E5440, CostModel
-from repro.rng import spawn_rngs
+from repro.runtime.context import build_context, finish_run
 
 __all__ = ["SimulatedPACGA"]
 
@@ -79,6 +76,8 @@ class SimulatedPACGA:
         ``lock.*_wait_s_total`` counters.
     """
 
+    engine_name = "sim"
+
     def __init__(
         self,
         instance,
@@ -96,39 +95,100 @@ class SimulatedPACGA:
                 f"contention must be 'meanfield' or 'tracked', got {contention!r}"
             )
         self.contention = contention
-        self.instance = instance
-        self.config = config or CGAConfig()
         self.cost_model = cost_model
         self.history_stride = history_stride
-        self.grid = self.config.grid
-        self.neighbors = neighbor_table(self.grid, self.config.neighborhood)
-        n = self.config.n_threads
-        self.blocks = self.grid.partition_scheme(n, self.config.partition)
-        self.orders = [
-            sweep_order(block, self.config.sweep, block_id=i)
-            for i, block in enumerate(self.blocks)
-        ]
-        self.ops = self.config.resolve()
+        ctx = build_context(
+            instance,
+            config,
+            seed=seed,
+            workers=(config or CGAConfig()).n_threads,
+            jitter=True,
+            obs=obs,
+        )
+        self.instance = instance
+        self.config = ctx.config
+        self.hooks = as_hooks(None)
+        self.grid = ctx.grid
+        self.neighbors = ctx.neighbors
+        self.blocks = ctx.blocks
+        self.orders = ctx.orders
+        self.ops = ctx.ops
+        #: per-individual flag: does the neighborhood leave the block?
+        self.crosses = ctx.crosses
+        self.boundary_fraction = ctx.boundary_fraction
+        self._init_rng = ctx.init_rng
+        self._gene_rngs = ctx.worker_rngs
+        self._jitter_rngs = ctx.jitter_rngs
+        self.pop = ctx.pop
+        self._resume: dict | None = None
+        self._ckpt = None
+        self.obs = ctx.obs
 
-        # per-individual flag: does the neighborhood leave the block?
-        block_id = np.empty(self.grid.size, dtype=np.int64)
-        for bid, block in enumerate(self.blocks):
-            block_id[block] = bid
-        self.crosses = (block_id[self.neighbors] != block_id[:, None]).any(axis=1)
-        self.boundary_fraction = float(self.crosses.mean()) if n > 1 else 0.0
+    # ------------------------------------------------------------------
+    # checkpoint protocol (runtime.checkpoint)
+    # ------------------------------------------------------------------
+    def arm_checkpoint(self, every, saver) -> None:
+        """Install (or clear) a sweep-completion checkpoint callback."""
+        self._ckpt = None if saver is None else (every, saver)
 
-        rngs = spawn_rngs(seed, 1 + 2 * n)
-        self._init_rng = rngs[0]
-        self._gene_rngs = rngs[1 : 1 + n]
-        self._jitter_rngs = rngs[1 + n :]
+    def capture_state(self) -> dict:
+        """RNG streams plus, mid-run, the full virtual-time scheduler.
 
-        self.pop = Population(instance, self.grid)
-        seeds = [min_min(instance)] if self.config.seed_with_minmin else None
-        self.pop.init_random(self._init_rng, seed_schedules=seeds, fitness_fn=self.ops.fitness)
+        The simulator's clocks re-zero at every ``run`` start, so a
+        resumable snapshot must carry the whole discrete-event state:
+        per-thread clocks, sweep positions, counters, the event heap and
+        (in ``tracked`` mode) the per-individual lock-release times.
+        """
+        sched = getattr(self, "_sched", None)
+        progress = None
+        if sched is not None:
+            progress = {
+                "contention": self.contention,
+                "clocks": list(sched["clocks"]),
+                "positions": list(sched["positions"]),
+                "gens": list(sched["gens"]),
+                "evals": list(sched["evals"]),
+                "completions": sched["completions"](),
+                "total_evals": sched["total_evals"](),
+                "heap": [[c, t] for c, t in sched["heap"]],
+                "history": [list(row) for row in sched["history"]],
+            }
+            if sched.get("write_until") is not None:
+                progress["write_until"] = sched["write_until"].tolist()
+                progress["read_until"] = sched["read_until"].tolist()
+                progress["conflict_wait_s"] = sched["conflict_wait_s"]()
+                progress["conflicts"] = sched["conflicts"]()
+        return {
+            "rng_streams": {
+                "gene": [r.bit_generator.state for r in self._gene_rngs],
+                "jitter": [r.bit_generator.state for r in self._jitter_rngs],
+            },
+            "progress": progress,
+            "engine_options": {
+                "history_stride": self.history_stride,
+                "contention": self.contention,
+            },
+        }
 
-        from repro.obs.observer import resolve_observer
-
-        self.obs = resolve_observer(self.config, obs)
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a :meth:`capture_state` payload; next ``run`` resumes it."""
+        streams = payload["rng_streams"]
+        if len(streams["gene"]) != len(self._gene_rngs):
+            raise ValueError(
+                f"checkpoint has {len(streams['gene'])} logical threads, "
+                f"engine has {len(self._gene_rngs)}"
+            )
+        for rng, state in zip(self._gene_rngs, streams["gene"]):
+            rng.bit_generator.state = state
+        for rng, state in zip(self._jitter_rngs, streams["jitter"]):
+            rng.bit_generator.state = state
+        progress = payload.get("progress")
+        if progress is not None and progress.get("contention") != self.contention:
+            raise ValueError(
+                f"checkpoint was taken with contention="
+                f"{progress.get('contention')!r}, engine has {self.contention!r}"
+            )
+        self._resume = progress
 
     # ------------------------------------------------------------------
     def run(self, stop: StopCondition) -> RunResult:
@@ -151,11 +211,19 @@ class SimulatedPACGA:
             self.config.ls_iterations * self.config.p_ls if self.config.local_search else 0.0
         )
 
-        clocks = [0.0] * n
-        positions = [0] * n
-        gens = [0] * n
-        evals = [0] * n
-        completions = 0
+        resume, self._resume = self._resume, None
+        if resume is None:
+            clocks = [0.0] * n
+            positions = [0] * n
+            gens = [0] * n
+            evals = [0] * n
+            completions = 0
+        else:
+            clocks = [float(c) for c in resume["clocks"]]
+            positions = [int(p) for p in resume["positions"]]
+            gens = [int(g) for g in resume["gens"]]
+            evals = [int(e) for e in resume["evals"]]
+            completions = int(resume["completions"])
         obs = self.obs
         recs = None
         if obs is not None:
@@ -166,10 +234,19 @@ class SimulatedPACGA:
             tracers = [obs.thread_tracer(tid, f"sim-{tid}") for tid in range(n)]
             sweep_starts = [0.0] * n
         tracked = self.contention == "tracked" and n > 1
+        write_until = read_until = None
         if tracked:
             # virtual release times of each individual's locks (seconds)
-            write_until = np.zeros(self.grid.size)
-            read_until = np.zeros(self.grid.size)
+            if resume is None:
+                write_until = np.zeros(self.grid.size)
+                read_until = np.zeros(self.grid.size)
+                conflict_wait_total = 0.0
+                conflicts = 0
+            else:
+                write_until = np.asarray(resume["write_until"], dtype=np.float64)
+                read_until = np.asarray(resume["read_until"], dtype=np.float64)
+                conflict_wait_total = float(resume["conflict_wait_s"])
+                conflicts = int(resume["conflicts"])
             read_hold = model.t_read_hold * _US
             write_hold = model.t_write_hold * _US
             # cacheline ping-pong grows with the number of other cores
@@ -177,17 +254,42 @@ class SimulatedPACGA:
             import math as _math
 
             cacheline = model.t_cacheline * _math.sqrt(n - 1) * _US
-            conflict_wait_total = 0.0
-            conflicts = 0
         history: list[tuple[float, int, float, float]] = []
-        _, best0 = pop.best()
-        history.append((0.0, 0, best0, pop.mean_fitness()))
-
-        # (clock, tid) heap; tid breaks ties deterministically
-        heap: list[tuple[float, int]] = [(0.0, tid) for tid in range(n)]
+        if resume is None:
+            _, best0 = pop.best()
+            history.append((0.0, 0, best0, pop.mean_fitness()))
+            # (clock, tid) heap; tid breaks ties deterministically
+            heap: list[tuple[float, int]] = [(0.0, tid) for tid in range(n)]
+            total_evals = 0
+        else:
+            history.extend(tuple(row) for row in resume["history"])
+            heap = [(float(c), int(tid)) for c, tid in resume["heap"]]
+            total_evals = int(resume["total_evals"])
+            # threads that hit the old run's stop were dropped from the
+            # heap; re-seed them at their frozen clocks so a resume with
+            # a larger budget lets them evolve again
+            pending = {tid for _, tid in heap}
+            heap.extend(
+                (float(clocks[tid]), tid) for tid in range(n) if tid not in pending
+            )
         heapq.heapify(heap)
 
-        total_evals = 0
+        # live scheduler state, readable by capture_state at the sweep
+        # boundaries where the checkpoint callback fires
+        self._sched = {
+            "clocks": clocks,
+            "positions": positions,
+            "gens": gens,
+            "evals": evals,
+            "heap": heap,
+            "history": history,
+            "completions": lambda: completions,
+            "total_evals": lambda: total_evals,
+            "write_until": write_until,
+            "read_until": read_until,
+            "conflict_wait_s": (lambda: conflict_wait_total) if tracked else None,
+            "conflicts": (lambda: conflicts) if tracked else None,
+        }
         while heap:
             clock, tid = heapq.heappop(heap)
             block = self.orders[tid]
@@ -268,7 +370,8 @@ class SimulatedPACGA:
                     rec.inc("boundary_evals")
 
             pos += 1
-            if pos == len(block):
+            completed = pos == len(block)
+            if completed:
                 pos = 0
                 gens[tid] += 1
                 completions += 1
@@ -296,6 +399,10 @@ class SimulatedPACGA:
                     )
             positions[tid] = pos
             heapq.heappush(heap, (clock, tid))
+            if completed and self._ckpt is not None and completions % self._ckpt[0] == 0:
+                # the heap now holds every pending event again, so the
+                # snapshot is a consistent scheduler state
+                self._ckpt[1](self)
 
         best_idx, best_fit = pop.best()
         result = RunResult(
@@ -323,22 +430,10 @@ class SimulatedPACGA:
                 ),
             },
         )
-        if obs is not None:
-            v_final = max(clocks) if clocks else 0.0
-            obs.maybe_sample(
-                total_evals,
-                lambda: {
-                    **obs.engine_row(self, result.generations, total_evals),
-                    "virtual_t_s": v_final,
-                },
-                t_s=v_final,
-                force=True,
-            )
-            obs.record_result(result)
-            obs.meta.setdefault("engine", "sim")
-            obs.meta.setdefault("n_threads", n)
-            obs.meta.setdefault("contention", self.contention)
-            obs.meta.setdefault("instance", getattr(self.instance, "name", None))
-            if obs.auto_finalize:
-                obs.finalize()
-        return result
+        return finish_run(
+            self,
+            result,
+            engine_name=self.engine_name,
+            meta={"n_threads": n, "contention": self.contention},
+            t_s=(max(clocks) if clocks else 0.0) if obs is not None else None,
+        )

@@ -19,6 +19,16 @@ wrapped in a :class:`~repro.parallel.rwlock.TrackedLockManager` for
 wait/hold timing, and worker 0 samples the convergence time series.
 With ``obs=None`` the original untimed loop runs — the two code paths
 are kept separate so the disabled mode costs nothing.
+
+Determinism: free-running threads are *not* reproducible — the GIL
+hands the interpreter between workers at arbitrary bytecode boundaries,
+so two runs with the same seed interleave block updates differently.
+``lockstep=True`` trades the concurrency for determinism: workers take
+turns in thread-id order, one full block sweep per turn, in the calling
+thread.  Genetics, budget split and per-thread RNG streams are
+identical to the free-running mode; only the interleaving is pinned.
+This is the mode the universal checkpoint layer
+(:mod:`repro.runtime.checkpoint`) snapshots and resumes bit-exactly.
 """
 
 from __future__ import annotations
@@ -26,17 +36,17 @@ from __future__ import annotations
 import threading
 import time
 
-import numpy as np
-
 from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.engine import RunResult, evolve_individual
 from repro.cga.hooks import as_hooks
-from repro.cga.neighborhood import neighbor_table
-from repro.cga.population import Population
-from repro.cga.sweep import sweep_order
-from repro.heuristics.minmin import min_min
 from repro.parallel.rwlock import LockManager, TrackedLockManager
-from repro.rng import spawn_rngs
+from repro.runtime.budget import Budget
+from repro.runtime.context import (
+    attach_runtime,
+    build_context,
+    detach_runtime,
+    finish_run,
+)
 
 __all__ = ["ThreadedPACGA"]
 
@@ -63,7 +73,12 @@ class ThreadedPACGA:
         Optional :class:`~repro.cga.hooks.EngineHooks` (or bare
         callable); this engine dispatches ``on_stall`` (from the
         watchdog monitor thread) and ``on_stop``.
+    lockstep:
+        Run the workers serialized in deterministic round-robin order
+        instead of free-running OS threads (see module docstring).
     """
+
+    engine_name = "threads"
 
     def __init__(
         self,
@@ -72,40 +87,82 @@ class ThreadedPACGA:
         seed: int | None = 0,
         obs=None,
         hooks=None,
+        lockstep: bool = False,
     ):
-        self.instance = instance
-        self.config = config or CGAConfig()
-        self.hooks = as_hooks(hooks)
-        self.grid = self.config.grid
-        self.neighbors = neighbor_table(self.grid, self.config.neighborhood)
-        self.blocks = self.grid.partition_scheme(
-            self.config.n_threads, self.config.partition
+        ctx = build_context(
+            instance, config, seed=seed, workers=(config or CGAConfig()).n_threads, obs=obs
         )
-        self.orders = [
-            sweep_order(block, self.config.sweep, block_id=i)
-            for i, block in enumerate(self.blocks)
-        ]
-        self.ops = self.config.resolve()
-        rngs = spawn_rngs(seed, self.config.n_threads + 1)
-        self._init_rng, self._thread_rngs = rngs[0], rngs[1:]
-        self.pop = Population(instance, self.grid)
-        seeds = [min_min(instance)] if self.config.seed_with_minmin else None
-        self.pop.init_random(self._init_rng, seed_schedules=seeds, fitness_fn=self.ops.fitness)
+        self.instance = instance
+        self.config = ctx.config
+        self.hooks = as_hooks(hooks)
+        self.lockstep = lockstep
+        self.grid = ctx.grid
+        self.neighbors = ctx.neighbors
+        self.blocks = ctx.blocks
+        self.orders = ctx.orders
+        self.ops = ctx.ops
+        self._init_rng, self._thread_rngs = ctx.init_rng, ctx.worker_rngs
+        self.pop = ctx.pop
         self.locks = LockManager(self.grid.size)
-
-        from repro.obs.observer import resolve_observer
-
-        self.obs = resolve_observer(self.config, obs)
+        #: does cell idx's neighborhood leave its own block?
+        self.crosses = ctx.crosses
+        n = self.config.n_threads
+        self._eval_counts = [0] * n
+        self._gen_counts = [0] * n
+        self._resume: dict | None = None
+        self._ckpt = None
+        self.obs = ctx.obs
         if self.obs is not None:
             # lock wait/hold timing routes to each acquiring thread's
             # private recorder (bound in the worker)
             self.locks = TrackedLockManager(self.locks)
-            block_id = np.empty(self.grid.size, dtype=np.int64)
-            for bid, block in enumerate(self.blocks):
-                block_id[block] = bid
-            #: does cell idx's neighborhood leave its own block?
-            self.crosses = (block_id[self.neighbors] != block_id[:, None]).any(axis=1)
 
+    # ------------------------------------------------------------------
+    # checkpoint protocol (runtime.checkpoint)
+    # ------------------------------------------------------------------
+    def arm_checkpoint(self, every, saver) -> None:
+        """Install a round-boundary checkpoint callback (lockstep only)."""
+        if saver is not None and not self.lockstep:
+            raise ValueError(
+                "mid-run checkpoints require lockstep=True: free-running "
+                "threads interleave nondeterministically and cannot be "
+                "snapshotted at a consistent boundary"
+            )
+        self._ckpt = None if saver is None else (every, saver)
+
+    def capture_state(self) -> dict:
+        """Per-thread RNG streams plus the cumulative worker counters."""
+        return {
+            "rng_streams": {
+                "workers": [r.bit_generator.state for r in self._thread_rngs]
+            },
+            "progress": {
+                "eval_counts": list(self._eval_counts),
+                "gen_counts": list(self._gen_counts),
+            },
+            "engine_options": {"lockstep": self.lockstep},
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a :meth:`capture_state` payload; next ``run`` resumes it."""
+        states = payload["rng_streams"]["workers"]
+        if len(states) != len(self._thread_rngs):
+            raise ValueError(
+                f"checkpoint has {len(states)} worker streams, "
+                f"engine has {len(self._thread_rngs)}"
+            )
+        for rng, state in zip(self._thread_rngs, states):
+            rng.bit_generator.state = state
+        progress = payload.get("progress")
+        if progress and any(progress.get("eval_counts", ())):
+            self._resume = {
+                "eval_counts": [int(e) for e in progress["eval_counts"]],
+                "gen_counts": [int(g) for g in progress["gen_counts"]],
+            }
+        else:
+            self._resume = None
+
+    # ------------------------------------------------------------------
     def run(self, stop: StopCondition) -> RunResult:
         """Algorithm 2: parallel block evolution until ``stop``.
 
@@ -114,56 +171,97 @@ class ThreadedPACGA:
         share after a full block sweep, mirroring the paper's
         "check the time after evolving the whole block" approximation).
         """
+        resume, self._resume = self._resume, None
         n = self.config.n_threads
-        eval_share = None
-        if stop.max_evaluations is not None:
-            eval_share = max(1, stop.max_evaluations // n)
-        gen_cap = stop.max_generations
-        wall = stop.wall_time_s
+        self._eval_counts = list(resume["eval_counts"]) if resume else [0] * n
+        self._gen_counts = list(resume["gen_counts"]) if resume else [0] * n
+        if self.lockstep:
+            return self._run_lockstep(stop)
+        return self._run_free(stop)
 
-        eval_counts = [0] * n
-        gen_counts = [0] * n
+    def _result(self, budget: Budget) -> RunResult:
+        eval_counts, gen_counts = self._eval_counts, self._gen_counts
+        best_idx, best_fit = self.pop.best()
+        result = RunResult(
+            best_fitness=best_fit,
+            best_assignment=self.pop.s[best_idx].copy(),
+            evaluations=sum(eval_counts),
+            generations=min(gen_counts) if gen_counts else 0,
+            elapsed_s=budget.elapsed,
+            history=[],
+            extra={
+                "per_thread_evaluations": list(eval_counts),
+                "per_thread_generations": list(gen_counts),
+                "n_threads": self.config.n_threads,
+                "lockstep": self.lockstep,
+            },
+        )
+        return finish_run(
+            self, result, engine_name=self.engine_name,
+            meta={"n_threads": self.config.n_threads},
+        )
+
+    # ------------------------------------------------------------------
+    def _run_lockstep(self, stop: StopCondition) -> RunResult:
+        """Deterministic serialized mode: round-robin block sweeps.
+
+        Workers act in thread-id order, one full block sweep per turn,
+        so the interleaving (and therefore the run) is a pure function
+        of the seed.  Budget semantics match the free-running mode:
+        per-worker evaluation shares, checked at sweep boundaries.
+        """
+        n = self.config.n_threads
+        budget = Budget(stop)
+        share = budget.eval_share(n)
+        evals, gens = self._eval_counts, self._gen_counts
+        pop, ops, neighbors, locks = self.pop, self.ops, self.neighbors, self.locks
+        board = attach_runtime(self, n, lambda: (min(gens), sum(evals)))
+        budget.start()
+        rounds = 0
+        try:
+            active = [True] * n
+            while any(active):
+                for tid in range(n):
+                    if not active[tid]:
+                        continue
+                    if budget.worker_exhausted(evals[tid], gens[tid], share):
+                        active[tid] = False
+                        if board is not None:
+                            board.mark_done(tid)
+                        continue
+                    rng = self._thread_rngs[tid]
+                    for idx in self.orders[tid]:
+                        evolve_individual(pop, int(idx), neighbors[idx], ops, rng, locks)
+                        evals[tid] += 1
+                    gens[tid] += 1
+                    if board is not None:
+                        board.beat(tid)
+                rounds += 1
+                if self._ckpt is not None and rounds % self._ckpt[0] == 0 and any(active):
+                    self._ckpt[1](self)
+        finally:
+            detach_runtime(self, board)
+        return self._result(budget)
+
+    # ------------------------------------------------------------------
+    def _run_free(self, stop: StopCondition) -> RunResult:
+        """Free-running OS threads (the paper's concurrent execution)."""
+        n = self.config.n_threads
+        budget = Budget(stop)
+        eval_share = budget.eval_share(n)
+        eval_counts, gen_counts = self._eval_counts, self._gen_counts
         obs = self.obs
-        evals_live = [0] * n  # sweep-granular progress, read by the sampler
-        board = None
-        if obs is not None and obs.runtime_wanted:
-            from repro.obs.watchdog import HeartbeatBoard
-
-            board = HeartbeatBoard(n)
-
-            def progress() -> dict:
-                # lock-free snapshot, approximate by design (same rule
-                # as the sampler thread)
-                _, best = self.pop.best()
-                beats = board.read()
-                return {
-                    "generation": min(beats) if beats else 0,
-                    "evaluations": sum(evals_live),
-                    "best": best,
-                    "heartbeats": beats,
-                    "workers_done": [bool(d) for d in board.done],
-                }
-
-            def fire_stall(event) -> None:
-                if self.hooks.on_stall is not None:
-                    self.hooks.on_stall(self, event)
-
-            obs.start_runtime(board, progress, on_stall=fire_stall)
-        t0 = time.perf_counter()
+        evals_live = list(eval_counts)  # sweep-granular, read by the sampler
+        board = attach_runtime(self, n, lambda: (None, sum(evals_live)))
+        budget.start()
 
         def worker(tid: int) -> None:
             block = self.orders[tid]
             rng = self._thread_rngs[tid]
             pop, ops, neighbors, locks = self.pop, self.ops, self.neighbors, self.locks
-            evals = 0
-            gens = 0
-            while True:
-                if wall is not None and time.perf_counter() - t0 >= wall:
-                    break
-                if eval_share is not None and evals >= eval_share:
-                    break
-                if gen_cap is not None and gens >= gen_cap:
-                    break
+            evals = eval_counts[tid]
+            gens = gen_counts[tid]
+            while not budget.worker_exhausted(evals, gens, eval_share):
                 for idx in block:
                     evolve_individual(pop, int(idx), neighbors[idx], ops, rng, locks)
                     evals += 1
@@ -184,16 +282,10 @@ class ThreadedPACGA:
             tracer = obs.thread_tracer(tid, f"pacga-{tid}")
             crosses = self.crosses
             perf = time.perf_counter
-            evals = 0
-            gens = 0
+            evals = eval_counts[tid]
+            gens = gen_counts[tid]
             boundary = 0
-            while True:
-                if wall is not None and perf() - t0 >= wall:
-                    break
-                if eval_share is not None and evals >= eval_share:
-                    break
-                if gen_cap is not None and gens >= gen_cap:
-                    break
+            while not budget.worker_exhausted(evals, gens, eval_share):
                 sweep_start = perf()
                 for idx in block:
                     i = int(idx)
@@ -240,38 +332,7 @@ class ThreadedPACGA:
             for t in threads:
                 t.join()
         finally:
-            if obs is not None:
-                # final live.json publish happens after the workers'
-                # recorders have quiesced, so live counts == bundle counts
-                obs.stop_runtime()
-        elapsed = time.perf_counter() - t0
-
-        best_idx, best_fit = self.pop.best()
-        result = RunResult(
-            best_fitness=best_fit,
-            best_assignment=self.pop.s[best_idx].copy(),
-            evaluations=sum(eval_counts),
-            generations=min(gen_counts) if gen_counts else 0,
-            elapsed_s=elapsed,
-            history=[],
-            extra={
-                "per_thread_evaluations": eval_counts,
-                "per_thread_generations": gen_counts,
-                "n_threads": n,
-            },
-        )
-        if obs is not None:
-            obs.maybe_sample(
-                result.evaluations,
-                lambda: obs.engine_row(self, result.generations, result.evaluations),
-                force=True,
-            )
-            obs.record_result(result)
-            obs.meta.setdefault("engine", "threads")
-            obs.meta.setdefault("n_threads", n)
-            obs.meta.setdefault("instance", getattr(self.instance, "name", None))
-            if obs.auto_finalize:
-                obs.finalize()
-        if self.hooks.on_stop is not None:
-            self.hooks.on_stop(self, result)
-        return result
+            # final live.json publish happens after the workers'
+            # recorders have quiesced, so live counts == bundle counts
+            detach_runtime(self, board)
+        return self._result(budget)

@@ -18,7 +18,7 @@ integer seeds are *not* independent streams).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

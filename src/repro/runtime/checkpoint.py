@@ -1,0 +1,324 @@
+"""Universal checkpoint/resume (format v2) for every checkpointable engine.
+
+Format v1 (``repro.cga.checkpoint``) snapshotted the sequential engines
+only: population arrays plus one RNG state, with the config stored as a
+``repr`` string.  Format v2 generalizes the snapshot to *every* engine
+the registry marks checkpointable:
+
+* ``config`` is a real dictionary (validated field-by-field on
+  restore, not by string comparison);
+* ``rng_streams`` holds the bit-generator state of every stream the
+  engine owns (one for the sequential engines, one per logical thread
+  plus jitter streams for the simulator);
+* ``progress`` carries the engine-specific resume payload
+  (counters, history, and for the simulator the full virtual-time
+  scheduler state), so a resumed run continues the identical stochastic
+  trajectory *and* reports the same cumulative counters as an
+  uninterrupted run;
+* ``stop`` optionally embeds the run's :class:`StopCondition` so
+  ``repro resume <ckpt>`` needs no further arguments.
+
+Snapshots are taken at generation/sweep boundaries only (the engines'
+natural quiescent points — see :func:`run_with_checkpoints`), and every
+value is JSON: PCG64 states are plain integers and Python's float
+round-trip via ``repr`` is exact, so resume is bit-exact by
+construction.  v1 files still load (state-only: the trajectory resumes
+exactly, the counters restart at zero).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.cga.config import CGAConfig, StopCondition
+from repro.runtime.registry import ENGINE_SPECS, EngineSpec, resolve_engine
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "spec_for",
+    "config_to_dict",
+    "config_from_dict",
+    "capture_state",
+    "restore_state",
+    "save_checkpoint",
+    "load_state",
+    "resume_engine",
+    "run_with_checkpoints",
+]
+
+CHECKPOINT_VERSION = 2
+
+
+def spec_for(engine) -> EngineSpec:
+    """The registry spec describing ``engine``'s class."""
+    cls = type(engine)
+    for spec in ENGINE_SPECS.values():
+        if spec.module == cls.__module__ and spec.qualname == cls.__qualname__:
+            return spec
+    raise ValueError(f"engine class {cls.__qualname__} is not registered")
+
+
+# ---------------------------------------------------------------------------
+# config (de)serialization
+# ---------------------------------------------------------------------------
+def config_to_dict(config: CGAConfig) -> dict:
+    """``CGAConfig`` as a plain JSON-safe dictionary (obs nested)."""
+    return asdict(config)
+
+
+def config_from_dict(data: dict) -> CGAConfig:
+    """Rebuild a :class:`CGAConfig`, validating the field set.
+
+    Unknown or missing keys raise ``ValueError`` (a checkpoint from a
+    different library version should fail loudly, not half-apply).
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"checkpoint configuration must be a dict, got {type(data).__name__}")
+    known = {f.name for f in fields(CGAConfig)}
+    unknown = sorted(set(data) - known)
+    missing = sorted(known - set(data))
+    if unknown or missing:
+        parts = []
+        if unknown:
+            parts.append(f"unknown fields: {', '.join(unknown)}")
+        if missing:
+            parts.append(f"missing fields: {', '.join(missing)}")
+        raise ValueError(f"invalid checkpoint configuration ({'; '.join(parts)})")
+    data = dict(data)
+    obs = data.pop("obs", None)
+    if obs is not None:
+        from repro.obs.observer import ObsConfig
+
+        obs = ObsConfig(**obs)
+    try:
+        return CGAConfig(obs=obs, **data)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"invalid checkpoint configuration: {exc}") from None
+
+
+def _stop_to_dict(stop: StopCondition) -> dict:
+    return asdict(stop)
+
+
+def _stop_from_dict(data: dict) -> StopCondition:
+    known = {f.name for f in fields(StopCondition)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"invalid checkpoint stop condition (unknown fields: {', '.join(unknown)})")
+    return StopCondition(**data)
+
+
+# ---------------------------------------------------------------------------
+# capture / restore
+# ---------------------------------------------------------------------------
+def capture_state(engine, stop: StopCondition | None = None) -> dict:
+    """Snapshot ``engine`` into a JSON-safe checkpoint dictionary.
+
+    The engine contributes its stream/progress payload through its
+    ``capture_state`` method; this wrapper adds the universal envelope
+    (format version, registry name, config, instance, population,
+    optional stop condition).
+    """
+    spec = spec_for(engine)
+    if not spec.checkpointable:
+        raise ValueError(
+            f"engine {spec.name!r} is not checkpointable "
+            f"(checkpointable engines: {', '.join(n for n, s in ENGINE_SPECS.items() if s.checkpointable)})"
+        )
+    pop = engine.pop
+    state = {
+        "format_version": CHECKPOINT_VERSION,
+        "engine": spec.name,
+        "instance": engine.instance.name,
+        "config": config_to_dict(engine.config),
+        "population": {
+            "s": pop.s.tolist(),
+            "ct": pop.ct.tolist(),
+            "fitness": pop.fitness.tolist(),
+        },
+        "stop": _stop_to_dict(stop) if stop is not None else None,
+    }
+    state.update(engine.capture_state())
+    return state
+
+
+def _restore_population(engine, s, ct, fitness) -> None:
+    pop = engine.pop
+    s = np.asarray(s, dtype=pop.s.dtype)
+    ct = np.asarray(ct, dtype=pop.ct.dtype)
+    fitness = np.asarray(fitness, dtype=pop.fitness.dtype)
+    if s.shape != pop.s.shape:
+        raise ValueError(f"population shape mismatch: {s.shape} vs {pop.s.shape}")
+    pop.s[:] = s
+    pop.ct[:] = ct
+    pop.fitness[:] = fitness
+
+
+def restore_state(engine, state: dict, resume: bool = True) -> None:
+    """Restore a :func:`capture_state` snapshot in place.
+
+    The engine must have been constructed with the same instance and
+    configuration; both are verified before anything is touched.  With
+    ``resume=True`` the engine's next ``run`` continues the logical run
+    (counters, history and — for the simulator — scheduler clocks pick
+    up where the snapshot left off); ``resume=False`` restores the
+    stochastic state only, v1-style.
+    """
+    version = state.get("format_version")
+    if version == 1:
+        _restore_v1(engine, state)
+        return
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(f"unsupported checkpoint version: {version!r}")
+    spec = spec_for(engine)
+    if state.get("engine") != spec.name:
+        raise ValueError(
+            f"checkpoint is for engine {state.get('engine')!r}, restoring into {spec.name!r}"
+        )
+    if config_from_dict(state["config"]) != engine.config:
+        raise ValueError(
+            "checkpoint was taken under a different configuration; "
+            "construct the engine with the same CGAConfig before restoring"
+        )
+    if state["instance"] != engine.instance.name:
+        raise ValueError(
+            f"checkpoint is for instance {state['instance']!r}, "
+            f"engine has {engine.instance.name!r}"
+        )
+    pop = state["population"]
+    _restore_population(engine, pop["s"], pop["ct"], pop["fitness"])
+    engine.restore_state(
+        {
+            "rng_streams": state["rng_streams"],
+            "progress": state.get("progress") if resume else None,
+        }
+    )
+
+
+def _restore_v1(engine, state: dict) -> None:
+    """Load a format-1 checkpoint (sequential engines, state-only)."""
+    if state["config"] != repr(engine.config):
+        raise ValueError(
+            "checkpoint was taken under a different configuration; "
+            "construct the engine with the same CGAConfig before restoring"
+        )
+    if state["instance"] != engine.instance.name:
+        raise ValueError(
+            f"checkpoint is for instance {state['instance']!r}, "
+            f"engine has {engine.instance.name!r}"
+        )
+    rng = getattr(engine, "rng", None)
+    if rng is None:
+        raise ValueError(
+            "format-1 checkpoints hold a single RNG stream and restore "
+            "only into the sequential engines"
+        )
+    _restore_population(engine, state["s"], state["ct"], state["fitness"])
+    rng.bit_generator.state = state["rng_state"]
+
+
+# ---------------------------------------------------------------------------
+# file I/O and resume
+# ---------------------------------------------------------------------------
+def save_checkpoint(engine, path: str | os.PathLike, stop: StopCondition | None = None) -> None:
+    """Write :func:`capture_state` as JSON, atomically.
+
+    The snapshot lands under a temporary name and is ``rename``\\ d into
+    place, so an interrupt mid-write never corrupts the previous
+    checkpoint.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(capture_state(engine, stop=stop)), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def load_state(path: str | os.PathLike) -> dict:
+    """Read a checkpoint file back into a state dictionary."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def resume_engine(
+    source: str | os.PathLike | dict,
+    instance=None,
+    obs=None,
+    engine_kwargs: dict | None = None,
+):
+    """Rebuild an engine from a checkpoint; returns ``(engine, stop)``.
+
+    ``source`` is a checkpoint path or an already-loaded state dict.
+    The instance is loaded from the benchmark registry by the name
+    recorded in the checkpoint unless one is passed explicitly (required
+    for generated/file-based instances).  ``stop`` is the condition
+    embedded at save time, or None if none was recorded.  Extra
+    ``engine_kwargs`` override the snapshot's recorded engine options
+    (e.g. a custom simulator cost model).
+    """
+    state = source if isinstance(source, dict) else load_state(source)
+    version = state.get("format_version")
+    if version not in (1, CHECKPOINT_VERSION):
+        raise ValueError(f"unsupported checkpoint version: {version!r}")
+    if version == 1:
+        raise ValueError(
+            "format-1 checkpoints do not record the engine/config needed to "
+            "rebuild one; construct the engine yourself and call restore_state"
+        )
+    spec = resolve_engine(state["engine"])
+    config = config_from_dict(state["config"])
+    if instance is None:
+        from repro.etc import BENCHMARK_INSTANCES, load_benchmark
+
+        name = state["instance"]
+        if name not in BENCHMARK_INSTANCES:
+            raise ValueError(
+                f"checkpoint instance {name!r} is not a benchmark; "
+                "pass the instance explicitly to resume it"
+            )
+        instance = load_benchmark(name)
+    elif getattr(instance, "name", None) != state["instance"]:
+        raise ValueError(
+            f"checkpoint is for instance {state['instance']!r}, "
+            f"got {getattr(instance, 'name', None)!r}"
+        )
+    options = dict(state.get("engine_options") or {})
+    options.update(engine_kwargs or {})
+    engine = spec.create(instance, config, seed=0, obs=obs, **options)
+    restore_state(engine, state)
+    stop = _stop_from_dict(state["stop"]) if state.get("stop") else None
+    return engine, stop
+
+
+def run_with_checkpoints(
+    engine,
+    stop: StopCondition,
+    path: str | os.PathLike,
+    every_generations: int = 1,
+):
+    """Run ``engine`` to ``stop``, checkpointing at sweep boundaries.
+
+    Every ``every_generations`` completed generations (for the threaded
+    engine: lockstep rounds; for the simulator: block-sweep completions)
+    the full state is atomically written to ``path``.  Returns the
+    :class:`~repro.cga.engine.RunResult`; the file left behind is the
+    last boundary snapshot, resumable with :func:`resume_engine`.
+    """
+    if every_generations < 1:
+        raise ValueError(f"every_generations must be >= 1, got {every_generations}")
+    spec = spec_for(engine)
+    if not spec.checkpointable:
+        raise ValueError(f"engine {spec.name!r} is not checkpointable")
+
+    def saver(eng) -> None:
+        save_checkpoint(eng, path, stop=stop)
+
+    engine.arm_checkpoint(every_generations, saver)
+    try:
+        return engine.run(stop)
+    finally:
+        engine.arm_checkpoint(None, None)

@@ -1,0 +1,274 @@
+"""Run setup, observability attachment and result finalization.
+
+:func:`build_context` performs the setup stage every engine used to
+duplicate: operator resolution, neighbor table, block partitioning and
+sweep orders, RNG stream derivation from the seed tree, population
+initialization with the paper's Min-min seeding, and observer
+resolution.  This module is the **single** engine-side call site of
+:func:`repro.heuristics.minmin.min_min` — a new engine gets seeding,
+telemetry and heartbeat support by building a context, not by copying
+twenty lines of constructor code.
+
+The RNG topologies are exactly the ones the engines always used, so a
+refactored engine replays bit-identical streams:
+
+* single-stream (async/sync/vectorized): one generator drives both
+  population init and evolution;
+* ``workers=n`` (threads/processes): ``spawn_rngs(seed, n + 1)`` —
+  stream 0 initializes the population, streams 1..n drive the workers;
+* ``workers=n, jitter=True`` (simulated): ``spawn_rngs(seed, 1+2n)`` —
+  init, then n genetic streams, then n cost-jitter streams, so the
+  cost model never perturbs the genetics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cga.config import CGAConfig
+from repro.cga.neighborhood import neighbor_table
+from repro.cga.population import Population
+from repro.cga.sweep import sweep_order
+from repro.heuristics.minmin import min_min
+from repro.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "RunContext",
+    "build_context",
+    "init_population",
+    "boundary_crossings",
+    "attach_runtime",
+    "detach_runtime",
+    "finish_run",
+]
+
+
+@dataclass
+class RunContext:
+    """Everything an engine's ``run`` loop needs, set up once.
+
+    ``sweep`` is populated for single-stream engines, ``blocks`` /
+    ``orders`` / ``crosses`` for partitioned ones; the RNG fields
+    mirror the three stream topologies (see module docstring).
+    """
+
+    instance: object
+    config: CGAConfig
+    grid: object
+    neighbors: np.ndarray
+    ops: object
+    pop: Population
+    obs: object | None = None
+    #: single-stream engines: the one generator (init + evolution)
+    rng: np.random.Generator | None = None
+    #: whole-grid sweep order (single-stream engines)
+    sweep: np.ndarray | None = None
+    #: partitioned engines: per-worker blocks, sweep orders and streams
+    blocks: list[np.ndarray] = field(default_factory=list)
+    orders: list[np.ndarray] = field(default_factory=list)
+    init_rng: np.random.Generator | None = None
+    worker_rngs: list[np.random.Generator] = field(default_factory=list)
+    jitter_rngs: list[np.random.Generator] = field(default_factory=list)
+    #: per-cell flag: does the neighborhood leave its own block?
+    crosses: np.ndarray | None = None
+
+    @property
+    def boundary_fraction(self) -> float:
+        """Fraction of cells whose neighborhood crosses a block edge."""
+        if self.crosses is None or len(self.blocks) < 2:
+            return 0.0
+        return float(self.crosses.mean())
+
+
+def init_population(
+    instance,
+    grid,
+    config: CGAConfig,
+    rng: np.random.Generator,
+    fitness_fn: Callable,
+    arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> Population:
+    """Create and initialize a population (§4.1 Min-min seeding).
+
+    ``arrays`` supplies pre-allocated backing buffers (the process
+    engine passes shared memory).  This is the only place any engine
+    plants the Min-min individual.
+    """
+    if arrays is None:
+        pop = Population(instance, grid)
+    else:
+        pop = Population(instance, grid, s=arrays[0], ct=arrays[1], fitness=arrays[2])
+    seeds = [min_min(instance)] if config.seed_with_minmin else None
+    pop.init_random(rng, seed_schedules=seeds, fitness_fn=fitness_fn)
+    return pop
+
+
+def boundary_crossings(
+    neighbors: np.ndarray, blocks: Sequence[np.ndarray], size: int
+) -> np.ndarray:
+    """Per-cell boolean: does cell's neighborhood leave its block?"""
+    block_id = np.empty(size, dtype=np.int64)
+    for bid, block in enumerate(blocks):
+        block_id[block] = bid
+    return (block_id[neighbors] != block_id[:, None]).any(axis=1)
+
+
+def build_context(
+    instance,
+    config: CGAConfig | None = None,
+    *,
+    rng=None,
+    seed=None,
+    workers: int = 0,
+    jitter: bool = False,
+    pop_arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    obs=None,
+) -> RunContext:
+    """Set up one engine run (see module docstring for the modes).
+
+    ``workers=0`` builds a single-stream context from ``rng``;
+    ``workers=n`` builds a partitioned context from the ``seed`` tree.
+    The observer is resolved *after* population init so the initial
+    evaluations stay out of the breeding-phase metrics.
+    """
+    config = config or CGAConfig()
+    grid = config.grid
+    neighbors = neighbor_table(grid, config.neighborhood)
+    ops = config.resolve()
+    ctx = RunContext(
+        instance=instance,
+        config=config,
+        grid=grid,
+        neighbors=neighbors,
+        ops=ops,
+        pop=None,  # type: ignore[arg-type]  (assigned below)
+    )
+    if workers == 0:
+        ctx.rng = make_rng(rng)
+        ctx.sweep = sweep_order(np.arange(grid.size), config.sweep, block_id=0)
+        init_rng = ctx.rng
+    else:
+        ctx.blocks = grid.partition_scheme(workers, config.partition)
+        ctx.orders = [
+            sweep_order(block, config.sweep, block_id=i)
+            for i, block in enumerate(ctx.blocks)
+        ]
+        ctx.crosses = boundary_crossings(neighbors, ctx.blocks, grid.size)
+        streams = spawn_rngs(seed, 1 + workers * (2 if jitter else 1))
+        ctx.init_rng = streams[0]
+        ctx.worker_rngs = streams[1 : 1 + workers]
+        ctx.jitter_rngs = streams[1 + workers :]
+        init_rng = ctx.init_rng
+    ctx.pop = init_population(
+        instance, grid, config, init_rng, ops.fitness, arrays=pop_arrays
+    )
+    from repro.obs.observer import resolve_observer  # cheap, no cycles
+
+    ctx.obs = resolve_observer(config, obs)
+    return ctx
+
+
+# ---------------------------------------------------------------------------
+# live runtime (heartbeat board + watchdog + publisher)
+# ---------------------------------------------------------------------------
+def attach_runtime(
+    engine,
+    n_workers: int,
+    counts: Callable[[], tuple[int, int]],
+    counters=None,
+    done=None,
+):
+    """Attach the observer's live publisher/watchdog for one run.
+
+    ``counts`` is a lock-free provider of ``(generation, evaluations)``
+    progress; ``counters``/``done`` optionally supply shared-memory
+    backing for the heartbeat board (the process engine's fork-shared
+    RawArrays).  Returns the board, or None when the observer requests
+    no runtime attachment (the run loop then stays untouched).
+    """
+    obs = engine.obs
+    if obs is None or not obs.runtime_wanted:
+        return None
+    from repro.obs.watchdog import HeartbeatBoard
+
+    if counters is None:
+        board = HeartbeatBoard(n_workers)
+    else:
+        board = HeartbeatBoard(n_workers, counters=counters, done=done)
+
+    def progress() -> dict:
+        # lock-free snapshot, approximate by design (same rule as the
+        # time-series sampler)
+        _, best = engine.pop.best()
+        generation, evaluations = counts()
+        if generation is None:
+            # partitioned engines: heartbeats advance once per block
+            # sweep, so the slowest worker's beat count is the
+            # generation (same definition as their RunResult)
+            beats = board.read()
+            generation = min(beats) if beats else 0
+        return {
+            "generation": generation,
+            "evaluations": evaluations,
+            "best": best,
+            "heartbeats": board.read(),
+            "workers_done": [bool(d) for d in board.done],
+        }
+
+    def fire_stall(event) -> None:
+        if engine.hooks.on_stall is not None:
+            engine.hooks.on_stall(engine, event)
+
+    obs.start_runtime(board, progress, on_stall=fire_stall)
+    return board
+
+
+def detach_runtime(engine, board, mark_done: Sequence[int] = ()) -> None:
+    """Stop the watchdog/publisher; ``mark_done`` exempts workers first."""
+    if board is not None:
+        for tid in mark_done:
+            board.mark_done(tid)
+    if engine.obs is not None:
+        engine.obs.stop_runtime()
+
+
+# ---------------------------------------------------------------------------
+# result finalization
+# ---------------------------------------------------------------------------
+def finish_run(
+    engine,
+    result,
+    engine_name: str,
+    meta: dict | None = None,
+    t_s: float | None = None,
+):
+    """Common run epilogue: final sample, bundle metadata, hooks.
+
+    Samples the final time-series row (``t_s`` stamps virtual time for
+    the simulator), records the result into the bundle metadata, fills
+    engine/instance identity via ``setdefault`` (caller-provided meta,
+    e.g. the CLI's, wins) and fires ``on_stop`` last — by then the
+    telemetry bundle, if auto-finalizing, is on disk.
+    """
+    obs = engine.obs
+    if obs is not None:
+        def provider() -> dict:
+            row = obs.engine_row(engine, result.generations, result.evaluations)
+            if t_s is not None:
+                row["virtual_t_s"] = t_s
+            return row
+
+        obs.maybe_sample(result.evaluations, provider, t_s=t_s, force=True)
+        obs.record_result(result)
+        obs.meta.setdefault("engine", engine_name)
+        obs.meta.setdefault("instance", getattr(engine.instance, "name", None))
+        for key, value in (meta or {}).items():
+            obs.meta.setdefault(key, value)
+        if obs.auto_finalize:
+            obs.finalize()
+    if engine.hooks.on_stop is not None:
+        engine.hooks.on_stop(engine, result)
+    return result

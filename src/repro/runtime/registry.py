@@ -1,0 +1,240 @@
+"""The engine registry: one source of truth for every dispatch site.
+
+Each engine is described by an :class:`EngineSpec` (canonical name,
+aliases, lazily-imported class, parallelism class, checkpointability,
+seeding convention).  The CLI's ``--engine`` choices, the experiment
+harnesses, ``SEQUENTIAL_ENGINES`` and the takeover study all resolve
+engines *through this module*, so adding an engine is one
+:func:`register_engine` call — not an if/elif ladder in six files.
+
+Classes are imported lazily (``EngineSpec.load``), so importing the
+registry costs nothing and no import cycle forms between
+``repro.runtime`` and the engine packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any
+
+__all__ = [
+    "EngineSpec",
+    "ENGINE_SPECS",
+    "register_engine",
+    "engine_names",
+    "engine_aliases",
+    "resolve_engine",
+    "create_engine",
+    "sequential_engines",
+    "checkpointable_engines",
+]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Declarative description of one engine implementation.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry key (what ``RunResult`` bundles and
+        checkpoints record).
+    module / qualname:
+        Lazy import location of the engine class.
+    summary:
+        One-line human description (CLI ``engines`` listing).
+    aliases:
+        Alternative CLI spellings resolving to this spec.
+    parallelism:
+        Execution substrate: ``"sequential"`` (single stream, includes
+        the vectorized engine), ``"threads"``, ``"processes"`` or
+        ``"simulated"``.
+    checkpointable:
+        Whether the engine supports ``capture_state``/``restore_state``
+        (universal checkpoint format v2).  The process engine is not
+        checkpointable: its workers own forked address spaces that
+        cannot be quiesced into a portable snapshot.
+    seed_param:
+        Constructor keyword receiving the seed: ``"rng"`` for the
+        single-stream engines (accepts a Generator, int or
+        SeedSequence), ``"seed"`` for the multi-stream ones (spawns a
+        seed tree).
+    threaded:
+        Whether ``config.n_threads`` maps to real workers (CLI keeps
+        ``n_threads=1`` for the others).
+    extra_kwargs:
+        Constructor keywords beyond the common four that the engine
+        accepts (used to filter pass-through options).
+    """
+
+    name: str
+    module: str
+    qualname: str
+    summary: str = ""
+    aliases: tuple[str, ...] = ()
+    parallelism: str = "sequential"
+    checkpointable: bool = False
+    seed_param: str = "rng"
+    threaded: bool = False
+    extra_kwargs: tuple[str, ...] = field(default=())
+
+    def load(self) -> type:
+        """Import and return the engine class."""
+        return getattr(import_module(self.module), self.qualname)
+
+    def create(self, instance, config=None, seed=None, obs=None, **kwargs) -> Any:
+        """Construct the engine with the registry's seeding convention.
+
+        ``kwargs`` not in :attr:`extra_kwargs` are rejected with a
+        ``TypeError`` before the class is even imported, so callers get
+        uniform errors regardless of the engine's signature.
+        """
+        unknown = sorted(set(kwargs) - set(self.extra_kwargs))
+        if unknown:
+            raise TypeError(
+                f"engine {self.name!r} does not accept {', '.join(unknown)} "
+                f"(supported extras: {', '.join(self.extra_kwargs) or 'none'})"
+            )
+        cls = self.load()
+        kwargs[self.seed_param] = seed
+        return cls(instance, config, obs=obs, **kwargs)
+
+
+#: canonical name -> spec, in registration order (drives CLI listings).
+ENGINE_SPECS: dict[str, EngineSpec] = {}
+#: alias -> canonical name.
+_ALIASES: dict[str, str] = {}
+
+
+def register_engine(spec: EngineSpec) -> EngineSpec:
+    """Add ``spec`` to the registry (its aliases must be unclaimed)."""
+    for key in (spec.name, *spec.aliases):
+        owner = _ALIASES.get(key) or (key if key in ENGINE_SPECS else None)
+        if owner is not None and owner != spec.name:
+            raise ValueError(f"engine name {key!r} already registered for {owner!r}")
+    ENGINE_SPECS[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def engine_names() -> list[str]:
+    """Canonical engine names, in registration order."""
+    return list(ENGINE_SPECS)
+
+
+def engine_aliases() -> dict[str, str]:
+    """alias -> canonical name mapping."""
+    return dict(_ALIASES)
+
+
+def resolve_engine(name: str) -> EngineSpec:
+    """Spec for ``name`` (canonical or alias); raises with valid names."""
+    canonical = _ALIASES.get(name, name)
+    try:
+        return ENGINE_SPECS[canonical]
+    except KeyError:
+        valid = ", ".join([*ENGINE_SPECS, *sorted(_ALIASES)])
+        raise ValueError(f"unknown engine {name!r}; valid engines: {valid}") from None
+
+
+def create_engine(name: str, instance, config=None, seed=None, obs=None, **kwargs):
+    """Construct engine ``name`` (see :meth:`EngineSpec.create`)."""
+    return resolve_engine(name).create(instance, config, seed=seed, obs=obs, **kwargs)
+
+
+def sequential_engines() -> dict[str, type]:
+    """name -> class for the sequential (single-stream) engines."""
+    return {
+        spec.name: spec.load()
+        for spec in ENGINE_SPECS.values()
+        if spec.parallelism == "sequential"
+    }
+
+
+def checkpointable_engines() -> tuple[str, ...]:
+    """Canonical names of every checkpointable engine."""
+    return tuple(s.name for s in ENGINE_SPECS.values() if s.checkpointable)
+
+
+# ---------------------------------------------------------------------------
+# The built-in engines.  ``pacga-*`` aliases spell out that the threaded,
+# process and simulated engines are the paper's PA-CGA on its three
+# substrates.
+# ---------------------------------------------------------------------------
+register_engine(
+    EngineSpec(
+        name="async",
+        module="repro.cga.engine",
+        qualname="AsyncCGA",
+        summary="canonical asynchronous CGA (Algorithm 1, fixed line sweep)",
+        checkpointable=True,
+        seed_param="rng",
+        extra_kwargs=("record_history", "on_generation"),
+    )
+)
+register_engine(
+    EngineSpec(
+        name="sync",
+        module="repro.cga.engine",
+        qualname="SyncCGA",
+        summary="synchronous CGA (auxiliary population, one swap per generation)",
+        checkpointable=True,
+        seed_param="rng",
+        extra_kwargs=("record_history", "on_generation"),
+    )
+)
+register_engine(
+    EngineSpec(
+        name="vectorized",
+        module="repro.cga.vectorized",
+        qualname="VectorizedSyncCGA",
+        summary="synchronous CGA over whole-population NumPy batch kernels",
+        checkpointable=True,
+        seed_param="rng",
+        extra_kwargs=("record_history", "on_generation"),
+    )
+)
+register_engine(
+    EngineSpec(
+        name="sim",
+        module="repro.parallel.simengine",
+        qualname="SimulatedPACGA",
+        summary="PA-CGA under a deterministic virtual-time scheduler (Fig. 4)",
+        aliases=("pacga-sim",),
+        parallelism="simulated",
+        checkpointable=True,
+        seed_param="seed",
+        threaded=True,
+        extra_kwargs=("cost_model", "history_stride", "contention"),
+    )
+)
+register_engine(
+    EngineSpec(
+        name="threads",
+        module="repro.parallel.threads",
+        qualname="ThreadedPACGA",
+        summary="PA-CGA on OS threads with per-individual RW locks (§3.2)",
+        aliases=("pacga-threads",),
+        parallelism="threads",
+        checkpointable=True,
+        seed_param="seed",
+        threaded=True,
+        extra_kwargs=("hooks", "lockstep"),
+    )
+)
+register_engine(
+    EngineSpec(
+        name="processes",
+        module="repro.parallel.processes",
+        qualname="ProcessPACGA",
+        summary="PA-CGA on forked workers over a shared-memory population",
+        aliases=("pacga-processes",),
+        parallelism="processes",
+        checkpointable=False,
+        seed_param="seed",
+        threaded=True,
+        extra_kwargs=("hooks",),
+    )
+)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 from scipy.optimize import linprog
-from scipy.sparse import csr_matrix, hstack, vstack, eye
+from scipy.sparse import csr_matrix, hstack
 
 from repro.etc.model import ETCMatrix
 

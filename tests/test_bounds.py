@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.etc import ETCMatrix, load_benchmark, make_instance
+from repro.etc import ETCMatrix, make_instance
 from repro.heuristics import min_min
 from repro.scheduling.bounds import combined_lower_bound, lp_lower_bound
 

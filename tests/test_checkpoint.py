@@ -82,8 +82,46 @@ class TestStateContents:
         import json
 
         eng = AsyncCGA(small_instance, CFG, rng=1)
-        text = json.dumps(engine_state(eng))
-        assert "rng_state" in text
+        state = engine_state(eng)
+        text = json.dumps(state)
+        assert "rng_streams" in text
+        assert state["format_version"] == 2
+        assert state["engine"] == "async"
+        # the config is a real dict, not a repr string
+        assert state["config"]["ls_iterations"] == CFG.ls_iterations
+
+    def test_v1_checkpoint_still_loads(self, small_instance):
+        # hand-build a format-1 state (what the old module wrote)
+        eng = AsyncCGA(small_instance, CFG, rng=7)
+        eng.run(StopCondition(max_generations=3))
+        v1 = {
+            "format_version": 1,
+            "config": repr(eng.config),
+            "instance": eng.instance.name,
+            "s": eng.pop.s.tolist(),
+            "ct": eng.pop.ct.tolist(),
+            "fitness": eng.pop.fitness.tolist(),
+            "rng_state": eng.rng.bit_generator.state,
+        }
+        other = AsyncCGA(small_instance, CFG, rng=0)
+        restore_engine(other, v1)
+        assert np.array_equal(other.pop.s, eng.pop.s)
+        assert other.rng.random() == eng.rng.random()
+
+    def test_v1_rejects_config_mismatch(self, small_instance):
+        eng = AsyncCGA(small_instance, CFG, rng=7)
+        v1 = {
+            "format_version": 1,
+            "config": repr(eng.config),
+            "instance": eng.instance.name,
+            "s": eng.pop.s.tolist(),
+            "ct": eng.pop.ct.tolist(),
+            "fitness": eng.pop.fitness.tolist(),
+            "rng_state": eng.rng.bit_generator.state,
+        }
+        other = AsyncCGA(small_instance, CFG.with_(ls_iterations=9), rng=7)
+        with pytest.raises(ValueError, match="configuration"):
+            restore_engine(other, v1)
 
     def test_restored_invariants(self, small_instance, tmp_path):
         eng = AsyncCGA(small_instance, CFG, rng=1)

@@ -4,7 +4,7 @@ Fig. 4 shape calibration that DESIGN.md promises."""
 import numpy as np
 import pytest
 
-from repro.cga import CGAConfig, Grid2D, neighbor_table
+from repro.cga import Grid2D, neighbor_table
 from repro.parallel import CostModel, XEON_E5440
 
 

@@ -125,7 +125,7 @@ class TestSyncCGA:
         eng = SyncCGA(tiny_instance, config, rng=5)
         eng.pop.s[:] = eng.pop.s[0]  # make everyone identical
         eng.pop.evaluate_all()
-        res = eng.run(StopCondition(max_generations=1))
+        eng.run(StopCondition(max_generations=1))
         # crossover of identical parents = clone; nothing may change
         assert np.all(eng.pop.s == eng.pop.s[0])
 

@@ -1,7 +1,6 @@
 """Edge-case tests for engine configuration branches."""
 
 import numpy as np
-import pytest
 
 from repro.cga import (
     AsyncCGA,

@@ -80,7 +80,8 @@ class TestAsHooks:
         assert hooks.on_stop is None
 
     def test_callable_becomes_on_generation(self):
-        f = lambda e, g, ev: None
+        def f(e, g, ev):
+            return None
         hooks = as_hooks(f)
         assert hooks.on_generation is f
         assert hooks.on_stop is None

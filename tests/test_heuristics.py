@@ -13,7 +13,6 @@ from repro.heuristics import (
     random_schedule,
     sufferage,
 )
-from repro.scheduling import makespan
 from repro.scheduling.validation import check_completion_times, validate_assignment
 
 

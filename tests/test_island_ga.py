@@ -44,7 +44,6 @@ class TestMigration:
             tiny_instance, n_islands=3, island_config=SMALL, migration_interval=1, seed=1
         )
         # plant a super individual in island 0
-        best_s = ga.islands[0].s[0].copy()
         ga.islands[0].fitness[0] = 0.5 * ga.islands[0].fitness.min()
         fit0 = float(ga.islands[0].fitness[0])
         ga._migrate()

@@ -70,7 +70,6 @@ class TestH2LL:
         # with 1 candidate, the move targets the single least loaded machine
         s = np.zeros(small_instance.ntasks, dtype=np.int32)
         ct = compute_completion_times(small_instance, s)
-        least = int(ct.argmin()) if small_instance.ready_times.any() else None
         h2ll(s, ct, small_instance, rng, 1, n_candidates=1)
         moved = np.flatnonzero(s != 0)
         assert moved.size == 1

@@ -72,8 +72,6 @@ class TestSwapMutation:
 class TestRebalanceMutation:
     def test_moves_off_most_loaded(self, tiny_instance, state, rng):
         s, ct = state
-        worst = int(ct.argmax())
-        tasks_before = int((s == worst).sum())
         moved = 0
         for _ in range(30):
             w = int(ct.argmax())

@@ -5,7 +5,6 @@ task completes exactly once, completions never precede arrivals, and
 the reported statistics stay internally consistent.
 """
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.dynamic import (

@@ -1,6 +1,5 @@
 """Property-based tests for the cost model and the simulator."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.cga import CGAConfig, StopCondition

@@ -11,7 +11,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.etc import make_instance
 from repro.scheduling import Schedule
-from repro.scheduling.schedule import compute_completion_times
 from repro.scheduling.validation import check_completion_times, validate_assignment
 
 

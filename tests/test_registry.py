@@ -1,0 +1,124 @@
+"""Engine-registry drift checks.
+
+The CLI's ``--engine`` choices, ``repro.cga.SEQUENTIAL_ENGINES``, the
+experiments runner and the takeover study must all resolve engines from
+:mod:`repro.runtime.registry` — these tests fail if any dispatch site
+grows its own list again.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cga import SEQUENTIAL_ENGINES, CGAConfig, StopCondition
+from repro.runtime.registry import (
+    ENGINE_SPECS,
+    EngineSpec,
+    checkpointable_engines,
+    create_engine,
+    engine_aliases,
+    engine_names,
+    register_engine,
+    resolve_engine,
+    sequential_engines,
+)
+
+
+class TestRegistry:
+    def test_all_six_engines_registered(self):
+        assert engine_names() == [
+            "async",
+            "sync",
+            "vectorized",
+            "sim",
+            "threads",
+            "processes",
+        ]
+
+    def test_aliases_resolve_to_canonical_specs(self):
+        aliases = engine_aliases()
+        assert aliases == {
+            "pacga-sim": "sim",
+            "pacga-threads": "threads",
+            "pacga-processes": "processes",
+        }
+        for alias, name in aliases.items():
+            assert resolve_engine(alias) is ENGINE_SPECS[name]
+
+    def test_unknown_engine_error_lists_valid_names(self):
+        with pytest.raises(ValueError, match="valid engines.*async"):
+            resolve_engine("island")
+
+    def test_unknown_kwarg_rejected_before_import(self):
+        with pytest.raises(TypeError, match="does not accept"):
+            ENGINE_SPECS["async"].create(None, None, frobnicate=1)
+
+    def test_alias_collision_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine(
+                EngineSpec(name="island", module="x", qualname="Y", aliases=("pacga-sim",))
+            )
+        assert "island" not in ENGINE_SPECS  # validation precedes mutation
+
+    def test_checkpointable_set(self):
+        names = checkpointable_engines()
+        assert "processes" not in names
+        assert set(names) == {"async", "sync", "vectorized", "sim", "threads"}
+
+
+class TestNoDrift:
+    def test_cli_choices_are_registry_names_plus_aliases(self):
+        from repro.cli.engines import engine_choices
+
+        assert engine_choices() == [*engine_names(), *sorted(engine_aliases())]
+
+    def test_cli_parser_accepts_every_registry_spelling(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for name in [*engine_names(), *engine_aliases()]:
+            assert parser.parse_args(["solve", "--engine", name]).engine == name
+
+    def test_cli_epilog_lists_every_alias(self):
+        from repro.cli.engines import alias_epilog
+
+        text = alias_epilog()
+        for alias, name in engine_aliases().items():
+            assert f"{alias} = {name}" in text
+
+    def test_sequential_engines_derive_from_registry(self):
+        specs = sequential_engines()
+        assert SEQUENTIAL_ENGINES == specs
+        for name, cls in specs.items():
+            assert ENGINE_SPECS[name].parallelism == "sequential"
+            assert ENGINE_SPECS[name].load() is cls
+
+    def test_runner_factory_builds_through_registry(self, tiny_instance):
+        from repro.experiments.runner import engine_factory
+
+        cfg = CGAConfig(
+            grid_rows=4, grid_cols=4, ls_iterations=1, seed_with_minmin=False
+        )
+        stop = StopCondition(max_generations=3)
+        factory = engine_factory("async", tiny_instance, cfg, stop)
+        res = factory(np.random.SeedSequence(3))
+        direct = create_engine(
+            "async", tiny_instance, cfg, seed=np.random.SeedSequence(3)
+        ).run(stop)
+        assert res.best_fitness == direct.best_fitness
+        assert np.array_equal(res.best_assignment, direct.best_assignment)
+
+    def test_takeover_error_lists_registry_names(self):
+        from repro.experiments.takeover import takeover_experiment
+
+        # processes is registered but not checkpointable -> still rejected
+        with pytest.raises(ValueError, match="update must be one of.*async"):
+            takeover_experiment(update="processes")
+
+    def test_takeover_accepts_alias(self):
+        from repro.experiments.takeover import takeover_experiment
+
+        result = takeover_experiment(
+            update="pacga-sim", grid_rows=8, grid_cols=8, max_generations=3
+        )
+        assert result.update == "pacga-sim"
+        assert len(result.proportions) >= 2

@@ -1,0 +1,105 @@
+"""Unit tests for the runtime layer: Budget accounting and RunContext setup."""
+
+import numpy as np
+
+from repro.cga import CGAConfig
+from repro.cga.config import StopCondition
+from repro.heuristics.minmin import min_min
+from repro.runtime import Budget, build_context
+
+CFG = CGAConfig(grid_rows=4, grid_cols=4, ls_iterations=1, seed_with_minmin=False)
+
+
+class TestBudget:
+    def test_spend_and_generations(self):
+        b = Budget(StopCondition(max_evaluations=10))
+        b.spend()
+        b.spend(4)
+        assert b.evaluations == 5
+        assert b.next_generation() == 1
+        assert b.generations == 1
+
+    def test_cap_reached_needs_eval_bound(self):
+        assert not Budget(StopCondition(max_generations=3)).cap_reached()
+        b = Budget(StopCondition(max_evaluations=2))
+        assert not b.cap_reached()
+        b.spend(2)
+        assert b.cap_reached()
+
+    def test_exhausted_on_generations(self):
+        b = Budget(StopCondition(max_generations=2))
+        assert not b.exhausted()
+        b.next_generation()
+        b.next_generation()
+        assert b.exhausted()
+
+    def test_resumed_counters_count_the_whole_run(self):
+        b = Budget(StopCondition(max_evaluations=100), evaluations=100, generations=7)
+        assert b.cap_reached()
+        assert b.exhausted()
+
+    def test_eval_share(self):
+        assert Budget(StopCondition(max_generations=1)).eval_share(4) is None
+        assert Budget(StopCondition(max_evaluations=100)).eval_share(3) == 33
+        # never zero, even when workers outnumber the budget
+        assert Budget(StopCondition(max_evaluations=2)).eval_share(8) == 1
+
+    def test_worker_exhausted_share_and_generations(self):
+        b = Budget(StopCondition(max_evaluations=100, max_generations=5))
+        share = b.eval_share(2)
+        assert not b.worker_exhausted(10, 1, share)
+        assert b.worker_exhausted(50, 1, share)
+        assert b.worker_exhausted(0, 5, None)
+
+    def test_worker_exhausted_wall_clock(self):
+        import time
+
+        b = Budget(StopCondition(wall_time_s=1e-6)).start()
+        time.sleep(0.002)
+        assert b.worker_exhausted(0, 0, None)
+
+
+class TestBuildContext:
+    def test_single_stream_context(self, tiny_instance):
+        ctx = build_context(tiny_instance, CFG, rng=3)
+        assert isinstance(ctx.rng, np.random.Generator)
+        assert sorted(ctx.sweep.tolist()) == list(range(16))
+        assert ctx.blocks == []
+        assert ctx.boundary_fraction == 0.0
+        assert ctx.pop.s.shape == (16, tiny_instance.ntasks)
+
+    def test_partitioned_context(self, tiny_instance):
+        ctx = build_context(
+            tiny_instance, CFG.with_(n_threads=2), seed=3, workers=2
+        )
+        assert len(ctx.blocks) == 2
+        assert len(ctx.worker_rngs) == 2
+        assert ctx.jitter_rngs == []
+        assert sorted(np.concatenate(ctx.orders).tolist()) == list(range(16))
+        assert 0.0 < ctx.boundary_fraction <= 1.0
+
+    def test_jitter_streams_are_separate(self, tiny_instance):
+        ctx = build_context(
+            tiny_instance, CFG.with_(n_threads=2), seed=3, workers=2, jitter=True
+        )
+        assert len(ctx.worker_rngs) == 2
+        assert len(ctx.jitter_rngs) == 2
+        # genetic and jitter streams must never coincide
+        genetic = {id(r) for r in ctx.worker_rngs}
+        assert genetic.isdisjoint({id(r) for r in ctx.jitter_rngs})
+
+    def test_deterministic_given_seed(self, tiny_instance):
+        a = build_context(tiny_instance, CFG, rng=7)
+        b = build_context(tiny_instance, CFG, rng=7)
+        assert np.array_equal(a.pop.s, b.pop.s)
+        assert a.rng.random() == b.rng.random()
+
+    def test_minmin_seeded_population(self, tiny_instance):
+        ctx = build_context(tiny_instance, CFG.with_(seed_with_minmin=True), rng=0)
+        mm = min_min(tiny_instance).s
+        assert any(np.array_equal(row, mm) for row in ctx.pop.s)
+
+    def test_unseeded_population_lacks_minmin(self, tiny_instance):
+        ctx = build_context(tiny_instance, CFG, rng=0)
+        mm = min_min(tiny_instance).s
+        assert not any(np.array_equal(row, mm) for row in ctx.pop.s)
