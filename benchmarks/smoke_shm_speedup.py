@@ -1,0 +1,108 @@
+"""CI smoke: shm engine multi-worker speedup floor.
+
+The committed ``BENCH_throughput.json`` is produced wherever the repo
+is developed — possibly a single-core container where no engine can
+show a real multi-worker speedup.  This script *re-measures* the shm
+engine fresh on the machine it runs on (CI's multicore runner), writes
+a bench-shaped payload with a ``parallel_speedup`` section, and
+enforces the floor: ``shm(N)`` must not be slower than ``shm(1)``.
+
+On a single-core machine the floor is reported but not enforced
+(exit 0 with an honest note) — timesliced workers plus narrower
+per-worker batch kernels cannot win there by construction.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_shm_speedup.py \
+        --workers 2 --evals 51200 --floor 1.0 --out out/shm_smoke.json
+
+The payload also feeds ``repro obs check <out> --baseline
+BENCH_throughput.json --min-parallel-speedup 1.0`` — the check prefers
+a ``parallel_speedup`` section on the run side, so CI gates the fresh
+measurement, not the committed single-core numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro import CGAConfig, ShmBlockPACGA, StopCondition, load_benchmark
+
+INSTANCE_NAME = "u_c_hihi.0"
+
+
+def measure(inst, n_workers: int, evals: int, repeats: int = 3) -> float:
+    """Best-of-N evals/s for a fresh free-running shm engine."""
+    cfg = CGAConfig(ls_iterations=5, n_threads=n_workers)
+    best = 0.0
+    for _ in range(repeats):
+        eng = ShmBlockPACGA(inst, cfg, seed=0)
+        res = eng.run(StopCondition(max_evaluations=evals))
+        best = max(best, res.evaluations / res.elapsed_s)
+    return best
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workers", type=int, default=2, help="worker count to compare to 1")
+    ap.add_argument("--evals", type=int, default=51200, help="evaluation budget per run")
+    ap.add_argument("--repeats", type=int, default=3, help="runs per config (best kept)")
+    ap.add_argument("--floor", type=float, default=1.0, help="minimum shm(N)/shm(1) ratio")
+    ap.add_argument("--out", default=None, help="write the bench-shaped payload here")
+    args = ap.parse_args(argv)
+
+    inst = load_benchmark(INSTANCE_NAME)
+    cores = os.cpu_count() or 1
+    base = measure(inst, 1, args.evals, args.repeats)
+    multi = measure(inst, args.workers, args.evals, args.repeats)
+    key = f"shm({args.workers})/shm(1)"
+    ratio = multi / base
+
+    payload = {
+        "run_id": f"shm-smoke-x{args.workers}",
+        "instance": INSTANCE_NAME,
+        # engine/n_threads let `repro obs check` resolve this payload
+        # against the committed bench file's shm(N) entry
+        "engine": "shm",
+        "n_threads": args.workers,
+        "cpu_count": cores,
+        "budget_evaluations": args.evals,
+        "engines_evals_per_s": {
+            "shm(1)": round(base, 1),
+            f"shm({args.workers})": round(multi, 1),
+        },
+        "parallel_speedup": {key: round(ratio, 3)},
+    }
+    print(f"shm(1)            : {base:>10,.0f} evals/s")
+    print(f"shm({args.workers})            : {multi:>10,.0f} evals/s")
+    print(f"{key} : {ratio:.3f}  (floor {args.floor:g}, {cores} core(s))")
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"payload written to {out}")
+
+    if ratio < args.floor:
+        if cores < 2:
+            print(
+                "NOTE: single-core machine — workers timeslice one core, the "
+                "floor is reported but not enforced here (CI enforces it on "
+                "a multicore runner)."
+            )
+            return 0
+        print(
+            f"FAIL: {key} = {ratio:.3f} < floor {args.floor:g} on a "
+            f"{cores}-core machine",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: speedup floor satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,12 +26,13 @@ from repro.etc import (
     load_benchmark,
     make_instance,
 )
-from repro.scheduling import Schedule, flowtime, makespan
+from repro.scheduling import DeltaSchedule, Schedule, flowtime, makespan
 from repro.heuristics import HEURISTICS, min_min
 from repro.cga import AsyncCGA, CGAConfig, RunResult, StopCondition, SyncCGA, VectorizedSyncCGA
 from repro.parallel import (
     CostModel,
     ProcessPACGA,
+    ShmBlockPACGA,
     SimulatedPACGA,
     ThreadedPACGA,
     XEON_E5440,
@@ -49,6 +50,7 @@ __all__ = [
     "load_benchmark",
     "make_instance",
     "Schedule",
+    "DeltaSchedule",
     "makespan",
     "flowtime",
     "HEURISTICS",
@@ -61,6 +63,7 @@ __all__ = [
     "RunResult",
     "ThreadedPACGA",
     "ProcessPACGA",
+    "ShmBlockPACGA",
     "SimulatedPACGA",
     "CostModel",
     "XEON_E5440",

@@ -20,6 +20,7 @@ from repro.cga.engine import RunResult
 from repro.etc.model import ETCMatrix
 from repro.heuristics.minmin import min_min
 from repro.rng import make_rng
+from repro.scheduling.delta import PeakTracker
 from repro.scheduling.schedule import Schedule
 
 __all__ = ["SimulatedAnnealing"]
@@ -73,6 +74,9 @@ class SimulatedAnnealing:
         cur_fit = cur.makespan()
         best, best_fit = self.best, self.best.makespan()
         etc_t = inst.etc_t
+        # O(1) "max over the other machines" per proposal instead of
+        # np.delete(...).max() — same floats, bit-identical trajectory
+        peaks = PeakTracker(cur.ct)
         evaluations = 0
         history: list[tuple[int, int, float, float]] = [(0, 0, best_fit, cur_fit)]
         t0 = time.perf_counter()
@@ -89,11 +93,12 @@ class SimulatedAnnealing:
                 continue
             new_src = cur.ct[old] - etc_t[old, task]
             new_dst = cur.ct[machine] + etc_t[machine, task]
-            rest = np.delete(cur.ct, [old, machine]).max(initial=0.0)
+            rest = peaks.max_excluding(old, machine)
             new_fit = max(rest, new_src, new_dst)
             delta = new_fit - cur_fit
             if delta <= 0 or rng.random() < math.exp(-delta / max(self.temperature, 1e-12)):
                 cur.move(task, machine)
+                peaks.notify((old, machine))
                 cur_fit = new_fit
                 if cur_fit < best_fit:
                     best = cur.copy()

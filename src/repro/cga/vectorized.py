@@ -30,24 +30,13 @@ from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.engine import _EngineBase, RunResult
 from repro.runtime.budget import Budget
 from repro.kernels import (
-    BATCH_CROSSOVER_MASKS,
     batch_completion_times,
     batch_ct_delta,
     crossover_mask,
-    resolve_batch_fitness,
-    resolve_batch_local_search,
-    resolve_batch_mutation,
-    resolve_batch_selection,
+    resolve_batch_ops,
 )
 
 __all__ = ["VectorizedSyncCGA"]
-
-#: replacement-rule name -> vectorized accept mask (child fit vs incumbent fit).
-_BATCH_REPLACEMENTS = {
-    "if-better": lambda child, cur: child < cur,
-    "if-not-worse": lambda child, cur: child <= cur,
-    "always": lambda child, cur: np.ones(child.shape, dtype=bool),
-}
 
 
 class VectorizedSyncCGA(_EngineBase):
@@ -71,24 +60,12 @@ class VectorizedSyncCGA(_EngineBase):
         obs=None,
     ):
         super().__init__(instance, config, rng, record_history, on_generation, obs)
-        cfg = self.config
-        try:
-            self._select = resolve_batch_selection(cfg.selection)
-            self._fitness = resolve_batch_fitness(cfg.fitness)
-            self._mutate = resolve_batch_mutation(cfg.mutation)
-            self._local_search = (
-                resolve_batch_local_search(cfg.local_search)
-                if cfg.local_search is not None
-                else None
-            )
-        except KeyError as exc:
-            raise ValueError(str(exc)) from None
-        if cfg.crossover not in BATCH_CROSSOVER_MASKS:
-            raise ValueError(f"no batch crossover kernel for {cfg.crossover!r}")
-        try:
-            self._accept = _BATCH_REPLACEMENTS[cfg.replacement]
-        except KeyError:
-            raise ValueError(f"no batch replacement rule for {cfg.replacement!r}") from None
+        bops = resolve_batch_ops(self.config)
+        self._select = bops.select
+        self._fitness = bops.fitness
+        self._mutate = bops.mutate
+        self._local_search = bops.local_search
+        self._accept = bops.accept
 
     def run(self, stop: StopCondition) -> RunResult:
         """Evolve whole generations until ``stop`` triggers."""

@@ -60,6 +60,16 @@ def register(sub) -> None:
         metavar="PCT",
         help="allowed evals/s drop in percent (default: same as --tolerance)",
     )
+    q.add_argument(
+        "--min-parallel-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "also gate the bench file's parallel_speedup section: every "
+            "multi-worker scaling ratio must be at least RATIO"
+        ),
+    )
 
 
 def _cmd_obs(args) -> int:
@@ -96,6 +106,16 @@ def _cmd_obs(args) -> int:
             tolerance_pct=args.tolerance,
             throughput_tolerance_pct=args.throughput_tolerance,
         )
+        if args.min_parallel_speedup is not None:
+            # the speedup section lives in a bench-shaped payload; a
+            # fresh smoke measurement passed as the run wins over the
+            # committed baseline file
+            source = current
+            if "parallel_speedup" not in source:
+                source = hist.summarize_source(args.baseline)
+            problems += hist.check_parallel_speedup(
+                source, args.min_parallel_speedup
+            )
         print(
             f"run {current.get('run_id', '?')} vs baseline "
             f"{baseline.get('run_id', args.baseline)}"

@@ -211,8 +211,8 @@ def _cmd_solve(args) -> int:
         obs = _build_observer(args, inst, spec.name)
 
     extras = {}
-    if args.checkpoint is not None and spec.name == "threads":
-        # free-running threads are schedule-dependent; only the lockstep
+    if args.checkpoint is not None and spec.name in ("threads", "shm"):
+        # free-running workers are schedule-dependent; only the lockstep
         # schedule quiesces at sweep boundaries
         extras["lockstep"] = True
     engine = spec.create(inst, config, seed=args.seed, obs=obs, **extras)

@@ -51,7 +51,71 @@ from repro.kernels.batch_variation import (
 )
 from repro.kernels.batch_ls import BATCH_LOCAL_SEARCHES, batch_h2ll, resolve_batch_local_search
 
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+#: replacement-rule name -> vectorized accept mask (child fit vs incumbent fit).
+BATCH_REPLACEMENTS = {
+    "if-better": lambda child, cur: child < cur,
+    "if-not-worse": lambda child, cur: child <= cur,
+    "always": lambda child, cur: np.ones(child.shape, dtype=bool),
+}
+
+
+@dataclass(frozen=True)
+class BatchOps:
+    """The resolved batch-kernel suite for one engine configuration.
+
+    Produced by :func:`resolve_batch_ops`; both
+    :class:`repro.cga.vectorized.VectorizedSyncCGA` and the
+    shared-memory block engine (:mod:`repro.parallel.shm`) breed from
+    the same suite, so "does this config have batch kernels?" is
+    answered in exactly one place.
+    """
+
+    select: Callable
+    fitness: Callable
+    mutate: Callable
+    local_search: Callable | None
+    accept: Callable
+
+
+def resolve_batch_ops(config) -> BatchOps:
+    """Resolve a config's operator *names* against the batch registries.
+
+    ``config`` only needs the operator-name attributes of
+    ``repro.cga.config.CGAConfig`` (duck-typed to keep this package
+    import-independent of ``repro.cga``).  Raises ``ValueError`` for
+    any operator without a batch kernel — never a silent fallback.
+    """
+    try:
+        select = resolve_batch_selection(config.selection)
+        fitness = resolve_batch_fitness(config.fitness)
+        mutate = resolve_batch_mutation(config.mutation)
+        local_search = (
+            resolve_batch_local_search(config.local_search)
+            if config.local_search is not None
+            else None
+        )
+    except KeyError as exc:
+        raise ValueError(str(exc)) from None
+    if config.crossover not in BATCH_CROSSOVER_MASKS:
+        raise ValueError(f"no batch crossover kernel for {config.crossover!r}")
+    try:
+        accept = BATCH_REPLACEMENTS[config.replacement]
+    except KeyError:
+        raise ValueError(
+            f"no batch replacement rule for {config.replacement!r}"
+        ) from None
+    return BatchOps(select, fitness, mutate, local_search, accept)
+
+
 __all__ = [
+    "BATCH_REPLACEMENTS",
+    "BatchOps",
+    "resolve_batch_ops",
     "batch_completion_times",
     "batch_ct_delta",
     "batch_resync_drift",

@@ -37,6 +37,7 @@ __all__ = [
     "render_diff",
     "load_baseline",
     "check_row",
+    "check_parallel_speedup",
 ]
 
 #: fields a summary row carries (missing values are stored as None)
@@ -298,4 +299,31 @@ def check_row(
         problems.append(f"run recorded {current['stalls']} worker stall event(s)")
     if current.get("interrupted"):
         problems.append("run was interrupted (partial bundle)")
+    return problems
+
+
+def check_parallel_speedup(payload: dict, floor: float) -> list[str]:
+    """Gate a bench payload's ``parallel_speedup`` section against ``floor``.
+
+    ``BENCH_throughput.json`` records multi-worker scaling ratios (e.g.
+    ``"shm(2)/shm(1)": 1.42``).  Every ratio must be at least ``floor``
+    (1.0 = "adding workers never loses throughput").  A payload without
+    the section fails outright — the gate exists to stop the committed
+    bench file from silently dropping the field.
+    """
+    section = payload.get("parallel_speedup")
+    if not isinstance(section, dict) or not section:
+        return [
+            "payload has no parallel_speedup section "
+            "(regenerate BENCH_throughput.json with the current bench script)"
+        ]
+    problems: list[str] = []
+    for key in sorted(section):
+        ratio = section[key]
+        if not isinstance(ratio, (int, float)):
+            problems.append(f"parallel_speedup[{key!r}] is not numeric: {ratio!r}")
+        elif ratio < floor:
+            problems.append(
+                f"parallel speedup regression: {key} = {ratio:.3f} < floor {floor:g}"
+            )
     return problems

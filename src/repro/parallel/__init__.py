@@ -1,14 +1,18 @@
 """Parallel execution engines for PA-CGA (paper §3.2).
 
-Three engines share the breeding step of ``repro.cga.engine``:
+Four engines implement the paper's parallel asynchronous CGA:
 
 * :class:`ThreadedPACGA` — real OS threads with per-individual
   readers-writer locks, the faithful port of the paper's design (in
   CPython the GIL serializes the pure-Python parts, so this engine is
   about *correctness under concurrency*, not wall-clock speedup);
-* :class:`ProcessPACGA` — worker processes over
-  ``multiprocessing.shared_memory``, the Python-native way to get true
-  parallelism for this algorithm;
+* :class:`ProcessPACGA` — worker processes over fork-shared arrays
+  with per-individual locks, the Python-native way to get true
+  parallelism for the scalar breeding step;
+* :class:`ShmBlockPACGA` — forked workers breeding whole blocks at
+  once with the batch kernels over named ``multiprocessing.shared_memory``
+  segments, boundary rows exchanged via seqlock version stamps (the
+  performance engine);
 * :class:`SimulatedPACGA` — a deterministic discrete-event simulator
   that interleaves logical threads under a calibrated cost model of the
   paper's 4-core Xeon E5440; it regenerates the speedup and convergence
@@ -23,6 +27,7 @@ from repro.parallel.rwlock import (
 )
 from repro.parallel.threads import ThreadedPACGA
 from repro.parallel.processes import ProcessPACGA
+from repro.parallel.shm import ShmBlockPACGA
 from repro.parallel.costmodel import CostModel, XEON_E5440
 from repro.parallel.simengine import SimulatedPACGA
 from repro.parallel.calibrate import measure_cost_model, time_breeding_step
@@ -34,6 +39,7 @@ __all__ = [
     "TrackedLockManager",
     "ThreadedPACGA",
     "ProcessPACGA",
+    "ShmBlockPACGA",
     "CostModel",
     "XEON_E5440",
     "SimulatedPACGA",

@@ -8,10 +8,19 @@ shared, never pickled, and the inner loop is identical to every other
 engine (``evolve_individual``).
 
 Synchronization: Python offers no cross-process readers-writer lock in
-the stdlib, so individuals are guarded by per-individual *exclusive*
-locks.  This is strictly more conservative than the paper's RW locks
-(reads serialize with reads); the simulator's cost model accounts for
-the paper's cheaper concurrent reads instead.
+the stdlib, so boundary individuals are guarded by *exclusive* locks.
+This is strictly more conservative than the paper's RW locks (reads
+serialize with reads); the simulator's cost model accounts for the
+paper's cheaper concurrent reads instead.  Crucially, locks exist
+*only* where they can matter: a cell is contended only if some other
+block reads it (its row is in a foreign neighborhood) or its own
+breeding reads foreign rows — everything else is private to its
+single-threaded owner block and takes the lock-free
+``evolve_individual`` fast path.  For the paper's grids the interior
+dominates, so the per-evaluation cost approaches the sequential
+engine's; the old implementation locked every access of every cell
+(~8 ``mp.Lock`` round-trips per breeding step), which made
+``processes(2)`` slower than ``processes(1)``.
 
 Requires the ``fork`` start method (Linux): children inherit the
 instance and the shared arrays without serialization.
@@ -38,21 +47,55 @@ from repro.cga.engine import RunResult, evolve_individual
 from repro.cga.hooks import as_hooks
 from repro.parallel.rwlock import TrackedLockManager
 from repro.runtime.budget import Budget
-from repro.runtime.context import attach_runtime, build_context, finish_run
+from repro.runtime.context import (
+    attach_runtime,
+    build_context,
+    finish_run,
+    partition_ownership,
+)
 
 __all__ = ["ProcessPACGA"]
 
 
-class _ExclusiveLockManager:
-    """Per-individual mutexes with the read/write protocol of NullLocks."""
+class _NoopLock:
+    """Stateless no-op context manager (private-cell accesses)."""
 
-    __slots__ = ("_locks",)
+    __slots__ = ()
 
-    def __init__(self, locks):
-        self._locks = locks
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopLock()
+
+
+class _BoundaryLockManager:
+    """Exclusive mutexes for the boundary cells only.
+
+    Holds one ``mp.Lock`` per cell in the ``shared_read`` set (cells
+    some *other* block reads — see
+    :func:`repro.runtime.context.partition_ownership`); every other
+    index resolves to a no-op.  :meth:`for_worker` returns the view a
+    worker breeds through: reads skip the lock for rows the worker
+    itself owns (it is their only writer), writes skip it for rows no
+    foreign block ever reads.
+    """
+
+    __slots__ = ("_locks", "_block_id", "_shared", "_n")
+
+    def __init__(self, ctx, block_id, shared_read):
+        import numpy as _np
+
+        self._n = block_id.size
+        self._block_id = block_id
+        self._shared = shared_read
+        self._locks = {int(i): ctx.Lock() for i in _np.flatnonzero(shared_read)}
 
     def __len__(self) -> int:
-        return len(self._locks)
+        return self._n
 
     @contextmanager
     def _held(self, idx: int):
@@ -63,11 +106,44 @@ class _ExclusiveLockManager:
         finally:
             lock.release()
 
+    # -- whole-population protocol (no worker context: conservative) -----
     def read(self, idx: int):
-        return self._held(idx)
+        return self._held(idx) if self._shared[idx] else _NOOP
 
     def write(self, idx: int):
-        return self._held(idx)
+        return self._held(idx) if self._shared[idx] else _NOOP
+
+    def for_worker(self, tid: int) -> "_WorkerLockView":
+        """The lock view worker ``tid`` breeds through."""
+        return _WorkerLockView(self, tid)
+
+
+class _WorkerLockView:
+    """One worker's boundary-lock view (read/write protocol)."""
+
+    __slots__ = ("_mgr", "_tid")
+
+    def __init__(self, mgr: _BoundaryLockManager, tid: int):
+        self._mgr = mgr
+        self._tid = tid
+
+    def __len__(self) -> int:
+        return len(self._mgr)
+
+    def read(self, idx: int):
+        # foreign rows may be mid-write by their owner; own rows have
+        # no concurrent writer (this worker is the only one)
+        mgr = self._mgr
+        if mgr._block_id[idx] != self._tid:
+            return mgr._held(idx)
+        return _NOOP
+
+    def write(self, idx: int):
+        # only rows some foreign block reads need exclusive publication
+        mgr = self._mgr
+        if mgr._shared[idx]:
+            return mgr._held(idx)
+        return _NOOP
 
 
 def _shared_array(ctx, dtype: np.dtype, shape: tuple[int, ...]) -> np.ndarray:
@@ -126,11 +202,15 @@ class ProcessPACGA:
         self.ops = ctx.ops
         self._init_rng, self._worker_rngs = ctx.init_rng, ctx.worker_rngs
         self.pop = ctx.pop
-        self.locks = _ExclusiveLockManager([self._ctx.Lock() for _ in range(n)])
         self.crosses = ctx.crosses
+        self._block_id, self._shared_read = partition_ownership(
+            self.neighbors, self.blocks, n
+        )
+        #: cells whose breeding touches any cross-block row at all;
+        #: everything else runs the lock-free fast path
+        self._needs_locks = self.crosses | self._shared_read
+        self.locks = _BoundaryLockManager(self._ctx, self._block_id, self._shared_read)
         self.obs = ctx.obs
-        if self.obs is not None:
-            self.locks = TrackedLockManager(self.locks)
 
     def run(self, stop: StopCondition) -> RunResult:
         """Fork one worker per block and evolve until ``stop``."""
@@ -158,7 +238,11 @@ class ProcessPACGA:
         def worker(tid: int) -> None:
             block = self.orders[tid]
             rng = self._worker_rngs[tid]
-            pop, ops, neighbors, locks = self.pop, self.ops, self.neighbors, self.locks
+            pop, ops, neighbors = self.pop, self.ops, self.neighbors
+            needs = self._needs_locks
+            # boundary cells go through this worker's lock view; interior
+            # cells take evolve_individual's lock-free fast path
+            locks = self.locks.for_worker(tid)
             rec = None
             tracer = None
             if obs is not None:
@@ -168,7 +252,7 @@ class ProcessPACGA:
 
                 # process-private collectors; shipped back over the queue
                 rec = MetricRecorder(str(tid))
-                locks = locks.bind(rec)
+                locks = TrackedLockManager(locks).bind(rec)
                 ops = instrumented_ops(ops, rec)
                 tracer = ThreadTracer(tid, t0) if obs.tracer is not None else None
                 crosses = self.crosses
@@ -177,7 +261,11 @@ class ProcessPACGA:
             while not budget.worker_exhausted(evals, gens, eval_share):
                 if rec is None:
                     for idx in block:
-                        evolve_individual(pop, int(idx), neighbors[idx], ops, rng, locks)
+                        i = int(idx)
+                        if needs[i]:
+                            evolve_individual(pop, i, neighbors[i], ops, rng, locks)
+                        else:
+                            evolve_individual(pop, i, neighbors[i], ops, rng)
                         evals += 1
                     gens += 1
                 else:
@@ -185,7 +273,10 @@ class ProcessPACGA:
                     boundary = 0
                     for idx in block:
                         i = int(idx)
-                        evolve_individual(pop, i, neighbors[i], ops, rng, locks)
+                        if needs[i]:
+                            evolve_individual(pop, i, neighbors[i], ops, rng, locks)
+                        else:
+                            evolve_individual(pop, i, neighbors[i], ops, rng)
                         evals += 1
                         if crosses[i]:
                             boundary += 1

@@ -1,0 +1,617 @@
+"""Block-parallel PA-CGA over POSIX shared memory and batch kernels.
+
+The thread engine (:mod:`repro.parallel.threads`) reproduces the
+paper's architecture but the GIL serializes its scalar breeding loop;
+the process engine (:mod:`repro.parallel.processes`) escapes the GIL
+but pays ~8 exclusive lock acquisitions per scalar breeding step.
+:class:`ShmBlockPACGA` combines the fixes: each forked worker breeds
+its *whole block at once* with the batch kernels of
+:mod:`repro.kernels` (one NumPy generation per sweep, exactly the
+:class:`~repro.cga.vectorized.VectorizedSyncCGA` recipe applied
+per block), and the population arrays live in named
+``multiprocessing.shared_memory`` segments — zero-copy across the
+fork, nothing pickled, no locks.
+
+Asynchrony and the seqlock boundary protocol
+--------------------------------------------
+Within a block a sweep is synchronous (children bred against the block
+as frozen at sweep start — the vectorized semantics); *across* blocks
+updates are asynchronous exactly as in the paper: a worker publishes
+accepted children immediately and neighbors read whatever version is
+current.  Torn reads of a row that is mid-write are prevented without
+locks by per-cell sequence counters (seqlock):
+
+* the writer bumps ``seq[c]`` to an odd value, writes the row
+  (``s``, ``ct``, ``fitness``), then bumps it back to even;
+* a reader snapshots ``seq``, copies the rows, re-reads ``seq`` and
+  retries any row whose counter changed or was odd.
+
+Only cells some *other* block reads (the boundary set computed by
+:func:`repro.runtime.context.partition_ownership`) pay the two stamp
+writes; interior cells — the vast majority for the paper's grids — are
+written with plain array stores.  The protocol assumes aligned 8-byte
+loads/stores are atomic and store order is preserved (true on x86-64's
+TSO model and for CPython's serialized bytecode dispatch; each numpy
+element store is a single machine store).
+
+Stale *values* are fine — that is the paper's asynchronous semantics —
+the seqlock only guarantees each row read is internally consistent, so
+the CT-invariant (``ct`` exact for ``s``) holds for every row a worker
+breeds from.
+
+Shared-memory lifecycle
+-----------------------
+Segments are created named (visible in ``/dev/shm``) at construction
+and unlinked in ``run()``'s ``finally`` — on normal exit, on any
+exception, and after a stall-kill — plus a ``weakref.finalize``
+backstop for engines that are never run.  Unlinking removes the name
+only; the mappings stay valid in the parent and every forked child, so
+the population outlives the name and repeated ``run()`` calls need no
+re-attachment.
+
+Determinism: free-running forked workers interleave block publications
+nondeterministically (real asynchrony); ``lockstep=True`` serializes
+the block sweeps round-robin in the calling process — identical
+genetics, streams and budget split, pinned interleaving — which is the
+mode the universal checkpoint layer snapshots and resumes bit-exactly.
+
+``stall_kill_s`` arms a parent-side watchdog over the fork-shared
+heartbeat counters (free-running mode): a worker whose heartbeat does
+not advance for that long gets the whole worker group terminated and
+the run fails loudly instead of hanging — segments are still unlinked.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import time
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.cga.config import CGAConfig, StopCondition
+from repro.cga.engine import RunResult
+from repro.cga.hooks import as_hooks
+from repro.kernels import batch_ct_delta, crossover_mask, resolve_batch_ops
+from repro.runtime.budget import Budget
+from repro.runtime.context import (
+    attach_runtime,
+    build_context,
+    detach_runtime,
+    finish_run,
+    partition_ownership,
+)
+
+__all__ = ["ShmBlockPACGA"]
+
+#: process-local counter making segment names unique within one parent.
+_ARENA_IDS = itertools.count()
+
+
+def _release_segment_handles(seg: shared_memory.SharedMemory) -> None:
+    """Drop ``seg``'s own handles on the mapping, keeping views alive.
+
+    The numpy arrays created from ``seg.buf`` keep the underlying mmap
+    alive through their base chain; the fd is not needed once mapped.
+    Without this, ``SharedMemory.__del__`` → ``close()`` raises
+    ``BufferError: cannot close exported pointers exist`` at interpreter
+    shutdown in every process (parent and forked children) that still
+    holds a view.  ``unlink()`` only needs the name and still works.
+    """
+    if seg._fd >= 0:
+        os.close(seg._fd)
+        seg._fd = -1
+    seg._buf = None
+    seg._mmap = None
+
+
+class _ShmArena:
+    """Named shared-memory segments backing one engine's arrays.
+
+    ``fields`` maps array name -> ``(dtype, shape)``; one segment is
+    created per field so layouts stay independent and a leak is
+    attributable by name (``repro-shm-<pid>-<id>-<field>``).
+    """
+
+    __slots__ = ("segments", "arrays", "_unlinked")
+
+    def __init__(self, fields: dict):
+        self.segments: dict[str, shared_memory.SharedMemory] = {}
+        self.arrays: dict[str, np.ndarray] = {}
+        self._unlinked = False
+        token = f"repro-shm-{os.getpid()}-{next(_ARENA_IDS)}"
+        try:
+            for name, (dtype, shape) in fields.items():
+                count = int(np.prod(shape))
+                seg = shared_memory.SharedMemory(
+                    create=True,
+                    name=f"{token}-{name}",
+                    size=max(count * np.dtype(dtype).itemsize, 1),
+                )
+                arr = np.frombuffer(seg.buf, dtype=dtype, count=count).reshape(shape)
+                arr[...] = 0
+                _release_segment_handles(seg)
+                self.segments[name] = seg
+                self.arrays[name] = arr
+        except BaseException:
+            self.unlink()
+            raise
+
+    def unlink(self) -> None:
+        """Remove the ``/dev/shm`` names (idempotent); mappings survive."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for seg in self.segments.values():
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing cleanup
+                pass
+
+
+class ShmBlockPACGA:
+    """PA-CGA: one forked worker per block, batch kernels per sweep.
+
+    Parameters
+    ----------
+    instance:
+        ETC instance to schedule.
+    config:
+        Algorithm parameterization; ``config.n_threads`` blocks/workers.
+        Operator names must have batch kernels (``ValueError`` at
+        construction otherwise — same rule as the vectorized engine).
+    seed:
+        Root of the per-worker seed tree (same topology as threads /
+        processes: stream 0 initializes the population, streams 1..n
+        drive the workers).
+    obs:
+        Optional :class:`repro.obs.Observer`; workers record private
+        metrics shipped back over a queue at exit, heartbeats live on a
+        fork-shared RawArray the parent's watchdog/publisher read.
+    hooks:
+        Optional :class:`~repro.cga.hooks.EngineHooks`.
+    lockstep:
+        Serialize the block sweeps round-robin in the calling process
+        (deterministic, checkpointable) instead of forking free-running
+        workers.
+    stall_kill_s:
+        Free-running mode: terminate the worker group and raise if any
+        worker's heartbeat stalls this long (None disables).
+    """
+
+    engine_name = "shm"
+
+    def __init__(
+        self,
+        instance,
+        config: CGAConfig | None = None,
+        seed: int | None = 0,
+        obs=None,
+        hooks=None,
+        lockstep: bool = False,
+        stall_kill_s: float | None = None,
+    ):
+        try:
+            self._mpctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError(
+                "ShmBlockPACGA requires the 'fork' start method (POSIX); "
+                "use ThreadedPACGA or SimulatedPACGA instead"
+            ) from exc
+        cfg = config or CGAConfig()
+        n_cells = cfg.grid.size
+        self._arena = _ShmArena(
+            {
+                "s": (np.int32, (n_cells, instance.ntasks)),
+                "ct": (np.float64, (n_cells, instance.nmachines)),
+                "fitness": (np.float64, (n_cells,)),
+                "seq": (np.uint64, (n_cells,)),
+            }
+        )
+        arrays = self._arena.arrays
+        ctx = build_context(
+            instance,
+            config,
+            seed=seed,
+            workers=cfg.n_threads,
+            pop_arrays=(arrays["s"], arrays["ct"], arrays["fitness"]),
+            obs=obs,
+        )
+        self.instance = instance
+        self.config = ctx.config
+        self.hooks = as_hooks(hooks)
+        self.lockstep = lockstep
+        self.stall_kill_s = stall_kill_s
+        self.grid = ctx.grid
+        self.neighbors = ctx.neighbors
+        self.blocks = ctx.blocks
+        self.ops = ctx.ops
+        self._init_rng, self._worker_rngs = ctx.init_rng, ctx.worker_rngs
+        self.pop = ctx.pop
+        self.crosses = ctx.crosses
+        self.obs = ctx.obs
+        self._batch = resolve_batch_ops(self.config)
+        self._seq = arrays["seq"]
+        self._block_id, self._shared_read = partition_ownership(
+            self.neighbors, self.blocks, n_cells
+        )
+        #: per-block neighbor tables, pre-gathered once
+        self._nb_blocks = [self.neighbors[block] for block in self.blocks]
+        n = self.config.n_threads
+        self._eval_counts = [0] * n
+        self._gen_counts = [0] * n
+        self._resume: dict | None = None
+        self._ckpt = None
+        self._finalizer = weakref.finalize(self, self._arena.unlink)
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol (runtime.checkpoint) — mirrors ThreadedPACGA
+    # ------------------------------------------------------------------
+    def arm_checkpoint(self, every, saver) -> None:
+        """Install a round-boundary checkpoint callback (lockstep only)."""
+        if saver is not None and not self.lockstep:
+            raise ValueError(
+                "mid-run checkpoints require lockstep=True: free-running "
+                "forked workers interleave block publications "
+                "nondeterministically and cannot be snapshotted at a "
+                "consistent boundary"
+            )
+        self._ckpt = None if saver is None else (every, saver)
+
+    def capture_state(self) -> dict:
+        """Per-worker RNG streams plus the cumulative worker counters."""
+        return {
+            "rng_streams": {
+                "workers": [r.bit_generator.state for r in self._worker_rngs]
+            },
+            "progress": {
+                "eval_counts": list(self._eval_counts),
+                "gen_counts": list(self._gen_counts),
+            },
+            "engine_options": {"lockstep": self.lockstep},
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a :meth:`capture_state` payload; next ``run`` resumes it."""
+        states = payload["rng_streams"]["workers"]
+        if len(states) != len(self._worker_rngs):
+            raise ValueError(
+                f"checkpoint has {len(states)} worker streams, "
+                f"engine has {len(self._worker_rngs)}"
+            )
+        for rng, state in zip(self._worker_rngs, states):
+            rng.bit_generator.state = state
+        progress = payload.get("progress")
+        if progress and any(progress.get("eval_counts", ())):
+            self._resume = {
+                "eval_counts": [int(e) for e in progress["eval_counts"]],
+                "gen_counts": [int(g) for g in progress["gen_counts"]],
+            }
+        else:
+            self._resume = None
+
+    # ------------------------------------------------------------------
+    # the block sweep (one batch generation over one block)
+    # ------------------------------------------------------------------
+    def _seq_gather(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Consistent copies of foreign rows via the seqlock protocol."""
+        pop, seq = self.pop, self._seq
+        m = ids.size
+        s_out = np.empty((m, self.instance.ntasks), dtype=pop.s.dtype)
+        ct_out = np.empty((m, self.instance.nmachines), dtype=pop.ct.dtype)
+        pending = np.arange(m)
+        spins = 0
+        while pending.size:
+            pids = ids[pending]
+            before = seq[pids].copy()
+            s_out[pending] = pop.s[pids]
+            ct_out[pending] = pop.ct[pids]
+            after = seq[pids]
+            ok = (before == after) & (before % 2 == 0)
+            if ok.all():
+                break
+            pending = pending[~ok]
+            spins += 1
+            if spins > 4:  # pragma: no cover - timing-dependent
+                time.sleep(0)  # yield so the writer can finish the row
+        return s_out, ct_out
+
+    def _gather_rows(self, tid: int, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Copy parent rows; foreign rows go through :meth:`_seq_gather`."""
+        pop = self.pop
+        s_out = pop.s[ids]  # fancy indexing copies
+        ct_out = pop.ct[ids]
+        foreign = np.flatnonzero(self._block_id[ids] != tid)
+        if foreign.size:
+            fs, fct = self._seq_gather(ids[foreign])
+            s_out[foreign] = fs
+            ct_out[foreign] = fct
+        return s_out, ct_out
+
+    def _publish(
+        self,
+        rows: np.ndarray,
+        s_rows: np.ndarray,
+        ct_rows: np.ndarray,
+        fit_rows: np.ndarray,
+    ) -> None:
+        """Write accepted children back; boundary rows seqlock-stamped."""
+        pop, seq = self.pop, self._seq
+        shared = self._shared_read[rows]
+        sh = np.flatnonzero(shared)
+        if sh.size:
+            srows = rows[sh]
+            seq[srows] += 1  # odd: readers retry these rows
+            pop.s[srows] = s_rows[sh]
+            pop.ct[srows] = ct_rows[sh]
+            pop.fitness[srows] = fit_rows[sh]
+            seq[srows] += 1  # even: rows consistent again
+        pr = np.flatnonzero(~shared)
+        if pr.size:
+            prows = rows[pr]
+            pop.s[prows] = s_rows[pr]
+            pop.ct[prows] = ct_rows[pr]
+            pop.fitness[prows] = fit_rows[pr]
+
+    def _step_block(self, tid: int, rng: np.random.Generator) -> int:
+        """One batch generation over block ``tid``; returns replacements.
+
+        The phase order and per-phase RNG consumption mirror
+        :meth:`repro.cga.vectorized.VectorizedSyncCGA.run` exactly, so
+        a one-block run is the vectorized engine modulo the seed tree.
+        """
+        pop, cfg, inst = self.pop, self.config, self.instance
+        batch = self._batch
+        block = self.blocks[tid]
+        nb = self._nb_blocks[tid]  # (B, k) global cell ids
+        B = block.size
+        # selection: neighborhood fitness is read lock-free — stale
+        # values are the paper's asynchronous semantics, and each
+        # float64 read is a single aligned load (no tearing)
+        fit_nb = pop.fitness[nb]
+        a, b = batch.select(fit_nb, rng)
+        r = np.arange(B)
+        p1 = nb[r, a]
+        p2 = nb[r, b]
+        child_s, child_ct = self._gather_rows(tid, p1)
+        comb = rng.random(B) < cfg.p_comb
+        mask = crossover_mask(cfg.crossover, B, inst.ntasks, rng, active=comb)
+        if comb.any():
+            p2_s, _ = self._gather_rows(tid, p2)
+            new_s = np.where(mask, p2_s, child_s)
+            batch_ct_delta(inst, child_ct, child_s, new_s)
+            child_s = new_s
+        batch.mutate(child_s, child_ct, inst, rng, rng.random(B) < cfg.p_mut)
+        if batch.local_search is not None and cfg.ls_iterations > 0:
+            ls_rows = np.flatnonzero(rng.random(B) < cfg.p_ls)
+            if ls_rows.size == B:
+                batch.local_search(
+                    child_s, child_ct, inst, rng, cfg.ls_iterations, cfg.ls_candidates
+                )
+            elif ls_rows.size:
+                sub_s = child_s[ls_rows]
+                sub_ct = child_ct[ls_rows]
+                batch.local_search(
+                    sub_s, sub_ct, inst, rng, cfg.ls_iterations, cfg.ls_candidates
+                )
+                child_s[ls_rows] = sub_s
+                child_ct[ls_rows] = sub_ct
+        child_fit = batch.fitness(child_s, child_ct, inst)
+        accept = batch.accept(child_fit, pop.fitness[block])
+        acc = np.flatnonzero(accept)
+        if acc.size:
+            self._publish(block[acc], child_s[acc], child_ct[acc], child_fit[acc])
+        return int(acc.size)
+
+    # ------------------------------------------------------------------
+    def run(self, stop: StopCondition) -> RunResult:
+        """Evolve all blocks until ``stop``; unlink the segments after."""
+        resume, self._resume = self._resume, None
+        n = self.config.n_threads
+        self._eval_counts = list(resume["eval_counts"]) if resume else [0] * n
+        self._gen_counts = list(resume["gen_counts"]) if resume else [0] * n
+        try:
+            if self.lockstep:
+                return self._run_lockstep(stop)
+            return self._run_free(stop)
+        finally:
+            self._arena.unlink()
+
+    def _result(self, budget: Budget) -> RunResult:
+        eval_counts, gen_counts = self._eval_counts, self._gen_counts
+        best_idx, best_fit = self.pop.best()
+        result = RunResult(
+            best_fitness=best_fit,
+            best_assignment=self.pop.s[best_idx].copy(),
+            evaluations=sum(eval_counts),
+            generations=min(gen_counts) if gen_counts else 0,
+            elapsed_s=budget.elapsed,
+            history=[],
+            extra={
+                "per_thread_evaluations": list(eval_counts),
+                "per_thread_generations": list(gen_counts),
+                "n_threads": self.config.n_threads,
+                "lockstep": self.lockstep,
+                "boundary_cells": int(self._shared_read.sum()),
+            },
+        )
+        return finish_run(
+            self,
+            result,
+            engine_name=self.engine_name,
+            meta={"n_threads": self.config.n_threads},
+        )
+
+    # ------------------------------------------------------------------
+    def _run_lockstep(self, stop: StopCondition) -> RunResult:
+        """Deterministic serialized mode: round-robin block sweeps."""
+        n = self.config.n_threads
+        budget = Budget(stop)
+        share = budget.eval_share(n)
+        evals, gens = self._eval_counts, self._gen_counts
+        board = attach_runtime(self, n, lambda: (min(gens), sum(evals)))
+        budget.start()
+        rounds = 0
+        try:
+            active = [True] * n
+            while any(active):
+                for tid in range(n):
+                    if not active[tid]:
+                        continue
+                    if budget.worker_exhausted(evals[tid], gens[tid], share):
+                        active[tid] = False
+                        if board is not None:
+                            board.mark_done(tid)
+                        continue
+                    self._step_block(tid, self._worker_rngs[tid])
+                    evals[tid] += self.blocks[tid].size
+                    gens[tid] += 1
+                    if board is not None:
+                        board.beat(tid)
+                rounds += 1
+                if self._ckpt is not None and rounds % self._ckpt[0] == 0 and any(active):
+                    self._ckpt[1](self)
+        finally:
+            detach_runtime(self, board)
+        return self._result(budget)
+
+    # ------------------------------------------------------------------
+    def _run_free(self, stop: StopCondition) -> RunResult:
+        """Free-running forked workers (the paper's concurrent execution).
+
+        Always forks — even at ``n_threads=1`` — so measured rates are
+        comparable across worker counts (the speedup benchmark divides
+        them) and the lifecycle is exercised identically.
+        """
+        n = self.config.n_threads
+        budget = Budget(stop)
+        share = budget.eval_share(n)
+        mp = self._mpctx
+        eval_counts = mp.RawArray("l", n)
+        gen_counts = mp.RawArray("l", n)
+        beats = mp.RawArray("l", n)
+        done = mp.RawArray("b", n)
+        for tid in range(n):
+            eval_counts[tid] = self._eval_counts[tid]
+            gen_counts[tid] = self._gen_counts[tid]
+        obs = self.obs
+        telemetry_q = mp.SimpleQueue() if obs is not None else None
+        board = attach_runtime(
+            self,
+            n,
+            lambda: (None, int(sum(eval_counts))),
+            counters=beats,
+            done=done,
+        )
+        watchdog = None
+        if self.stall_kill_s is not None:
+            from repro.obs.watchdog import HeartbeatBoard, Watchdog
+
+            watchdog = Watchdog(
+                HeartbeatBoard(n, counters=beats, done=done),
+                deadline_s=self.stall_kill_s,
+            )
+        budget.start()
+        t0 = time.perf_counter()
+
+        def worker(tid: int) -> None:
+            rng = self._worker_rngs[tid]
+            rec = tracer = None
+            if obs is not None:
+                from repro.obs.metrics import MetricRecorder
+                from repro.obs.trace import ThreadTracer
+
+                rec = MetricRecorder(str(tid))
+                tracer = ThreadTracer(tid, t0) if obs.tracer is not None else None
+            block_size = self.blocks[tid].size
+            evals = int(eval_counts[tid])
+            gens = int(gen_counts[tid])
+            perf = time.perf_counter
+            while not budget.worker_exhausted(evals, gens, share):
+                sweep_start = perf()
+                replaced = self._step_block(tid, rng)
+                evals += block_size
+                gens += 1
+                beats[tid] += 1
+                eval_counts[tid] = evals
+                gen_counts[tid] = gens
+                if rec is not None:
+                    sweep_end = perf()
+                    rec.observe("sweep_us", (sweep_end - sweep_start) * 1e6)
+                    rec.inc("sweeps")
+                    rec.inc("breeding.evaluations", block_size)
+                    rec.inc("breeding.steps", block_size)
+                    rec.inc("breeding.replacements", replaced)
+                    if tracer is not None:
+                        tracer.complete(
+                            "sweep",
+                            sweep_start - t0,
+                            sweep_end - sweep_start,
+                            {"generation": gens},
+                        )
+            done[tid] = 1  # budget exhausted != stalled
+            if rec is not None:
+                telemetry_q.put(
+                    (tid, rec.snapshot(), tracer.events if tracer is not None else [])
+                )
+
+        procs = [
+            mp.Process(target=worker, args=(tid,), name=f"pacga-shm-w{tid}")
+            for tid in range(n)
+        ]
+        stalled = None
+        try:
+            for p in procs:
+                p.start()
+            while any(p.is_alive() for p in procs):
+                if obs is not None:
+                    total = int(sum(eval_counts))
+                    if self.sampler_due(total):
+                        obs.maybe_sample(total, lambda: obs.engine_row(self, 0, total))
+                if watchdog is not None:
+                    stalled = next(
+                        (ev for ev in watchdog.poll() if not ev.recovered), None
+                    )
+                    if stalled is not None:
+                        for p in procs:
+                            if p.is_alive():
+                                p.terminate()
+                        break
+                time.sleep(0.02)
+            for p in procs:
+                p.join()
+            if stalled is not None:
+                raise RuntimeError(
+                    f"shm worker {stalled.worker} stalled for "
+                    f"{stalled.stalled_s:.1f}s (heartbeat {stalled.heartbeat}); "
+                    "worker group terminated"
+                )
+            if any(p.exitcode != 0 for p in procs):
+                bad = [p.name for p in procs if p.exitcode != 0]
+                raise RuntimeError(f"shm workers failed: {bad}")
+        except BaseException:
+            if obs is not None:
+                obs.stop_runtime()
+            raise
+        self._eval_counts = [int(e) for e in eval_counts]
+        self._gen_counts = [int(g) for g in gen_counts]
+
+        if obs is not None:
+            while not telemetry_q.empty():
+                tid, snapshot, events = telemetry_q.get()
+                from repro.obs.metrics import MetricRecorder
+
+                obs.registry.adopt(MetricRecorder.from_snapshot(snapshot))
+                if obs.tracer is not None:
+                    obs.tracer.adopt(tid, events, f"pacga-shm-w{tid}")
+            obs.stop_runtime()
+        return self._result(budget)
+
+    def sampler_due(self, evaluations: int) -> bool:
+        """Cheap parent-side cadence check (avoids provider invocation)."""
+        return self.obs is not None and self.obs.sampler.due(
+            evaluations, self.obs.elapsed()
+        )

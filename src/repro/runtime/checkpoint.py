@@ -270,6 +270,15 @@ def resume_engine(
             "rebuild one; construct the engine yourself and call restore_state"
         )
     spec = resolve_engine(state["engine"])
+    if not spec.checkpointable:
+        supported = ", ".join(
+            n for n, s in ENGINE_SPECS.items() if s.checkpointable
+        )
+        raise ValueError(
+            f"cannot resume: engine {spec.name!r} does not support "
+            f"checkpoint/restore (checkpointable engines: {supported}); "
+            "start a fresh run instead"
+        )
     config = config_from_dict(state["config"])
     if instance is None:
         from repro.etc import BENCHMARK_INSTANCES, load_benchmark

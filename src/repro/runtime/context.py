@@ -40,6 +40,7 @@ __all__ = [
     "build_context",
     "init_population",
     "boundary_crossings",
+    "partition_ownership",
     "attach_runtime",
     "detach_runtime",
     "finish_run",
@@ -114,6 +115,29 @@ def boundary_crossings(
     for bid, block in enumerate(blocks):
         block_id[block] = bid
     return (block_id[neighbors] != block_id[:, None]).any(axis=1)
+
+
+def partition_ownership(
+    neighbors: np.ndarray, blocks: Sequence[np.ndarray], size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cell block ownership and cross-block visibility.
+
+    Returns ``(block_id, shared_read)``: ``block_id[c]`` is the block
+    that owns cell ``c``; ``shared_read[c]`` is True iff some cell of a
+    *different* block has ``c`` in its neighborhood — i.e. writes to
+    ``c`` are observable across a block boundary and must be published
+    with whatever protocol the engine uses (locks for the process
+    engine, seqlock stamps for the shm engine).  Cells with
+    ``shared_read`` False are private to their block and can be read
+    and written with plain array ops.
+    """
+    block_id = np.empty(size, dtype=np.int64)
+    for bid, block in enumerate(blocks):
+        block_id[block] = bid
+    shared_read = np.zeros(size, dtype=bool)
+    foreign = block_id[neighbors] != block_id[:, None]
+    shared_read[np.unique(neighbors[foreign])] = True
+    return block_id, shared_read
 
 
 def build_context(

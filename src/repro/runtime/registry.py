@@ -226,6 +226,21 @@ register_engine(
 )
 register_engine(
     EngineSpec(
+        name="shm",
+        module="repro.parallel.shm",
+        qualname="ShmBlockPACGA",
+        summary="block-parallel PA-CGA: forked workers, batch kernels, "
+        "seqlock boundaries over POSIX shared memory",
+        aliases=("pacga-shm",),
+        parallelism="processes",
+        checkpointable=True,
+        seed_param="seed",
+        threaded=True,
+        extra_kwargs=("hooks", "lockstep", "stall_kill_s"),
+    )
+)
+register_engine(
+    EngineSpec(
         name="processes",
         module="repro.parallel.processes",
         qualname="ProcessPACGA",

@@ -8,6 +8,7 @@ ETCs of the tasks assigned to it).  Makespan evaluation is then just
 """
 
 from repro.scheduling.schedule import Schedule, compute_completion_times
+from repro.scheduling.delta import DeltaSchedule, PeakTracker, sequential_loads
 from repro.scheduling.objectives import (
     flowtime,
     load_imbalance,
@@ -24,6 +25,9 @@ from repro.scheduling.validation import (
 __all__ = [
     "Schedule",
     "compute_completion_times",
+    "DeltaSchedule",
+    "PeakTracker",
+    "sequential_loads",
     "makespan",
     "flowtime",
     "machine_loads",

@@ -1,0 +1,96 @@
+"""Batch vs scalar H2LL: identical accepted-move decisions, bitwise.
+
+The shm engine breeds whole blocks with :func:`repro.kernels.batch_h2ll`
+while the scalar engines run :func:`repro.cga.local_search.h2ll` per
+cell.  With continuous random ETC values (no completion-time ties) the
+two differ only in *how* the uniform task pick is drawn, not in which
+move they accept: this property test aligns the draws — the batch
+kernel's pick is replayed from a cloned RNG, and the scalar pass is
+driven by a stub RNG forced to select the same task — and then demands
+bit-identical ``s``/``ct`` rows, i.e. the same move applied (or the
+same rejection) for every individual, every iteration.
+
+Float layout matters for "bitwise": both implementations compute the
+candidate score as one IEEE-double add (``ct[m] + etc[task, m]``) and
+the vacated load as one subtract, so equality is exact, not approximate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cga.local_search import h2ll
+from repro.kernels import batch_completion_times, batch_h2ll
+from repro.kernels.batch_ls import _random_task_on
+
+
+class _ForcedPick:
+    """Stub RNG whose ``random(n)`` always lands on one chosen rank."""
+
+    def __init__(self, value: float):
+        self._value = value
+
+    def random(self, n=None):
+        if n is None:
+            return self._value
+        return np.full(n, self._value)
+
+
+def _clone(rng: np.random.Generator) -> np.random.Generator:
+    other = np.random.default_rng()
+    other.bit_generator.state = rng.bit_generator.state
+    return other
+
+
+@pytest.mark.parametrize("seed", [0, 7, 1234])
+def test_batch_and_scalar_accept_identical_moves(small_instance, seed):
+    inst = small_instance
+    rng = np.random.default_rng(seed)
+    P = 24
+    S = rng.integers(0, inst.nmachines, (P, inst.ntasks), dtype=np.int32)
+    ct = batch_completion_times(inst, S)
+
+    moved_rows = 0
+    for _ in range(4):  # 4 iterations, population evolving in place
+        s_pre, ct_pre = S.copy(), ct.copy()
+        probe = _clone(rng)  # same state the batch kernel is about to use
+        batch_h2ll(S, ct, inst, rng, iterations=1)
+
+        # replay the batch kernel's task pick exactly
+        worst = ct_pre.argmax(axis=1)
+        task, found = _random_task_on(s_pre, worst, probe)
+
+        for p in range(P):
+            s_row, ct_row = s_pre[p].copy(), ct_pre[p].copy()
+            if found[p]:
+                tasks = np.flatnonzero(s_row == worst[p])
+                rank = int(np.searchsorted(tasks, task[p]))
+                assert tasks[rank] == task[p]
+                stub = _ForcedPick((rank + 0.5) / tasks.size)
+            else:
+                stub = _ForcedPick(0.0)  # scalar finds no task and breaks
+            h2ll(s_row, ct_row, inst, stub, iterations=1)
+
+            # the decision (move vs reject) and its effect are identical
+            assert np.array_equal(s_row, S[p]), f"row {p}: assignments differ"
+            assert np.array_equal(ct_row, ct[p]), f"row {p}: loads differ"
+            if not np.array_equal(s_row, s_pre[p]):
+                moved_rows += 1
+
+    assert moved_rows > 0  # the property is not vacuous
+
+
+def test_batch_moves_strictly_reduce_makespan(tiny_instance):
+    """Every accepted batch move lowers that row's makespan — the weaker
+    invariant that holds even when tie-breaks could differ."""
+    inst = tiny_instance
+    rng = np.random.default_rng(3)
+    P = 16
+    S = rng.integers(0, inst.nmachines, (P, inst.ntasks), dtype=np.int32)
+    ct = batch_completion_times(inst, S)
+    before = ct.max(axis=1)
+    moves = batch_h2ll(S, ct, inst, rng, iterations=5)
+    assert moves > 0
+    after = ct.max(axis=1)
+    assert (after <= before).all()
+    # incremental -= updates track the true loads to rounding error
+    np.testing.assert_allclose(ct, batch_completion_times(inst, S), rtol=1e-12)

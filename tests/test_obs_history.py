@@ -222,6 +222,84 @@ class TestBenchBaseline:
         assert hist.check_row(row, base, throughput_tolerance_pct=50.0) == []
 
 
+class TestParallelSpeedupGate:
+    def test_all_ratios_above_floor_pass(self):
+        payload = {"parallel_speedup": {"shm(2)/shm(1)": 1.4, "shm(4)/shm(1)": 2.1}}
+        assert hist.check_parallel_speedup(payload, 1.0) == []
+
+    def test_ratio_below_floor_fails(self):
+        payload = {"parallel_speedup": {"shm(2)/shm(1)": 0.85}}
+        problems = hist.check_parallel_speedup(payload, 1.0)
+        assert len(problems) == 1
+        assert "parallel speedup regression" in problems[0]
+        assert "shm(2)/shm(1)" in problems[0]
+
+    def test_missing_section_fails_outright(self):
+        assert hist.check_parallel_speedup({}, 1.0) != []
+        assert hist.check_parallel_speedup({"parallel_speedup": {}}, 1.0) != []
+
+    def test_non_numeric_ratio_fails(self):
+        payload = {"parallel_speedup": {"shm(2)/shm(1)": "fast"}}
+        problems = hist.check_parallel_speedup(payload, 1.0)
+        assert "not numeric" in problems[0]
+
+    def test_cli_min_parallel_speedup_gates_bench_baseline(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bench = tmp_path / "BENCH_throughput.json"
+        run = tmp_path / "run.json"
+        run.write_text(json.dumps(make_row(engine="shm", evals_per_s=1000.0)))
+
+        bench.write_text(
+            json.dumps(
+                {
+                    "instance": "u_c_hihi.0",
+                    "engines_evals_per_s": {"shm(2)": 1000.0},
+                    "parallel_speedup": {"shm(2)/shm(1)": 1.3},
+                }
+            )
+        )
+        args = ["obs", "check", str(run), "--baseline", str(bench)]
+        assert main([*args, "--min-parallel-speedup", "1.0"]) == 0
+        capsys.readouterr()
+
+        bench.write_text(
+            json.dumps(
+                {
+                    "instance": "u_c_hihi.0",
+                    "engines_evals_per_s": {"shm(2)": 1000.0},
+                    "parallel_speedup": {"shm(2)/shm(1)": 0.7},
+                }
+            )
+        )
+        assert main([*args, "--min-parallel-speedup", "1.0"]) == 1
+        assert "parallel speedup regression" in capsys.readouterr().err
+        # without the flag the same baseline passes (speedup not gated)
+        assert main(args) == 0
+        capsys.readouterr()
+
+    def test_cli_flag_fails_when_no_section_anywhere(self, tmp_path, capsys):
+        from repro.cli import main
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(make_row()))
+        run = tmp_path / "run.json"
+        run.write_text(json.dumps(make_row(run_id="runB")))
+        rc = main(
+            [
+                "obs",
+                "check",
+                str(run),
+                "--baseline",
+                str(baseline),
+                "--min-parallel-speedup",
+                "1.0",
+            ]
+        )
+        assert rc == 1
+        assert "no parallel_speedup section" in capsys.readouterr().err
+
+
 class TestObsCli:
     def test_ingest_history_diff_check(self, tmp_path, bundle, capsys):
         from repro.cli import main

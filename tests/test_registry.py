@@ -24,13 +24,14 @@ from repro.runtime.registry import (
 
 
 class TestRegistry:
-    def test_all_six_engines_registered(self):
+    def test_all_seven_engines_registered(self):
         assert engine_names() == [
             "async",
             "sync",
             "vectorized",
             "sim",
             "threads",
+            "shm",
             "processes",
         ]
 
@@ -39,6 +40,7 @@ class TestRegistry:
         assert aliases == {
             "pacga-sim": "sim",
             "pacga-threads": "threads",
+            "pacga-shm": "shm",
             "pacga-processes": "processes",
         }
         for alias, name in aliases.items():
@@ -62,7 +64,7 @@ class TestRegistry:
     def test_checkpointable_set(self):
         names = checkpointable_engines()
         assert "processes" not in names
-        assert set(names) == {"async", "sync", "vectorized", "sim", "threads"}
+        assert set(names) == {"async", "sync", "vectorized", "sim", "threads", "shm"}
 
 
 class TestNoDrift:

@@ -45,11 +45,14 @@ RESUME_CASES = [
     ("threads", 2),
     ("threads", 3),
     ("threads", 4),
+    ("shm", 1),
+    ("shm", 2),
+    ("shm", 4),
 ]
 
 
 def _make(name, instance, seed=3, config=CFG, **extras):
-    if resolve_engine(name).name == "threads":
+    if resolve_engine(name).name in ("threads", "shm"):
         extras.setdefault("lockstep", True)
     return create_engine(name, instance, config, seed=seed, **extras)
 
