@@ -5,8 +5,9 @@ Runs a short instrumented PA-CGA (thread engine, 2 threads) into a
 telemetry bundle and fails the build when
 
 1. the bundle is incomplete or any artifact violates its schema
-   (metrics.json merged/per-thread shape, Chrome trace_event fields,
-   JSONL time-series rows), or
+   (metrics.json merged/per-thread shape incl. the op.* attribution
+   counters, Chrome trace_event fields, JSONL time-series rows,
+   grid.jsonl per-cell snapshot rows), or
 2. the *instrumented* run is more than ``REPRO_OBS_MAX_OVERHEAD``
    (default 10%) slower than an uninstrumented run at the same
    evaluation budget — **median of three** timed runs each (not a
@@ -41,7 +42,14 @@ def check(ok: bool, what: str) -> None:
 
 
 def validate_bundle(out: Path, n_threads: int) -> None:
-    expected = {"meta.json", "metrics.json", "timeseries.jsonl", "trace.json", "report.md"}
+    expected = {
+        "meta.json",
+        "metrics.json",
+        "timeseries.jsonl",
+        "grid.jsonl",
+        "trace.json",
+        "report.md",
+    }
     check({p.name for p in out.iterdir()} == expected, f"bundle files != {expected}")
 
     metrics = json.loads((out / "metrics.json").read_text())
@@ -65,6 +73,39 @@ def validate_bundle(out: Path, n_threads: int) -> None:
     merged = metrics["merged"]["counters"]
     check(merged.get("breeding.evaluations", 0) >= BUDGET, "merged evaluation count")
     check("sweep_us" in metrics["merged"]["histograms"], "sweep latency histogram")
+    check(
+        merged.get("op.replacement.attempts", 0) >= BUDGET,
+        "operator attribution counters (op.*) missing from merged metrics",
+    )
+
+    grid_rows = [
+        json.loads(line) for line in (out / "grid.jsonl").read_text().splitlines()
+    ]
+    check(len(grid_rows) >= 1, "grid stream must have snapshots")
+    for row in grid_rows:
+        check(
+            {
+                "t_s",
+                "generation",
+                "shape",
+                "best",
+                "mean",
+                "takeover_fraction",
+                "fitness_entropy",
+                "fitness",
+                "age",
+                "improvements",
+            }
+            <= set(row),
+            "grid.jsonl row schema",
+        )
+        n_cells = row["shape"][0] * row["shape"][1]
+        check(
+            len(row["fitness"]) == len(row["age"]) == len(row["improvements"]) == n_cells,
+            "grid.jsonl per-cell arrays must match the grid shape",
+        )
+        check(0.0 <= row["takeover_fraction"] <= 1.0, "takeover_fraction range")
+        check(0.0 <= row["fitness_entropy"] <= 1.0, "fitness_entropy range")
 
     rows = [
         json.loads(line) for line in (out / "timeseries.jsonl").read_text().splitlines()
@@ -127,9 +168,12 @@ def main() -> int:
         validate_bundle(out, n_threads)
     print("bundle schemas: OK")
 
+    # the instrumented observer runs with grid-dynamics recording on
+    # (the default) and profiling OFF — the --obs-profile off-path must
+    # stay under the same ceiling as the rest of the telemetry stack
     plain = timed_run(inst, cfg, lambda: None)
     instrumented = timed_run(
-        inst, cfg, lambda: Observer(out=None, sample_every_evals=256)
+        inst, cfg, lambda: Observer(out=None, sample_every_evals=256, grid=True)
     )
     overhead = instrumented / plain - 1.0
     print(f"uninstrumented : {plain:8.3f} s (median of {RUNS})")

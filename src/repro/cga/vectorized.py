@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.engine import _EngineBase, RunResult
+from repro.obs.dynamics import record_batch_attribution
 from repro.runtime.budget import Budget
 from repro.kernels import (
     batch_completion_times,
@@ -122,10 +123,12 @@ class VectorizedSyncCGA(_EngineBase):
                 rec.observe("phase.crossover_us", (perf() - t) * 1e6)
                 t = perf()
             # -- mutation and local search, in place on the children -------
-            self._mutate(child_s, child_ct, inst, rng, rng.random(P) < cfg.p_mut)
+            mut = rng.random(P) < cfg.p_mut
+            self._mutate(child_s, child_ct, inst, rng, mut)
             if rec is not None:
                 rec.observe("phase.mutate_us", (perf() - t) * 1e6)
                 t = perf()
+            ls_rows = np.empty(0, dtype=np.int64)
             if self._local_search is not None and cfg.ls_iterations > 0:
                 ls_rows = np.flatnonzero(rng.random(P) < cfg.p_ls)
                 if ls_rows.size == P:
@@ -153,6 +156,20 @@ class VectorizedSyncCGA(_EngineBase):
             if rec is not None:
                 rec.observe("phase.fitness_us", (perf() - t) * 1e6)
             accept = self._accept(child_fit, pop.fitness)
+            if rec is not None:
+                # before the copyto writes below, while pop.fitness still
+                # holds the incumbents the replacement rule compared
+                ls_mask = np.zeros(P, dtype=bool)
+                ls_mask[ls_rows] = True
+                record_batch_attribution(
+                    rec.counters,
+                    accept,
+                    child_fit,
+                    pop.fitness,
+                    crossover=comb,
+                    mutation=mut,
+                    ls=ls_mask if ls_rows.size else None,
+                )
             np.copyto(pop.s, child_s, where=accept[:, None])
             np.copyto(pop.ct, child_ct, where=accept[:, None])
             np.copyto(pop.fitness, child_fit, where=accept)

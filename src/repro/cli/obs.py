@@ -17,6 +17,29 @@ def register(sub) -> None:
     q.add_argument("--once", action="store_true", help="render one frame and exit")
 
     q = obs_sub.add_parser(
+        "top",
+        help=(
+            "live search-dynamics dashboard: grid heatmap, operator "
+            "success rates, throughput/stall state"
+        ),
+    )
+    q.add_argument(
+        "source",
+        help="bundle dir, live.json file, or a LivePublisher http:// endpoint",
+    )
+    q.add_argument("--interval", type=float, default=1.0, help="refresh seconds")
+    q.add_argument(
+        "--once",
+        action="store_true",
+        help="print one plain-text frame and exit (no curses; CI-safe)",
+    )
+
+    q = obs_sub.add_parser(
+        "report", help="render a finished bundle's report in the terminal"
+    )
+    q.add_argument("bundle", help="telemetry bundle directory")
+
+    q = obs_sub.add_parser(
         "ingest", help="append a finished bundle's summary to a run history"
     )
     q.add_argument("bundle", help="telemetry bundle directory")
@@ -70,6 +93,16 @@ def register(sub) -> None:
             "multi-worker scaling ratio must be at least RATIO"
         ),
     )
+    q.add_argument(
+        "--min-ls-success-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "gate the run's local-search success rate (op.ls.* "
+            "attribution counters): fail below this fraction"
+        ),
+    )
 
 
 def _cmd_obs(args) -> int:
@@ -77,6 +110,19 @@ def _cmd_obs(args) -> int:
         from repro.obs.live import watch
 
         return watch(args.bundle, interval_s=args.interval, once=args.once)
+
+    if args.obs_command == "top":
+        from repro.obs.top import top
+
+        return top(args.source, interval_s=args.interval, once=args.once)
+
+    if args.obs_command == "report":
+        from repro.obs.dynamics import load_grid_rows
+        from repro.obs.report import load_bundle, render_terminal
+
+        meta, metrics, rows = load_bundle(args.bundle)
+        print(render_terminal(meta, metrics, rows, grid_rows=load_grid_rows(args.bundle)))
+        return 0
 
     from repro.obs import history as hist
 
@@ -116,6 +162,12 @@ def _cmd_obs(args) -> int:
             problems += hist.check_parallel_speedup(
                 source, args.min_parallel_speedup
             )
+        dyn_problems, warnings = hist.check_dynamics(
+            current, min_ls_success_rate=args.min_ls_success_rate
+        )
+        problems += dyn_problems
+        for warning in warnings:
+            print(f"WARNING: {warning}", file=sys.stderr)
         print(
             f"run {current.get('run_id', '?')} vs baseline "
             f"{baseline.get('run_id', args.baseline)}"

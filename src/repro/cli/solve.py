@@ -89,6 +89,17 @@ def register(sub) -> None:
                 "heartbeat does not advance for this long"
             ),
         )
+        p.add_argument(
+            "--obs-profile",
+            action="store_true",
+            default=False,
+            help=(
+                "profile the run with cProfile and write profile.pstats / "
+                "profile.txt / profile.collapsed (flamegraph collapsed "
+                "stacks) into the bundle; overhead estimate is stamped "
+                "into meta.json"
+            ),
+        )
 
 
 def _reject_stray_flags(args) -> int | None:
@@ -101,6 +112,7 @@ def _reject_stray_flags(args) -> int | None:
                 ("--obs-sample-every", args.obs_sample_every),
                 ("--obs-live", args.obs_live),
                 ("--obs-stall-deadline", args.obs_stall_deadline),
+                ("--obs-profile", args.obs_profile or None),
             )
             if value is not None
         ]
@@ -217,12 +229,23 @@ def _cmd_solve(args) -> int:
         extras["lockstep"] = True
     engine = spec.create(inst, config, seed=args.seed, obs=obs, **extras)
 
-    if args.checkpoint is not None:
-        result = run_with_checkpoints(
-            engine, stop, args.checkpoint, every_generations=args.checkpoint_every or 1
-        )
+    def execute():
+        if args.checkpoint is not None:
+            return run_with_checkpoints(
+                engine,
+                stop,
+                args.checkpoint,
+                every_generations=args.checkpoint_every or 1,
+            )
+        return engine.run(stop)
+
+    if args.obs_profile:
+        from repro.obs import PhaseProfiler
+
+        with PhaseProfiler(obs):
+            result = execute()
     else:
-        result = engine.run(stop)
+        result = execute()
     print_result(args, inst, spec.name, config, result, obs=obs)
     if args.checkpoint is not None:
         print(f"checkpoint    : {args.checkpoint}")

@@ -45,6 +45,14 @@ from repro.obs.history import (
     load_history,
     summarize_bundle,
 )
+from repro.obs.dynamics import (
+    GridDynamics,
+    attribution_summary,
+    load_grid_rows,
+    record_batch_attribution,
+)
+from repro.obs.profile import PhaseProfiler, collapse_pstats
+from repro.obs.top import render_frame, top
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_US",
@@ -71,4 +79,12 @@ __all__ = [
     "load_baseline",
     "load_history",
     "summarize_bundle",
+    "GridDynamics",
+    "attribution_summary",
+    "load_grid_rows",
+    "record_batch_attribution",
+    "PhaseProfiler",
+    "collapse_pstats",
+    "render_frame",
+    "top",
 ]

@@ -37,8 +37,13 @@ __all__ = [
     "render_diff",
     "load_baseline",
     "check_row",
+    "check_dynamics",
     "check_parallel_speedup",
 ]
+
+#: final-snapshot fitness entropy below which the grid is considered
+#: collapsed (every cell in one fitness bucket = diversity exhausted)
+ENTROPY_COLLAPSE_FLOOR = 0.05
 
 #: fields a summary row carries (missing values are stored as None)
 ROW_FIELDS = (
@@ -55,6 +60,8 @@ ROW_FIELDS = (
     "evals_per_s",
     "stalls",
     "lock_wait_s",
+    "ls_success_rate",
+    "final_entropy",
     "interrupted",
 )
 
@@ -93,9 +100,30 @@ def summarize_bundle(bundle_dir) -> dict:
         "stalls": int(counters.get("watchdog.stalls", 0)),
         "lock_wait_s": counters.get("lock.read_wait_s_total", 0.0)
         + counters.get("lock.write_wait_s_total", 0.0),
+        "ls_success_rate": (
+            counters["op.ls.successes"] / counters["op.ls.attempts"]
+            if counters.get("op.ls.attempts")
+            else None
+        ),
+        "final_entropy": _final_entropy(root),
         "interrupted": bool(meta.get("interrupted")),
     }
     return row
+
+
+def _final_entropy(root: Path) -> float | None:
+    """Fitness entropy of the run's last grid snapshot (None if the
+    bundle carries no grid stream)."""
+    path = root / "grid.jsonl"
+    if not path.exists():
+        return None
+    last = None
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            last = line
+    if last is None:
+        return None
+    return json.loads(last).get("fitness_entropy")
 
 
 def summarize_source(path) -> dict:
@@ -300,6 +328,49 @@ def check_row(
     if current.get("interrupted"):
         problems.append("run was interrupted (partial bundle)")
     return problems
+
+
+def check_dynamics(
+    row: dict,
+    min_ls_success_rate: float | None = None,
+    entropy_floor: float = ENTROPY_COLLAPSE_FLOOR,
+) -> tuple[list[str], list[str]]:
+    """Search-dynamics gate on one summary row; ``(problems, warnings)``.
+
+    * ``min_ls_success_rate``: the run's local-search success rate (the
+      ``op.ls.*`` attribution counters) must reach this fraction — a
+      *hard* failure, since an LS that stops paying for itself is the
+      paper's H2LL regressing.  A row without LS attribution (LS
+      disabled, or a pre-dynamics bundle) fails the gate explicitly
+      rather than passing silently.
+    * entropy collapse: a final grid-snapshot fitness entropy below
+      ``entropy_floor`` is *warned* about, not failed — full
+      convergence is legitimate at large budgets, but collapse early in
+      a comparison run usually means selection pressure is
+      misconfigured.
+    """
+    problems: list[str] = []
+    warnings: list[str] = []
+    if min_ls_success_rate is not None:
+        rate = row.get("ls_success_rate")
+        if rate is None:
+            problems.append(
+                "run has no LS attribution counters (op.ls.*) to gate "
+                "--min-ls-success-rate on"
+            )
+        elif rate < min_ls_success_rate:
+            problems.append(
+                f"LS success rate regression: {rate:.3f} < "
+                f"floor {min_ls_success_rate:g}"
+            )
+    entropy = row.get("final_entropy")
+    if entropy is not None and entropy < entropy_floor:
+        warnings.append(
+            f"entropy collapse: final grid fitness entropy {entropy:.3f} < "
+            f"{entropy_floor:g} (grid fully converged; check selection "
+            "pressure if this happened early)"
+        )
+    return problems, warnings
 
 
 def check_parallel_speedup(payload: dict, floor: float) -> list[str]:

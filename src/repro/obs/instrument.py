@@ -15,11 +15,22 @@ Metric names emitted per thread::
     phase.select_us / crossover_us / mutate_us / ls_us / fitness_us   (histograms)
     breeding.evaluations, breeding.replacements                       (counters)
     ls.calls, ls.moves_tried, ls.moves_accepted                       (counters)
+    op.{crossover,mutation,ls,replacement}.{attempts,successes,delta} (counters)
 
 Counters are exact.  The select/crossover/mutate histograms are
 *sampled* (one call in 8): those operators run in single-digit
 microseconds, so timing every call would cost more than the phase being
 measured.  ``fitness`` and ``local_search`` are timed on every call.
+
+Operator attribution (the ``op.*`` family) follows the credit rule of
+:mod:`repro.obs.dynamics`: each variation wrapper marks itself applied
+for the current breeding step, and the replacement wrapper — the one
+point that sees both the child's and the incumbent's fitness — settles
+the step: every applied operator counts a success and is credited the
+full fitness improvement when the child replaced the incumbent.  The
+batch kernels record the same keys via
+:func:`repro.obs.dynamics.record_batch_attribution`, so attribution is
+engine-uniform and scalar/batch counts agree in lockstep.
 """
 
 from __future__ import annotations
@@ -53,6 +64,32 @@ def instrumented_ops(ops, recorder):
     mask = 7
     n_sel = n_cx = n_mut = 0
 
+    # per-step operator-attribution flags, settled by timed_replace (the
+    # one wrapper that sees both fitness values of the breeding step).
+    # Plain nonlocal bools + pre-seeded counter keys keep the per-step
+    # cost to bare subscript increments — this path runs once per
+    # evaluation, so every dict-method call here shows in the obs-smoke
+    # overhead gate.
+    cx_applied = mut_applied = ls_applied = False
+    for key in (
+        "breeding.evaluations",
+        "breeding.steps",
+        "breeding.replacements",
+        "op.crossover.attempts",
+        "op.crossover.successes",
+        "op.crossover.delta",
+        "op.mutation.attempts",
+        "op.mutation.successes",
+        "op.mutation.delta",
+        "op.replacement.attempts",
+        "op.replacement.successes",
+        "op.replacement.delta",
+    ):
+        counters.setdefault(key, 0.0)
+    if local_search is not None:
+        for key in ("ls.calls", "op.ls.attempts", "op.ls.successes", "op.ls.delta"):
+            counters.setdefault(key, 0.0)
+
     def timed_select(fit, rng):
         nonlocal n_sel
         n_sel += 1
@@ -64,8 +101,10 @@ def instrumented_ops(ops, recorder):
         return out
 
     def timed_crossover(p1, p2, rng):
-        nonlocal n_cx
+        nonlocal n_cx, cx_applied
         n_cx += 1
+        cx_applied = True
+        counters["op.crossover.attempts"] += 1
         if (n_cx - 1) & mask:
             return crossover(p1, p2, rng)
         t0 = perf_counter()
@@ -74,8 +113,10 @@ def instrumented_ops(ops, recorder):
         return out
 
     def timed_mutate(s, ct, inst, rng):
-        nonlocal n_mut
+        nonlocal n_mut, mut_applied
         n_mut += 1
+        mut_applied = True
+        counters["op.mutation.attempts"] += 1
         if (n_mut - 1) & mask:
             return mutate(s, ct, inst, rng)
         t0 = perf_counter()
@@ -87,14 +128,29 @@ def instrumented_ops(ops, recorder):
         t0 = perf_counter()
         out = fitness(s, ct, inst)
         obs_fitness((perf_counter() - t0) * 1e6)
-        counters["breeding.evaluations"] = counters.get("breeding.evaluations", 0.0) + 1
+        counters["breeding.evaluations"] += 1
         return out
 
     def timed_replace(child_fit, current_fit):
+        nonlocal cx_applied, mut_applied, ls_applied
         out = replace_rule(child_fit, current_fit)
-        counters["breeding.steps"] = counters.get("breeding.steps", 0.0) + 1
+        counters["breeding.steps"] += 1
+        counters["op.replacement.attempts"] += 1
         if out:
-            counters["breeding.replacements"] = counters.get("breeding.replacements", 0.0) + 1
+            counters["breeding.replacements"] += 1
+            delta = current_fit - child_fit
+            counters["op.replacement.successes"] += 1
+            counters["op.replacement.delta"] += delta
+            if cx_applied:
+                counters["op.crossover.successes"] += 1
+                counters["op.crossover.delta"] += delta
+            if mut_applied:
+                counters["op.mutation.successes"] += 1
+                counters["op.mutation.delta"] += delta
+            if ls_applied:
+                counters["op.ls.successes"] += 1
+                counters["op.ls.delta"] += delta
+        cx_applied = mut_applied = ls_applied = False
         return out
 
     timed_ls = None
@@ -102,12 +158,15 @@ def instrumented_ops(ops, recorder):
         obs_ls = recorder.hist("phase.ls_us").observe
 
         def timed_ls(s, ct, inst, rng, iterations, n_candidates=None):
+            nonlocal ls_applied
             t0 = perf_counter()
+            ls_applied = True
+            counters["op.ls.attempts"] += 1
             # the LS operators publish ls.moves_tried / ls.moves_accepted
             # directly into the counter dict (see repro.cga.local_search)
             out = local_search(s, ct, inst, rng, iterations, n_candidates, stats=counters)
             obs_ls((perf_counter() - t0) * 1e6)
-            counters["ls.calls"] = counters.get("ls.calls", 0.0) + 1
+            counters["ls.calls"] += 1
             return out
 
     return replace(

@@ -209,12 +209,16 @@ class LivePublisher:
             for k in ("engine", "instance", "n_threads", "seed")
             if k in obs.meta
         }
-        return {
+        snap = {
             "updated_t_s": obs.elapsed(),
             "meta": meta,
             "progress": progress,
             "metrics": obs.registry.merged().snapshot(),
         }
+        griddyn = getattr(obs, "griddyn", None)
+        if griddyn is not None and griddyn.latest is not None:
+            snap["grid"] = griddyn.latest
+        return snap
 
     def publish(self) -> dict:
         """Snapshot + atomically replace ``live.json`` + refresh HTTP."""

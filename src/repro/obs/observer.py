@@ -12,6 +12,7 @@ writer that serializes all of them into one directory::
       metrics.json     # merged + per-thread counters/gauges/histograms
       trace.json       # Chrome trace_event JSON (chrome://tracing, Perfetto)
       timeseries.jsonl # one sampled convergence row per line (streamed)
+      grid.jsonl       # per-cell fitness/age/improvement snapshots (streamed)
       live.json        # latest live snapshot (only with live export on)
       report.md        # rendered human-readable summary
 
@@ -67,6 +68,7 @@ class ObsConfig:
     live_port: int | None = None
     live_every_s: float = 0.5
     stall_deadline_s: float | None = None
+    grid: bool = True
 
     def __post_init__(self) -> None:
         if self.sample_every_evals is None and self.sample_every_s is None:
@@ -110,6 +112,7 @@ class Observer:
         live_port: int | None = None,
         live_every_s: float = 0.5,
         stall_deadline_s: float | None = None,
+        grid: bool = True,
     ):
         self.out = Path(out) if out is not None else None
         self.registry = MetricsRegistry(histogram_bounds)
@@ -127,6 +130,11 @@ class Observer:
         self.stall_deadline_s = stall_deadline_s
         self.publisher = None
         self.watchdog = None
+        #: grid-dynamics tracker (repro.obs.dynamics.GridDynamics),
+        #: created lazily on the first engine_row once the grid shape is
+        #: known; stays None with grid recording disabled
+        self.grid = bool(grid)
+        self.griddyn = None
         self.meta: dict = {}
         self.epoch = time.perf_counter()
         #: finalize the bundle automatically when the run ends (set by
@@ -148,6 +156,7 @@ class Observer:
             live_port=config.live_port,
             live_every_s=config.live_every_s,
             stall_deadline_s=config.stall_deadline_s,
+            grid=config.grid,
         )
         obs.auto_finalize = True
         return obs
@@ -271,7 +280,38 @@ class Observer:
             "evals_per_s": evaluations / t if t > 0 else 0.0,
         }
         row.update(self.dynamics_row())
+        grid_row = self.grid_snapshot(engine, generation, t)
+        if grid_row is not None:
+            row["takeover_fraction"] = grid_row["takeover_fraction"]
+            row["fitness_entropy"] = grid_row["fitness_entropy"]
         return row
+
+    def grid_snapshot(self, engine, generation: int, t_s: float | None = None):
+        """Feed one per-cell fitness snapshot to the grid-dynamics
+        tracker (created lazily from the engine's grid shape on the
+        first call); returns the emitted row or None when grid
+        recording is off or the engine has no 2-D grid.
+
+        Every engine family funnels its time-series sampling through
+        :meth:`engine_row` — the scalar loops per generation, the
+        parallel families from the coordinator thread at evaluation
+        cadence, all of them once more from ``finish_run`` — so this
+        single hook point makes ``grid.jsonl`` engine-uniform.
+        """
+        if not self.grid:
+            return None
+        if self.griddyn is None:
+            grid = getattr(engine, "grid", None)
+            pop = getattr(engine, "pop", None)
+            if grid is None or pop is None:
+                return None
+            from repro.obs.dynamics import GridDynamics
+
+            stream_to = self.out / "grid.jsonl" if self.out is not None else None
+            self.griddyn = GridDynamics(grid.rows, grid.cols, stream_to=stream_to)
+        return self.griddyn.snapshot(
+            engine.pop.fitness, generation, self.elapsed() if t_s is None else t_s
+        )
 
     def dynamics_row(self) -> dict:
         """Cumulative LS-acceptance and lock-time fields from the metrics."""
@@ -329,6 +369,8 @@ class Observer:
         if meta:
             self.meta.update(meta)
         self.stop_runtime()
+        if self.griddyn is not None:
+            self.griddyn.close()
         if self.out is None:
             self.sampler.close()
             return {}
@@ -348,6 +390,16 @@ class Observer:
             paths["trace"] = self.out / "trace.json"
             self.tracer.write(paths["trace"])
 
+        if self.griddyn is not None:
+            # rows were streamed as they fired; if the sink never opened
+            # (out was set after snapshots started) write them now
+            paths["grid"] = self.out / "grid.jsonl"
+            if not paths["grid"].exists():
+                with open(paths["grid"], "w", encoding="utf-8") as fh:
+                    for grow in self.griddyn.rows:
+                        fh.write(json.dumps(grow) + "\n")
+            self.meta.setdefault("n_grid_rows", self.griddyn.n_total)
+
         self.meta.setdefault("n_timeseries_rows", len(self.sampler))
         self.meta.setdefault(
             "n_trace_events", self.tracer.n_events if self.tracer else 0
@@ -360,7 +412,12 @@ class Observer:
 
         paths["report"] = self.out / "report.md"
         paths["report"].write_text(
-            render_markdown(self.meta, self.registry.snapshot(), self.sampler.rows),
+            render_markdown(
+                self.meta,
+                self.registry.snapshot(),
+                self.sampler.rows,
+                grid_rows=self.griddyn.rows if self.griddyn is not None else None,
+            ),
             encoding="utf-8",
         )
         self._finalized = paths
@@ -370,7 +427,12 @@ class Observer:
         """Terminal-friendly one-screen summary of the collected run."""
         from repro.obs.report import render_terminal
 
-        return render_terminal(self.meta, self.registry.snapshot(), self.sampler.rows)
+        return render_terminal(
+            self.meta,
+            self.registry.snapshot(),
+            self.sampler.rows,
+            grid_rows=self.griddyn.rows if self.griddyn is not None else None,
+        )
 
 
 def resolve_observer(config, obs) -> "Observer | None":

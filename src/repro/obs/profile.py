@@ -1,0 +1,220 @@
+"""``--obs-profile``: deterministic per-phase cProfile of an engine run.
+
+Sampled phase histograms (:mod:`repro.obs.instrument`) answer *how
+long* each operator takes; this module answers *where inside it* the
+time goes.  :class:`PhaseProfiler` wraps the engine's ``run`` in a
+stdlib :mod:`cProfile` session and writes three artifacts into the
+telemetry bundle:
+
+* ``profile.pstats`` — the raw marshalled stats (``pstats`` /
+  ``snakeviz`` loadable);
+* ``profile.txt`` — the top functions by cumulative time, pre-rendered;
+* ``profile.collapsed`` — flamegraph-compatible collapsed stacks
+  (``caller;callee;... <microseconds>`` per line, the format
+  ``flamegraph.pl`` and speedscope ingest), built by
+  :func:`collapse_pstats`.
+
+cProfile's caller tables record one level of context, not full stacks,
+so :func:`collapse_pstats` *estimates* the stacks the way flameprof
+does: expand the static caller graph depth-first from the roots,
+apportioning each function's cumulative time over its callers
+proportionally.  The expansion is deterministic (children sorted by
+name, cycle-guarded, integer microseconds), which is what lets a
+golden test pin the output.
+
+Profiling is wall-clock intrusive (every Python call crosses the
+tracer), so the profiler also measures its own per-event overhead with
+a short calibration loop and stamps the estimate into ``meta.json`` —
+the honest number a reader needs before comparing a profiled run's
+timings to an unprofiled one.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from pathlib import Path
+
+__all__ = ["PhaseProfiler", "collapse_pstats", "calibrate_overhead_s"]
+
+#: collapsed-stack expansion depth cap (flamegraphs deeper than this
+#: are unreadable anyway; the cap also bounds cycle expansion)
+MAX_STACK_DEPTH = 24
+
+
+def _func_label(func: tuple) -> str:
+    """``pstats`` function triple -> ``module:line(name)`` label."""
+    filename, lineno, name = func
+    if filename == "~":  # builtins have no file
+        return name.strip("<>")
+    stem = Path(filename).name
+    return f"{stem}:{lineno}({name})"
+
+
+def collapse_pstats(stats: pstats.Stats) -> str:
+    """Estimate flamegraph collapsed stacks from a ``pstats.Stats``.
+
+    Each output line is ``frame;frame;... <integer microseconds>``,
+    sorted lexically — deterministic for a fixed stats table.  A
+    function called from several places has its cumulative time split
+    over the callers proportionally to the per-caller cumulative times
+    cProfile recorded; roots (no recorded caller) start their own
+    stacks.  Self-time of non-leaf frames is emitted on the frame
+    itself, so the flamegraph's totals match the profile.
+    """
+    # stats.stats: func -> (cc, nc, tt, ct, callers: {caller: (cc, nc, tt, ct)})
+    table = stats.stats
+    callees: dict[tuple, list[tuple]] = {}
+    for func, (_cc, _nc, _tt, _ct, callers) in table.items():
+        for caller in callers:
+            callees.setdefault(caller, []).append(func)
+    for kids in callees.values():
+        kids.sort(key=_func_label)
+
+    lines: dict[str, int] = {}
+
+    def emit(path: list[str], seconds: float) -> None:
+        us = int(round(seconds * 1e6))
+        if us <= 0:
+            return
+        key = ";".join(path)
+        lines[key] = lines.get(key, 0) + us
+
+    def caller_share(func: tuple, caller: tuple) -> float:
+        """Fraction of ``func``'s cumulative time owed to ``caller``."""
+        _cc, _nc, _tt, ct, callers = table[func]
+        if ct <= 0:
+            return 0.0
+        edge_ct = callers[caller][3]
+        total_edges = sum(entry[3] for entry in callers.values())
+        if total_edges <= 0:
+            return 1.0 / len(callers)
+        return edge_ct / total_edges
+
+    def expand(func: tuple, path: list[str], seconds: float, depth: int) -> None:
+        label = _func_label(func)
+        if label in path or depth >= MAX_STACK_DEPTH:  # cycle / depth guard
+            emit(path, seconds)
+            return
+        path = path + [label]
+        _cc, _nc, tt, ct, _callers = table[func]
+        scale = seconds / ct if ct > 0 else 0.0
+        emit(path, tt * scale)  # the frame's own self time
+        for child in callees.get(func, ()):
+            share = caller_share(child, func)
+            if share <= 0:
+                continue
+            child_ct = table[child][3]
+            expand(child, path, child_ct * share * scale, depth + 1)
+
+    roots = [func for func, entry in table.items() if not entry[4]]
+    for func in sorted(roots, key=_func_label):
+        expand(func, [], table[func][3], 0)
+    return "\n".join(f"{key} {us}" for key, us in sorted(lines.items())) + "\n"
+
+
+def calibrate_overhead_s(events: int, probe_calls: int = 20_000) -> float:
+    """Estimated wall seconds cProfile added to a run of ``events``
+    profiler events, from a short two-run calibration probe."""
+    if events <= 0:
+        return 0.0
+
+    def probe() -> int:
+        acc = 0
+        for i in range(probe_calls):
+            acc += _probe_leaf(i)
+        return acc
+
+    t0 = time.perf_counter()
+    probe()
+    bare = time.perf_counter() - t0
+    prof = cProfile.Profile()
+    t0 = time.perf_counter()
+    prof.runcall(probe)
+    profiled = time.perf_counter() - t0
+    # one probe call = one call + one return event
+    per_event = max(0.0, (profiled - bare) / (2 * probe_calls))
+    return per_event * events
+
+
+def _probe_leaf(i: int) -> int:
+    return i & 1
+
+
+class PhaseProfiler:
+    """Context manager profiling everything inside its ``with`` block.
+
+    Usage (the CLI's ``--obs-profile`` path)::
+
+        with PhaseProfiler(obs) as prof:
+            result = engine.run(stop)
+
+    On exit the three profile artifacts are written into the observer's
+    bundle directory and ``meta.json`` gains a ``profile`` stamp::
+
+        {"events": ..., "top_cumulative": [...],
+         "overhead_est_s": ..., "artifacts": [...]}
+    """
+
+    def __init__(self, obs, top_n: int = 12):
+        if obs is None or obs.out is None:
+            raise ValueError(
+                "PhaseProfiler needs an observer with a bundle directory "
+                "(--obs-profile requires --obs-out)"
+            )
+        self.obs = obs
+        self.top_n = top_n
+        self.profile = cProfile.Profile()
+        self.paths: dict[str, Path] = {}
+
+    def __enter__(self) -> "PhaseProfiler":
+        self.profile.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.profile.disable()
+        self.finalize()
+        return False
+
+    def finalize(self) -> dict[str, Path]:
+        """Write artifacts + stamp ``obs.meta['profile']`` (idempotent)."""
+        if self.paths:
+            return self.paths
+        out = self.obs.out
+        out.mkdir(parents=True, exist_ok=True)
+
+        self.paths["pstats"] = out / "profile.pstats"
+        self.profile.dump_stats(str(self.paths["pstats"]))
+
+        stats = pstats.Stats(self.profile)
+        events = int(stats.total_calls)
+
+        text = io.StringIO()
+        pstats.Stats(self.profile, stream=text).sort_stats(
+            pstats.SortKey.CUMULATIVE
+        ).print_stats(40)
+        self.paths["txt"] = out / "profile.txt"
+        self.paths["txt"].write_text(text.getvalue(), encoding="utf-8")
+
+        self.paths["collapsed"] = out / "profile.collapsed"
+        self.paths["collapsed"].write_text(collapse_pstats(stats), encoding="utf-8")
+
+        top = sorted(
+            (
+                (ct, _func_label(func))
+                for func, (_cc, _nc, _tt, ct, _callers) in stats.stats.items()
+            ),
+            reverse=True,
+        )[: self.top_n]
+        self.obs.meta["profile"] = {
+            "events": events,
+            "total_time_s": float(stats.total_tt),
+            "overhead_est_s": calibrate_overhead_s(events),
+            "top_cumulative": [
+                {"function": label, "cumulative_s": float(ct)} for ct, label in top
+            ],
+            "artifacts": sorted(p.name for p in self.paths.values()),
+        }
+        return self.paths

@@ -1,9 +1,10 @@
 """Rendering of a telemetry bundle: terminal text and markdown.
 
-Both renderers take the same three inputs — the ``meta`` dict, a
-``MetricsRegistry.snapshot()`` and the sampler's row list — so they
-work on a live :class:`~repro.obs.observer.Observer` *and* on a bundle
-reloaded from disk (:func:`load_bundle`).
+Both renderers take the same inputs — the ``meta`` dict, a
+``MetricsRegistry.snapshot()``, the sampler's row list and (optionally)
+the grid-dynamics rows — so they work on a live
+:class:`~repro.obs.observer.Observer` *and* on a bundle reloaded from
+disk (:func:`load_bundle` + :func:`repro.obs.dynamics.load_grid_rows`).
 """
 
 from __future__ import annotations
@@ -90,7 +91,7 @@ def _thread_rows(per_thread: dict) -> list[list[str]]:
     return rows
 
 
-def _sections(meta: dict, metrics: dict, rows: list[dict]):
+def _sections(meta: dict, metrics: dict, rows: list[dict], grid_rows: list[dict] | None = None):
     """The report content as (title, body) sections, format-agnostic."""
     merged = metrics.get("merged", {})
     counters = merged.get("counters", {})
@@ -151,6 +152,45 @@ def _sections(meta: dict, metrics: dict, rows: list[dict]):
             )
         )
 
+    from repro.obs.dynamics import attribution_summary
+
+    attribution = attribution_summary(counters)
+    if attribution:
+        sections.append(
+            (
+                "Operator attribution",
+                _table(
+                    ["operator", "attempts", "successes", "success rate", "fitness delta"],
+                    [
+                        [
+                            a["phase"],
+                            _fmt(a["attempts"]),
+                            _fmt(a["successes"]),
+                            f"{100.0 * a['success_rate']:.1f}%",
+                            _fmt(a["delta"]),
+                        ]
+                        for a in attribution
+                    ],
+                ),
+            )
+        )
+
+    if grid_rows:
+        from repro.obs.dynamics import estimate_takeover_generation
+
+        first, last = grid_rows[0], grid_rows[-1]
+        takeover_gen = estimate_takeover_generation(grid_rows)
+        body = [
+            f"snapshots: {len(grid_rows)} (grid {first['shape'][0]}x{first['shape'][1]})",
+            f"takeover fraction: {_fmt(first['takeover_fraction'], 3)} -> "
+            f"{_fmt(last['takeover_fraction'], 3)}",
+            f"fitness entropy: {_fmt(first['fitness_entropy'], 3)} -> "
+            f"{_fmt(last['fitness_entropy'], 3)}",
+            "takeover generation (>=50% of grid): "
+            + (_fmt(takeover_gen) if takeover_gen is not None else "not reached"),
+        ]
+        sections.append(("Grid dynamics", "\n".join(body)))
+
     if rows:
         first, last = rows[0], rows[-1]
         body = [
@@ -166,18 +206,22 @@ def _sections(meta: dict, metrics: dict, rows: list[dict]):
     return sections
 
 
-def render_terminal(meta: dict, metrics: dict, rows: list[dict]) -> str:
+def render_terminal(
+    meta: dict, metrics: dict, rows: list[dict], grid_rows: list[dict] | None = None
+) -> str:
     """Plain-text report for the CLI."""
     parts = []
-    for title, body in _sections(meta, metrics, rows):
+    for title, body in _sections(meta, metrics, rows, grid_rows):
         parts.append(f"== {title} ==\n{body}")
     return "\n\n".join(parts)
 
 
-def render_markdown(meta: dict, metrics: dict, rows: list[dict]) -> str:
+def render_markdown(
+    meta: dict, metrics: dict, rows: list[dict], grid_rows: list[dict] | None = None
+) -> str:
     """Markdown report written into the bundle as ``report.md``."""
     parts = ["# Run telemetry report"]
-    for title, body in _sections(meta, metrics, rows):
+    for title, body in _sections(meta, metrics, rows, grid_rows):
         if "\n" in body and "  " in body:  # tables become code blocks
             parts.append(f"## {title}\n\n```\n{body}\n```")
         else:

@@ -76,6 +76,7 @@ from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.engine import RunResult
 from repro.cga.hooks import as_hooks
 from repro.kernels import batch_ct_delta, crossover_mask, resolve_batch_ops
+from repro.obs.dynamics import record_batch_attribution
 from repro.runtime.budget import Budget
 from repro.runtime.context import (
     attach_runtime,
@@ -240,6 +241,10 @@ class ShmBlockPACGA:
         )
         #: per-block neighbor tables, pre-gathered once
         self._nb_blocks = [self.neighbors[block] for block in self.blocks]
+        #: boundary breeding steps per sweep of each block (cells whose
+        #: neighborhood leaves the block — the same count the threads /
+        #: processes families report as ``boundary_evals``)
+        self._boundary_per_sweep = [int(self.crosses[b].sum()) for b in self.blocks]
         n = self.config.n_threads
         self._eval_counts = [0] * n
         self._gen_counts = [0] * n
@@ -337,8 +342,11 @@ class ShmBlockPACGA:
         s_rows: np.ndarray,
         ct_rows: np.ndarray,
         fit_rows: np.ndarray,
-    ) -> None:
-        """Write accepted children back; boundary rows seqlock-stamped."""
+    ) -> int:
+        """Write accepted children back; boundary rows seqlock-stamped.
+
+        Returns the number of seqlock-stamped (boundary) publications.
+        """
         pop, seq = self.pop, self._seq
         shared = self._shared_read[rows]
         sh = np.flatnonzero(shared)
@@ -355,9 +363,17 @@ class ShmBlockPACGA:
             pop.s[prows] = s_rows[pr]
             pop.ct[prows] = ct_rows[pr]
             pop.fitness[prows] = fit_rows[pr]
+        return int(sh.size)
 
-    def _step_block(self, tid: int, rng: np.random.Generator) -> int:
-        """One batch generation over block ``tid``; returns replacements.
+    def _step_block(
+        self, tid: int, rng: np.random.Generator, rec=None
+    ) -> tuple[int, int]:
+        """One batch generation over block ``tid``.
+
+        Returns ``(replacements, boundary_publishes)``.  ``rec`` is the
+        worker's private metric recorder; when given, the sweep's
+        operator outcomes are folded into its ``op.*`` counters via
+        :func:`repro.obs.dynamics.record_batch_attribution`.
 
         The phase order and per-phase RNG consumption mirror
         :meth:`repro.cga.vectorized.VectorizedSyncCGA.run` exactly, so
@@ -384,7 +400,9 @@ class ShmBlockPACGA:
             new_s = np.where(mask, p2_s, child_s)
             batch_ct_delta(inst, child_ct, child_s, new_s)
             child_s = new_s
-        batch.mutate(child_s, child_ct, inst, rng, rng.random(B) < cfg.p_mut)
+        mut = rng.random(B) < cfg.p_mut
+        batch.mutate(child_s, child_ct, inst, rng, mut)
+        ls_rows = np.empty(0, dtype=np.int64)
         if batch.local_search is not None and cfg.ls_iterations > 0:
             ls_rows = np.flatnonzero(rng.random(B) < cfg.p_ls)
             if ls_rows.size == B:
@@ -400,11 +418,25 @@ class ShmBlockPACGA:
                 child_s[ls_rows] = sub_s
                 child_ct[ls_rows] = sub_ct
         child_fit = batch.fitness(child_s, child_ct, inst)
-        accept = batch.accept(child_fit, pop.fitness[block])
+        incumbent = pop.fitness[block]  # fancy indexing copies the incumbents
+        accept = batch.accept(child_fit, incumbent)
+        if rec is not None:
+            ls_mask = np.zeros(B, dtype=bool)
+            ls_mask[ls_rows] = True
+            record_batch_attribution(
+                rec.counters,
+                accept,
+                child_fit,
+                incumbent,
+                crossover=comb,
+                mutation=mut,
+                ls=ls_mask if ls_rows.size else None,
+            )
         acc = np.flatnonzero(accept)
+        pubs = 0
         if acc.size:
-            self._publish(block[acc], child_s[acc], child_ct[acc], child_fit[acc])
-        return int(acc.size)
+            pubs = self._publish(block[acc], child_s[acc], child_ct[acc], child_fit[acc])
+        return int(acc.size), pubs
 
     # ------------------------------------------------------------------
     def run(self, stop: StopCondition) -> RunResult:
@@ -453,6 +485,11 @@ class ShmBlockPACGA:
         share = budget.eval_share(n)
         evals, gens = self._eval_counts, self._gen_counts
         board = attach_runtime(self, n, lambda: (min(gens), sum(evals)))
+        obs = self.obs
+        # per-block recorders: lockstep runs in one process, so the
+        # workers' sweep/boundary/attribution metrics land directly in
+        # the parent registry (free-running ships them over the queue)
+        recs = [obs.recorder(str(tid)) for tid in range(n)] if obs is not None else None
         budget.start()
         rounds = 0
         try:
@@ -466,12 +503,28 @@ class ShmBlockPACGA:
                         if board is not None:
                             board.mark_done(tid)
                         continue
-                    self._step_block(tid, self._worker_rngs[tid])
+                    rec = recs[tid] if recs is not None else None
+                    replaced, pubs = self._step_block(
+                        tid, self._worker_rngs[tid], rec
+                    )
                     evals[tid] += self.blocks[tid].size
                     gens[tid] += 1
+                    if rec is not None:
+                        rec.inc("sweeps")
+                        rec.inc("breeding.evaluations", self.blocks[tid].size)
+                        rec.inc("breeding.steps", self.blocks[tid].size)
+                        rec.inc("breeding.replacements", replaced)
+                        rec.inc("boundary_evals", self._boundary_per_sweep[tid])
+                        rec.inc("boundary_publishes", pubs)
                     if board is not None:
                         board.beat(tid)
                 rounds += 1
+                if obs is not None:
+                    total = sum(evals)
+                    if self.sampler_due(total):
+                        obs.maybe_sample(
+                            total, lambda: obs.engine_row(self, min(gens), total)
+                        )
                 if self._ckpt is not None and rounds % self._ckpt[0] == 0 and any(active):
                     self._ckpt[1](self)
         finally:
@@ -527,12 +580,13 @@ class ShmBlockPACGA:
                 rec = MetricRecorder(str(tid))
                 tracer = ThreadTracer(tid, t0) if obs.tracer is not None else None
             block_size = self.blocks[tid].size
+            boundary_size = self._boundary_per_sweep[tid]
             evals = int(eval_counts[tid])
             gens = int(gen_counts[tid])
             perf = time.perf_counter
             while not budget.worker_exhausted(evals, gens, share):
                 sweep_start = perf()
-                replaced = self._step_block(tid, rng)
+                replaced, pubs = self._step_block(tid, rng, rec)
                 evals += block_size
                 gens += 1
                 beats[tid] += 1
@@ -545,6 +599,8 @@ class ShmBlockPACGA:
                     rec.inc("breeding.evaluations", block_size)
                     rec.inc("breeding.steps", block_size)
                     rec.inc("breeding.replacements", replaced)
+                    rec.inc("boundary_evals", boundary_size)
+                    rec.inc("boundary_publishes", pubs)
                     if tracer is not None:
                         tracer.complete(
                             "sweep",

@@ -132,6 +132,7 @@ class TestObsFlagValidation:
             (["--obs-sample-every", "64"], "--obs-sample-every"),
             (["--obs-live", "0"], "--obs-live"),
             (["--obs-stall-deadline", "5"], "--obs-stall-deadline"),
+            (["--obs-profile"], "--obs-profile"),
         ],
     )
     def test_obs_flag_without_obs_out_is_rejected(self, flags, named, capsys):
@@ -157,6 +158,28 @@ class TestObsFlagValidation:
         assert rc == 0
         assert (out / "metrics.json").exists()
         assert not (out / "trace.json").exists()
+
+    def test_obs_profile_writes_artifacts_and_meta(self, tmp_path, capsys):
+        out = tmp_path / "profiled"
+        rc = main(
+            self.BASE
+            + ["--engine", "async", "--obs-out", str(out), "--obs-profile"]
+        )
+        assert rc == 0
+        for name in ("profile.pstats", "profile.txt", "profile.collapsed"):
+            assert (out / name).exists(), name
+        meta = json.loads((out / "meta.json").read_text())
+        stamp = meta["profile"]
+        assert stamp["events"] > 0
+        assert stamp["overhead_est_s"] >= 0.0
+        assert stamp["artifacts"] == [
+            "profile.collapsed",
+            "profile.pstats",
+            "profile.txt",
+        ]
+        assert any(
+            "run" in entry["function"] for entry in stamp["top_cumulative"]
+        )
 
     def test_obs_live_announces_endpoint(self, tmp_path, capsys):
         out = tmp_path / "bundle"

@@ -1,0 +1,287 @@
+"""Search-dynamics layer: grid snapshots, timelines, operator attribution."""
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+import pytest
+
+from repro.obs import GridDynamics, attribution_summary, record_batch_attribution
+from repro.obs.dynamics import (
+    ATTRIBUTION_PHASES,
+    entropy_timeline,
+    estimate_takeover_generation,
+    fitness_entropy,
+    load_grid_rows,
+    selection_pressure_timeline,
+    takeover_curve,
+    takeover_fraction,
+)
+from repro.obs.instrument import instrumented_ops
+from repro.obs.metrics import MetricRecorder
+
+
+class TestTakeoverFraction:
+    def test_half_grid_at_best(self):
+        assert takeover_fraction(np.array([1.0, 1.0, 2.0, 3.0])) == 0.5
+
+    def test_converged_grid_is_one(self):
+        assert takeover_fraction(np.full(9, 5.0)) == 1.0
+
+    def test_empty_is_zero(self):
+        assert takeover_fraction(np.array([])) == 0.0
+
+    def test_rel_tol_absorbs_float_noise(self):
+        best = 1e9
+        fit = np.array([best, best * (1 + 1e-14), best * 1.5])
+        assert takeover_fraction(fit) == pytest.approx(2 / 3)
+
+
+class TestFitnessEntropy:
+    def test_converged_grid_is_zero(self):
+        assert fitness_entropy(np.full(16, 3.0)) == 0.0
+
+    def test_empty_is_zero(self):
+        assert fitness_entropy(np.array([])) == 0.0
+
+    def test_two_even_buckets(self):
+        # half the cells at each extreme: 2 of 16 bins occupied evenly
+        # -> H = ln 2 / ln 16 = 0.25 exactly
+        fit = np.array([1.0] * 8 + [2.0] * 8)
+        assert fitness_entropy(fit) == pytest.approx(0.25)
+
+    def test_sub_ulp_range_counts_as_converged(self):
+        # a spread too small for 16 finite-sized histogram bins must not
+        # crash the sampler (seen live on zero-copy threaded reads)
+        fit = np.full(16, 7.5e6)
+        fit[0] = np.nextafter(7.5e6, np.inf)
+        assert fitness_entropy(fit) == 0.0
+
+    def test_transient_nonfinite_cells_are_tolerated(self):
+        fit = np.array([1.0, 2.0, np.inf, np.nan])
+        assert 0.0 <= fitness_entropy(fit) <= 1.0
+        assert fitness_entropy(np.array([np.inf, np.nan])) == 0.0
+
+    def test_normalized_to_unit_interval(self):
+        rng = np.random.default_rng(0)
+        fit = rng.random(256)
+        assert 0.0 < fitness_entropy(fit) <= 1.0
+
+
+class TestGridDynamics:
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            GridDynamics(0, 4)
+        with pytest.raises(ValueError):
+            GridDynamics(4, 4, keep_rows=1)
+
+    def test_rejects_mismatched_fitness(self):
+        dyn = GridDynamics(2, 3)
+        with pytest.raises(ValueError, match="grid is 2x3"):
+            dyn.snapshot(np.zeros(5), generation=0, t_s=0.0)
+
+    def test_snapshot_schema(self):
+        dyn = GridDynamics(2, 2)
+        row = dyn.snapshot(np.array([4.0, 3.0, 2.0, 1.0]), generation=7, t_s=1.5)
+        assert set(row) == {
+            "t_s",
+            "generation",
+            "shape",
+            "best",
+            "mean",
+            "takeover_fraction",
+            "fitness_entropy",
+            "fitness",
+            "age",
+            "improvements",
+        }
+        assert row["shape"] == [2, 2]
+        assert row["generation"] == 7
+        assert row["best"] == 1.0
+        assert row["mean"] == 2.5
+        assert len(row["fitness"]) == len(row["age"]) == len(row["improvements"]) == 4
+        assert dyn.latest is row
+
+    def test_age_and_improvement_tracking(self):
+        dyn = GridDynamics(1, 3)
+        dyn.snapshot(np.array([5.0, 5.0, 5.0]), generation=0, t_s=0.0)
+        # cell 0 improves, cell 1 worsens (changed, not improved), cell 2 idle
+        row = dyn.snapshot(np.array([4.0, 6.0, 5.0]), generation=1, t_s=1.0)
+        assert row["improvements"] == [1, 0, 0]
+        assert row["age"] == [0, 0, 2]
+        row = dyn.snapshot(np.array([4.0, 6.0, 5.0]), generation=2, t_s=2.0)
+        assert row["improvements"] == [1, 0, 0]
+        assert row["age"] == [1, 1, 3]
+
+    def test_keep_rows_retains_baseline_and_tail(self):
+        dyn = GridDynamics(1, 2, keep_rows=3)
+        for g in range(6):
+            dyn.snapshot(np.array([6.0 - g, 6.0]), generation=g, t_s=float(g))
+        assert dyn.n_total == 6
+        assert len(dyn.rows) == 3
+        assert dyn.rows[0]["generation"] == 0  # baseline survives eviction
+        assert [r["generation"] for r in dyn.rows[1:]] == [4, 5]
+
+    def test_streaming_keeps_every_row(self, tmp_path):
+        path = tmp_path / "bundle" / "grid.jsonl"
+        dyn = GridDynamics(1, 2, stream_to=path, keep_rows=2)
+        for g in range(5):
+            dyn.snapshot(np.array([5.0 - g, 5.0]), generation=g, t_s=float(g))
+        dyn.close()
+        dyn.close()  # idempotent
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["generation"] for r in rows] == [0, 1, 2, 3, 4]
+        assert load_grid_rows(tmp_path / "bundle") == rows
+
+    def test_load_grid_rows_missing_bundle(self, tmp_path):
+        assert load_grid_rows(tmp_path) == []
+
+
+class TestTimelines:
+    def rows(self):
+        return [
+            {"t_s": 0.0, "generation": 0, "takeover_fraction": 0.1, "fitness_entropy": 0.9},
+            {"t_s": 1.0, "generation": 4, "takeover_fraction": 0.3, "fitness_entropy": 0.6},
+            {"t_s": 2.0, "generation": 9, "takeover_fraction": 0.7, "fitness_entropy": 0.2},
+        ]
+
+    def test_takeover_curve(self):
+        assert takeover_curve(self.rows()) == [(0.0, 0.1), (1.0, 0.3), (2.0, 0.7)]
+
+    def test_estimate_takeover_generation(self):
+        assert estimate_takeover_generation(self.rows()) == 9
+        assert estimate_takeover_generation(self.rows(), threshold=0.25) == 4
+        assert estimate_takeover_generation(self.rows(), threshold=0.99) is None
+        assert estimate_takeover_generation([]) is None
+
+    def test_selection_pressure_timeline(self):
+        timeline = selection_pressure_timeline(self.rows())
+        assert [t["growth"] for t in timeline] == [
+            pytest.approx(0.2),
+            pytest.approx(0.4),
+        ]
+        assert timeline[0]["generation"] == 4
+
+    def test_entropy_timeline(self):
+        assert entropy_timeline(self.rows()) == [(0.0, 0.9), (1.0, 0.6), (2.0, 0.2)]
+
+
+class TestAttributionSummary:
+    def test_skips_silent_phases_and_orders_by_breeding(self):
+        counters = {
+            "op.ls.attempts": 10.0,
+            "op.ls.successes": 4.0,
+            "op.ls.delta": 12.5,
+            "op.crossover.attempts": 20.0,
+            "op.crossover.successes": 5.0,
+            "op.crossover.delta": 9.0,
+        }
+        rows = attribution_summary(counters)
+        assert [r["phase"] for r in rows] == ["crossover", "ls"]
+        assert rows[0]["success_rate"] == 0.25
+        assert rows[1] == {
+            "phase": "ls",
+            "attempts": 10,
+            "successes": 4,
+            "success_rate": 0.4,
+            "delta": 12.5,
+        }
+
+    def test_empty_counters(self):
+        assert attribution_summary({}) == []
+
+
+@dataclass(frozen=True)
+class FakeOps:
+    """EvolutionOps-shaped bundle for driving the scalar wrappers."""
+
+    select: Callable
+    crossover: Callable
+    mutate: Callable
+    fitness: Callable
+    local_search: Optional[Callable]
+    replace: Callable
+
+
+class TestAttributionParity:
+    """Acceptance: scalar and batch attribution agree in lockstep.
+
+    The same sequence of breeding outcomes (operator-applied masks,
+    child/incumbent fitness pairs, acceptance decisions) is fed once
+    through the scalar ``instrumented_ops`` wrappers and once through
+    ``record_batch_attribution``; attempt and success counts must be
+    bit-identical, deltas equal up to float summation order.
+    """
+
+    def drive_scalar(self, counters_out, cx, mut, ls, child_fit, incumbent_fit):
+        rec = MetricRecorder("scalar")
+        accept_next = {}
+
+        def replace_rule(child, current):
+            return accept_next["value"]
+
+        ops = instrumented_ops(
+            FakeOps(
+                select=lambda fit, rng: 0,
+                crossover=lambda p1, p2, rng: p1,
+                mutate=lambda s, ct, inst, rng: s,
+                fitness=lambda s, ct, inst: 0.0,
+                local_search=lambda s, ct, inst, rng, iters, n_candidates=None, stats=None: s,
+                replace=replace_rule,
+            ),
+            rec,
+        )
+        for i in range(len(child_fit)):
+            if cx[i]:
+                ops.crossover(None, None, None)
+            if mut[i]:
+                ops.mutate(None, None, None, None)
+            if ls[i]:
+                ops.local_search(None, None, None, None, 10)
+            accept_next["value"] = bool(child_fit[i] < incumbent_fit[i])
+            ops.replace(child_fit[i], incumbent_fit[i])
+        counters_out.update(rec.counters)
+
+    def test_scalar_vs_batch_counts_identical(self):
+        rng = np.random.default_rng(42)
+        n = 256
+        cx = rng.random(n) < 0.8
+        mut = rng.random(n) < 0.3
+        ls = rng.random(n) < 0.5
+        incumbent = rng.random(n) * 100.0
+        child = incumbent + rng.normal(0.0, 10.0, n)
+        accept = child < incumbent
+
+        scalar: dict = {}
+        self.drive_scalar(scalar, cx, mut, ls, child, incumbent)
+        batch: dict = {}
+        record_batch_attribution(
+            batch, accept, child, incumbent, crossover=cx, mutation=mut, ls=ls
+        )
+
+        for phase in ATTRIBUTION_PHASES:
+            for metric in ("attempts", "successes"):
+                key = f"op.{phase}.{metric}"
+                assert int(scalar.get(key, 0)) == int(batch.get(key, 0)), key
+            key = f"op.{phase}.delta"
+            assert np.isclose(scalar.get(key, 0.0), batch.get(key, 0.0)), key
+        # and the test exercised something real on both sides
+        assert batch["op.replacement.attempts"] == n
+        assert 0 < batch["op.ls.successes"] < batch["op.ls.attempts"]
+
+    def test_disabled_phase_emits_no_keys(self):
+        batch: dict = {}
+        record_batch_attribution(
+            batch,
+            np.array([True, False]),
+            np.array([1.0, 5.0]),
+            np.array([2.0, 4.0]),
+            crossover=np.array([True, True]),
+        )
+        assert "op.mutation.attempts" not in batch
+        assert "op.ls.attempts" not in batch
+        assert batch["op.crossover.attempts"] == 2
+        assert batch["op.crossover.successes"] == 1
+        assert batch["op.crossover.delta"] == pytest.approx(1.0)
+        assert batch["op.replacement.delta"] == pytest.approx(1.0)

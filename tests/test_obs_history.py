@@ -300,6 +300,102 @@ class TestParallelSpeedupGate:
         assert "no parallel_speedup section" in capsys.readouterr().err
 
 
+class TestDynamicsGate:
+    def test_no_flags_no_findings(self):
+        assert hist.check_dynamics(make_row()) == ([], [])
+
+    def test_ls_rate_above_floor_passes(self):
+        problems, _ = hist.check_dynamics(
+            make_row(ls_success_rate=0.4), min_ls_success_rate=0.2
+        )
+        assert problems == []
+
+    def test_ls_rate_below_floor_fails(self):
+        problems, _ = hist.check_dynamics(
+            make_row(ls_success_rate=0.05), min_ls_success_rate=0.2
+        )
+        assert len(problems) == 1
+        assert "LS success rate regression" in problems[0]
+
+    def test_missing_attribution_fails_the_gate_explicitly(self):
+        """A pre-dynamics bundle (no op.ls.* counters) must not pass the
+        gate silently."""
+        problems, _ = hist.check_dynamics(make_row(), min_ls_success_rate=0.2)
+        assert any("no LS attribution" in p for p in problems)
+
+    def test_entropy_collapse_warns_but_does_not_fail(self):
+        problems, warnings = hist.check_dynamics(make_row(final_entropy=0.01))
+        assert problems == []
+        assert len(warnings) == 1
+        assert "entropy collapse" in warnings[0]
+        assert hist.check_dynamics(make_row(final_entropy=0.5)) == ([], [])
+
+    def test_summarize_bundle_extracts_dynamics_fields(self, tmp_path):
+        out = tmp_path / "dynbundle"
+        out.mkdir()
+        (out / "meta.json").write_text(json.dumps({"engine": "async"}))
+        (out / "metrics.json").write_text(
+            json.dumps(
+                {
+                    "merged": {
+                        "counters": {
+                            "op.ls.attempts": 100.0,
+                            "op.ls.successes": 25.0,
+                        }
+                    }
+                }
+            )
+        )
+        (out / "grid.jsonl").write_text(
+            json.dumps({"fitness_entropy": 0.8})
+            + "\n"
+            + json.dumps({"fitness_entropy": 0.03})
+            + "\n"
+        )
+        row = hist.summarize_bundle(out)
+        assert row["ls_success_rate"] == 0.25
+        assert row["final_entropy"] == 0.03
+
+    def test_bundle_without_dynamics_yields_none_fields(self, bundle):
+        row = hist.summarize_bundle(bundle)
+        assert row["ls_success_rate"] is None
+        assert row["final_entropy"] is None
+
+    def test_cli_min_ls_success_rate_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(make_row()))
+        run = tmp_path / "run.json"
+        args = ["obs", "check", str(run), "--baseline", str(baseline)]
+
+        run.write_text(json.dumps(make_row(ls_success_rate=0.4)))
+        assert main([*args, "--min-ls-success-rate", "0.2"]) == 0
+        capsys.readouterr()
+
+        run.write_text(json.dumps(make_row(ls_success_rate=0.1)))
+        assert main([*args, "--min-ls-success-rate", "0.2"]) == 1
+        assert "LS success rate regression" in capsys.readouterr().err
+
+        # without the flag the same run passes (rate not gated)
+        assert main(args) == 0
+        capsys.readouterr()
+
+    def test_cli_entropy_collapse_warns_without_failing(self, tmp_path, capsys):
+        from repro.cli import main
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(make_row()))
+        run = tmp_path / "run.json"
+        run.write_text(json.dumps(make_row(final_entropy=0.001)))
+        assert (
+            main(["obs", "check", str(run), "--baseline", str(baseline)]) == 0
+        )
+        captured = capsys.readouterr()
+        assert "WARNING: entropy collapse" in captured.err
+        assert "OK: within tolerance" in captured.out
+
+
 class TestObsCli:
     def test_ingest_history_diff_check(self, tmp_path, bundle, capsys):
         from repro.cli import main

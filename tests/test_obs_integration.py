@@ -7,14 +7,28 @@ import pytest
 
 from repro.cga import AsyncCGA, CGAConfig, StopCondition
 from repro.cga.vectorized import VectorizedSyncCGA
-from repro.obs import ObsConfig, Observer, load_bundle, render_markdown, render_terminal
+from repro.obs import (
+    ObsConfig,
+    Observer,
+    load_bundle,
+    load_grid_rows,
+    render_markdown,
+    render_terminal,
+)
 from repro.obs.metrics import MetricRecorder
 from repro.obs.observer import resolve_observer
 from repro.parallel import SimulatedPACGA, ThreadedPACGA
 
 
 CFG = CGAConfig(grid_rows=6, grid_cols=6, ls_iterations=2, seed_with_minmin=False)
-BUNDLE_FILES = {"meta.json", "metrics.json", "timeseries.jsonl", "trace.json", "report.md"}
+BUNDLE_FILES = {
+    "meta.json",
+    "metrics.json",
+    "timeseries.jsonl",
+    "grid.jsonl",
+    "trace.json",
+    "report.md",
+}
 
 
 class TestSequentialBundle:
@@ -252,11 +266,14 @@ class TestReporting:
         )
         obs.finalize()
         meta, metrics, rows = load_bundle(out)
-        term = render_terminal(meta, metrics, rows)
-        md = render_markdown(meta, metrics, rows)
+        grid_rows = load_grid_rows(out)
+        term = render_terminal(meta, metrics, rows, grid_rows=grid_rows)
+        md = render_markdown(meta, metrics, rows, grid_rows=grid_rows)
         for text in (term, md):
             assert "Phase timings" in text
             assert "Convergence time series" in text
+            assert "Operator attribution" in text
+            assert "Grid dynamics" in text
         report = (out / "report.md").read_text()
         assert report == md
 

@@ -1,0 +1,133 @@
+"""``--obs-profile``: collapsed-stack estimation + profiler lifecycle."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import PhaseProfiler, collapse_pstats
+from repro.obs.profile import calibrate_overhead_s
+
+MAIN = ("app.py", 1, "main")
+WORK = ("app.py", 10, "work")
+LEAF = ("app.py", 20, "leaf")
+
+
+def stats(table):
+    """A pstats.Stats stand-in: collapse_pstats only reads ``.stats``."""
+    return SimpleNamespace(stats=table)
+
+
+class TestCollapsePstats:
+    def test_golden_linear_chain(self):
+        """main(1.0s) -> work(0.9s) -> leaf(0.5s): the collapsed output
+        is pinned byte-for-byte (deterministic expansion, integer µs)."""
+        table = {
+            MAIN: (1, 1, 0.1, 1.0, {}),
+            WORK: (1, 1, 0.4, 0.9, {MAIN: (1, 1, 0.4, 0.9)}),
+            LEAF: (1, 1, 0.5, 0.5, {WORK: (1, 1, 0.5, 0.5)}),
+        }
+        assert collapse_pstats(stats(table)) == (
+            "app.py:1(main) 100000\n"
+            "app.py:1(main);app.py:10(work) 400000\n"
+            "app.py:1(main);app.py:10(work);app.py:20(leaf) 500000\n"
+        )
+
+    def test_shared_callee_split_proportionally(self):
+        """A leaf called from two sites splits its cumulative time over
+        the callers by the per-edge cumulative times (0.3 vs 0.1)."""
+        a = ("app.py", 30, "a")
+        b = ("app.py", 40, "b")
+        table = {
+            MAIN: (1, 1, 0.0, 1.0, {}),
+            a: (1, 1, 0.2, 0.5, {MAIN: (1, 1, 0.2, 0.5)}),
+            b: (1, 1, 0.4, 0.5, {MAIN: (1, 1, 0.4, 0.5)}),
+            LEAF: (2, 2, 0.4, 0.4, {a: (1, 1, 0.3, 0.3), b: (1, 1, 0.1, 0.1)}),
+        }
+        lines = dict(
+            line.rsplit(" ", 1) for line in collapse_pstats(stats(table)).splitlines()
+        )
+        assert lines["app.py:1(main);app.py:30(a);app.py:20(leaf)"] == "300000"
+        assert lines["app.py:1(main);app.py:40(b);app.py:20(leaf)"] == "100000"
+        # self-times land on the frames themselves
+        assert lines["app.py:1(main);app.py:30(a)"] == "200000"
+        assert lines["app.py:1(main);app.py:40(b)"] == "400000"
+
+    def test_recursion_terminates_and_keeps_time(self):
+        """A self-recursive frame must not expand forever; its time is
+        folded into the existing stack."""
+        table = {
+            MAIN: (1, 1, 0.1, 1.0, {}),
+            WORK: (5, 3, 0.9, 0.9, {MAIN: (1, 1, 0.5, 0.5), WORK: (2, 2, 0.4, 0.4)}),
+        }
+        out = collapse_pstats(stats(table))
+        total_us = sum(int(line.rsplit(" ", 1)[1]) for line in out.splitlines())
+        assert total_us > 0
+        assert all(line.count("work") <= 2 for line in out.splitlines())
+
+    def test_builtin_labels(self):
+        builtin = ("~", 0, "<built-in method builtins.len>")
+        table = {
+            MAIN: (1, 1, 0.1, 0.2, {}),
+            builtin: (1, 1, 0.1, 0.1, {MAIN: (1, 1, 0.1, 0.1)}),
+        }
+        out = collapse_pstats(stats(table))
+        assert "app.py:1(main);built-in method builtins.len 100000" in out
+
+
+class TestCalibration:
+    def test_zero_events_is_free(self):
+        assert calibrate_overhead_s(0) == 0.0
+
+    def test_estimate_is_nonnegative_and_scales(self):
+        one = calibrate_overhead_s(1_000, probe_calls=2_000)
+        many = calibrate_overhead_s(1_000_000, probe_calls=2_000)
+        assert one >= 0.0
+        assert many >= one
+
+
+def busy(n: int = 40_000) -> int:
+    acc = 0
+    for i in range(n):
+        acc += i % 7
+    return acc
+
+
+class TestPhaseProfiler:
+    def test_requires_bundle_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="--obs-out"):
+            PhaseProfiler(None)
+        with pytest.raises(ValueError, match="--obs-out"):
+            PhaseProfiler(SimpleNamespace(out=None, meta={}))
+
+    def test_artifacts_and_meta_stamp(self, tmp_path):
+        obs = SimpleNamespace(out=tmp_path / "bundle", meta={})
+        with PhaseProfiler(obs) as prof:
+            busy()
+        for name in ("profile.pstats", "profile.txt", "profile.collapsed"):
+            assert (obs.out / name).exists(), name
+        stamp = obs.meta["profile"]
+        assert stamp["events"] > 0
+        assert stamp["total_time_s"] > 0.0
+        assert stamp["overhead_est_s"] >= 0.0
+        assert stamp["artifacts"] == [
+            "profile.collapsed",
+            "profile.pstats",
+            "profile.txt",
+        ]
+        assert any("busy" in e["function"] for e in stamp["top_cumulative"])
+        collapsed = (obs.out / "profile.collapsed").read_text()
+        assert "busy" in collapsed
+        for line in collapsed.strip().splitlines():
+            path, us = line.rsplit(" ", 1)
+            assert int(us) > 0 and path
+        # finalize is idempotent: same paths, no double stamping
+        assert prof.finalize() == prof.paths
+
+    def test_pstats_artifact_loads(self, tmp_path):
+        import pstats
+
+        obs = SimpleNamespace(out=tmp_path / "bundle", meta={})
+        with PhaseProfiler(obs):
+            busy(5_000)
+        loaded = pstats.Stats(str(obs.out / "profile.pstats"))
+        assert loaded.total_calls > 0

@@ -1,0 +1,101 @@
+"""``repro obs top``: snapshot loading + the pure dashboard frame."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.top import (
+    HEAT_RAMP,
+    MAX_HEAT_COLS,
+    load_snapshot,
+    render_frame,
+    render_heatmap,
+    top,
+)
+
+FIXTURE = Path(__file__).resolve().parent / "data" / "live.json"
+
+
+@pytest.fixture
+def snap():
+    return json.loads(FIXTURE.read_text())
+
+
+class TestLoadSnapshot:
+    def test_file_and_directory_spellings(self, tmp_path, snap):
+        assert load_snapshot(str(FIXTURE))["meta"]["engine"] == "async"
+        bundle = tmp_path / "bundle"
+        bundle.mkdir()
+        (bundle / "live.json").write_text(json.dumps(snap))
+        assert load_snapshot(str(bundle))["progress"]["evaluations"] == 10240
+
+    def test_missing_source_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            load_snapshot(str(tmp_path / "nope"))
+
+
+class TestRenderHeatmap:
+    def test_ramp_orientation(self):
+        # best (lowest) fitness gets the darkest glyph, worst the lightest
+        row = {"shape": [1, 3], "fitness": [1.0, 2.0, 3.0]}
+        assert render_heatmap(row) == ["@= "]
+
+    def test_converged_grid_is_all_dark(self):
+        row = {"shape": [2, 2], "fitness": [5.0] * 4}
+        assert render_heatmap(row) == ["@@", "@@"]
+
+    def test_wide_grids_are_subsampled(self):
+        cols = 3 * MAX_HEAT_COLS
+        row = {"shape": [1, cols], "fitness": list(range(cols))}
+        lines = render_heatmap(row)
+        assert len(lines) == 1
+        assert len(lines[0]) <= MAX_HEAT_COLS
+
+
+class TestRenderFrame:
+    def test_fixture_frame_contents(self, snap):
+        frame = render_frame(snap)
+        assert "engine=async" in frame
+        assert "instance=u_c_hihi.0" in frame
+        assert "evals 10,240" in frame
+        assert "[STALLS: 1]" in frame
+        assert "operator success rates" in frame
+        for phase in ("crossover", "mutation", "ls", "replacement"):
+            assert f"  {phase}" in frame
+        assert "31.0%" in frame  # 310/1000 ls successes
+        assert "grid 8x8" in frame
+        assert "takeover 12.5%" in frame
+        assert f"[{HEAT_RAMP}]  worst -> best" in frame
+        # one heatmap line per grid row, indented under the grid header
+        expected = render_heatmap(snap["grid"])
+        assert len(expected) == 8
+        for line in expected:
+            assert f"\n  {line}" in frame
+
+    def test_minimal_snapshot_renders(self):
+        frame = render_frame({"updated_t_s": 0.5})
+        assert "repro obs top" in frame
+        assert "operator success rates" not in frame
+        assert "grid" not in frame
+
+
+class TestTopCli:
+    def test_once_renders_fixture(self, capsys):
+        assert main(["obs", "top", str(FIXTURE), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro obs top" in out
+        assert "operator success rates" in out
+        assert "worst -> best" in out
+
+    def test_once_missing_source_exits_nonzero(self, tmp_path, capsys):
+        assert main(["obs", "top", str(tmp_path / "gone"), "--once"]) == 1
+        assert "cannot load a live snapshot" in capsys.readouterr().out
+
+    def test_once_writes_to_explicit_stream(self, tmp_path):
+        import io
+
+        buf = io.StringIO()
+        assert top(str(FIXTURE), once=True, out=buf) == 0
+        assert "grid 8x8" in buf.getvalue()

@@ -73,7 +73,7 @@ class TestLifecycle:
         eng = make_engine(lockstep=True)
         paths = shm_paths(eng)
 
-        def boom(tid, rng):
+        def boom(tid, rng, rec=None):
             raise RuntimeError("sweep failed")
 
         eng._step_block = boom
@@ -87,7 +87,7 @@ class TestLifecycle:
         eng = make_engine()
         paths = shm_paths(eng)
 
-        def die(tid, rng):
+        def die(tid, rng, rec=None):
             raise SystemExit(3)  # child exits nonzero, no traceback spam
 
         eng._step_block = die  # inherited by the forked children
@@ -99,9 +99,9 @@ class TestLifecycle:
         eng = make_engine(stall_kill_s=0.3)
         paths = shm_paths(eng)
 
-        def hang(tid, rng):
+        def hang(tid, rng, rec=None):
             time.sleep(60)
-            return 0
+            return 0, 0
 
         eng._step_block = hang
         t0 = time.monotonic()
