@@ -8,12 +8,18 @@ telemetry bundle and fails the build when
    (metrics.json merged/per-thread shape incl. the op.* attribution
    counters, Chrome trace_event fields, JSONL time-series rows,
    grid.jsonl per-cell snapshot rows), or
-2. the *instrumented* run is more than ``REPRO_OBS_MAX_OVERHEAD``
-   (default 10%) slower than an uninstrumented run at the same
-   evaluation budget — **median of three** timed runs each (not a
-   single pair, not best-of: the median discards one-off scheduler
-   hiccups in either direction), so a noisy CI neighbor does not flake
-   the build.
+2. a run with the full process-observability layer on (flight
+   recorder, resource sampler, statistical stack sampler) leaves the
+   expected artifacts with valid schemas, or
+3. the *instrumented* run — with resource sampling and the stack
+   sampler enabled on top of the metrics/trace/grid stack — is more
+   than ``REPRO_OBS_MAX_OVERHEAD`` (default 10%) slower than an
+   uninstrumented run at the same evaluation budget — measured as the
+   **median of interleaved plain/instrumented run-pair ratios** (after
+   one warmup of each): each ratio compares two runs executed
+   back-to-back, so slow load drift on a busy CI machine cancels
+   instead of biasing whichever side ran last, and the median discards
+   one-off scheduler hiccups in either direction.
 
 Usage: PYTHONPATH=src python benchmarks/smoke_obs.py
 """
@@ -141,15 +147,70 @@ def validate_bundle(out: Path, n_threads: int) -> None:
     check(meta.get("result", {}).get("evaluations", 0) >= BUDGET, "meta.json result")
 
 
-def timed_run(inst, cfg, obs_factory) -> float:
-    times = []
+def validate_process_obs_bundle(out: Path) -> None:
+    """Schemas of the flight / resources / samples artifacts."""
+    from repro.obs.flight import load_flight_dir
+    from repro.obs.resources import load_resource_rows
+    from repro.obs.sample import parse_collapsed
+
+    rings = load_flight_dir(out)
+    check("main" in rings, "flight/main.bin missing or unreadable")
+    kinds = {e["kind"] for e in rings["main"]}
+    check("budget.start" in kinds, "flight ring missing budget.start")
+    check("budget.done" in kinds, "flight ring missing budget.done")
+    for events in rings.values():
+        for ev in events:
+            check(
+                {"seq", "t_s", "kind", "msg", "value"} == set(ev),
+                f"flight event schema: {ev}",
+            )
+
+    rows = load_resource_rows(out)
+    check(len(rows) >= 2, "resource sampler must stream rows")
+    for row in rows:
+        check(
+            {"t_s", "role", "pid", "rss_mb", "cpu_s"} <= set(row),
+            f"resource row schema: {row}",
+        )
+        check(row["rss_mb"] > 0, "resource row rss_mb must be positive")
+
+    samples = out / "samples.collapsed"
+    check(samples.exists(), "samples.collapsed missing")
+    counts = parse_collapsed(samples.read_text())
+    check(sum(counts.values()) > 0, "stack sampler recorded no samples")
+
+    meta = json.loads((out / "meta.json").read_text())
+    check(meta.get("resources", {}).get("peak_rss_mb", 0) > 0, "meta resource peaks")
+    check(meta.get("n_stack_samples", 0) > 0, "meta n_stack_samples")
+
+
+def one_run(inst, cfg, obs_factory) -> float:
+    obs = obs_factory()
+    eng = ThreadedPACGA(inst, cfg, seed=0, obs=obs)
+    t0 = time.perf_counter()
+    eng.run(StopCondition(max_evaluations=BUDGET))
+    elapsed = time.perf_counter() - t0
+    if obs is not None:
+        obs.finalize()  # stop sampler threads outside the timed region
+    return elapsed
+
+
+def measure_overhead(inst, cfg, obs_factory) -> tuple[float, float, float]:
+    """Median plain time, instrumented time, and pairwise-ratio overhead."""
+    one_run(inst, cfg, lambda: None)  # warmup: imports, allocator, caches
+    one_run(inst, cfg, obs_factory)
+    plains, instrumenteds, ratios = [], [], []
     for _ in range(RUNS):
-        obs = obs_factory()
-        eng = ThreadedPACGA(inst, cfg, seed=0, obs=obs)
-        t0 = time.perf_counter()
-        eng.run(StopCondition(max_evaluations=BUDGET))
-        times.append(time.perf_counter() - t0)
-    return statistics.median(times)
+        plain = one_run(inst, cfg, lambda: None)
+        instrumented = one_run(inst, cfg, obs_factory)
+        plains.append(plain)
+        instrumenteds.append(instrumented)
+        ratios.append(instrumented / plain)
+    return (
+        statistics.median(plains),
+        statistics.median(instrumenteds),
+        statistics.median(ratios) - 1.0,
+    )
 
 
 def main() -> int:
@@ -168,14 +229,38 @@ def main() -> int:
         validate_bundle(out, n_threads)
     print("bundle schemas: OK")
 
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bundle"
+        obs = Observer(
+            out=out,
+            sample_every_evals=256,
+            flight=True,
+            resources=True,
+            resource_every_s=0.05,
+            stack_sample_s=0.005,
+        )
+        eng = ThreadedPACGA(inst, cfg, seed=0, obs=obs)
+        eng.run(StopCondition(max_evaluations=BUDGET))
+        obs.finalize()
+        validate_process_obs_bundle(out)
+    print("process-observability schemas: OK")
+
     # the instrumented observer runs with grid-dynamics recording on
-    # (the default) and profiling OFF — the --obs-profile off-path must
-    # stay under the same ceiling as the rest of the telemetry stack
-    plain = timed_run(inst, cfg, lambda: None)
-    instrumented = timed_run(
-        inst, cfg, lambda: Observer(out=None, sample_every_evals=256, grid=True)
+    # (the default), the resource sampler and the statistical stack
+    # sampler ON, and cProfile OFF — the always-on telemetry stack as a
+    # whole must stay under the ceiling
+    plain, instrumented, overhead = measure_overhead(
+        inst,
+        cfg,
+        lambda: Observer(
+            out=None,
+            sample_every_evals=256,
+            grid=True,
+            resources=True,
+            resource_every_s=0.25,
+            stack_sample_s=0.005,
+        ),
     )
-    overhead = instrumented / plain - 1.0
     print(f"uninstrumented : {plain:8.3f} s (median of {RUNS})")
     print(f"instrumented   : {instrumented:8.3f} s (median of {RUNS})")
     print(f"overhead       : {100 * overhead:+.1f}% (ceiling: {100 * MAX_OVERHEAD:.0f}%)")

@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""CI post-mortem smoke test: the black box works end to end.
+
+Two phases against the shm engine (forked workers, the processes the
+rest of the obs stack can only watch from the outside):
+
+1. **Live interrogation** — start a bounded ``repro run --engine shm``
+   with a telemetry bundle, send ``SIGUSR1`` to the parent and to one
+   forked worker mid-run, and assert both append all-thread stack
+   dumps into ``<bundle>/flight/`` while the run keeps going (the run
+   must still exit 0).
+2. **Crash attribution** — rerun with ``REPRO_SHM_CRASH_WORKER=1`` so
+   worker 1 raises mid-sweep; the run must fail, and
+   ``repro obs postmortem`` must exit 0 and render a report naming the
+   crashed worker with its traceback, flight events, and final
+   resource sample.
+
+Usage: PYTHONPATH=src python benchmarks/smoke_postmortem.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+PY = sys.executable
+ENV = {**os.environ, "PYTHONPATH": "src"}
+
+
+def check(ok: bool, what: str) -> None:
+    if not ok:
+        print(f"FAIL: {what}", file=sys.stderr)
+        sys.exit(1)
+
+
+def run_cmd(bundle: Path, *extra: str) -> list[str]:
+    return [
+        PY,
+        "-m",
+        "repro",
+        "run",
+        "--instance",
+        "u_c_hihi.0",
+        "--engine",
+        "shm",
+        "--threads",
+        "2",
+        "--ls-iters",
+        "5",
+        "--evals",
+        "2000000",
+        "--wall",
+        "12",
+        "--obs-out",
+        str(bundle),
+        *extra,
+    ]
+
+
+def worker_pids(bundle: Path, deadline_s: float = 10.0) -> list[int]:
+    """The forked worker pids, as the workers' own resource samplers
+    report them (``flight/resources-w*.jsonl`` rows carry ``pid``).
+
+    /proc children would be ambiguous — the multiprocessing resource
+    tracker is a child of the same parent and must not be signalled.
+    """
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        pids = []
+        for path in sorted((bundle / "flight").glob("resources-w*.jsonl")):
+            try:
+                first = path.read_text().splitlines()[0]
+                pids.append(int(json.loads(first)["pid"]))
+            except (OSError, IndexError, ValueError, KeyError):
+                pass
+        if len(pids) >= 2:
+            return pids
+        time.sleep(0.1)
+    return []
+
+
+def wait_for(predicate, what: str, deadline_s: float = 10.0) -> None:
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.1)
+    check(False, f"timed out waiting for {what}")
+
+
+def phase_live_dump(tmp: Path) -> None:
+    bundle = tmp / "live"
+    proc = subprocess.Popen(
+        run_cmd(bundle),
+        env=ENV,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        flight = bundle / "flight"
+        wait_for(
+            lambda: (flight / "w0.bin").exists() and (flight / "w1.bin").exists(),
+            "worker flight rings",
+        )
+        kids = worker_pids(bundle)
+        check(len(kids) >= 2, f"expected 2 forked workers, found {kids}")
+
+        # interrogate the live run from the outside with plain kill
+        os.kill(proc.pid, signal.SIGUSR1)
+        os.kill(kids[0], signal.SIGUSR1)
+        wait_for(
+            lambda: (flight / "stacks-main.txt").exists(),
+            "parent SIGUSR1 stack dump",
+        )
+        wait_for(
+            lambda: any(flight.glob("stacks-w*.txt")),
+            "worker SIGUSR1 stack dump",
+        )
+        check(proc.poll() is None, "run must survive the SIGUSR1 interrogation")
+    finally:
+        out, _ = proc.communicate(timeout=60)
+    check(proc.returncode == 0, f"live run failed (rc={proc.returncode}):\n{out}")
+    main_dump = (flight / "stacks-main.txt").read_text()
+    check("SIGUSR1" in main_dump, "parent dump must be SIGUSR1-tagged")
+    worker_dump = next(iter(sorted(flight.glob("stacks-w*.txt")))).read_text()
+    check("=== stack dump" in worker_dump, "worker dump must be a stack dump")
+    print("phase 1 (SIGUSR1 live stack dumps): OK")
+
+
+def phase_crash_postmortem(tmp: Path) -> None:
+    bundle = tmp / "crashed"
+    env = {**ENV, "REPRO_SHM_CRASH_WORKER": "1", "REPRO_SHM_CRASH_AFTER": "3"}
+    proc = subprocess.run(
+        run_cmd(bundle),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        timeout=120,
+    )
+    check(proc.returncode != 0, "injected worker crash must fail the run")
+
+    meta = json.loads((bundle / "meta.json").read_text())
+    check(meta["interrupted_by"]["role"] == "w1", "meta must blame worker 1")
+
+    render = subprocess.run(
+        [PY, "-m", "repro", "obs", "postmortem", str(bundle)],
+        env=ENV,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        timeout=60,
+    )
+    check(
+        render.returncode == 0,
+        f"repro obs postmortem must exit 0 (rc={render.returncode}):\n{render.stdout}",
+    )
+    report = render.stdout
+    for needle in (
+        "raised by   : role=w1",
+        "== crashed w1",
+        "injected crash in shm worker 1",
+        "final resources: rss",
+        "== flight ring w1",
+        "== resources:",
+    ):
+        check(needle in report, f"postmortem report missing {needle!r}:\n{report}")
+    print("phase 2 (injected crash -> postmortem report): OK")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        phase_live_dump(Path(tmp))
+        phase_crash_postmortem(Path(tmp))
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,22 @@ def register(sub) -> None:
     q.add_argument("bundle", help="telemetry bundle directory")
 
     q = obs_sub.add_parser(
+        "postmortem",
+        help=(
+            "render a crashed run's black box: flight-ring events, "
+            "failing worker stacks, final resource samples"
+        ),
+    )
+    q.add_argument("bundle", help="telemetry bundle directory (may be partial)")
+    q.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="flight events shown per ring (default 12)",
+    )
+
+    q = obs_sub.add_parser(
         "ingest", help="append a finished bundle's summary to a run history"
     )
     q.add_argument("bundle", help="telemetry bundle directory")
@@ -103,6 +119,23 @@ def register(sub) -> None:
             "attribution counters): fail below this fraction"
         ),
     )
+    q.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help=(
+            "hard gate: fail if any single process's peak RSS exceeded "
+            "this many MiB (needs a run with resource sampling)"
+        ),
+    )
+    q.add_argument(
+        "--max-fds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hard gate: fail if the peak open-descriptor count exceeded N",
+    )
 
 
 def _cmd_obs(args) -> int:
@@ -123,6 +156,14 @@ def _cmd_obs(args) -> int:
         meta, metrics, rows = load_bundle(args.bundle)
         print(render_terminal(meta, metrics, rows, grid_rows=load_grid_rows(args.bundle)))
         return 0
+
+    if args.obs_command == "postmortem":
+        from repro.obs.postmortem import DEFAULT_EVENTS, postmortem
+
+        return postmortem(
+            args.bundle,
+            last_events=args.events if args.events is not None else DEFAULT_EVENTS,
+        )
 
     from repro.obs import history as hist
 
@@ -166,6 +207,9 @@ def _cmd_obs(args) -> int:
             current, min_ls_success_rate=args.min_ls_success_rate
         )
         problems += dyn_problems
+        problems += hist.check_resources(
+            current, max_rss_mb=args.max_rss_mb, max_fds=args.max_fds
+        )
         for warning in warnings:
             print(f"WARNING: {warning}", file=sys.stderr)
         print(

@@ -100,6 +100,36 @@ def register(sub) -> None:
                 "into meta.json"
             ),
         )
+        p.add_argument(
+            "--obs-flight",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help=(
+                "crash-surviving flight recorder: mmap'd per-process event "
+                "rings + post-mortem hooks (SIGUSR1 stack dumps, worker "
+                "crash records) under <bundle>/flight/ (default: on)"
+            ),
+        )
+        p.add_argument(
+            "--obs-resources",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help=(
+                "sample per-process resources (/proc/self RSS, CPU, fds, GC, "
+                "/dev/shm) into resources.jsonl + proc.* gauges (default: on)"
+            ),
+        )
+        p.add_argument(
+            "--obs-stack-sample",
+            type=float,
+            default=None,
+            metavar="HZ",
+            help=(
+                "statistical sampling profiler: sample every thread's stack "
+                "HZ times/second in every process (forked workers included) "
+                "and write merged collapsed stacks to samples.collapsed"
+            ),
+        )
 
 
 def _reject_stray_flags(args) -> int | None:
@@ -113,6 +143,9 @@ def _reject_stray_flags(args) -> int | None:
                 ("--obs-live", args.obs_live),
                 ("--obs-stall-deadline", args.obs_stall_deadline),
                 ("--obs-profile", args.obs_profile or None),
+                ("--obs-flight/--no-obs-flight", args.obs_flight),
+                ("--obs-resources/--no-obs-resources", args.obs_resources),
+                ("--obs-stack-sample", args.obs_stack_sample),
             )
             if value is not None
         ]
@@ -145,6 +178,11 @@ def _build_observer(args, inst, engine_name):
         live=args.obs_live is not None,
         live_port=args.obs_live,
         stall_deadline_s=args.obs_stall_deadline,
+        flight=True if args.obs_flight is None else args.obs_flight,
+        resources=True if args.obs_resources is None else args.obs_resources,
+        stack_sample_s=(
+            1.0 / args.obs_stack_sample if args.obs_stack_sample else None
+        ),
     )
     obs.meta.update({"instance": inst.name, "engine": engine_name, "seed": args.seed})
     if args.obs_live is not None:
@@ -239,13 +277,19 @@ def _cmd_solve(args) -> int:
             )
         return engine.run(stop)
 
-    if args.obs_profile:
-        from repro.obs import PhaseProfiler
+    # the observer context finalizes a *partial* bundle (with the error
+    # and failing-worker identity stamped into meta.json) when the run
+    # raises — that bundle is what `repro obs postmortem` renders
+    from contextlib import nullcontext
 
-        with PhaseProfiler(obs):
+    with obs if obs is not None else nullcontext():
+        if args.obs_profile:
+            from repro.obs import PhaseProfiler
+
+            with PhaseProfiler(obs):
+                result = execute()
+        else:
             result = execute()
-    else:
-        result = execute()
     print_result(args, inst, spec.name, config, result, obs=obs)
     if args.checkpoint is not None:
         print(f"checkpoint    : {args.checkpoint}")

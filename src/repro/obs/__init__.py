@@ -5,9 +5,14 @@ trace-event timelines (:mod:`repro.obs.trace`), JSONL convergence time
 series (:mod:`repro.obs.timeseries`), report rendering
 (:mod:`repro.obs.report`), live export — atomic ``live.json`` +
 OpenMetrics endpoint (:mod:`repro.obs.live`) — the worker-heartbeat
-watchdog (:mod:`repro.obs.watchdog`) and the cross-run history /
-regression gates (:mod:`repro.obs.history`), all behind the
-:class:`Observer` facade::
+watchdog (:mod:`repro.obs.watchdog`), the cross-run history /
+regression gates (:mod:`repro.obs.history`), and the process
+observability layer — crash-surviving flight recorder
+(:mod:`repro.obs.flight`), ``/proc/self`` resource telemetry
+(:mod:`repro.obs.resources`), cross-process statistical stack sampler
+(:mod:`repro.obs.sample`) and the ``repro obs postmortem`` renderer
+(:mod:`repro.obs.postmortem`) — all behind the :class:`Observer`
+facade::
 
     from repro import load_benchmark, CGAConfig, StopCondition, ThreadedPACGA
     from repro.obs import Observer
@@ -33,18 +38,29 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import ThreadTracer, Tracer
 from repro.obs.timeseries import TimeSeriesSampler
-from repro.obs.observer import ObsConfig, Observer, resolve_observer
+from repro.obs.observer import ObsConfig, Observer, WorkerObs, resolve_observer
 from repro.obs.instrument import instrumented_ops
 from repro.obs.report import load_bundle, render_markdown, render_terminal
 from repro.obs.live import LivePublisher, render_openmetrics
 from repro.obs.watchdog import HeartbeatBoard, StallEvent, Watchdog
 from repro.obs.history import (
     append_history,
+    check_resources,
     check_row,
     load_baseline,
     load_history,
     summarize_bundle,
 )
+from repro.obs.flight import (
+    FlightRecorder,
+    dump_stacks,
+    install_crash_hooks,
+    load_flight_dir,
+    worker_crash_scope,
+)
+from repro.obs.resources import ResourceSampler, load_resource_rows, resource_peaks
+from repro.obs.sample import StackSampler, hot_functions, merge_collapsed
+from repro.obs.postmortem import render_postmortem
 from repro.obs.dynamics import (
     GridDynamics,
     attribution_summary,
@@ -64,6 +80,7 @@ __all__ = [
     "TimeSeriesSampler",
     "ObsConfig",
     "Observer",
+    "WorkerObs",
     "resolve_observer",
     "instrumented_ops",
     "load_bundle",
@@ -75,10 +92,23 @@ __all__ = [
     "StallEvent",
     "Watchdog",
     "append_history",
+    "check_resources",
     "check_row",
     "load_baseline",
     "load_history",
     "summarize_bundle",
+    "FlightRecorder",
+    "dump_stacks",
+    "install_crash_hooks",
+    "load_flight_dir",
+    "worker_crash_scope",
+    "ResourceSampler",
+    "load_resource_rows",
+    "resource_peaks",
+    "StackSampler",
+    "hot_functions",
+    "merge_collapsed",
+    "render_postmortem",
     "GridDynamics",
     "attribution_summary",
     "load_grid_rows",

@@ -221,7 +221,12 @@ class GridDynamics:
 
     def snapshot(self, fitness: np.ndarray, generation: int, t_s: float) -> dict:
         """Diff ``fitness`` against the last snapshot and emit one row."""
-        fitness = np.asarray(fitness, dtype=float)
+        # always copy: shm engines hand over a live view of the shared
+        # fitness arena, and every statistic below must see one
+        # consistent read (np.histogram re-reads its input after range
+        # checking — a concurrent worker write in between turns into
+        # negative bin indices and a crash)
+        fitness = np.array(fitness, dtype=float)
         if fitness.size != self.shape[0] * self.shape[1]:
             raise ValueError(
                 f"fitness has {fitness.size} cells, grid is {self.shape[0]}x{self.shape[1]}"

@@ -38,6 +38,7 @@ __all__ = [
     "load_baseline",
     "check_row",
     "check_dynamics",
+    "check_resources",
     "check_parallel_speedup",
 ]
 
@@ -63,6 +64,8 @@ ROW_FIELDS = (
     "ls_success_rate",
     "final_entropy",
     "interrupted",
+    "peak_rss_mb",
+    "peak_fds",
 )
 
 
@@ -108,7 +111,28 @@ def summarize_bundle(bundle_dir) -> dict:
         "final_entropy": _final_entropy(root),
         "interrupted": bool(meta.get("interrupted")),
     }
+    row.update(_resource_summary(root, meta))
     return row
+
+
+def _resource_summary(root: Path, meta: dict) -> dict:
+    """``peak_rss_mb`` / ``peak_fds`` from the bundle's resource rows.
+
+    Prefers the peaks the observer stamped into ``meta.json`` at
+    finalize; recomputes from the streamed rows for crash-partial
+    bundles.  Runs without resource sampling store None — the
+    ``--max-rss-mb`` / ``--max-fds`` gates then fail explicitly instead
+    of passing on missing data.
+    """
+    peaks = meta.get("resources")
+    if not isinstance(peaks, dict) or not peaks:
+        from repro.obs.resources import resource_peaks
+
+        peaks = resource_peaks(root)
+    return {
+        "peak_rss_mb": peaks.get("peak_rss_mb"),
+        "peak_fds": peaks.get("peak_fds"),
+    }
 
 
 def _final_entropy(root: Path) -> float | None:
@@ -371,6 +395,44 @@ def check_dynamics(
             "pressure if this happened early)"
         )
     return problems, warnings
+
+
+def check_resources(
+    row: dict,
+    max_rss_mb: float | None = None,
+    max_fds: int | None = None,
+) -> list[str]:
+    """Resource gate on one summary row; returns violations (empty = pass).
+
+    * ``max_rss_mb``: the run's single-process peak RSS
+      (``peak_rss_mb`` — the number the OOM killer acts on) must not
+      exceed this many MiB;
+    * ``max_fds``: peak open-descriptor count must not exceed this.
+
+    Following the same explicit-failure rule as :func:`check_dynamics`,
+    a row without the peak (run without ``--obs-resources``, or a
+    pre-resources bundle) fails the corresponding gate rather than
+    passing silently.
+    """
+    problems: list[str] = []
+    checks = (
+        ("peak_rss_mb", max_rss_mb, "--max-rss-mb", "peak RSS", "MB"),
+        ("peak_fds", max_fds, "--max-fds", "peak fd count", ""),
+    )
+    for field, ceiling, flag, label, unit in checks:
+        if ceiling is None:
+            continue
+        value = row.get(field)
+        if value is None:
+            problems.append(
+                f"run has no {field} (resource sampling off?) to gate {flag} on"
+            )
+        elif value > ceiling:
+            problems.append(
+                f"resource regression: {label} {value:g}{unit} > "
+                f"ceiling {ceiling:g}{unit}"
+            )
+    return problems
 
 
 def check_parallel_speedup(payload: dict, floor: float) -> list[str]:

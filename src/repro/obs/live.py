@@ -218,6 +218,10 @@ class LivePublisher:
         griddyn = getattr(obs, "griddyn", None)
         if griddyn is not None and griddyn.latest is not None:
             snap["grid"] = griddyn.latest
+        resources = getattr(obs, "resources", None)
+        if resources is not None and resources.latest is not None:
+            snap["resources"] = dict(resources.latest)
+            snap["resources"].update(resources.peaks)
         return snap
 
     def publish(self) -> dict:
@@ -345,6 +349,20 @@ def render_watch(snap: dict) -> str:
     ):
         if key in counters:
             lines.append(f"{label:<12}: {int(counters[key]):,}")
+    res = snap.get("resources")
+    if res:
+        parts = []
+        for key, label, unit in (
+            ("rss_mb", "rss", "MB"),
+            ("cpu_s", "cpu", "s"),
+            ("fds", "fds", ""),
+            ("shm_mb", "shm", "MB"),
+        ):
+            if key in res:
+                parts.append(f"{label} {res[key]:g}{unit}")
+        if "peak_rss_mb" in res:
+            parts.append(f"peak rss {res['peak_rss_mb']:g}MB")
+        lines.append(f"resources   : {'  '.join(parts)}")
     return "\n".join(lines)
 
 

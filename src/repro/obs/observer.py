@@ -33,12 +33,22 @@ Crash safety: the observer is a context manager — on an exception or
 ``KeyboardInterrupt`` inside the ``with`` block the partial bundle is
 finalized with the error stamped into ``meta.json``, and the
 time-series rows were already streamed to disk as they fired.
+
+Process observability (PR 7): ``flight=True`` adds the crash-surviving
+flight recorder (:mod:`repro.obs.flight` — mmap'd event rings, crash
+hooks, SIGUSR1 stack dumps), ``resources=True`` the per-process
+``/proc/self`` sampler (:mod:`repro.obs.resources`), and
+``stack_sample_s`` the statistical profiler
+(:mod:`repro.obs.sample`).  Forked engine workers get all three via
+:meth:`Observer.process_scope`, and :func:`render bundles with
+repro obs postmortem <repro.obs.postmortem.render_postmortem>`.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -48,7 +58,7 @@ from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_US, MetricsRegistry
 from repro.obs.timeseries import TimeSeriesSampler
 from repro.obs.trace import Tracer
 
-__all__ = ["ObsConfig", "Observer", "resolve_observer"]
+__all__ = ["ObsConfig", "Observer", "WorkerObs", "resolve_observer"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +79,10 @@ class ObsConfig:
     live_every_s: float = 0.5
     stall_deadline_s: float | None = None
     grid: bool = True
+    flight: bool = False
+    resources: bool = False
+    resource_every_s: float = 0.5
+    stack_sample_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.sample_every_evals is None and self.sample_every_s is None:
@@ -99,6 +113,19 @@ class Observer:
         Enable the worker watchdog: a worker whose heartbeat has not
         advanced for this many seconds is reported as stalled (None
         disables the watchdog entirely).
+    flight:
+        Enable the crash-surviving flight recorder: an mmap'd event
+        ring + post-mortem hooks (faulthandler, excepthook, SIGUSR1)
+        per observed process under ``out/flight/``.  Needs ``out``.
+    resources:
+        Sample ``/proc/self`` (RSS, CPU, fds, GC, ``/dev/shm``) on a
+        daemon thread; rows stream to ``resources.jsonl`` when ``out``
+        is set and feed ``proc.*`` gauges either way.
+    resource_every_s:
+        Resource sampling cadence.
+    stack_sample_s:
+        Interval of the statistical stack sampler (None disables it);
+        merged collapsed stacks land in ``samples.collapsed``.
     """
 
     def __init__(
@@ -113,6 +140,10 @@ class Observer:
         live_every_s: float = 0.5,
         stall_deadline_s: float | None = None,
         grid: bool = True,
+        flight: bool = False,
+        resources: bool = False,
+        resource_every_s: float = 0.5,
+        stack_sample_s: float | None = None,
     ):
         self.out = Path(out) if out is not None else None
         self.registry = MetricsRegistry(histogram_bounds)
@@ -137,11 +168,52 @@ class Observer:
         self.griddyn = None
         self.meta: dict = {}
         self.epoch = time.perf_counter()
+        #: shared wall-clock zero for every flight ring of this run, so
+        #: events from forked workers line up on one time axis
+        self.epoch_unix = time.time()
+        # -- process observability (flight / resources / stack sampler) --
+        self.flight_enabled = bool(flight) and self.out is not None
+        self.resource_every_s = float(resource_every_s)
+        self.stack_sample_s = stack_sample_s
+        self.resources = None
+        if resources:
+            from repro.obs.resources import ResourceSampler
+
+            self.resources = ResourceSampler(
+                self.out / "resources.jsonl" if self.out is not None else None,
+                role="main",
+                every_s=self.resource_every_s,
+                recorder=self.recorder("resources"),
+            ).start()
+        self.stacks = None
+        if stack_sample_s is not None:
+            from repro.obs.sample import StackSampler
+
+            self.stacks = StackSampler(
+                interval_s=stack_sample_s, out_path=None, role="main"
+            ).start()
+        self.flight = None
+        self.crash_hooks = None
+        if self.flight_enabled:
+            from repro.obs.flight import (
+                FlightRecorder,
+                flight_paths,
+                install_crash_hooks,
+            )
+
+            self.flight = FlightRecorder(
+                flight_paths(self.out, "main")["ring"], epoch_unix=self.epoch_unix
+            )
+            self.crash_hooks = install_crash_hooks(
+                self.out, "main", ring=self.flight, resources=self.resources
+            )
+            self.flight.record("budget.start")
         #: finalize the bundle automatically when the run ends (set by
         #: :meth:`from_config` so config-driven telemetry needs no manual
         #: finalize call)
         self.auto_finalize = False
         self._finalized: dict[str, Path] | None = None
+        self._proc_obs_stopped = False
 
     @classmethod
     def from_config(cls, config: ObsConfig) -> "Observer":
@@ -157,6 +229,10 @@ class Observer:
             live_every_s=config.live_every_s,
             stall_deadline_s=config.stall_deadline_s,
             grid=config.grid,
+            flight=config.flight,
+            resources=config.resources,
+            resource_every_s=config.resource_every_s,
+            stack_sample_s=config.stack_sample_s,
         )
         obs.auto_finalize = True
         return obs
@@ -186,6 +262,61 @@ class Observer:
         """Tick the time-series sampler (wall clock unless ``t_s`` given)."""
         t = self.elapsed() if t_s is None else t_s
         return self.sampler.tick(evaluations, t, provider, force=force)
+
+    # -- process observability -------------------------------------------
+    def flight_event(self, kind: str, msg: str = "", value: float = 0.0) -> None:
+        """Record one event into the main flight ring (no-op when off)."""
+        if self.flight is not None:
+            self.flight.record(kind, msg, value)
+
+    def flight_ring(self, role: str):
+        """A fresh per-role ring in this bundle's flight dir (or None).
+
+        Called *inside* a forked worker (post-fork), so the ring's
+        writer is that worker's own process; all rings share
+        :attr:`epoch_unix` so their events line up on one time axis.
+        """
+        if not self.flight_enabled:
+            return None
+        from repro.obs.flight import FlightRecorder, flight_paths
+
+        return FlightRecorder(
+            flight_paths(self.out, role)["ring"], epoch_unix=self.epoch_unix
+        )
+
+    def process_scope(self, role: str) -> "WorkerObs":
+        """The per-forked-worker observability runtime (context manager).
+
+        Entered inside the child after ``fork``: creates the worker's
+        own flight ring, crash hooks (post-mortem record + SIGUSR1
+        stack dumps), resource sampler and stack sampler, according to
+        what this observer has enabled.  With everything off it is an
+        inert no-op scope, so engines can wrap their worker bodies
+        unconditionally.
+        """
+        return WorkerObs(self, role)
+
+    def _stop_process_obs(self) -> None:
+        """Stop samplers / close the main ring exactly once."""
+        if self._proc_obs_stopped:
+            return
+        self._proc_obs_stopped = True
+        if self.stacks is not None:
+            try:
+                self.stacks.stop()
+            except Exception:  # pragma: no cover
+                pass
+        if self.resources is not None:
+            try:
+                self.resources.stop()
+            except Exception:  # pragma: no cover
+                pass
+        if self.flight is not None:
+            self.flight.record("budget.done")
+            self.flight.close()
+        if self.crash_hooks is not None:
+            self.crash_hooks.uninstall()
+            self.crash_hooks = None
 
     # -- live runtime (publisher + watchdog) -----------------------------
     @property
@@ -220,12 +351,26 @@ class Observer:
         if self.stall_deadline_s is not None and board is not None and self.watchdog is None:
             from repro.obs.watchdog import Watchdog
 
+            stack_capture = None
+            if self.flight_enabled:
+                from repro.obs.flight import append_stack_dump, flight_paths
+
+                stacks_path = flight_paths(self.out, "main")["stacks"]
+
+                def stack_capture(event):
+                    append_stack_dump(
+                        stacks_path,
+                        note=f"stall w{event.worker} {event.stalled_s:.1f}s",
+                    )
+
             self.watchdog = Watchdog(
                 board,
                 self.stall_deadline_s,
                 on_stall=on_stall,
                 recorder=self.recorder("watchdog"),
                 tracer_for=lambda w: self.thread_tracer(w),
+                stack_capture=stack_capture,
+                flight=self.flight,
             ).start()
 
     def stop_runtime(self) -> None:
@@ -356,6 +501,19 @@ class Observer:
                 "type": exc_type.__name__,
                 "message": str(exc),
             }
+            # who raised: engines stamp the failing *worker*'s identity
+            # before raising (shm/processes), so only default to this
+            # process when nothing more specific is known
+            self.meta.setdefault(
+                "interrupted_by",
+                {
+                    "role": "main",
+                    "pid": os.getpid(),
+                    "tid": threading.get_ident(),
+                    "thread": threading.current_thread().name,
+                },
+            )
+            self.flight_event("crash", f"{exc_type.__name__}: {exc}"[:36])
         self.finalize()
         return False
 
@@ -371,6 +529,7 @@ class Observer:
         self.stop_runtime()
         if self.griddyn is not None:
             self.griddyn.close()
+        self._stop_process_obs()
         if self.out is None:
             self.sampler.close()
             return {}
@@ -378,6 +537,36 @@ class Observer:
             return self._finalized
         self.out.mkdir(parents=True, exist_ok=True)
         paths: dict[str, Path] = {}
+
+        if self.resources is not None:
+            from repro.obs.resources import resource_peaks
+
+            paths["resources"] = self.out / "resources.jsonl"  # streamed
+            peaks = resource_peaks(self.out)
+            if peaks:
+                self.meta.setdefault("resources", peaks)
+
+        # merged collapsed stacks: this process's sampler plus whatever
+        # the forked workers left under flight/samples-*.collapsed
+        sample_parts: list[str] = []
+        if self.stacks is not None:
+            sample_parts.append(self.stacks.collapsed())
+        flight_dir = self.out / "flight"
+        if flight_dir.is_dir():
+            sample_parts.extend(
+                p.read_text(encoding="utf-8")
+                for p in sorted(flight_dir.glob("samples-*.collapsed"))
+            )
+        if sample_parts:
+            from repro.obs.sample import merge_collapsed, parse_collapsed
+
+            merged = merge_collapsed(sample_parts)
+            if merged.strip():
+                paths["samples"] = self.out / "samples.collapsed"
+                paths["samples"].write_text(merged, encoding="utf-8")
+                self.meta.setdefault(
+                    "n_stack_samples", sum(parse_collapsed(merged).values())
+                )
 
         paths["metrics"] = self.out / "metrics.json"
         with open(paths["metrics"], "w", encoding="utf-8") as fh:
@@ -433,6 +622,87 @@ class Observer:
             self.sampler.rows,
             grid_rows=self.griddyn.rows if self.griddyn is not None else None,
         )
+
+
+class WorkerObs:
+    """One forked worker's process-observability runtime.
+
+    Returned by :meth:`Observer.process_scope` and entered *inside* the
+    child: the flight ring, crash hooks, resource sampler and stack
+    sampler are all per-process objects, so they must be constructed
+    post-fork to observe the worker rather than the parent.  With
+    nothing enabled on the observer the scope is inert — engines wrap
+    their worker bodies unconditionally.
+    """
+
+    __slots__ = ("obs", "role", "ring", "resources", "stacks", "_scope")
+
+    def __init__(self, obs: Observer, role: str):
+        self.obs = obs
+        self.role = role
+        self.ring = None
+        self.resources = None
+        self.stacks = None
+        self._scope = None
+
+    def __enter__(self) -> "WorkerObs":
+        obs = self.obs
+        if obs.out is None:
+            return self
+        from repro.obs.flight import flight_paths
+
+        paths = flight_paths(obs.out, self.role)
+        if obs.flight_enabled:
+            self.ring = obs.flight_ring(self.role)
+        if obs.resources is not None:
+            from repro.obs.resources import ResourceSampler
+
+            self.resources = ResourceSampler(
+                paths["resources"],
+                role=self.role,
+                every_s=obs.resource_every_s,
+            ).start()
+        if obs.stack_sample_s is not None:
+            from repro.obs.sample import StackSampler
+
+            self.stacks = StackSampler(
+                interval_s=obs.stack_sample_s,
+                out_path=paths["samples"],
+                role=self.role,
+            ).start()
+        if obs.flight_enabled:
+            from repro.obs.flight import worker_crash_scope
+
+            self._scope = worker_crash_scope(
+                obs.out, self.role, ring=self.ring, resources=self.resources
+            )
+            self._scope.__enter__()
+        return self
+
+    def record(self, kind: str, msg: str = "", value: float = 0.0) -> None:
+        """One flight event into this worker's ring (no-op when off)."""
+        if self.ring is not None:
+            self.ring.record(kind, msg, value)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        try:
+            # the crash scope first: on an exception it writes the
+            # post-mortem record (with a final resource sample) while
+            # the samplers are still alive
+            if self._scope is not None:
+                self._scope.__exit__(exc_type, exc, tb)
+        finally:
+            if self.stacks is not None:
+                try:
+                    self.stacks.stop()
+                except Exception:  # pragma: no cover
+                    pass
+            if self.resources is not None:
+                try:
+                    self.resources.stop()
+                except Exception:  # pragma: no cover
+                    pass
+        return False
 
 
 def resolve_observer(config, obs) -> "Observer | None":

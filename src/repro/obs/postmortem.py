@@ -1,0 +1,214 @@
+"""``repro obs postmortem``: render a crashed run's black box.
+
+Folds every crash-surviving artifact of a bundle — the mmap'd flight
+rings, the per-worker post-mortem records and stack dumps, the
+streamed resource rows, ``meta.json``'s ``interrupted`` /
+``interrupted_by`` stamps — into one terminal report answering the
+three questions a dead parallel run raises: *who* failed (worker,
+pid, exception), *what was it doing* (its stack and last flight
+events), and *what state was it in* (final RSS / fds / GC sample).
+
+Works on partial bundles by design: ``meta.json`` is optional (a
+SIGKILLed parent never finalizes), the rings are readable after any
+kind of death, and missing sections render as explicit absences
+rather than errors — exit code 0 means "a report was rendered", which
+is what the CI smoke job asserts after injecting a worker crash.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.flight import load_flight_dir
+from repro.obs.resources import load_resource_rows, resource_peaks
+
+__all__ = ["load_postmortems", "load_stack_dumps", "render_postmortem", "postmortem"]
+
+#: flight events shown per ring by default
+DEFAULT_EVENTS = 12
+
+
+def load_postmortems(bundle) -> list[dict]:
+    """Every ``flight/postmortem-*.json`` record of a bundle."""
+    root = Path(bundle) / "flight"
+    records = []
+    if root.is_dir():
+        for path in sorted(root.glob("postmortem-*.json")):
+            try:
+                records.append(json.loads(path.read_text(encoding="utf-8")))
+            except (json.JSONDecodeError, OSError):
+                continue
+    return records
+
+
+def load_stack_dumps(bundle) -> dict[str, str]:
+    """``role -> text`` of the SIGUSR1 / stall-escalation stack dumps."""
+    root = Path(bundle) / "flight"
+    out = {}
+    if root.is_dir():
+        for path in sorted(root.glob("stacks-*.txt")):
+            role = path.stem.removeprefix("stacks-")
+            try:
+                out[role] = path.read_text(encoding="utf-8")
+            except OSError:  # pragma: no cover
+                continue
+    return out
+
+
+def _last_traceback(record: dict, limit: int = 30) -> list[str]:
+    exc = record.get("exception") or {}
+    tb = exc.get("traceback") or []
+    lines = "".join(tb).rstrip("\n").splitlines()
+    return lines[-limit:]
+
+
+def _fmt_resources(row: dict) -> str:
+    parts = []
+    for key, label in (
+        ("rss_mb", "rss"),
+        ("cpu_s", "cpu"),
+        ("fds", "fds"),
+        ("shm_mb", "shm"),
+        ("gc_pause_s", "gc-pause"),
+    ):
+        if row.get(key) is not None:
+            unit = "MB" if key.endswith("_mb") else ("s" if key.endswith("_s") else "")
+            parts.append(f"{label} {row[key]:g}{unit}")
+    return "  ".join(parts) if parts else "(no fields)"
+
+
+def render_postmortem(bundle, last_events: int = DEFAULT_EVENTS) -> str:
+    """The full post-mortem report for one bundle (pure; testable)."""
+    root = Path(bundle)
+    lines: list[str] = [f"postmortem: {root}"]
+
+    meta: dict = {}
+    meta_path = root / "meta.json"
+    if meta_path.exists():
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            lines.append("meta.json   : unreadable (truncated write?)")
+    else:
+        lines.append("meta.json   : absent (run never finalized)")
+    head = "  ".join(
+        f"{k}={meta[k]}" for k in ("engine", "instance", "n_threads", "seed") if k in meta
+    )
+    if head:
+        lines.append(f"run         : {head}")
+    interrupted = meta.get("interrupted")
+    if interrupted:
+        lines.append(
+            f"interrupted : {interrupted.get('type')}: {interrupted.get('message')}"
+        )
+    by = meta.get("interrupted_by")
+    if by:
+        who = "  ".join(f"{k}={v}" for k, v in by.items() if v is not None)
+        lines.append(f"raised by   : {who}")
+    result = meta.get("result")
+    if result:
+        lines.append(
+            f"result      : best {result.get('best_fitness'):,.2f}  "
+            f"evals {result.get('evaluations'):,}  "
+            f"gens {result.get('generations')}"
+        )
+
+    # -- who crashed -----------------------------------------------------
+    postmortems = load_postmortems(root)
+    if postmortems:
+        for rec in postmortems:
+            lines.append("")
+            exc = rec.get("exception") or {}
+            lines.append(
+                f"== crashed {rec.get('role')} (pid {rec.get('pid')}, "
+                f"thread {rec.get('thread')}): "
+                f"{exc.get('type', '?')}: {exc.get('message', '')}"
+            )
+            for tb_line in _last_traceback(rec):
+                lines.append(f"  {tb_line}")
+            res = rec.get("resources")
+            if res:
+                lines.append(f"  final resources: {_fmt_resources(res)}")
+    else:
+        lines.append("")
+        lines.append("no worker post-mortem records (no in-worker exception caught)")
+
+    # -- stack dumps (SIGUSR1 / stall escalation) ------------------------
+    dumps = load_stack_dumps(root)
+    for role, text in dumps.items():
+        blocks = [b for b in text.split("=== stack dump") if b.strip()]
+        lines.append("")
+        lines.append(f"== stack dumps for {role}: {len(blocks)} capture(s)")
+        if blocks:
+            last = "=== stack dump" + blocks[-1]
+            body = last.rstrip("\n").splitlines()
+            shown = body[:40]
+            lines.extend(f"  {ln}" for ln in shown)
+            if len(body) > len(shown):
+                lines.append(f"  ... ({len(body) - len(shown)} more lines)")
+
+    # -- flight rings ----------------------------------------------------
+    rings = load_flight_dir(root)
+    if rings:
+        for role, events in rings.items():
+            lines.append("")
+            lines.append(
+                f"== flight ring {role}: {len(events)} retained event(s), "
+                f"last {min(last_events, len(events))} shown"
+            )
+            for ev in events[-last_events:]:
+                msg = f"  {ev['msg']}" if ev["msg"] else ""
+                val = f"  value={ev['value']:g}" if ev["value"] else ""
+                lines.append(f"  [{ev['t_s']:9.3f}s] #{ev['seq']:<6} {ev['kind']:<12}{msg}{val}")
+    else:
+        lines.append("")
+        lines.append("no flight rings (run without --obs-flight?)")
+
+    # -- resources -------------------------------------------------------
+    rows = load_resource_rows(root)
+    if rows:
+        peaks = resource_peaks(root)
+        lines.append("")
+        lines.append(
+            f"== resources: {len(rows)} sample(s)  "
+            + "  ".join(f"{k} {v:g}" for k, v in sorted(peaks.items()))
+        )
+        by_role: dict[str, dict] = {}
+        for row in rows:
+            by_role[row.get("role", "?")] = row  # later rows win: final sample
+        for role, row in sorted(by_role.items()):
+            lines.append(f"  {role:<6} final: {_fmt_resources(row)}  (t={row.get('t_s')}s)")
+    else:
+        lines.append("")
+        lines.append("no resource rows (run without --obs-resources?)")
+
+    return "\n".join(lines)
+
+
+def postmortem(bundle, last_events: int = DEFAULT_EVENTS, out=None) -> int:
+    """CLI entry point; returns an exit code.
+
+    0 = report rendered (even for partial bundles); 1 = the path is
+    not a bundle at all (nothing to render from).
+    """
+    import sys
+
+    stream = sys.stdout if out is None else out
+    root = Path(bundle)
+    if not root.is_dir():
+        stream.write(f"error: {bundle} is not a bundle directory\n")
+        return 1
+    known = (
+        (root / "meta.json").exists()
+        or (root / "flight").is_dir()
+        or (root / "resources.jsonl").exists()
+    )
+    if not known:
+        stream.write(
+            f"error: {bundle} has no bundle artifacts "
+            "(meta.json / flight/ / resources.jsonl)\n"
+        )
+        return 1
+    stream.write(render_postmortem(root, last_events=last_events) + "\n")
+    return 0

@@ -1,0 +1,331 @@
+"""Per-process resource telemetry: ``/proc/self`` sampler + GC pauses.
+
+A long PA-CGA run can die of things no algorithm metric shows: a
+worker leaking schedules until the OOM killer takes it, a descriptor
+leak from repeated checkpoint opens, ``/dev/shm`` segments piling up
+across retries, or GC pauses eating the paper's asynchrony.  This
+module samples all of it with **stdlib-only** reads, one daemon
+sampler thread per observed process:
+
+* RSS and CPU time from ``/proc/self/status`` / ``/proc/self/stat``
+  (graceful fallback to :mod:`resource` off Linux);
+* open descriptor count from ``/proc/self/fd``;
+* GC generation counts plus *measured* collection pauses via
+  ``gc.callbacks`` (wall time between the ``start``/``stop``
+  callbacks, summed);
+* ``/dev/shm`` bytes held by this repo's named segments
+  (``repro-shm-*`` — the shm engine's arenas), so a leak is visible
+  while it grows instead of at the post-run leak check.
+
+Each sample is one JSONL row (streamed to the bundle as it fires, so
+rows survive a crash), the latest sample and cumulative peaks are kept
+for ``live.json``/OpenMetrics, and the peaks feed the run history's
+``peak_rss_mb``/``peak_fds`` columns and the
+``repro obs check --max-rss-mb/--max-fds`` hard gates.
+
+Row schema (missing fields are omitted, not null)::
+
+    {"t_s": 1.25, "role": "w0", "pid": 4242, "rss_mb": 58.3,
+     "cpu_s": 1.07, "fds": 14, "gc_gen0": 12, "gc_gen1": 3,
+     "gc_gen2": 0, "gc_collections": 9, "gc_pause_s": 0.004,
+     "shm_mb": 1.5}
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+__all__ = [
+    "read_proc_status",
+    "count_open_fds",
+    "shm_segment_bytes",
+    "GCPauseTracker",
+    "ResourceSampler",
+    "load_resource_rows",
+    "resource_peaks",
+]
+
+#: /dev/shm name prefix of this repo's shared-memory arenas
+SHM_PREFIX = "repro-shm-"
+
+#: fields whose running maxima the sampler tracks
+PEAK_FIELDS = ("rss_mb", "fds", "shm_mb")
+
+
+def read_proc_status(proc_root: str = "/proc/self") -> dict:
+    """RSS (MiB) and CPU seconds of this process, stdlib-only.
+
+    Prefers the Linux procfs; falls back to ``resource.getrusage`` so
+    the sampler still produces rows on non-Linux CI.
+    """
+    out: dict = {}
+    try:
+        with open(f"{proc_root}/status", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"VmRSS:"):
+                    out["rss_mb"] = round(int(line.split()[1]) / 1024.0, 3)
+                    break
+        with open(f"{proc_root}/stat", "rb") as fh:
+            # fields 14/15 (1-based) are utime/stime in clock ticks;
+            # split after the parenthesized comm, which may hold spaces
+            stat = fh.read().decode("ascii", "replace")
+        fields = stat.rsplit(")", 1)[1].split()
+        ticks = float(os.sysconf("SC_CLK_TCK"))
+        out["cpu_s"] = round((int(fields[11]) + int(fields[12])) / ticks, 3)
+    except (OSError, IndexError, ValueError):
+        import resource as _resource
+
+        ru = _resource.getrusage(_resource.RUSAGE_SELF)
+        # ru_maxrss is KiB on Linux, bytes on macOS; Linux is our target
+        out["rss_mb"] = round(ru.ru_maxrss / 1024.0, 3)
+        out["cpu_s"] = round(ru.ru_utime + ru.ru_stime, 3)
+    return out
+
+
+def count_open_fds(proc_root: str = "/proc/self") -> int | None:
+    """Open descriptors of this process (None when procfs is absent)."""
+    try:
+        return len(os.listdir(f"{proc_root}/fd"))
+    except OSError:
+        return None
+
+
+def shm_segment_bytes(prefix: str = SHM_PREFIX, root: str = "/dev/shm") -> int | None:
+    """Total bytes of this repo's named ``/dev/shm`` segments."""
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return None
+    total = 0
+    for name in names:
+        if name.startswith(prefix):
+            try:
+                total += os.stat(os.path.join(root, name)).st_size
+            except OSError:  # pragma: no cover - racing unlink
+                continue
+    return total
+
+
+class GCPauseTracker:
+    """Measures garbage-collection pauses via ``gc.callbacks``.
+
+    The interpreter invokes the callbacks synchronously around each
+    collection, so the wall time between ``start`` and ``stop`` *is*
+    the pause every thread of this process just paid.
+    """
+
+    def __init__(self):
+        self.collections = 0
+        self.pause_s = 0.0
+        self._t0: float | None = None
+        self._installed = False
+
+    def _on_gc(self, phase: str, info: dict) -> None:
+        if phase == "start":
+            self._t0 = time.perf_counter()
+        elif phase == "stop" and self._t0 is not None:
+            self.pause_s += time.perf_counter() - self._t0
+            self.collections += 1
+            self._t0 = None
+
+    def install(self) -> "GCPauseTracker":
+        if not self._installed:
+            gc.callbacks.append(self._on_gc)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            try:
+                gc.callbacks.remove(self._on_gc)
+            except ValueError:  # pragma: no cover - already removed
+                pass
+            self._installed = False
+
+
+class ResourceSampler:
+    """One process's resource sampler (pollable, or on a daemon thread).
+
+    Parameters
+    ----------
+    out_path:
+        JSONL file rows are appended (and fsync'd) to; None keeps rows
+        in memory only.
+    role:
+        Row label (``main`` for the coordinating process, ``w<tid>``
+        for forked workers).
+    every_s:
+        Cadence of the background thread (:meth:`start`).
+    recorder:
+        Optional :class:`~repro.obs.metrics.MetricRecorder`; each
+        sample updates ``proc.*`` gauges so the resource state shows
+        up in ``metrics.json``, ``live.json`` and the OpenMetrics
+        endpoint with zero extra plumbing.
+    clock:
+        Elapsed-seconds provider stamped into ``t_s`` (defaults to
+        seconds since the sampler was created).
+    proc_root:
+        Procfs root, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        out_path=None,
+        role: str = "main",
+        every_s: float = 0.5,
+        recorder=None,
+        clock=None,
+        proc_root: str = "/proc/self",
+        track_shm: bool = True,
+    ):
+        if every_s <= 0:
+            raise ValueError(f"every_s must be positive, got {every_s}")
+        self.out_path = Path(out_path) if out_path is not None else None
+        self.role = role
+        self.every_s = float(every_s)
+        self.recorder = recorder
+        epoch = time.perf_counter()
+        self.clock = clock if clock is not None else (lambda: time.perf_counter() - epoch)
+        self.proc_root = proc_root
+        self.track_shm = track_shm
+        self.rows: list[dict] = []
+        self.latest: dict | None = None
+        self.peaks: dict = {}
+        self.gc = GCPauseTracker().install()
+        self._fh = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()  # sample() callable from signal handlers
+
+    # -- one sample ------------------------------------------------------
+    def sample(self) -> dict:
+        """Take one sample now; appends, streams, updates peaks/gauges."""
+        row: dict = {
+            "t_s": round(self.clock(), 3),
+            "role": self.role,
+            "pid": os.getpid(),
+        }
+        row.update(read_proc_status(self.proc_root))
+        fds = count_open_fds(self.proc_root)
+        if fds is not None:
+            row["fds"] = fds
+        g0, g1, g2 = gc.get_count()
+        row.update(
+            {
+                "gc_gen0": g0,
+                "gc_gen1": g1,
+                "gc_gen2": g2,
+                "gc_collections": self.gc.collections,
+                "gc_pause_s": round(self.gc.pause_s, 6),
+            }
+        )
+        if self.track_shm:
+            shm = shm_segment_bytes()
+            if shm is not None:
+                row["shm_mb"] = round(shm / (1024.0 * 1024.0), 3)
+        with self._lock:
+            for key in PEAK_FIELDS:
+                v = row.get(key)
+                if v is not None and v > self.peaks.get(f"peak_{key}", -1.0):
+                    self.peaks[f"peak_{key}"] = v
+            self.latest = row
+            self.rows.append(row)
+            if len(self.rows) > 4096:  # bounded retention, newest wins
+                del self.rows[1:1024]
+            if self.out_path is not None:
+                if self._fh is None:
+                    self.out_path.parent.mkdir(parents=True, exist_ok=True)
+                    self._fh = open(self.out_path, "a", encoding="utf-8")
+                self._fh.write(json.dumps(row) + "\n")
+                self._fh.flush()
+        rec = self.recorder
+        if rec is not None:
+            for key in ("rss_mb", "cpu_s", "fds", "shm_mb", "gc_pause_s"):
+                if key in row:
+                    rec.set_gauge(f"proc.{key}", float(row[key]))
+            rec.set_gauge("proc.peak_rss_mb", self.peaks.get("peak_rss_mb", 0.0))
+            if "peak_fds" in self.peaks:
+                rec.set_gauge("proc.peak_fds", float(self.peaks["peak_fds"]))
+        return row
+
+    # -- background thread ----------------------------------------------
+    def start(self) -> "ResourceSampler":
+        """Sample once, then keep sampling every ``every_s`` seconds."""
+        if self._thread is not None:
+            return self
+        self.sample()
+
+        def loop() -> None:
+            while not self._stop.wait(self.every_s):
+                try:
+                    self.sample()
+                except Exception:  # pragma: no cover - keep the run alive
+                    pass
+
+        self._stop.clear()
+        self._thread = threading.Thread(target=loop, name="obs-resources", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread and take one final sample (idempotent)."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        try:
+            self.sample()
+        except Exception:  # pragma: no cover
+            pass
+        self.gc.uninstall()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# -- offline readers --------------------------------------------------------
+
+def load_resource_rows(bundle) -> list[dict]:
+    """Every resource row of a bundle, across all processes.
+
+    Reads the main process's ``resources.jsonl`` plus the per-worker
+    ``flight/resources-<role>.jsonl`` files; rows carry their ``role``.
+    """
+    root = Path(bundle)
+    rows: list[dict] = []
+    paths = [root / "resources.jsonl"]
+    flight = root / "flight"
+    if flight.is_dir():
+        paths.extend(sorted(flight.glob("resources-*.jsonl")))
+    for path in paths:
+        if not path.exists():
+            continue
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError:  # torn final line after a kill
+                    continue
+    return rows
+
+
+def resource_peaks(bundle) -> dict:
+    """Cross-process peaks of a bundle's resource rows.
+
+    Returns ``{"peak_rss_mb": ..., "peak_fds": ..., "peak_shm_mb": ...}``
+    (keys omitted when no row carried the field) — ``peak_rss_mb`` is
+    the max over *any single process*, which is the number the OOM
+    killer cares about.
+    """
+    peaks: dict = {}
+    for row in load_resource_rows(bundle):
+        for key in PEAK_FIELDS:
+            v = row.get(key)
+            if v is not None and v > peaks.get(f"peak_{key}", -1.0):
+                peaks[f"peak_{key}"] = v
+    return peaks

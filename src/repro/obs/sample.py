@@ -1,0 +1,231 @@
+"""Statistical sampling profiler over ``sys._current_frames()``.
+
+``--obs-profile`` (:mod:`repro.obs.profile`) wraps a run in cProfile —
+exact, but intrusive (every Python call crosses the tracer) and blind
+to forked workers: a cProfile started in the parent never sees a child
+process's frames.  This module is the complementary tool: a
+**low-overhead statistical sampler** that wakes ``hz`` times a second,
+walks every thread's current stack, and counts collapsed stacks.  Cost
+is paid at the sampling rate, not per function call, so it is safe to
+leave on for real runs — and because each process runs its *own*
+sampler, the forked shm/processes workers are first-class: every
+worker writes ``flight/samples-<role>.collapsed`` and the observer
+merges all of them into one flamegraph-ready ``samples.collapsed`` at
+finalize.
+
+Stack frames are labelled ``file.py:firstlineno(func)`` — exactly the
+labels :func:`repro.obs.profile.collapse_pstats` emits for cProfile
+functions, so the two profilers' outputs are directly comparable (the
+test suite asserts the sampler's hot functions agree with cProfile's
+on a single-process run).
+
+Collapsed format (``flamegraph.pl`` / speedscope): one line per
+distinct stack, ``frame;frame;... <count>``, counts = samples.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro.obs.profile import _func_label
+
+__all__ = [
+    "StackSampler",
+    "frame_label",
+    "merge_collapsed",
+    "parse_collapsed",
+    "hot_functions",
+    "load_merged_samples",
+]
+
+#: default sampling interval: 5 ms (200 Hz) keeps overhead well under
+#: a percent for the engines' numpy-dominated sweeps
+DEFAULT_INTERVAL_S = 0.005
+
+#: daemon threads of the obs stack itself — excluded so the profile
+#: shows the engine, not the telemetry
+_OBS_THREAD_NAMES = frozenset(
+    {"obs-sampler", "obs-resources", "obs-live", "obs-live-http", "obs-watchdog"}
+)
+
+
+def frame_label(frame) -> str:
+    """cProfile-compatible label for a live frame."""
+    code = frame.f_code
+    return _func_label((code.co_filename, code.co_firstlineno, code.co_name))
+
+
+def _collapse_frame(frame) -> str:
+    """The collapsed stack (root->leaf) of one thread's live frame."""
+    labels: list[str] = []
+    while frame is not None:
+        labels.append(frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    return ";".join(labels)
+
+
+class StackSampler:
+    """Samples every thread's stack on a daemon thread.
+
+    Parameters
+    ----------
+    interval_s:
+        Seconds between sampling passes.
+    out_path:
+        Collapsed-stack file written on :meth:`stop` (None: in-memory).
+    role:
+        Label used in diagnostics only; the output format is role-free
+        so per-worker files merge by plain addition.
+    include_obs_threads:
+        Sample the telemetry stack's own daemon threads too (off by
+        default — the profile should show the engine).
+    """
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        out_path=None,
+        role: str = "main",
+        include_obs_threads: bool = False,
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.interval_s = float(interval_s)
+        self.out_path = Path(out_path) if out_path is not None else None
+        self.role = role
+        self.include_obs_threads = include_obs_threads
+        self.counts: Counter[str] = Counter()
+        self.n_samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- sampling --------------------------------------------------------
+    def sample_once(self) -> int:
+        """One pass over every thread; returns stacks recorded."""
+        skip = {threading.get_ident()}
+        if self._thread is not None:
+            skip.add(self._thread.ident)
+        excluded_names = set() if self.include_obs_threads else _OBS_THREAD_NAMES
+        if excluded_names:
+            skip.update(
+                t.ident
+                for t in threading.enumerate()
+                if t.name in excluded_names and t.ident is not None
+            )
+        recorded = 0
+        for tid, frame in list(sys._current_frames().items()):
+            if tid in skip:
+                continue
+            stack = _collapse_frame(frame)
+            if stack:
+                self.counts[stack] += 1
+                recorded += 1
+        self.n_samples += 1
+        return recorded
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "StackSampler":
+        if self._thread is not None:
+            return self
+
+        def loop() -> None:
+            while not self._stop.wait(self.interval_s):
+                try:
+                    self.sample_once()
+                except Exception:  # pragma: no cover - keep the run alive
+                    pass
+
+        self._stop.clear()
+        self._thread = threading.Thread(target=loop, name="obs-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> str:
+        """Stop sampling and write/return the collapsed output."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        text = self.collapsed()
+        if self.out_path is not None:
+            self.out_path.parent.mkdir(parents=True, exist_ok=True)
+            self.out_path.write_text(text, encoding="utf-8")
+        return text
+
+    def collapsed(self) -> str:
+        """Current counts in collapsed-stack format (sorted, stable)."""
+        return render_collapsed(self.counts)
+
+
+# -- collapsed-format helpers ----------------------------------------------
+
+def render_collapsed(counts: dict) -> str:
+    """``Counter[stack] -> text`` (one line per stack, sorted)."""
+    lines = [f"{stack} {int(n)}" for stack, n in sorted(counts.items()) if n > 0]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_collapsed(text: str) -> Counter:
+    """Inverse of :func:`render_collapsed`; tolerant of blank lines."""
+    counts: Counter[str] = Counter()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, n = line.rpartition(" ")
+        if not stack:
+            continue
+        try:
+            counts[stack] += int(n)
+        except ValueError:
+            continue
+    return counts
+
+
+def merge_collapsed(texts) -> str:
+    """Sum several collapsed-stack files into one (plain addition —
+    the whole point of the per-worker format)."""
+    total: Counter[str] = Counter()
+    for text in texts:
+        total.update(parse_collapsed(text))
+    return render_collapsed(total)
+
+
+def hot_functions(text: str, top: int = 10) -> list[tuple[str, int]]:
+    """Hottest functions by *cumulative* samples (a function appearing
+    anywhere in a stack is charged the stack's count, once per stack)."""
+    cumulative: Counter[str] = Counter()
+    for stack, n in parse_collapsed(text).items():
+        for label in set(stack.split(";")):
+            cumulative[label] += n
+    return cumulative.most_common(top)
+
+
+def load_merged_samples(bundle) -> str | None:
+    """A bundle's merged collapsed stacks: the finalized
+    ``samples.collapsed`` if present, else a merge of the per-role
+    ``flight/samples-*.collapsed`` files (None when neither exists)."""
+    root = Path(bundle)
+    merged = root / "samples.collapsed"
+    if merged.exists():
+        return merged.read_text(encoding="utf-8")
+    flight = root / "flight"
+    parts = sorted(flight.glob("samples-*.collapsed")) if flight.is_dir() else []
+    if not parts:
+        return None
+    return merge_collapsed(p.read_text(encoding="utf-8") for p in parts)
+
+
+def profile_workload(fn, interval_s: float = 0.001, min_s: float = 0.2) -> str:
+    """Run ``fn`` under a sampler for at least ``min_s`` wall seconds
+    and return the collapsed stacks (test/benchmark helper)."""
+    sampler = StackSampler(interval_s=interval_s).start()
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < min_s:
+        fn()
+    return sampler.stop()

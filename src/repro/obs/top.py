@@ -122,9 +122,14 @@ def render_frame(snap: dict) -> str:
             for w, beat in enumerate(heartbeats)
         ]
         line = "workers  " + "  ".join(states)
+        # currently-stalled = stalls minus recoveries: both counters are
+        # cumulative, so a worker that stalled and then recovered must
+        # not leave the banner stuck on a stale episode
         stalls = counters.get("watchdog.stalls", 0)
-        if stalls:
-            line += f"  [STALLS: {int(stalls)}]"
+        recoveries = counters.get("watchdog.recoveries", 0)
+        active_stalls = max(0, int(stalls) - int(recoveries))
+        if active_stalls:
+            line += f"  [STALLS: {active_stalls}]"
         lines.append(line)
 
     attribution = attribution_summary(counters)

@@ -118,6 +118,17 @@ class Watchdog:
         recovery instants land in the stalled worker's own trace lane.
     clock:
         Injectable monotonic clock (tests pin it to freeze a worker).
+    stack_capture:
+        Optional ``StallEvent -> None`` escalation hook invoked for
+        *stalls only*, before ``on_stall``: the observer wires it to
+        dump every thread's stack into the bundle's flight dir, so the
+        evidence of what a stalled worker was doing is captured before
+        any engine reacts (e.g. the shm engine's stall-kill).
+        Exceptions inside the hook are swallowed — escalation must
+        never take the watchdog down.
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder`; ``stall``
+        and ``recovery`` events are recorded into the ring.
     """
 
     def __init__(
@@ -128,6 +139,8 @@ class Watchdog:
         recorder=None,
         tracer_for: Callable[[int], object | None] | None = None,
         clock: Callable[[], float] = time.monotonic,
+        stack_capture: Callable[[StallEvent], None] | None = None,
+        flight=None,
     ):
         if deadline_s <= 0:
             raise ValueError(f"deadline_s must be positive, got {deadline_s}")
@@ -137,6 +150,8 @@ class Watchdog:
         self.recorder = recorder
         self.tracer_for = tracer_for
         self.clock = clock
+        self.stack_capture = stack_capture
+        self.flight = flight
         now = clock()
         self._last_beat = board.read()
         self._last_advance = [now] * len(board)
@@ -182,6 +197,17 @@ class Watchdog:
                 rec.set_gauge(
                     f"watchdog.stalled_s.worker{event.worker}", event.stalled_s
                 )
+        if self.flight is not None:
+            self.flight.record(
+                "recovery" if event.recovered else "stall",
+                f"w{event.worker}",
+                event.stalled_s,
+            )
+        if not event.recovered and self.stack_capture is not None:
+            try:
+                self.stack_capture(event)
+            except Exception:  # pragma: no cover - escalation is best-effort
+                pass
         if self.tracer_for is not None:
             tt = self.tracer_for(event.worker)
             if tt is not None:

@@ -235,7 +235,7 @@ class ProcessPACGA:
         budget.start()
         t0 = time.perf_counter()
 
-        def worker(tid: int) -> None:
+        def body(tid: int, scope) -> None:
             block = self.orders[tid]
             rng = self._worker_rngs[tid]
             pop, ops, neighbors = self.pop, self.ops, self.neighbors
@@ -285,6 +285,8 @@ class ProcessPACGA:
                     rec.observe("sweep_us", (sweep_end - sweep_start) * 1e6)
                     rec.inc("sweeps")
                     rec.inc("boundary_evals", boundary)
+                    if scope is not None:
+                        scope.record("sweep", f"boundary={boundary}", float(gens))
                     if board is not None:
                         board.beat(tid)
                     if tracer is not None:
@@ -299,16 +301,28 @@ class ProcessPACGA:
             gen_counts[tid] = gens
             if board is not None:
                 board.mark_done(tid)  # budget exhausted != stalled
+            if scope is not None:
+                scope.record("budget.done", value=float(gens))
             if rec is not None:
                 locks.flush()  # publish buffered lock totals before snapshotting
                 telemetry_q.put(
                     (tid, rec.snapshot(), tracer.events if tracer is not None else [])
                 )
 
+        def worker(tid: int) -> None:
+            if obs is not None:
+                # per-process flight ring / crash hooks / samplers; must
+                # be constructed post-fork to observe this worker
+                with obs.process_scope(f"w{tid}") as scope:
+                    body(tid, scope)
+            else:
+                body(tid, None)
+
         try:
             if n == 1:
-                # no point forking a single worker; run inline
-                worker(0)
+                # no point forking a single worker; run inline — the
+                # observer's own "main" hooks already cover this process
+                body(0, None)
             else:
                 procs = [
                     self._ctx.Process(target=worker, args=(tid,), name=f"pacga-w{tid}")
@@ -328,9 +342,23 @@ class ProcessPACGA:
                         time.sleep(0.02)
                 for p in procs:
                     p.join()
-                if any(p.exitcode != 0 for p in procs):
-                    bad = [p.name for p in procs if p.exitcode != 0]
-                    raise RuntimeError(f"PA-CGA workers failed: {bad}")
+                failed = [
+                    (tid, p) for tid, p in enumerate(procs) if p.exitcode != 0
+                ]
+                if failed:
+                    if obs is not None:
+                        tid0, p0 = failed[0]
+                        obs.meta.setdefault(
+                            "interrupted_by",
+                            {
+                                "role": f"w{tid0}",
+                                "pid": p0.pid,
+                                "exitcode": p0.exitcode,
+                            },
+                        )
+                    raise RuntimeError(
+                        f"PA-CGA workers failed: {[p.name for _, p in failed]}"
+                    )
         except BaseException:
             if obs is not None:
                 obs.stop_runtime()

@@ -520,6 +520,7 @@ class ShmBlockPACGA:
                         board.beat(tid)
                 rounds += 1
                 if obs is not None:
+                    obs.flight_event("sweep", "round", float(rounds))
                     total = sum(evals)
                     if self.sampler_due(total):
                         obs.maybe_sample(
@@ -527,6 +528,8 @@ class ShmBlockPACGA:
                         )
                 if self._ckpt is not None and rounds % self._ckpt[0] == 0 and any(active):
                     self._ckpt[1](self)
+                    if obs is not None:
+                        obs.flight_event("checkpoint", value=float(rounds))
         finally:
             detach_runtime(self, board)
         return self._result(budget)
@@ -570,7 +573,12 @@ class ShmBlockPACGA:
         budget.start()
         t0 = time.perf_counter()
 
-        def worker(tid: int) -> None:
+        # fault injection for the post-mortem e2e/CI smoke: worker
+        # REPRO_SHM_CRASH_WORKER raises after REPRO_SHM_CRASH_AFTER sweeps
+        crash_tid = int(os.environ.get("REPRO_SHM_CRASH_WORKER", "-1"))
+        crash_after = int(os.environ.get("REPRO_SHM_CRASH_AFTER", "3"))
+
+        def body(tid: int, scope) -> None:
             rng = self._worker_rngs[tid]
             rec = tracer = None
             if obs is not None:
@@ -583,6 +591,7 @@ class ShmBlockPACGA:
             boundary_size = self._boundary_per_sweep[tid]
             evals = int(eval_counts[tid])
             gens = int(gen_counts[tid])
+            start_gens = gens
             perf = time.perf_counter
             while not budget.worker_exhausted(evals, gens, share):
                 sweep_start = perf()
@@ -592,6 +601,8 @@ class ShmBlockPACGA:
                 beats[tid] += 1
                 eval_counts[tid] = evals
                 gen_counts[tid] = gens
+                if scope is not None:
+                    scope.record("sweep", f"pubs={pubs}", float(gens))
                 if rec is not None:
                     sweep_end = perf()
                     rec.observe("sweep_us", (sweep_end - sweep_start) * 1e6)
@@ -608,30 +619,76 @@ class ShmBlockPACGA:
                             sweep_end - sweep_start,
                             {"generation": gens},
                         )
+                if tid == crash_tid and gens - start_gens >= crash_after:
+                    raise RuntimeError(
+                        f"injected crash in shm worker {tid} "
+                        "(REPRO_SHM_CRASH_WORKER)"
+                    )
             done[tid] = 1  # budget exhausted != stalled
+            if scope is not None:
+                scope.record("budget.done", value=float(gens))
             if rec is not None:
                 telemetry_q.put(
                     (tid, rec.snapshot(), tracer.events if tracer is not None else [])
                 )
 
+        def worker(tid: int) -> None:
+            if obs is not None:
+                # per-process observability (flight ring, crash hooks,
+                # resource/stack samplers) must be built post-fork so it
+                # observes this worker, not the parent
+                with obs.process_scope(f"w{tid}") as scope:
+                    body(tid, scope)
+            else:
+                body(tid, None)
+
         procs = [
             mp.Process(target=worker, args=(tid,), name=f"pacga-shm-w{tid}")
             for tid in range(n)
         ]
+        def drain_telemetry() -> None:
+            # Drain while workers are still alive, not just after join: a
+            # finishing worker blocks in telemetry_q.put() once the end-of-run
+            # payload (metrics snapshot + per-sweep trace events) outgrows the
+            # pipe buffer, so a join-first parent deadlocks on long runs.
+            if obs is None:
+                return
+            while not telemetry_q.empty():
+                tid, snapshot, events = telemetry_q.get()
+                from repro.obs.metrics import MetricRecorder
+
+                obs.registry.adopt(MetricRecorder.from_snapshot(snapshot))
+                if obs.tracer is not None:
+                    obs.tracer.adopt(tid, events, f"pacga-shm-w{tid}")
+
         stalled = None
         try:
             for p in procs:
                 p.start()
             while any(p.is_alive() for p in procs):
+                drain_telemetry()
                 if obs is not None:
                     total = int(sum(eval_counts))
                     if self.sampler_due(total):
-                        obs.maybe_sample(total, lambda: obs.engine_row(self, 0, total))
+                        try:
+                            obs.maybe_sample(
+                                total, lambda: obs.engine_row(self, 0, total)
+                            )
+                        except Exception as exc:
+                            # the parent samples the shared arena while
+                            # workers mutate it — a torn read must not
+                            # kill an otherwise healthy run
+                            obs.flight_event("sample.error", repr(exc)[:36])
                 if watchdog is not None:
                     stalled = next(
                         (ev for ev in watchdog.poll() if not ev.recovered), None
                     )
                     if stalled is not None:
+                        # escalate before killing: ask the stalled
+                        # worker to dump its own stacks (its SIGUSR1
+                        # handler, installed by the flight scope) so the
+                        # evidence lands in the bundle before terminate
+                        self._capture_stalled_stacks(procs, stalled)
                         for p in procs:
                             if p.is_alive():
                                 p.terminate()
@@ -640,14 +697,32 @@ class ShmBlockPACGA:
             for p in procs:
                 p.join()
             if stalled is not None:
+                if obs is not None:
+                    obs.meta.setdefault(
+                        "interrupted_by",
+                        {
+                            "role": f"w{stalled.worker}",
+                            "pid": procs[stalled.worker].pid,
+                            "reason": "stall",
+                            "stalled_s": round(stalled.stalled_s, 3),
+                        },
+                    )
                 raise RuntimeError(
                     f"shm worker {stalled.worker} stalled for "
                     f"{stalled.stalled_s:.1f}s (heartbeat {stalled.heartbeat}); "
                     "worker group terminated"
                 )
-            if any(p.exitcode != 0 for p in procs):
-                bad = [p.name for p in procs if p.exitcode != 0]
-                raise RuntimeError(f"shm workers failed: {bad}")
+            failed = [(tid, p) for tid, p in enumerate(procs) if p.exitcode != 0]
+            if failed:
+                if obs is not None:
+                    tid0, p0 = failed[0]
+                    obs.meta.setdefault(
+                        "interrupted_by",
+                        {"role": f"w{tid0}", "pid": p0.pid, "exitcode": p0.exitcode},
+                    )
+                raise RuntimeError(
+                    f"shm workers failed: {[p.name for _, p in failed]}"
+                )
         except BaseException:
             if obs is not None:
                 obs.stop_runtime()
@@ -656,15 +731,41 @@ class ShmBlockPACGA:
         self._gen_counts = [int(g) for g in gen_counts]
 
         if obs is not None:
-            while not telemetry_q.empty():
-                tid, snapshot, events = telemetry_q.get()
-                from repro.obs.metrics import MetricRecorder
-
-                obs.registry.adopt(MetricRecorder.from_snapshot(snapshot))
-                if obs.tracer is not None:
-                    obs.tracer.adopt(tid, events, f"pacga-shm-w{tid}")
+            drain_telemetry()
             obs.stop_runtime()
         return self._result(budget)
+
+    def _capture_stalled_stacks(self, procs, stalled, wait_s: float = 1.5) -> None:
+        """Stall escalation: SIGUSR1 the stalled worker, wait for its dump.
+
+        The worker's flight-scope signal handler appends an all-thread
+        stack dump to ``flight/stacks-w<tid>.txt``; the parent waits
+        (bounded) for that file so the capture lands in the bundle
+        *before* the group is terminated.  No-op without flight
+        recording or when the worker is already gone.
+        """
+        obs = self.obs
+        if obs is None or not obs.flight_enabled:
+            return
+        victim = procs[stalled.worker]
+        if not victim.is_alive() or victim.pid is None:
+            return
+        from repro.obs.flight import flight_paths
+
+        stacks_path = flight_paths(obs.out, f"w{stalled.worker}")["stacks"]
+        before = stacks_path.stat().st_size if stacks_path.exists() else 0
+        try:
+            import signal as _signal
+
+            os.kill(victim.pid, _signal.SIGUSR1)
+        except (ProcessLookupError, OSError):  # pragma: no cover - racing exit
+            return
+        deadline = time.perf_counter() + wait_s
+        while time.perf_counter() < deadline:
+            if stacks_path.exists() and stacks_path.stat().st_size > before:
+                break
+            time.sleep(0.02)
+        obs.flight_event("stall", f"w{stalled.worker}", stalled.stalled_s)
 
     def sampler_due(self, evaluations: int) -> bool:
         """Cheap parent-side cadence check (avoids provider invocation)."""

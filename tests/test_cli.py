@@ -133,6 +133,9 @@ class TestObsFlagValidation:
             (["--obs-live", "0"], "--obs-live"),
             (["--obs-stall-deadline", "5"], "--obs-stall-deadline"),
             (["--obs-profile"], "--obs-profile"),
+            (["--obs-flight"], "--obs-flight"),
+            (["--no-obs-resources"], "--obs-resources"),
+            (["--obs-stack-sample", "100"], "--obs-stack-sample"),
         ],
     )
     def test_obs_flag_without_obs_out_is_rejected(self, flags, named, capsys):
@@ -140,6 +143,62 @@ class TestObsFlagValidation:
         err = capsys.readouterr().err
         assert named in err
         assert "require --obs-out" in err
+
+    def test_flight_and_resources_default_on_with_obs_out(self, tmp_path, capsys):
+        out = tmp_path / "bundle"
+        rc = main(self.BASE + ["--engine", "async", "--obs-out", str(out)])
+        assert rc == 0
+        assert (out / "flight" / "main.bin").exists()
+        assert (out / "resources.jsonl").exists()
+        meta = json.loads((out / "meta.json").read_text())
+        assert meta["resources"]["peak_rss_mb"] > 0
+
+    def test_flight_and_resources_opt_out(self, tmp_path, capsys):
+        out = tmp_path / "bundle"
+        rc = main(
+            self.BASE
+            + [
+                "--engine",
+                "async",
+                "--obs-out",
+                str(out),
+                "--no-obs-flight",
+                "--no-obs-resources",
+            ]
+        )
+        assert rc == 0
+        assert not (out / "flight").exists()
+        assert not (out / "resources.jsonl").exists()
+
+    def test_obs_stack_sample_writes_collapsed(self, tmp_path, capsys):
+        out = tmp_path / "bundle"
+        rc = main(
+            self.BASE
+            + [
+                "--engine",
+                "async",
+                "--evals",
+                "3000",
+                "--obs-out",
+                str(out),
+                "--obs-stack-sample",
+                "500",
+            ]
+        )
+        assert rc == 0
+        assert (out / "samples.collapsed").exists()
+        meta = json.loads((out / "meta.json").read_text())
+        assert meta["n_stack_samples"] > 0
+
+    def test_obs_postmortem_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "bundle"
+        assert main(self.BASE + ["--engine", "async", "--obs-out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "postmortem", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "postmortem:" in report
+        assert "== flight ring main" in report
+        assert main(["obs", "postmortem", str(tmp_path / "nope")]) == 1
 
     def test_obs_flags_accepted_with_obs_out(self, tmp_path, capsys):
         out = tmp_path / "bundle"

@@ -101,6 +101,78 @@ class TestSummarize:
             hist.summarize_source(empty)
 
 
+class TestResourceSummary:
+    def test_meta_peaks_preferred(self, bundle):
+        meta = json.loads((bundle / "meta.json").read_text())
+        meta["resources"] = {"peak_rss_mb": 120.5, "peak_fds": 33}
+        (bundle / "meta.json").write_text(json.dumps(meta))
+        row = hist.summarize_bundle(bundle)
+        assert row["peak_rss_mb"] == 120.5
+        assert row["peak_fds"] == 33
+
+    def test_recomputed_from_rows_for_crash_partial_bundle(self, bundle):
+        # no meta["resources"] (never finalized) but streamed rows exist
+        (bundle / "resources.jsonl").write_text(
+            json.dumps({"role": "main", "rss_mb": 40.0, "fds": 10}) + "\n"
+            + json.dumps({"role": "main", "rss_mb": 62.5, "fds": 9}) + "\n"
+        )
+        row = hist.summarize_bundle(bundle)
+        assert row["peak_rss_mb"] == 62.5
+        assert row["peak_fds"] == 10
+
+    def test_none_without_resource_sampling(self, bundle):
+        row = hist.summarize_bundle(bundle)
+        assert row["peak_rss_mb"] is None
+        assert row["peak_fds"] is None
+
+    def test_row_fields_include_peaks(self):
+        assert "peak_rss_mb" in hist.ROW_FIELDS
+        assert "peak_fds" in hist.ROW_FIELDS
+
+
+class TestResourceGate:
+    def test_no_flags_no_findings(self):
+        assert hist.check_resources(make_row()) == []
+
+    def test_under_ceiling_passes(self):
+        row = make_row(peak_rss_mb=100.0, peak_fds=20)
+        assert hist.check_resources(row, max_rss_mb=256.0, max_fds=64) == []
+
+    def test_rss_over_ceiling_fails(self):
+        row = make_row(peak_rss_mb=300.0, peak_fds=20)
+        problems = hist.check_resources(row, max_rss_mb=256.0)
+        assert len(problems) == 1
+        assert "peak RSS 300MB > ceiling 256MB" in problems[0]
+
+    def test_fds_over_ceiling_fails(self):
+        row = make_row(peak_rss_mb=10.0, peak_fds=200)
+        problems = hist.check_resources(row, max_fds=64)
+        assert len(problems) == 1
+        assert "peak fd count 200 > ceiling 64" in problems[0]
+
+    def test_missing_data_fails_explicitly(self):
+        problems = hist.check_resources(make_row(), max_rss_mb=256.0, max_fds=64)
+        assert len(problems) == 2
+        assert all("resource sampling off?" in p for p in problems)
+
+    def test_cli_max_rss_gate_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        row = tmp_path / "row.json"
+        row.write_text(json.dumps(make_row(peak_rss_mb=100.0, peak_fds=16)))
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(make_row()))
+        ok = main(
+            ["obs", "check", str(row), "--baseline", str(base), "--max-rss-mb", "256"]
+        )
+        assert ok == 0
+        bad = main(
+            ["obs", "check", str(row), "--baseline", str(base), "--max-rss-mb", "50"]
+        )
+        assert bad == 1
+        assert "peak RSS 100MB > ceiling 50MB" in capsys.readouterr().err
+
+
 class TestRegistry:
     def test_append_and_load(self, tmp_path):
         reg = tmp_path / "runs.jsonl"

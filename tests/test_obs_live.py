@@ -136,6 +136,20 @@ class TestLivePublisher:
         with pytest.raises(ValueError):
             LivePublisher(obs, out=obs.out, every_s=0.0)
 
+    def test_snapshot_carries_latest_resources(self, tmp_path):
+        obs = self._observer(tmp_path, live=True, resources=True)
+        try:
+            pub = LivePublisher(obs, out=obs.out)
+            snap = pub.publish()
+            res = snap["resources"]
+            assert res["rss_mb"] > 0
+            assert res["peak_rss_mb"] >= res["rss_mb"] - 1.0
+            from repro.obs.live import render_watch
+
+            assert "resources" in render_watch(snap)
+        finally:
+            obs.finalize()
+
     def test_start_runtime_is_noop_without_live_settings(self, tmp_path):
         obs = Observer(out=tmp_path / "b", sample_every_evals=10**9)
         assert not obs.runtime_wanted

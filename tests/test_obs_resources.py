@@ -1,0 +1,195 @@
+"""Resource telemetry: /proc readers, GC pause tracking, the sampler."""
+
+import gc
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricRecorder
+from repro.obs.resources import (
+    PEAK_FIELDS,
+    SHM_PREFIX,
+    GCPauseTracker,
+    ResourceSampler,
+    count_open_fds,
+    load_resource_rows,
+    read_proc_status,
+    resource_peaks,
+    shm_segment_bytes,
+)
+
+
+class TestProcReaders:
+    def test_read_proc_status_live(self):
+        out = read_proc_status()
+        assert out["rss_mb"] > 0
+        assert out["cpu_s"] >= 0
+
+    def test_read_proc_status_fake_root(self, tmp_path):
+        root = tmp_path / "proc"
+        root.mkdir()
+        (root / "status").write_bytes(b"Name:\tx\nVmRSS:\t   2048 kB\n")
+        # comm contains spaces and a ")" — the split must be on the last ")"
+        (root / "stat").write_bytes(
+            b"42 (my (we) ird) S 1 42 42 0 -1 4194304 "
+            + b"0 0 0 0 100 50 0 0 20 0 1 0 100 0 0\n"
+        )
+        out = read_proc_status(str(root))
+        assert out["rss_mb"] == 2.0
+        ticks = float(os.sysconf("SC_CLK_TCK"))
+        assert out["cpu_s"] == round(150 / ticks, 3)
+
+    def test_read_proc_status_falls_back_without_procfs(self, tmp_path):
+        out = read_proc_status(str(tmp_path / "nope"))
+        assert out["rss_mb"] > 0  # getrusage fallback still yields numbers
+        assert "cpu_s" in out
+
+    def test_count_open_fds(self):
+        n = count_open_fds()
+        assert n is not None and n > 0
+        with open(os.devnull) as fh:
+            assert count_open_fds() > n - 1
+            assert fh is not None
+
+    def test_count_open_fds_missing_procfs(self, tmp_path):
+        assert count_open_fds(str(tmp_path / "nope")) is None
+
+    def test_shm_segment_bytes_counts_only_prefix(self, tmp_path):
+        (tmp_path / f"{SHM_PREFIX}a").write_bytes(b"x" * 100)
+        (tmp_path / f"{SHM_PREFIX}b").write_bytes(b"x" * 50)
+        (tmp_path / "other-seg").write_bytes(b"x" * 999)
+        assert shm_segment_bytes(root=str(tmp_path)) == 150
+
+    def test_shm_segment_bytes_missing_root(self, tmp_path):
+        assert shm_segment_bytes(root=str(tmp_path / "nope")) is None
+
+
+class TestGCPauseTracker:
+    def test_measures_forced_collections(self):
+        tracker = GCPauseTracker().install()
+        try:
+            before = tracker.collections
+            gc.collect()
+            gc.collect()
+            assert tracker.collections >= before + 2
+            assert tracker.pause_s >= 0.0
+        finally:
+            tracker.uninstall()
+
+    def test_uninstall_stops_counting(self):
+        tracker = GCPauseTracker().install()
+        tracker.uninstall()
+        frozen = tracker.collections
+        gc.collect()
+        assert tracker.collections == frozen
+        assert tracker._on_gc not in gc.callbacks
+
+
+class TestResourceSampler:
+    def test_sample_row_schema(self):
+        sampler = ResourceSampler(role="w7")
+        try:
+            row = sampler.sample()
+            assert row["role"] == "w7"
+            assert row["pid"] == os.getpid()
+            assert row["rss_mb"] > 0
+            assert row["fds"] > 0
+            assert row["t_s"] >= 0
+            for key in ("gc_gen0", "gc_collections", "gc_pause_s"):
+                assert key in row
+        finally:
+            sampler.stop()
+
+    def test_rejects_nonpositive_cadence(self):
+        with pytest.raises(ValueError, match="every_s"):
+            ResourceSampler(every_s=0)
+
+    def test_peaks_track_maxima(self):
+        sampler = ResourceSampler()
+        try:
+            sampler.sample()
+            sampler.sample()
+            assert sampler.peaks["peak_rss_mb"] >= sampler.latest["rss_mb"] or (
+                sampler.peaks["peak_rss_mb"] > 0
+            )
+            assert set(sampler.peaks) <= {f"peak_{k}" for k in PEAK_FIELDS}
+        finally:
+            sampler.stop()
+
+    def test_streams_jsonl(self, tmp_path):
+        path = tmp_path / "resources.jsonl"
+        sampler = ResourceSampler(out_path=path, role="main")
+        sampler.sample()
+        sampler.stop()  # stop() takes one final sample
+        rows = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert len(rows) == 2
+        assert all(r["role"] == "main" for r in rows)
+
+    def test_background_thread_produces_rows(self):
+        sampler = ResourceSampler(every_s=0.02).start()
+        deadline = time.monotonic() + 2.0
+        while len(sampler.rows) < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        sampler.stop()
+        assert len(sampler.rows) >= 3
+        assert sampler._thread is None
+
+    def test_stop_is_idempotent(self):
+        sampler = ResourceSampler().start()
+        sampler.stop()
+        n = len(sampler.rows)
+        sampler.stop()  # takes one more sample but must not raise
+        assert len(sampler.rows) >= n
+
+    def test_gauges_feed_recorder(self):
+        rec = MetricRecorder()
+        sampler = ResourceSampler(recorder=rec)
+        try:
+            sampler.sample()
+            gauges = rec.gauges
+            assert gauges["proc.rss_mb"] > 0
+            assert gauges["proc.peak_rss_mb"] >= gauges["proc.rss_mb"] - 1.0
+            assert "proc.fds" in gauges
+        finally:
+            sampler.stop()
+
+    def test_bounded_retention(self):
+        sampler = ResourceSampler()
+        sampler.rows = [{"t_s": float(i)} for i in range(4096)]
+        sampler.sample()
+        assert len(sampler.rows) <= 4096 - 1023 + 1
+        assert sampler.rows[0]["t_s"] == 0.0  # oldest row kept as anchor
+
+
+class TestOfflineReaders:
+    def test_load_rows_across_processes(self, tmp_path):
+        (tmp_path / "resources.jsonl").write_text(
+            json.dumps({"role": "main", "rss_mb": 10.0, "fds": 8}) + "\n"
+        )
+        flight = tmp_path / "flight"
+        flight.mkdir()
+        (flight / "resources-w0.jsonl").write_text(
+            json.dumps({"role": "w0", "rss_mb": 25.0, "fds": 6}) + "\n"
+            + '{"role": "w0", "rss_mb": 99'  # torn final line after a kill
+        )
+        rows = load_resource_rows(tmp_path)
+        assert {r["role"] for r in rows} == {"main", "w0"}
+        assert len(rows) == 2
+
+    def test_resource_peaks_single_process_max(self, tmp_path):
+        (tmp_path / "resources.jsonl").write_text(
+            json.dumps({"role": "main", "rss_mb": 10.0, "fds": 8}) + "\n"
+        )
+        flight = tmp_path / "flight"
+        flight.mkdir()
+        (flight / "resources-w1.jsonl").write_text(
+            json.dumps({"role": "w1", "rss_mb": 25.5, "fds": 6, "shm_mb": 1.5}) + "\n"
+        )
+        peaks = resource_peaks(tmp_path)
+        assert peaks == {"peak_rss_mb": 25.5, "peak_fds": 8, "peak_shm_mb": 1.5}
+
+    def test_empty_bundle(self, tmp_path):
+        assert load_resource_rows(tmp_path) == []
+        assert resource_peaks(tmp_path) == {}

@@ -74,6 +74,17 @@ class TestRenderFrame:
         for line in expected:
             assert f"\n  {line}" in frame
 
+    def test_recovered_stall_clears_banner(self, snap):
+        # the fixture has 1 cumulative stall; once the watchdog also
+        # counts a recovery the episode is over and the banner must go
+        snap["metrics"]["counters"]["watchdog.recoveries"] = 1
+        assert "[STALLS:" not in render_frame(snap)
+
+    def test_second_episode_reraises_banner(self, snap):
+        snap["metrics"]["counters"]["watchdog.stalls"] = 3
+        snap["metrics"]["counters"]["watchdog.recoveries"] = 1
+        assert "[STALLS: 2]" in render_frame(snap)
+
     def test_minimal_snapshot_renders(self):
         frame = render_frame({"updated_t_s": 0.5})
         assert "repro obs top" in frame

@@ -134,6 +134,103 @@ class TestWatchdog:
             Watchdog(HeartbeatBoard(1), deadline_s=0.0)
 
 
+class TestStackCaptureEscalation:
+    def test_capture_fires_on_stall_before_on_stall(self):
+        """The escalation contract: the stack capture runs for stalls
+        only, and *before* the engine's on_stall reaction (which may
+        kill the worker)."""
+        clock = FakeClock()
+        board = HeartbeatBoard(2)
+        order = []
+        dog = Watchdog(
+            board,
+            deadline_s=1.0,
+            on_stall=lambda e: order.append(("on_stall", e.worker, e.recovered)),
+            stack_capture=lambda e: order.append(("capture", e.worker, e.recovered)),
+            clock=clock,
+        )
+        clock.t = 1.5
+        board.beat(0)
+        dog.poll()
+        assert order == [("capture", 1, False), ("on_stall", 1, False)]
+
+        # recovery: on_stall still fires, the capture must not
+        board.beat(1)
+        clock.t = 1.6
+        dog.poll()
+        assert order[-1] == ("on_stall", 1, True)
+        assert [o for o in order if o[0] == "capture"] == [("capture", 1, False)]
+
+    def test_capture_exception_swallowed(self):
+        clock = FakeClock()
+        board = HeartbeatBoard(1)
+        seen = []
+
+        def broken_capture(event):
+            raise OSError("disk full")
+
+        dog = Watchdog(
+            board,
+            deadline_s=1.0,
+            on_stall=seen.append,
+            stack_capture=broken_capture,
+            clock=clock,
+        )
+        clock.t = 2.0
+        events = dog.poll()  # must not raise
+        assert [e.worker for e in events] == [0]
+        assert [e.worker for e in seen] == [0]
+
+    def test_stall_and_recovery_land_in_flight_ring(self, tmp_path):
+        from repro.obs.flight import FlightRecorder
+
+        clock = FakeClock()
+        board = HeartbeatBoard(1)
+        ring = FlightRecorder(tmp_path / "main.bin", slots=16)
+        dog = Watchdog(board, deadline_s=1.0, clock=clock, flight=ring)
+        clock.t = 1.5
+        dog.poll()
+        board.beat(0)
+        clock.t = 1.6
+        dog.poll()
+        kinds = [(e["kind"], e["msg"]) for e in ring.events()]
+        ring.close()
+        assert kinds == [("stall", "w0"), ("recovery", "w0")]
+
+    def test_observer_wires_capture_into_bundle(
+        self, tiny_instance, tmp_path, monkeypatch
+    ):
+        """Watchdog -> stack-capture escalation e2e: pin a ThreadedPACGA
+        worker's heartbeat and assert the stalled worker's stack dump
+        lands in the bundle's flight dir."""
+        original_beat = HeartbeatBoard.beat
+
+        def pinned_beat(self, worker):
+            if worker != 1:  # worker 1's heartbeat never advances
+                original_beat(self, worker)
+
+        monkeypatch.setattr(HeartbeatBoard, "beat", pinned_beat)
+
+        out = tmp_path / "bundle"
+        obs = Observer(
+            out=out, sample_every_evals=10**9, stall_deadline_s=0.1, flight=True
+        )
+        eng = ThreadedPACGA(tiny_instance, CFG.with_(n_threads=2), seed=0, obs=obs)
+        with obs:
+            eng.run(StopCondition(wall_time_s=0.8))
+
+        stacks = out / "flight" / "stacks-main.txt"
+        assert stacks.exists(), "stall escalation must dump stacks into the bundle"
+        text = stacks.read_text()
+        assert "stall w1" in text
+        assert "=== stack dump" in text
+        # the stall made it into the flight ring too
+        from repro.obs.flight import load_flight_dir
+
+        events = load_flight_dir(out)["main"]
+        assert any(e["kind"] == "stall" and e["msg"] == "w1" for e in events)
+
+
 class TestHooksProtocol:
     def test_on_stall_slot(self):
         hooks = EngineHooks(on_stall=lambda e, ev: None)
