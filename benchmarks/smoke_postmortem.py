@@ -30,7 +30,9 @@ import time
 from pathlib import Path
 
 PY = sys.executable
-ENV = {**os.environ, "PYTHONPATH": "src"}
+# oversubscribe: this smoke interrogates per-worker processes, so the
+# engine must fork one process per block even on a single-core runner
+ENV = {**os.environ, "PYTHONPATH": "src", "REPRO_SHM_OVERSUBSCRIBE": "1"}
 
 
 def check(ok: bool, what: str) -> None:

@@ -16,10 +16,7 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import ObsConfig
 
-from repro.cga.crossover import CROSSOVERS
 from repro.cga.grid import Grid2D
-from repro.cga.local_search import LOCAL_SEARCHES
-from repro.cga.mutation import MUTATIONS
 from repro.cga.neighborhood import NEIGHBORHOODS
 from repro.cga.replacement import REPLACEMENTS
 from repro.cga.selection import SELECTIONS
@@ -107,6 +104,10 @@ class CGAConfig:
     n_threads: int = 1
     sweep: str = "line"  # §3.2: fixed line sweep per block
     partition: str = "runs"  # §3.2: contiguous row-major runs
+    #: registered workload (see :mod:`repro.problems`); operator names
+    #: above are validated against — and resolved from — this problem's
+    #: registries, so one config shape drives every workload.
+    problem: str = "independent"
     #: optional declarative telemetry settings; engines materialize it
     #: into a live ``repro.obs.Observer`` and auto-finalize the bundle
     #: on stop.  None (default) means no instrumentation at all.
@@ -127,12 +128,6 @@ class CGAConfig:
             raise ValueError(f"unknown neighborhood {self.neighborhood!r}")
         if self.selection not in SELECTIONS:
             raise ValueError(f"unknown selection {self.selection!r}")
-        if self.crossover not in CROSSOVERS:
-            raise ValueError(f"unknown crossover {self.crossover!r}")
-        if self.mutation not in MUTATIONS:
-            raise ValueError(f"unknown mutation {self.mutation!r}")
-        if self.local_search is not None and self.local_search not in LOCAL_SEARCHES:
-            raise ValueError(f"unknown local search {self.local_search!r}")
         if self.replacement not in REPLACEMENTS:
             raise ValueError(f"unknown replacement {self.replacement!r}")
         from repro.cga.sweep import SWEEP_POLICIES
@@ -141,10 +136,31 @@ class CGAConfig:
             raise ValueError(f"unknown sweep policy {self.sweep!r}")
         if self.partition not in ("runs", "rows", "tiles"):
             raise ValueError(f"unknown partition scheme {self.partition!r}")
-        from repro.cga.fitness import FITNESS
+        # workload-specific names validate against the problem's registries
+        # (lazy import: repro.problems imports the operator modules)
+        from repro.problems import resolve_problem
 
-        if self.fitness not in FITNESS:
-            raise ValueError(f"unknown fitness {self.fitness!r}")
+        problem = resolve_problem(self.problem)
+        if self.crossover not in problem.crossovers:
+            raise ValueError(
+                f"unknown crossover {self.crossover!r} for problem {self.problem!r}; "
+                f"known: {', '.join(problem.crossovers)}"
+            )
+        if self.mutation not in problem.mutations:
+            raise ValueError(
+                f"unknown mutation {self.mutation!r} for problem {self.problem!r}; "
+                f"known: {', '.join(problem.mutations)}"
+            )
+        if self.local_search is not None and self.local_search not in problem.local_searches:
+            raise ValueError(
+                f"unknown local search {self.local_search!r} for problem {self.problem!r}; "
+                f"known: {', '.join(problem.local_searches)}"
+            )
+        if self.fitness not in problem.fitness:
+            raise ValueError(
+                f"unknown fitness {self.fitness!r} for problem {self.problem!r}; "
+                f"known: {', '.join(problem.fitness)}"
+            )
 
     @property
     def grid(self) -> Grid2D:
@@ -163,22 +179,26 @@ class CGAConfig:
     def resolve(self) -> "EvolutionOps":
         """Bind the named operator choices to concrete callables."""
         from repro.cga.engine import EvolutionOps  # local import: engine imports config
-        from repro.cga.fitness import FITNESS
+        from repro.problems import resolve_problem
 
+        problem = resolve_problem(self.problem)
         return EvolutionOps(
-            fitness=FITNESS[self.fitness],
+            fitness=problem.fitness[self.fitness],
             select=SELECTIONS[self.selection],
-            crossover=CROSSOVERS[self.crossover],
+            crossover=problem.crossovers[self.crossover],
             p_comb=self.p_comb,
-            mutate=MUTATIONS[self.mutation],
+            mutate=problem.mutations[self.mutation],
             p_mut=self.p_mut,
             local_search=(
-                LOCAL_SEARCHES[self.local_search] if self.local_search is not None else None
+                problem.local_searches[self.local_search]
+                if self.local_search is not None
+                else None
             ),
             p_ls=self.p_ls,
             ls_iterations=self.ls_iterations,
             ls_candidates=self.ls_candidates,
             replace=REPLACEMENTS[self.replacement],
+            recombine=problem.recombine,
         )
 
     def describe(self) -> str:

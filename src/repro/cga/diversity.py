@@ -46,27 +46,29 @@ def hamming_diversity(
 
 
 def allele_entropy(pop: Population) -> float:
-    """Mean per-gene Shannon entropy of machine choices, in [0, 1].
+    """Mean per-gene Shannon entropy of gene choices, in [0, 1].
 
-    For each task, the distribution of machines across the population
-    is measured; entropy is normalized by ``log(nmachines)``.
+    For each gene position, the distribution of values across the
+    population is measured; entropy is normalized by the log of the
+    problem's gene alphabet (machines for the independent workload,
+    jobs for a permutation).
     """
-    nmachines = pop.instance.nmachines
-    if nmachines < 2:
+    alphabet = pop.problem.alphabet(pop.instance)
+    if alphabet < 2:
         return 0.0
     n = pop.size
     ntasks = pop.instance.ntasks
-    # bincount over (task, machine) codes — equivalent to np.add.at on a
-    # (ntasks, nmachines) table but an order of magnitude faster, which
+    # bincount over (position, value) codes — equivalent to np.add.at on
+    # a (ntasks, alphabet) table but an order of magnitude faster, which
     # matters because the obs sampler calls this on every tick
-    codes = pop.s + np.arange(ntasks, dtype=pop.s.dtype) * nmachines
-    counts = np.bincount(codes.ravel(), minlength=ntasks * nmachines).reshape(
-        ntasks, nmachines
+    codes = pop.s + np.arange(ntasks, dtype=pop.s.dtype) * alphabet
+    counts = np.bincount(codes.ravel(), minlength=ntasks * alphabet).reshape(
+        ntasks, alphabet
     )
     probs = counts / n
     with np.errstate(divide="ignore", invalid="ignore"):
         terms = np.where(probs > 0, -probs * np.log(probs), 0.0)
-    entropy = terms.sum(axis=1) / np.log(nmachines)
+    entropy = terms.sum(axis=1) / np.log(alphabet)
     return float(entropy.mean())
 
 

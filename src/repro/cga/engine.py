@@ -32,7 +32,6 @@ from repro.runtime.context import (
     detach_runtime,
     finish_run,
 )
-from repro.scheduling.schedule import Schedule
 
 __all__ = [
     "EvolutionOps",
@@ -60,6 +59,10 @@ class EvolutionOps:
     ls_iterations: int
     ls_candidates: int | None
     replace: Callable
+    #: problem hook applying ``crossover`` and deriving the child's CT;
+    #: defaults to the independent-task delta rule so hand-built bundles
+    #: keep their historical behavior.
+    recombine: Callable = child_with_ct
 
 
 class NullLocks:
@@ -123,7 +126,7 @@ def evolve_individual(
         else:
             with locks.read(p2):
                 p2_s = pop.s[p2].copy()
-        child_s, child_ct = child_with_ct(inst, p1_s, p1_ct, p2_s, ops.crossover, rng)
+        child_s, child_ct = ops.recombine(inst, p1_s, p1_ct, p2_s, ops.crossover, rng)
     else:
         child_s, child_ct = p1_s, p1_ct
 
@@ -163,9 +166,11 @@ class RunResult:
     #: extra engine-specific measurements (threads, contention, …)
     extra: dict = field(default_factory=dict)
 
-    def best_schedule(self, instance) -> Schedule:
-        """Materialize the best-found schedule."""
-        return Schedule(instance, self.best_assignment)
+    def best_schedule(self, instance):
+        """Materialize the best-found schedule (problem-appropriate type)."""
+        from repro.problems import problem_of
+
+        return problem_of(instance).as_schedule(instance, self.best_assignment)
 
 
 class _EngineBase:

@@ -36,29 +36,14 @@ def makespan_fitness(s: np.ndarray, ct: np.ndarray, instance: ETCMatrix) -> floa
 def _mean_flowtime(s: np.ndarray, instance: ETCMatrix) -> float:
     """Mean task finishing time with SPT order within each machine.
 
-    One lexsort by (machine, time) groups every machine's tasks as a
-    contiguous ascending segment; a segmented cumulative sum then yields
-    all per-machine SPT flowtimes in a single pass (the per-machine
-    Python loop this replaces dominated the makespan+flowtime profile).
-    For segment ``[p0, p1)`` the flowtime is ``sum(cs[p0:p1]) -
-    len * cs[p0 - 1]`` plus the ready-time term, with ``cs`` the global
-    prefix sum of the sorted times.
+    Delegates to the one vectorized implementation
+    (:func:`repro.scheduling.objectives.flowtime`: lexsort + segmented
+    cumulative sum) and divides by the task count to keep the weighted
+    objective's two terms on comparable scales.
     """
-    nt = instance.ntasks
-    v = instance.etc[np.arange(nt), s]  # ETC of each task on its machine
-    order = np.lexsort((v, s))
-    sv = v[order]
-    sm = s[order]
-    cs = np.cumsum(sv)
-    starts = np.flatnonzero(np.r_[True, sm[1:] != sm[:-1]])
-    counts = np.diff(np.append(starts, nt))
-    before = np.concatenate(([0.0], cs))[starts]  # prefix sum before each segment
-    total = (
-        cs.sum()
-        - float((counts * before).sum())
-        + float((counts * instance.ready_times[sm[starts]]).sum())
-    )
-    return float(total) / nt
+    from repro.scheduling.objectives import flowtime
+
+    return flowtime(instance, s) / instance.ntasks
 
 
 def weighted_fitness(

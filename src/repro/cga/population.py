@@ -18,10 +18,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.etc.model import ETCMatrix
 from repro.cga.grid import Grid2D
-from repro.scheduling.schedule import Schedule
-from repro.scheduling.validation import check_completion_times, validate_assignment
 
 __all__ = ["Population"]
 
@@ -32,7 +29,9 @@ class Population:
     Parameters
     ----------
     instance:
-        The ETC instance shared by every individual.
+        The problem instance shared by every individual (any registered
+        :mod:`repro.problems` workload; ``instance.ntasks`` is the
+        genome length and ``instance.nmachines`` the CT-row width).
     grid:
         The toroidal layout (its ``size`` is the population size).
     s, ct, fitness:
@@ -40,20 +39,23 @@ class Population:
         shared-memory views); freshly allocated when omitted.
     """
 
-    __slots__ = ("instance", "grid", "s", "ct", "fitness")
+    __slots__ = ("instance", "problem", "grid", "s", "ct", "fitness")
 
     def __init__(
         self,
-        instance: ETCMatrix,
+        instance,
         grid: Grid2D,
         s: np.ndarray | None = None,
         ct: np.ndarray | None = None,
         fitness: np.ndarray | None = None,
     ):
+        from repro.problems import problem_of  # lazy: problems import operators
+
         self.instance = instance
+        self.problem = problem_of(instance)
         self.grid = grid
         n = grid.size
-        self.s = self._adopt(s, (n, instance.ntasks), np.int32)
+        self.s = self._adopt(s, (n, instance.ntasks), self.problem.genome_dtype)
         self.ct = self._adopt(ct, (n, instance.nmachines), np.float64)
         self.fitness = self._adopt(fitness, (n,), np.float64)
 
@@ -76,7 +78,7 @@ class Population:
     def init_random(
         self,
         rng: np.random.Generator,
-        seed_schedules: list[Schedule] | None = None,
+        seed_schedules: list | None = None,
         seed_positions: list[int] | None = None,
         fitness_fn: Callable | None = None,
     ) -> None:
@@ -88,7 +90,7 @@ class Population:
         fitness (see :mod:`repro.cga.fitness`).
         """
         inst = self.instance
-        self.s[:] = rng.integers(0, inst.nmachines, size=self.s.shape, dtype=np.int32)
+        self.s[:] = self.problem.random_genomes(inst, rng, self.s.shape)
         if seed_schedules:
             positions = seed_positions or list(range(len(seed_schedules)))
             if len(positions) != len(seed_schedules):
@@ -100,24 +102,18 @@ class Population:
         self.evaluate_all(fitness_fn)
 
     def evaluate_all(self, fitness_fn: Callable | None = None) -> None:
-        """Recompute every CT row and fitness from the assignments.
+        """Recompute every CT row and fitness from the genomes.
 
-        Vectorized over the whole population: one scatter-add per
-        individual row is replaced by a single 2-D ``np.add.at`` with a
-        flattened index, so initial evaluation is a single pass.  The
-        default fitness (``None`` or the registry's makespan) stays on
-        the vectorized path; custom fitness functions are applied per
-        individual.
+        Delegates to the problem's batch evaluation kernel (for the
+        independent workload one flattened scatter-add; for flow shop
+        the population DP sweep), so initial evaluation is a single
+        pass.  The default fitness (``None`` or the registry's
+        makespan) stays on the vectorized ``ct.max`` path; custom
+        fitness functions are applied per individual.
         """
         inst = self.instance
         n = self.size
-        self.ct[:] = inst.ready_times[None, :]
-        rows = np.repeat(np.arange(n), inst.ntasks)
-        cols = self.s.ravel()
-        tasks = np.tile(np.arange(inst.ntasks), n)
-        flat = self.ct.ravel()
-        np.add.at(flat, rows * inst.nmachines + cols, inst.etc[tasks, cols])
-        self.ct[:] = flat.reshape(self.ct.shape)
+        self.ct[:] = self.problem.population_ct(inst, self.s)
         from repro.cga.fitness import makespan_fitness
 
         if fitness_fn is None or fitness_fn is makespan_fitness:
@@ -143,9 +139,9 @@ class Population:
         self.ct[idx] = ct
         self.fitness[idx] = fitness
 
-    def as_schedule(self, idx: int) -> Schedule:
-        """Materialize individual ``idx`` as a standalone Schedule."""
-        return Schedule(self.instance, self.s[idx])
+    def as_schedule(self, idx: int):
+        """Materialize individual ``idx`` as a standalone schedule."""
+        return self.problem.as_schedule(self.instance, self.s[idx])
 
     def best(self) -> tuple[int, float]:
         """(index, fitness) of the current best individual."""
@@ -167,8 +163,8 @@ class Population:
         """
         indices = range(self.size) if idx is None else [idx]
         for i in indices:
-            validate_assignment(self.instance, self.s[i])
-            check_completion_times(self.instance, self.s[i], self.ct[i])
+            self.problem.check_genome(self.instance, self.s[i])
+            self.problem.check_ct(self.instance, self.s[i], self.ct[i])
             if fitness_fn is None:
                 expected = float(self.ct[i].max())
             else:

@@ -30,12 +30,7 @@ from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.engine import _EngineBase, RunResult
 from repro.obs.dynamics import record_batch_attribution
 from repro.runtime.budget import Budget
-from repro.kernels import (
-    batch_completion_times,
-    batch_ct_delta,
-    crossover_mask,
-    resolve_batch_ops,
-)
+from repro.kernels import resolve_batch_ops
 
 __all__ = ["VectorizedSyncCGA"]
 
@@ -61,12 +56,14 @@ class VectorizedSyncCGA(_EngineBase):
         obs=None,
     ):
         super().__init__(instance, config, rng, record_history, on_generation, obs)
-        bops = resolve_batch_ops(self.config)
+        bops = resolve_batch_ops(self.config, problem=self.pop.problem)
         self._select = bops.select
         self._fitness = bops.fitness
         self._mutate = bops.mutate
         self._local_search = bops.local_search
         self._accept = bops.accept
+        self._cross_mask = bops.cross_mask
+        self._recombine = bops.recombine
 
     def run(self, stop: StopCondition) -> RunResult:
         """Evolve whole generations until ``stop`` triggers."""
@@ -109,16 +106,13 @@ class VectorizedSyncCGA(_EngineBase):
             if rec is not None:
                 t = perf()
                 rec.observe("phase.select_us", (t - gen_start) * 1e6)
-            # -- recombination: inheritance mask + incremental CT delta ----
+            # -- recombination: inheritance mask + problem CT derivation ----
             child_s = pop.s[p1]  # fancy indexing copies the parent rows
             child_ct = pop.ct[p1]
             comb = rng.random(P) < cfg.p_comb
-            mask = crossover_mask(cfg.crossover, P, nt, rng, active=comb)
+            mask = self._cross_mask(P, nt, rng, comb)
             if comb.any():
-                # batch_ct_delta touches only the genes that actually differ
-                new_s = np.where(mask, pop.s[p2], child_s)
-                batch_ct_delta(inst, child_ct, child_s, new_s)
-                child_s = new_s
+                child_s = self._recombine(inst, child_s, child_ct, pop.s[p2], mask)
             if rec is not None:
                 rec.observe("phase.crossover_us", (perf() - t) * 1e6)
                 t = perf()
@@ -199,7 +193,7 @@ class VectorizedSyncCGA(_EngineBase):
         The population-wide analogue of :meth:`Schedule.resync` — the
         incremental-update invariant check used by the tests.
         """
-        fresh = batch_completion_times(self.instance, self.pop.s)
+        fresh = self.pop.problem.population_ct(self.instance, self.pop.s)
         drift = float(np.abs(fresh - self.pop.ct).max(initial=0.0))
         self.pop.ct[:] = fresh
         self.pop.fitness[:] = self._fitness(self.pop.s, self.pop.ct, self.instance)

@@ -11,6 +11,8 @@ Commands:
 * ``resume``      — continue a run from a ``--checkpoint`` file;
 * ``engines``     — list the engine registry (names, aliases,
   substrate, resumability);
+* ``problems``    — list the registered scheduling problems (genome
+  type, operator families, batch kernels, supported engines);
 * ``obs``         — live/longitudinal telemetry tooling: ``watch`` a
   running bundle, ``ingest`` finished bundles into a JSONL run
   history, ``history``/``diff`` past runs, and ``check`` a run against
@@ -32,12 +34,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.cli import engines, experiments, instances, obs, resume, solve
+from repro.cli import engines, experiments, instances, obs, problems, resume, solve
 
 __all__ = ["main", "build_parser"]
 
 #: registration order fixes the order commands appear in ``--help``.
-_MODULES = (instances, solve, resume, engines, obs, experiments)
+_MODULES = (instances, solve, resume, engines, problems, obs, experiments)
 
 
 def build_parser() -> argparse.ArgumentParser:

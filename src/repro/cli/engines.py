@@ -36,6 +36,7 @@ def build_config(args, spec):
     from repro.cga import CGAConfig
 
     return CGAConfig(
+        problem=getattr(args, "problem", "independent"),
         n_threads=args.threads if spec.threaded else 1,
         crossover=args.crossover,
         fitness=args.fitness,

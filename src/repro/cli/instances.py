@@ -14,12 +14,22 @@ def register(sub) -> None:
         "--lp-bound", action="store_true", help="also compute the LP lower bound"
     )
 
-    p = sub.add_parser("generate", help="generate an ETC instance file")
-    p.add_argument("--ntasks", type=int, default=512)
+    p = sub.add_parser("generate", help="generate a problem instance file")
+    p.add_argument(
+        "--problem",
+        choices=["independent", "flowshop"],
+        default="independent",
+        help="workload to generate (ETC matrix or flow-shop processing times)",
+    )
+    p.add_argument(
+        "--ntasks", type=int, default=512, help="tasks (flow shop: jobs)"
+    )
     p.add_argument("--nmachines", type=int, default=16)
-    p.add_argument("--consistency", choices=["c", "i", "s"], default="i")
-    p.add_argument("--task-het", default="hi")
-    p.add_argument("--machine-het", default="hi")
+    p.add_argument(
+        "--consistency", choices=["c", "i", "s"], default="i", help="ETC only"
+    )
+    p.add_argument("--task-het", default="hi", help="ETC only")
+    p.add_argument("--machine-het", default="hi", help="ETC only")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True)
 
@@ -69,6 +79,13 @@ def _cmd_heuristics(args) -> int:
 
 
 def _cmd_generate(args) -> int:
+    if args.problem == "flowshop":
+        from repro.problems.flowshop import make_flowshop, save_flowshop_instance
+
+        inst = make_flowshop(args.ntasks, args.nmachines, seed=args.seed)
+        save_flowshop_instance(inst, args.out)
+        print(f"wrote {inst.name} ({inst.njobs}x{inst.nmachines}) to {args.out}")
+        return 0
     from repro.etc import make_instance, save_instance
 
     inst = make_instance(

@@ -1,0 +1,70 @@
+"""``repro problems``: list the registered scheduling problems.
+
+One row per :class:`repro.problems.SchedulingProblem` — genome type,
+operator families, batch-kernel availability and which engines of the
+registry can run it (batch engines need the problem's batch suite).
+"""
+
+from __future__ import annotations
+
+__all__ = ["register", "HANDLERS"]
+
+
+def register(sub) -> None:
+    sub.add_parser(
+        "problems",
+        help="list the registered scheduling problems (genome, kernels, engines)",
+    )
+
+
+def _supported_engines(problem) -> str:
+    from repro.runtime.registry import ENGINE_SPECS
+
+    names = [
+        spec.name
+        for spec in ENGINE_SPECS.values()
+        if not spec.batch or problem.has_batch_kernels
+    ]
+    return ", ".join(names)
+
+
+def _cmd_problems(args) -> int:
+    from repro.experiments import ascii_table
+    from repro.problems import PROBLEMS
+
+    rows = []
+    for problem in PROBLEMS.values():
+        ops = problem.operator_names()
+        rows.append(
+            [
+                problem.name,
+                str(problem.genome_dtype),
+                ", ".join(ops["crossover"]),
+                ", ".join(ops["mutation"]),
+                ", ".join(ops["local_search"]),
+                "yes" if problem.has_batch_kernels else "no",
+                _supported_engines(problem),
+            ]
+        )
+    print(
+        ascii_table(
+            [
+                "problem",
+                "genome",
+                "crossovers",
+                "mutations",
+                "local searches",
+                "batch",
+                "engines",
+            ],
+            rows,
+        )
+    )
+    print()
+    for problem in PROBLEMS.values():
+        print(f"{problem.name:<12} {problem.summary}")
+        print(f"{'':<12} default instance: {problem.default_instance}")
+    return 0
+
+
+HANDLERS = {"problems": _cmd_problems}

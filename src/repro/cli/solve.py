@@ -15,8 +15,20 @@ def register(sub) -> None:
         ("solve", "run PA-CGA on an instance"),
         ("run", "alias for solve"),
     ):
+        from repro.problems import problem_names
+
         p = sub.add_parser(name, help=help_, epilog=alias_epilog())
-        p.add_argument("--instance", default="u_i_hihi.0")
+        p.add_argument(
+            "--problem",
+            choices=problem_names(),
+            default="independent",
+            help="registered scheduling problem (see `repro problems`)",
+        )
+        p.add_argument(
+            "--instance",
+            default=None,
+            help="instance name/spec (default: the problem's default instance)",
+        )
         p.add_argument("--engine", choices=engine_choices(), default="sim")
         p.add_argument("--threads", type=int, default=3)
         p.add_argument("--crossover", choices=["opx", "tpx", "uniform"], default="tpx")
@@ -212,10 +224,19 @@ def print_result(args, inst, engine_name, config, result, obs=None) -> None:
             for kind, path in sorted(paths.items()):
                 print(f"  {kind:<10} {path}")
     if args.gantt:
-        from repro.util import render_gantt
+        from repro.problems import problem_of
 
+        sched = result.best_schedule(inst)
         print()
-        print(render_gantt(result.best_schedule(inst)))
+        if problem_of(inst).name == "independent":
+            from repro.util import render_gantt
+
+            print(render_gantt(sched))
+        else:
+            # permutation problems have no per-machine task queues to
+            # chart; the job order *is* the schedule
+            print(f"job order : {' '.join(str(int(j)) for j in sched.s)}")
+            print(f"makespan  : {sched.makespan():,.2f}")
     if args.out:
         from repro.util import save_result
 
@@ -225,7 +246,7 @@ def print_result(args, inst, engine_name, config, result, obs=None) -> None:
 
 def _cmd_solve(args) -> int:
     from repro.cga import StopCondition
-    from repro.etc import load_benchmark
+    from repro.problems import resolve_problem
     from repro.runtime import resolve_engine, run_with_checkpoints
 
     rc = _reject_stray_flags(args)
@@ -243,7 +264,8 @@ def _cmd_solve(args) -> int:
         )
         return 2
 
-    inst = load_benchmark(args.instance)
+    problem = resolve_problem(args.problem)
+    inst = problem.load_instance(args.instance or problem.default_instance)
     config = build_config(args, spec)
     bounds = {}
     if args.evals is not None:

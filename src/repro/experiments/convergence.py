@@ -17,8 +17,8 @@ import numpy as np
 
 from repro.cga.config import CGAConfig, StopCondition
 from repro.etc.model import ETCMatrix
-from repro.etc.registry import load_benchmark
 from repro.experiments.report import ascii_series
+from repro.experiments.runner import resolve_instance
 from repro.parallel.costmodel import XEON_E5440, CostModel
 from repro.parallel.simengine import SimulatedPACGA
 from repro.rng import DEFAULT_SEED, seed_for_run
@@ -72,8 +72,8 @@ def convergence_experiment(
     With ``obs_out`` set, the first run of every thread count writes a
     telemetry bundle to ``{obs_out}/n{threads}``.
     """
-    inst = load_benchmark(instance) if isinstance(instance, str) else instance
     base = base_config or CGAConfig()
+    inst = resolve_instance(instance, base)
     stop = StopCondition(virtual_time=virtual_time)
     result = ConvergenceResult(
         instance=inst.name, virtual_time=virtual_time, n_runs=n_runs

@@ -18,11 +18,27 @@ from repro.cga.engine import RunResult
 from repro.experiments.stats import SummaryStats, summarize
 from repro.rng import seed_for_run
 
-__all__ = ["MultiRunResult", "run_many", "engine_factory"]
+__all__ = ["MultiRunResult", "run_many", "engine_factory", "resolve_instance"]
 
 #: factory(seed_sequence) → RunResult; the seed is a SeedSequence so the
 #: factory can spawn per-thread streams from it.
 EngineFactory = Callable[[np.random.SeedSequence], RunResult]
+
+
+def resolve_instance(instance, config=None):
+    """Materialize a string instance spec through the problem registry.
+
+    Non-string instances pass through untouched.  Strings resolve with
+    the loader of ``config.problem`` (the independent workload when no
+    config is given), so the experiment harnesses run any registered
+    problem by pairing an instance spec with a config naming it.
+    """
+    if not isinstance(instance, str):
+        return instance
+    from repro.problems import resolve_problem
+
+    name = getattr(config, "problem", "independent") if config is not None else "independent"
+    return resolve_problem(name).load_instance(instance)
 
 
 def engine_factory(engine, instance, config, stop, **engine_kwargs) -> EngineFactory:

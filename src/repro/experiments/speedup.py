@@ -14,9 +14,8 @@ from dataclasses import dataclass, field
 
 from repro.cga.config import CGAConfig, StopCondition
 from repro.etc.model import ETCMatrix
-from repro.etc.registry import load_benchmark
 from repro.experiments.report import ascii_table
-from repro.experiments.runner import run_many
+from repro.experiments.runner import resolve_instance, run_many
 from repro.parallel.costmodel import XEON_E5440, CostModel
 from repro.parallel.simengine import SimulatedPACGA
 from repro.rng import DEFAULT_SEED
@@ -78,8 +77,8 @@ def speedup_experiment(
     ``{obs_out}/iter{it}_n{n}`` — virtual-time trace spans per logical
     thread plus the convergence time series.
     """
-    inst = load_benchmark(instance) if isinstance(instance, str) else instance
     base = base_config or CGAConfig()
+    inst = resolve_instance(instance, base)
     result = SpeedupResult(
         instance=inst.name, virtual_time=virtual_time, n_runs=n_runs
     )

@@ -72,7 +72,10 @@ class BatchOps:
     :class:`repro.cga.vectorized.VectorizedSyncCGA` and the
     shared-memory block engine (:mod:`repro.parallel.shm`) breed from
     the same suite, so "does this config have batch kernels?" is
-    answered in exactly one place.
+    answered in exactly one place.  ``cross_mask`` draws the boolean
+    inheritance masks (``(P, n, rng, active) -> mask``) and
+    ``recombine`` applies them with the problem's CT derivation
+    (``(instance, child_s, child_ct, p2_s, mask) -> new_s``).
     """
 
     select: Callable
@@ -80,36 +83,77 @@ class BatchOps:
     mutate: Callable
     local_search: Callable | None
     accept: Callable
+    cross_mask: Callable
+    recombine: Callable
 
 
-def resolve_batch_ops(config) -> BatchOps:
-    """Resolve a config's operator *names* against the batch registries.
+def _masked(mask_fn: Callable) -> Callable:
+    """Bind a mask generator into the (P, n, rng, active) call shape."""
+
+    def cross_mask(P, n, rng, active=None):
+        mask = mask_fn(P, n, rng)
+        if active is not None:
+            mask &= active[:, None]
+        return mask
+
+    return cross_mask
+
+
+def resolve_batch_ops(config, problem=None) -> BatchOps:
+    """Resolve a config's operator *names* against a problem's batch suite.
 
     ``config`` only needs the operator-name attributes of
     ``repro.cga.config.CGAConfig`` (duck-typed to keep this package
-    import-independent of ``repro.cga``).  Raises ``ValueError`` for
-    any operator without a batch kernel — never a silent fallback.
+    import-independent of ``repro.cga``).  ``problem`` defaults to the
+    config's registered problem (the independent workload when the
+    config predates the problem field).  Raises ``ValueError`` for any
+    operator without a batch kernel — never a silent fallback.
     """
+    if problem is None:
+        from repro.problems import resolve_problem
+
+        problem = resolve_problem(getattr(config, "problem", "independent"))
+    if not problem.has_batch_kernels:
+        raise ValueError(
+            f"problem {problem.name!r} provides no batch-kernel suite; "
+            f"use a scalar engine"
+        )
     try:
         select = resolve_batch_selection(config.selection)
-        fitness = resolve_batch_fitness(config.fitness)
-        mutate = resolve_batch_mutation(config.mutation)
+    except KeyError as exc:
+        raise ValueError(str(exc)) from None
+    try:
+        fitness = problem.batch_fitness[config.fitness]
+        mutate = problem.batch_mutations[config.mutation]
         local_search = (
-            resolve_batch_local_search(config.local_search)
+            problem.batch_local_searches[config.local_search]
             if config.local_search is not None
             else None
         )
     except KeyError as exc:
-        raise ValueError(str(exc)) from None
-    if config.crossover not in BATCH_CROSSOVER_MASKS:
-        raise ValueError(f"no batch crossover kernel for {config.crossover!r}")
+        raise ValueError(
+            f"no batch kernel for {exc.args[0]!r} on problem {problem.name!r}"
+        ) from None
+    if config.crossover not in problem.batch_cross_masks:
+        raise ValueError(
+            f"no batch crossover kernel for {config.crossover!r} "
+            f"on problem {problem.name!r}"
+        )
     try:
         accept = BATCH_REPLACEMENTS[config.replacement]
     except KeyError:
         raise ValueError(
             f"no batch replacement rule for {config.replacement!r}"
         ) from None
-    return BatchOps(select, fitness, mutate, local_search, accept)
+    return BatchOps(
+        select,
+        fitness,
+        mutate,
+        local_search,
+        accept,
+        _masked(problem.batch_cross_masks[config.crossover]),
+        problem.batch_recombine,
+    )
 
 
 __all__ = [

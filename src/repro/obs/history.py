@@ -51,6 +51,7 @@ ROW_FIELDS = (
     "run_id",
     "recorded_unix",
     "engine",
+    "problem",
     "instance",
     "n_threads",
     "seed",
@@ -92,6 +93,7 @@ def summarize_bundle(bundle_dir) -> dict:
         "run_id": meta.get("run_id") or root.resolve().name,
         "recorded_unix": None,  # stamped by append_history
         "engine": meta.get("engine"),
+        "problem": meta.get("problem", "independent"),
         "instance": meta.get("instance"),
         "n_threads": meta.get("n_threads"),
         "seed": meta.get("seed"),

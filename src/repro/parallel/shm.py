@@ -55,6 +55,24 @@ the block sweeps round-robin in the calling process — identical
 genetics, streams and budget split, pinned interleaving — which is the
 mode the universal checkpoint layer snapshots and resumes bit-exactly.
 
+Worker collapse on oversubscribed hosts
+---------------------------------------
+Forking more workers than the machine has cores cannot add
+parallelism — it only shrinks each worker's batch from ``pop/N`` rows
+toward zero while every sweep still pays the same fixed Python/numpy
+kernel-dispatch cost (the ``shm(4) < shm(1)`` throughput anomaly on
+single-core boxes).  Free-running mode therefore forks only
+``min(n_threads, cpu_count)`` processes and hands each one a
+contiguous *group* of blocks that it breeds as a single fused batch:
+block ownership, budget shares and per-worker counters keep the
+configured ``n_threads`` granularity, but the kernel batch stays at
+``pop/n_procs`` rows, so the per-sweep fixed cost is paid once per
+process instead of once per logical worker.  On a machine with enough
+cores the groups are singletons and nothing changes.  Pass
+``oversubscribe=True`` (or set ``REPRO_SHM_OVERSUBSCRIBE=1``) to force
+the full one-process-per-block fan-out — the observability smokes use
+this to exercise real multi-process crash/stall attribution anywhere.
+
 ``stall_kill_s`` arms a parent-side watchdog over the fork-shared
 heartbeat counters (free-running mode): a worker whose heartbeat does
 not advance for that long gets the whole worker group terminated and
@@ -75,7 +93,7 @@ import numpy as np
 from repro.cga.config import CGAConfig, StopCondition
 from repro.cga.engine import RunResult
 from repro.cga.hooks import as_hooks
-from repro.kernels import batch_ct_delta, crossover_mask, resolve_batch_ops
+from repro.kernels import resolve_batch_ops
 from repro.obs.dynamics import record_batch_attribution
 from repro.runtime.budget import Budget
 from repro.runtime.context import (
@@ -181,6 +199,12 @@ class ShmBlockPACGA:
     stall_kill_s:
         Free-running mode: terminate the worker group and raise if any
         worker's heartbeat stalls this long (None disables).
+    oversubscribe:
+        Free-running mode: fork one process per block even when that
+        exceeds the core count (default collapses workers to
+        ``min(n_threads, cpu_count)`` fused-batch processes — see the
+        module docstring).  ``REPRO_SHM_OVERSUBSCRIBE=1`` forces this
+        from the environment.
     """
 
     engine_name = "shm"
@@ -194,6 +218,7 @@ class ShmBlockPACGA:
         hooks=None,
         lockstep: bool = False,
         stall_kill_s: float | None = None,
+        oversubscribe: bool = False,
     ):
         try:
             self._mpctx = multiprocessing.get_context("fork")
@@ -226,6 +251,7 @@ class ShmBlockPACGA:
         self.hooks = as_hooks(hooks)
         self.lockstep = lockstep
         self.stall_kill_s = stall_kill_s
+        self.oversubscribe = oversubscribe
         self.grid = ctx.grid
         self.neighbors = ctx.neighbors
         self.blocks = ctx.blocks
@@ -234,7 +260,7 @@ class ShmBlockPACGA:
         self.pop = ctx.pop
         self.crosses = ctx.crosses
         self.obs = ctx.obs
-        self._batch = resolve_batch_ops(self.config)
+        self._batch = resolve_batch_ops(self.config, problem=self.pop.problem)
         self._seq = arrays["seq"]
         self._block_id, self._shared_read = partition_ownership(
             self.neighbors, self.blocks, n_cells
@@ -248,6 +274,10 @@ class ShmBlockPACGA:
         n = self.config.n_threads
         self._eval_counts = [0] * n
         self._gen_counts = [0] * n
+        #: per-leader fused sweep plans, set by :meth:`_run_free` when
+        #: workers collapse (None = one sweep unit per block)
+        self._plans: dict | None = None
+        self._n_procs = 0
         self._resume: dict | None = None
         self._ckpt = None
         self._finalizer = weakref.finalize(self, self._arena.unlink)
@@ -324,17 +354,59 @@ class ShmBlockPACGA:
                 time.sleep(0)  # yield so the writer can finish the row
         return s_out, ct_out
 
-    def _gather_rows(self, tid: int, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _foreign(self, tid: int, ids: np.ndarray, plan: dict | None) -> np.ndarray:
+        """Positions in ``ids`` owned by another process' sweep unit."""
+        if plan is None:
+            return np.flatnonzero(self._block_id[ids] != tid)
+        return np.flatnonzero(plan["group_id"][ids] != plan["gid"])
+
+    def _gather_rows(
+        self, tid: int, ids: np.ndarray, plan: dict | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Copy parent rows; foreign rows go through :meth:`_seq_gather`."""
         pop = self.pop
         s_out = pop.s[ids]  # fancy indexing copies
         ct_out = pop.ct[ids]
-        foreign = np.flatnonzero(self._block_id[ids] != tid)
+        foreign = self._foreign(tid, ids, plan)
         if foreign.size:
             fs, fct = self._seq_gather(ids[foreign])
             s_out[foreign] = fs
             ct_out[foreign] = fct
         return s_out, ct_out
+
+    def _gather_s(
+        self, tid: int, ids: np.ndarray, plan: dict | None = None
+    ) -> np.ndarray:
+        """Genomes only — the second parent's CT row is never read.
+
+        Recombination derives the child's CT from the *first* parent's
+        (genome, CT) pair plus the inherited genes, so gathering the
+        second parent's CT row was pure overhead: an extra
+        ``(B, nmachines)`` float64 copy per sweep plus seqlock retries
+        whenever a neighbor was mid-publish in that row.  Foreign rows
+        still seqlock the genome so a torn half-written permutation can
+        never enter a crossover.
+        """
+        pop, seq = self.pop, self._seq
+        s_out = pop.s[ids]  # fancy indexing copies
+        foreign = self._foreign(tid, ids, plan)
+        if foreign.size:
+            fids = ids[foreign]
+            pending = np.arange(foreign.size)
+            spins = 0
+            while pending.size:
+                pids = fids[pending]
+                before = seq[pids].copy()
+                s_out[foreign[pending]] = pop.s[pids]
+                after = seq[pids]
+                ok = (before == after) & (before % 2 == 0)
+                if ok.all():
+                    break
+                pending = pending[~ok]
+                spins += 1
+                if spins > 4:  # pragma: no cover - timing-dependent
+                    time.sleep(0)  # yield so the writer can finish the row
+        return s_out
 
     def _publish(
         self,
@@ -342,13 +414,17 @@ class ShmBlockPACGA:
         s_rows: np.ndarray,
         ct_rows: np.ndarray,
         fit_rows: np.ndarray,
+        shared_read: np.ndarray | None = None,
     ) -> int:
         """Write accepted children back; boundary rows seqlock-stamped.
 
         Returns the number of seqlock-stamped (boundary) publications.
+        ``shared_read`` overrides the block-granularity visibility mask
+        (fused sweep units stamp only rows some *other process* reads).
         """
         pop, seq = self.pop, self._seq
-        shared = self._shared_read[rows]
+        mask = self._shared_read if shared_read is None else shared_read
+        shared = mask[rows]
         sh = np.flatnonzero(shared)
         if sh.size:
             srows = rows[sh]
@@ -378,11 +454,22 @@ class ShmBlockPACGA:
         The phase order and per-phase RNG consumption mirror
         :meth:`repro.cga.vectorized.VectorizedSyncCGA.run` exactly, so
         a one-block run is the vectorized engine modulo the seed tree.
+
+        When :meth:`_run_free` collapsed oversubscribed workers, ``tid``
+        is a group leader and the sweep covers the group's fused cells
+        (``self._plans[tid]``) in one batch.
         """
         pop, cfg, inst = self.pop, self.config, self.instance
         batch = self._batch
-        block = self.blocks[tid]
-        nb = self._nb_blocks[tid]  # (B, k) global cell ids
+        plan = self._plans.get(tid) if self._plans is not None else None
+        if plan is None:
+            block = self.blocks[tid]
+            nb = self._nb_blocks[tid]  # (B, k) global cell ids
+            shared_read = None
+        else:
+            block = plan["cells"]
+            nb = plan["nb"]
+            shared_read = plan["shared"]
         B = block.size
         # selection: neighborhood fitness is read lock-free — stale
         # values are the paper's asynchronous semantics, and each
@@ -392,14 +479,12 @@ class ShmBlockPACGA:
         r = np.arange(B)
         p1 = nb[r, a]
         p2 = nb[r, b]
-        child_s, child_ct = self._gather_rows(tid, p1)
+        child_s, child_ct = self._gather_rows(tid, p1, plan)
         comb = rng.random(B) < cfg.p_comb
-        mask = crossover_mask(cfg.crossover, B, inst.ntasks, rng, active=comb)
+        mask = batch.cross_mask(B, inst.ntasks, rng, comb)
         if comb.any():
-            p2_s, _ = self._gather_rows(tid, p2)
-            new_s = np.where(mask, p2_s, child_s)
-            batch_ct_delta(inst, child_ct, child_s, new_s)
-            child_s = new_s
+            p2_s = self._gather_s(tid, p2, plan)
+            child_s = batch.recombine(inst, child_s, child_ct, p2_s, mask)
         mut = rng.random(B) < cfg.p_mut
         batch.mutate(child_s, child_ct, inst, rng, mut)
         ls_rows = np.empty(0, dtype=np.int64)
@@ -435,7 +520,9 @@ class ShmBlockPACGA:
         acc = np.flatnonzero(accept)
         pubs = 0
         if acc.size:
-            pubs = self._publish(block[acc], child_s[acc], child_ct[acc], child_fit[acc])
+            pubs = self._publish(
+                block[acc], child_s[acc], child_ct[acc], child_fit[acc], shared_read
+            )
         return int(acc.size), pubs
 
     # ------------------------------------------------------------------
@@ -445,11 +532,13 @@ class ShmBlockPACGA:
         n = self.config.n_threads
         self._eval_counts = list(resume["eval_counts"]) if resume else [0] * n
         self._gen_counts = list(resume["gen_counts"]) if resume else [0] * n
+        self._n_procs = 0  # reported only by free-running runs
         try:
             if self.lockstep:
                 return self._run_lockstep(stop)
             return self._run_free(stop)
         finally:
+            self._plans = None
             self._arena.unlink()
 
     def _result(self, budget: Budget) -> RunResult:
@@ -468,6 +557,9 @@ class ShmBlockPACGA:
                 "n_threads": self.config.n_threads,
                 "lockstep": self.lockstep,
                 "boundary_cells": int(self._shared_read.sum()),
+                **(
+                    {"worker_processes": self._n_procs} if self._n_procs else {}
+                ),
             },
         )
         return finish_run(
@@ -535,16 +627,60 @@ class ShmBlockPACGA:
         return self._result(budget)
 
     # ------------------------------------------------------------------
+    def _free_plan(self, n_procs: int) -> tuple[list[list[int]], dict | None]:
+        """Group the ``n_threads`` blocks into ``n_procs`` sweep units.
+
+        Returns ``(groups, plans)``: ``groups[g]`` is the list of block
+        ids process ``g`` owns; ``plans`` (None when every group is a
+        singleton) maps each group's *leader* block id to the fused
+        sweep structures :meth:`_step_block` consumes — concatenated
+        cells, stacked neighbor table, group ownership for the gathers,
+        and the group-granularity shared-read mask so only rows some
+        other process reads pay seqlock stamps.
+        """
+        n = self.config.n_threads
+        groups = [
+            [int(t) for t in g] for g in np.array_split(np.arange(n), n_procs)
+        ]
+        if n_procs == n:
+            return groups, None
+        fused = [np.concatenate([self.blocks[t] for t in g]) for g in groups]
+        group_id, group_shared = partition_ownership(
+            self.neighbors, fused, self.grid.size
+        )
+        plans = {}
+        for gid, g in enumerate(groups):
+            crosses = (group_id[self.neighbors[fused[gid]]] != gid).any(axis=1)
+            plans[g[0]] = {
+                "gid": gid,
+                "cells": fused[gid],
+                "nb": np.vstack([self._nb_blocks[t] for t in g]),
+                "group_id": group_id,
+                "shared": group_shared,
+                "boundary": int(crosses.sum()),
+            }
+        return groups, plans
+
     def _run_free(self, stop: StopCondition) -> RunResult:
         """Free-running forked workers (the paper's concurrent execution).
 
         Always forks — even at ``n_threads=1`` — so measured rates are
         comparable across worker counts (the speedup benchmark divides
-        them) and the lifecycle is exercised identically.
+        them) and the lifecycle is exercised identically.  Workers
+        beyond the core count are collapsed into fused-batch processes
+        (module docstring) unless ``oversubscribe`` is set.
         """
         n = self.config.n_threads
         budget = Budget(stop)
         share = budget.eval_share(n)
+        oversub = self.oversubscribe or (
+            os.environ.get("REPRO_SHM_OVERSUBSCRIBE") == "1"
+        )
+        n_procs = n if oversub else min(n, os.cpu_count() or 1)
+        groups, plans = self._free_plan(n_procs)
+        self._plans = plans
+        self._n_procs = n_procs
+        gid_of_tid = {t: gid for gid, g in enumerate(groups) for t in g}
         mp = self._mpctx
         eval_counts = mp.RawArray("l", n)
         gen_counts = mp.RawArray("l", n)
@@ -578,37 +714,55 @@ class ShmBlockPACGA:
         crash_tid = int(os.environ.get("REPRO_SHM_CRASH_WORKER", "-1"))
         crash_after = int(os.environ.get("REPRO_SHM_CRASH_AFTER", "3"))
 
-        def body(tid: int, scope) -> None:
-            rng = self._worker_rngs[tid]
+        def body(gid: int, scope) -> None:
+            members = groups[gid]
+            lead = members[0]
+            rng = self._worker_rngs[lead]
             rec = tracer = None
             if obs is not None:
                 from repro.obs.metrics import MetricRecorder
                 from repro.obs.trace import ThreadTracer
 
-                rec = MetricRecorder(str(tid))
-                tracer = ThreadTracer(tid, t0) if obs.tracer is not None else None
-            block_size = self.blocks[tid].size
-            boundary_size = self._boundary_per_sweep[tid]
-            evals = int(eval_counts[tid])
-            gens = int(gen_counts[tid])
-            start_gens = gens
+                rec = MetricRecorder(str(lead))
+                tracer = ThreadTracer(lead, t0) if obs.tracer is not None else None
+            sizes = [self.blocks[t].size for t in members]
+            sweep_size = sum(sizes)
+            if plans is None:
+                boundary_size = self._boundary_per_sweep[lead]
+            else:
+                boundary_size = plans[lead]["boundary"]
+            # members are a contiguous tid range (np.array_split), so
+            # the shared progress arrays update with slice stores — one
+            # ctypes call per array per sweep, not one per member
+            lo, hi = lead, members[-1] + 1
+            evals_m = [int(eval_counts[t]) for t in members]
+            gens_m = [int(gen_counts[t]) for t in members]
+            beats_m = [int(beats[t]) for t in members]
+            start_gens = gens_m[0]
+            crash_here = crash_tid in members
             perf = time.perf_counter
-            while not budget.worker_exhausted(evals, gens, share):
+            while not all(
+                budget.worker_exhausted(e, g, share)
+                for e, g in zip(evals_m, gens_m)
+            ):
                 sweep_start = perf()
-                replaced, pubs = self._step_block(tid, rng, rec)
-                evals += block_size
-                gens += 1
-                beats[tid] += 1
-                eval_counts[tid] = evals
-                gen_counts[tid] = gens
+                replaced, pubs = self._step_block(lead, rng, rec)
+                for i, sz in enumerate(sizes):
+                    evals_m[i] += sz
+                    gens_m[i] += 1
+                    beats_m[i] += 1
+                eval_counts[lo:hi] = evals_m
+                gen_counts[lo:hi] = gens_m
+                beats[lo:hi] = beats_m
+                gens = gens_m[0]
                 if scope is not None:
                     scope.record("sweep", f"pubs={pubs}", float(gens))
                 if rec is not None:
                     sweep_end = perf()
                     rec.observe("sweep_us", (sweep_end - sweep_start) * 1e6)
                     rec.inc("sweeps")
-                    rec.inc("breeding.evaluations", block_size)
-                    rec.inc("breeding.steps", block_size)
+                    rec.inc("breeding.evaluations", sweep_size)
+                    rec.inc("breeding.steps", sweep_size)
                     rec.inc("breeding.replacements", replaced)
                     rec.inc("boundary_evals", boundary_size)
                     rec.inc("boundary_publishes", pubs)
@@ -619,32 +773,35 @@ class ShmBlockPACGA:
                             sweep_end - sweep_start,
                             {"generation": gens},
                         )
-                if tid == crash_tid and gens - start_gens >= crash_after:
+                if crash_here and gens - start_gens >= crash_after:
                     raise RuntimeError(
-                        f"injected crash in shm worker {tid} "
+                        f"injected crash in shm worker {crash_tid} "
                         "(REPRO_SHM_CRASH_WORKER)"
                     )
-            done[tid] = 1  # budget exhausted != stalled
+            for t in members:
+                done[t] = 1  # budget exhausted != stalled
             if scope is not None:
-                scope.record("budget.done", value=float(gens))
+                scope.record("budget.done", value=float(gens_m[0]))
             if rec is not None:
                 telemetry_q.put(
-                    (tid, rec.snapshot(), tracer.events if tracer is not None else [])
+                    (lead, rec.snapshot(), tracer.events if tracer is not None else [])
                 )
 
-        def worker(tid: int) -> None:
+        def worker(gid: int) -> None:
             if obs is not None:
                 # per-process observability (flight ring, crash hooks,
                 # resource/stack samplers) must be built post-fork so it
                 # observes this worker, not the parent
-                with obs.process_scope(f"w{tid}") as scope:
-                    body(tid, scope)
+                with obs.process_scope(f"w{groups[gid][0]}") as scope:
+                    body(gid, scope)
             else:
-                body(tid, None)
+                body(gid, None)
 
         procs = [
-            mp.Process(target=worker, args=(tid,), name=f"pacga-shm-w{tid}")
-            for tid in range(n)
+            mp.Process(
+                target=worker, args=(gid,), name=f"pacga-shm-w{groups[gid][0]}"
+            )
+            for gid in range(n_procs)
         ]
         def drain_telemetry() -> None:
             # Drain while workers are still alive, not just after join: a
@@ -688,7 +845,10 @@ class ShmBlockPACGA:
                         # worker to dump its own stacks (its SIGUSR1
                         # handler, installed by the flight scope) so the
                         # evidence lands in the bundle before terminate
-                        self._capture_stalled_stacks(procs, stalled)
+                        lead = groups[gid_of_tid[stalled.worker]][0]
+                        self._capture_stalled_stacks(
+                            procs[gid_of_tid[stalled.worker]], f"w{lead}", stalled
+                        )
                         for p in procs:
                             if p.is_alive():
                                 p.terminate()
@@ -702,7 +862,7 @@ class ShmBlockPACGA:
                         "interrupted_by",
                         {
                             "role": f"w{stalled.worker}",
-                            "pid": procs[stalled.worker].pid,
+                            "pid": procs[gid_of_tid[stalled.worker]].pid,
                             "reason": "stall",
                             "stalled_s": round(stalled.stalled_s, 3),
                         },
@@ -712,7 +872,11 @@ class ShmBlockPACGA:
                     f"{stalled.stalled_s:.1f}s (heartbeat {stalled.heartbeat}); "
                     "worker group terminated"
                 )
-            failed = [(tid, p) for tid, p in enumerate(procs) if p.exitcode != 0]
+            failed = [
+                (groups[gid][0], p)
+                for gid, p in enumerate(procs)
+                if p.exitcode != 0
+            ]
             if failed:
                 if obs is not None:
                     tid0, p0 = failed[0]
@@ -735,24 +899,25 @@ class ShmBlockPACGA:
             obs.stop_runtime()
         return self._result(budget)
 
-    def _capture_stalled_stacks(self, procs, stalled, wait_s: float = 1.5) -> None:
+    def _capture_stalled_stacks(self, victim, role, stalled, wait_s: float = 1.5) -> None:
         """Stall escalation: SIGUSR1 the stalled worker, wait for its dump.
 
-        The worker's flight-scope signal handler appends an all-thread
-        stack dump to ``flight/stacks-w<tid>.txt``; the parent waits
-        (bounded) for that file so the capture lands in the bundle
-        *before* the group is terminated.  No-op without flight
-        recording or when the worker is already gone.
+        ``victim`` is the process hosting the stalled block, ``role``
+        its flight-scope role (the group leader's ``w<tid>``).  The
+        worker's signal handler appends an all-thread stack dump to
+        ``flight/stacks-<role>.txt``; the parent waits (bounded) for
+        that file so the capture lands in the bundle *before* the group
+        is terminated.  No-op without flight recording or when the
+        worker is already gone.
         """
         obs = self.obs
         if obs is None or not obs.flight_enabled:
             return
-        victim = procs[stalled.worker]
         if not victim.is_alive() or victim.pid is None:
             return
         from repro.obs.flight import flight_paths
 
-        stacks_path = flight_paths(obs.out, f"w{stalled.worker}")["stacks"]
+        stacks_path = flight_paths(obs.out, role)["stacks"]
         before = stacks_path.stat().st_size if stacks_path.exists() else 0
         try:
             import signal as _signal

@@ -1,0 +1,69 @@
+"""Problem registry — the single source of workload dispatch.
+
+Mirrors the engine registry (:mod:`repro.runtime.registry`): problems
+register by name, unknown names raise an error that lists the valid
+ones, and everything that needs workload-specific behavior — config
+validation, population codec, batch-kernel resolution, CLI ``--problem``
+choices, checkpoint stamps — resolves through this module.
+"""
+
+from __future__ import annotations
+
+from repro.problems.base import SchedulingProblem
+from repro.problems.flowshop import FLOWSHOP
+from repro.problems.independent import INDEPENDENT
+
+__all__ = [
+    "SchedulingProblem",
+    "PROBLEMS",
+    "register_problem",
+    "resolve_problem",
+    "problem_names",
+    "problem_of",
+    "DEFAULT_PROBLEM",
+]
+
+#: default problem: the paper's workload.
+DEFAULT_PROBLEM = "independent"
+
+#: name -> problem, in registration (= documentation) order.
+PROBLEMS: dict[str, SchedulingProblem] = {}
+
+
+def register_problem(problem: SchedulingProblem) -> SchedulingProblem:
+    """Register a problem under its canonical name (idempotent)."""
+    existing = PROBLEMS.get(problem.name)
+    if existing is not None and existing is not problem:
+        raise ValueError(f"problem {problem.name!r} is already registered")
+    PROBLEMS[problem.name] = problem
+    return problem
+
+
+def resolve_problem(name: str) -> SchedulingProblem:
+    """Look up a problem by name; unknown names list the valid ones."""
+    try:
+        return PROBLEMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown problem {name!r}; valid problems: {', '.join(PROBLEMS)}"
+        ) from None
+
+
+def problem_names() -> list[str]:
+    """Registered problem names in registration order."""
+    return list(PROBLEMS)
+
+
+def problem_of(instance) -> SchedulingProblem:
+    """Map an instance object back to its registered problem."""
+    for problem in PROBLEMS.values():
+        if problem.owns_instance(instance):
+            return problem
+    raise TypeError(
+        f"no registered problem owns instances of type {type(instance).__name__}; "
+        f"valid problems: {', '.join(PROBLEMS)}"
+    )
+
+
+register_problem(INDEPENDENT)
+register_problem(FLOWSHOP)

@@ -1,9 +1,11 @@
-"""Universal checkpoint/resume (format v2) for every checkpointable engine.
+"""Universal checkpoint/resume (format v3) for every checkpointable engine.
 
 Format v1 (``repro.cga.checkpoint``) snapshotted the sequential engines
 only: population arrays plus one RNG state, with the config stored as a
-``repr`` string.  Format v2 generalizes the snapshot to *every* engine
-the registry marks checkpointable:
+``repr`` string.  Format v2 generalized the snapshot to *every* engine
+the registry marks checkpointable; format v3 additionally stamps the
+registered problem (``repro.problems``) so a resumed run rebuilds its
+instance through the right workload loader:
 
 * ``config`` is a real dictionary (validated field-by-field on
   restore, not by string comparison);
@@ -23,7 +25,8 @@ natural quiescent points — see :func:`run_with_checkpoints`), and every
 value is JSON: PCG64 states are plain integers and Python's float
 round-trip via ``repr`` is exact, so resume is bit-exact by
 construction.  v1 files still load (state-only: the trajectory resumes
-exactly, the counters restart at zero).
+exactly, the counters restart at zero) and v2 files load with the
+problem defaulted to the independent workload they predate.
 """
 
 from __future__ import annotations
@@ -51,7 +54,10 @@ __all__ = [
     "run_with_checkpoints",
 ]
 
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
+
+#: format versions restore_state/resume_engine still understand.
+_COMPATIBLE_VERSIONS = (1, 2, 3)
 
 
 def spec_for(engine) -> EngineSpec:
@@ -79,6 +85,9 @@ def config_from_dict(data: dict) -> CGAConfig:
     """
     if not isinstance(data, dict):
         raise ValueError(f"checkpoint configuration must be a dict, got {type(data).__name__}")
+    data = dict(data)
+    # v2 checkpoints predate the problems layer: they are all independent
+    data.setdefault("problem", "independent")
     known = {f.name for f in fields(CGAConfig)}
     unknown = sorted(set(data) - known)
     missing = sorted(known - set(data))
@@ -89,7 +98,6 @@ def config_from_dict(data: dict) -> CGAConfig:
         if missing:
             parts.append(f"missing fields: {', '.join(missing)}")
         raise ValueError(f"invalid checkpoint configuration ({'; '.join(parts)})")
-    data = dict(data)
     obs = data.pop("obs", None)
     if obs is not None:
         from repro.obs.observer import ObsConfig
@@ -134,6 +142,7 @@ def capture_state(engine, stop: StopCondition | None = None) -> dict:
     state = {
         "format_version": CHECKPOINT_VERSION,
         "engine": spec.name,
+        "problem": getattr(engine.config, "problem", "independent"),
         "instance": engine.instance.name,
         "config": config_to_dict(engine.config),
         "population": {
@@ -173,12 +182,18 @@ def restore_state(engine, state: dict, resume: bool = True) -> None:
     if version == 1:
         _restore_v1(engine, state)
         return
-    if version != CHECKPOINT_VERSION:
+    if version not in _COMPATIBLE_VERSIONS:
         raise ValueError(f"unsupported checkpoint version: {version!r}")
     spec = spec_for(engine)
     if state.get("engine") != spec.name:
         raise ValueError(
             f"checkpoint is for engine {state.get('engine')!r}, restoring into {spec.name!r}"
+        )
+    problem = state.get("problem", "independent")
+    engine_problem = getattr(engine.config, "problem", "independent")
+    if problem != engine_problem:
+        raise ValueError(
+            f"checkpoint is for problem {problem!r}, restoring into {engine_problem!r}"
         )
     if config_from_dict(state["config"]) != engine.config:
         raise ValueError(
@@ -262,7 +277,7 @@ def resume_engine(
     """
     state = source if isinstance(source, dict) else load_state(source)
     version = state.get("format_version")
-    if version not in (1, CHECKPOINT_VERSION):
+    if version not in _COMPATIBLE_VERSIONS:
         raise ValueError(f"unsupported checkpoint version: {version!r}")
     if version == 1:
         raise ValueError(
@@ -281,15 +296,17 @@ def resume_engine(
         )
     config = config_from_dict(state["config"])
     if instance is None:
-        from repro.etc import BENCHMARK_INSTANCES, load_benchmark
+        from repro.problems import resolve_problem
 
+        problem = resolve_problem(config.problem)
         name = state["instance"]
-        if name not in BENCHMARK_INSTANCES:
+        try:
+            instance = problem.load_instance(name)
+        except (ValueError, OSError) as exc:
             raise ValueError(
-                f"checkpoint instance {name!r} is not a benchmark; "
-                "pass the instance explicitly to resume it"
-            )
-        instance = load_benchmark(name)
+                f"cannot rebuild checkpoint instance {name!r} for problem "
+                f"{problem.name!r} ({exc}); pass the instance explicitly"
+            ) from None
     elif getattr(instance, "name", None) != state["instance"]:
         raise ValueError(
             f"checkpoint is for instance {state['instance']!r}, "

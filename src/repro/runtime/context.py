@@ -3,11 +3,11 @@
 :func:`build_context` performs the setup stage every engine used to
 duplicate: operator resolution, neighbor table, block partitioning and
 sweep orders, RNG stream derivation from the seed tree, population
-initialization with the paper's Min-min seeding, and observer
-resolution.  This module is the **single** engine-side call site of
-:func:`repro.heuristics.minmin.min_min` — a new engine gets seeding,
-telemetry and heartbeat support by building a context, not by copying
-twenty lines of constructor code.
+initialization with the problem's heuristic seeding (the paper's
+Min-min for the independent workload, NEH for flow shop), and observer
+resolution.  This module is the **single** engine-side seeding call
+site — a new engine gets seeding, telemetry and heartbeat support by
+building a context, not by copying twenty lines of constructor code.
 
 The RNG topologies are exactly the ones the engines always used, so a
 refactored engine replays bit-identical streams:
@@ -32,7 +32,6 @@ from repro.cga.config import CGAConfig
 from repro.cga.neighborhood import neighbor_table
 from repro.cga.population import Population
 from repro.cga.sweep import sweep_order
-from repro.heuristics.minmin import min_min
 from repro.rng import make_rng, spawn_rngs
 
 __all__ = [
@@ -92,17 +91,18 @@ def init_population(
     fitness_fn: Callable,
     arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
 ) -> Population:
-    """Create and initialize a population (§4.1 Min-min seeding).
+    """Create and initialize a population (§4.1 heuristic seeding).
 
     ``arrays`` supplies pre-allocated backing buffers (the process
     engine passes shared memory).  This is the only place any engine
-    plants the Min-min individual.
+    plants the problem's constructive-heuristic individuals (Min-min
+    for the independent workload, NEH for flow shop).
     """
     if arrays is None:
         pop = Population(instance, grid)
     else:
         pop = Population(instance, grid, s=arrays[0], ct=arrays[1], fitness=arrays[2])
-    seeds = [min_min(instance)] if config.seed_with_minmin else None
+    seeds = pop.problem.seed_schedules(instance, config)
     pop.init_random(rng, seed_schedules=seeds, fitness_fn=fitness_fn)
     return pop
 
@@ -158,7 +158,17 @@ def build_context(
     The observer is resolved *after* population init so the initial
     evaluations stay out of the breeding-phase metrics.
     """
+    from repro.problems import problem_of  # lazy: problems import operators
+
     config = config or CGAConfig()
+    # the instance decides the workload: a default config on a flow-shop
+    # instance must resolve flow-shop operators, not ETC ones (and a
+    # config naming operators the instance's problem lacks fails with
+    # the problem-aware validation error, not an AttributeError deep in
+    # the ETC crossover).  Population makes the same inference.
+    prob = problem_of(instance)
+    if config.problem != prob.name:
+        config = config.with_(problem=prob.name)
     grid = config.grid
     neighbors = neighbor_table(grid, config.neighborhood)
     ops = config.resolve()
@@ -289,6 +299,7 @@ def finish_run(
         obs.record_result(result)
         obs.meta.setdefault("engine", engine_name)
         obs.meta.setdefault("instance", getattr(engine.instance, "name", None))
+        obs.meta.setdefault("problem", getattr(engine.config, "problem", "independent"))
         for key, value in (meta or {}).items():
             obs.meta.setdefault(key, value)
         if obs.auto_finalize:

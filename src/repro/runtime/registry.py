@@ -63,6 +63,11 @@ class EngineSpec:
     threaded:
         Whether ``config.n_threads`` maps to real workers (CLI keeps
         ``n_threads=1`` for the others).
+    batch:
+        Whether the engine breeds through the problem's batch-kernel
+        suite (``repro.kernels.resolve_batch_ops``); such engines only
+        run problems whose :class:`repro.problems.SchedulingProblem`
+        publishes batch kernels.
     extra_kwargs:
         Constructor keywords beyond the common four that the engine
         accepts (used to filter pass-through options).
@@ -77,6 +82,7 @@ class EngineSpec:
     checkpointable: bool = False
     seed_param: str = "rng"
     threaded: bool = False
+    batch: bool = False
     extra_kwargs: tuple[str, ...] = field(default=())
 
     def load(self) -> type:
@@ -193,6 +199,7 @@ register_engine(
         summary="synchronous CGA over whole-population NumPy batch kernels",
         checkpointable=True,
         seed_param="rng",
+        batch=True,
         extra_kwargs=("record_history", "on_generation"),
     )
 )
@@ -236,6 +243,7 @@ register_engine(
         checkpointable=True,
         seed_param="seed",
         threaded=True,
+        batch=True,
         extra_kwargs=("hooks", "lockstep", "stall_kill_s"),
     )
 )

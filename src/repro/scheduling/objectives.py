@@ -34,16 +34,30 @@ def flowtime(instance: ETCMatrix, assignment: np.ndarray) -> float:
     Xhafa et al.; the finishing time of the k-th task in SPT order is
     the prefix sum of ETCs, so per machine the flowtime is
     ``sum over k of (ready + prefix_sum_k)``.
+
+    One lexsort by (machine, time) groups every machine's tasks as a
+    contiguous ascending segment; a segmented cumulative sum then
+    yields all per-machine SPT flowtimes in a single pass.  For segment
+    ``[p0, p1)`` the flowtime is ``sum(cs[p0:p1]) - len * cs[p0 - 1]``
+    plus the ready-time term, with ``cs`` the global prefix sum of the
+    sorted times.  This is the single implementation: the weighted
+    fitness (:mod:`repro.cga.fitness`) divides it by ``ntasks``.
     """
     assignment = np.asarray(assignment)
-    total = 0.0
-    for m in range(instance.nmachines):
-        times = instance.etc_t[m, assignment == m]
-        if times.size == 0:
-            continue
-        times = np.sort(times)
-        total += float(np.cumsum(times).sum()) + float(instance.ready_times[m]) * times.size
-    return total
+    nt = instance.ntasks
+    v = instance.etc[np.arange(nt), assignment]  # ETC of each task on its machine
+    order = np.lexsort((v, assignment))
+    sv = v[order]
+    sm = assignment[order]
+    cs = np.cumsum(sv)
+    starts = np.flatnonzero(np.r_[True, sm[1:] != sm[:-1]])
+    counts = np.diff(np.append(starts, nt))
+    before = np.concatenate(([0.0], cs))[starts]  # prefix sum before each segment
+    return float(
+        cs.sum()
+        - float((counts * before).sum())
+        + float((counts * instance.ready_times[sm[starts]]).sum())
+    )
 
 
 def utilization(instance: ETCMatrix, assignment: np.ndarray) -> float:

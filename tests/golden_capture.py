@@ -1,0 +1,75 @@
+"""Capture golden best-fitness trajectories for the independent problem.
+
+Run BEFORE and AFTER a refactor; the committed JSON pins every
+deterministic engine's trajectory (history rows, final best, and a
+checksum of the final population) so a refactor provably adds zero
+behavioral drift.  Usage::
+
+    PYTHONPATH=src python tests/golden_capture.py [--check]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.cga import CGAConfig, StopCondition
+from repro.etc import make_instance
+from repro.runtime.registry import create_engine
+
+OUT = Path(__file__).parent / "data" / "golden_independent.json"
+
+#: (engine, n_threads, extra kwargs) — deterministic configurations only.
+ENGINES = [
+    ("async", 1, {}),
+    ("sync", 1, {}),
+    ("vectorized", 1, {}),
+    ("sim", 3, {}),
+    ("threads", 2, {"lockstep": True}),
+    ("shm", 2, {"lockstep": True}),
+]
+
+
+def capture() -> dict:
+    inst = make_instance(64, 8, consistency="i", seed=1)
+    rows = {}
+    for name, n_threads, extras in ENGINES:
+        config = CGAConfig(grid_rows=8, grid_cols=8, ls_iterations=5, n_threads=n_threads)
+        engine = create_engine(name, inst, config, seed=7, **extras)
+        result = engine.run(StopCondition(max_evaluations=1280))
+        pop = engine.pop
+        rows[f"{name}({n_threads})"] = {
+            "best_fitness": result.best_fitness,
+            "evaluations": result.evaluations,
+            "generations": result.generations,
+            "history_best": [row[2] for row in result.history],
+            "pop_digest": hashlib.sha256(
+                np.ascontiguousarray(pop.s).tobytes()
+                + np.ascontiguousarray(pop.fitness).tobytes()
+            ).hexdigest(),
+        }
+    return rows
+
+
+def main() -> int:
+    rows = capture()
+    if "--check" in sys.argv:
+        golden = json.loads(OUT.read_text())
+        ok = True
+        for key, row in rows.items():
+            if golden.get(key) != row:
+                ok = False
+                print(f"DRIFT in {key}:\n  golden: {golden.get(key)}\n  now:    {row}")
+        print("golden check:", "ok" if ok else "FAILED")
+        return 0 if ok else 1
+    OUT.write_text(json.dumps(rows, indent=2) + "\n")
+    print(f"captured {len(rows)} engine trajectories -> {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,8 +85,9 @@ class TestStateContents:
         state = engine_state(eng)
         text = json.dumps(state)
         assert "rng_streams" in text
-        assert state["format_version"] == 2
+        assert state["format_version"] == 3
         assert state["engine"] == "async"
+        assert state["problem"] == "independent"
         # the config is a real dict, not a repr string
         assert state["config"]["ls_iterations"] == CFG.ls_iterations
 

@@ -1,0 +1,259 @@
+"""Permutation flow shop: DP evaluation, Taillard acceleration, NEH,
+instance I/O and end-to-end runs through every engine."""
+
+import numpy as np
+import pytest
+
+from repro.problems.flowshop import (
+    FLOWSHOP,
+    FlowShopInstance,
+    FlowShopSchedule,
+    batch_flowshop_ct,
+    flowshop_ct,
+    insertion_makespans,
+    load_flowshop_instance,
+    make_flowshop,
+    neh_order,
+    save_flowshop_instance,
+)
+
+
+@pytest.fixture
+def inst():
+    return make_flowshop(10, 4, seed=1)
+
+
+def _brute_ct(p, s):
+    """Reference O(n*m) DP with explicit table (no rolling row)."""
+    n, m = len(s), p.shape[1]
+    c = np.zeros((n, m))
+    for i, j in enumerate(s):
+        for k in range(m):
+            up = c[i - 1, k] if i else 0.0
+            left = c[i, k - 1] if k else 0.0
+            c[i, k] = max(up, left) + p[j, k]
+    return c[-1]
+
+
+class TestEvaluation:
+    def test_scalar_dp_matches_reference(self, inst, rng):
+        for _ in range(30):
+            s = rng.permutation(inst.njobs).astype(np.int32)
+            ct = flowshop_ct(inst, s)
+            ref = _brute_ct(inst.p, s)
+            np.testing.assert_allclose(ct, ref, rtol=1e-12)
+            # the ct row is nondecreasing and ends at the makespan
+            assert (np.diff(ct) >= 0).all()
+            assert ct.max() == ct[-1]
+
+    def test_batch_matches_scalar_bitexact(self, inst, rng):
+        S = np.stack(
+            [rng.permutation(inst.njobs).astype(np.int32) for _ in range(12)]
+        )
+        CT = batch_flowshop_ct(inst, S)
+        for i in range(12):
+            assert np.array_equal(CT[i], flowshop_ct(inst, S[i]))
+
+    def test_single_machine_is_cumsum(self):
+        inst1 = make_flowshop(6, 1, seed=2)
+        s = np.arange(6, dtype=np.int32)
+        ct = flowshop_ct(inst1, s)
+        assert ct[0] == pytest.approx(inst1.p[:, 0].sum())
+
+    def test_lower_bound_holds(self, inst, rng):
+        lb = inst.makespan_lower_bound()
+        for _ in range(20):
+            s = rng.permutation(inst.njobs).astype(np.int32)
+            assert flowshop_ct(inst, s)[-1] >= lb - 1e-9
+
+
+class TestTaillardInsertion:
+    def test_matches_full_dp_at_every_position(self, inst, rng):
+        for _ in range(10):
+            perm = rng.permutation(inst.njobs).astype(np.int32)
+            R, jobs = perm[:-1][None, :], perm[-1:]
+            ms = insertion_makespans(inst, R, jobs)[0]
+            L = R.shape[1]
+            for pos in range(L + 1):
+                full = np.insert(R[0], pos, jobs[0]).astype(np.int32)
+                assert ms[pos] == pytest.approx(
+                    flowshop_ct(inst, full)[-1], rel=1e-12
+                )
+
+
+class TestNEH:
+    def test_neh_is_feasible_and_beats_random(self, inst, rng):
+        order = neh_order(inst)
+        FLOWSHOP.check_genome(inst, order)
+        neh_ms = flowshop_ct(inst, order)[-1]
+        random_ms = [
+            flowshop_ct(inst, rng.permutation(inst.njobs).astype(np.int32))[-1]
+            for _ in range(50)
+        ]
+        assert neh_ms <= np.mean(random_ms)
+
+    def test_schedule_wrapper(self, inst):
+        sched = FlowShopSchedule(inst, neh_order(inst))
+        assert sched.makespan() == pytest.approx(
+            float(flowshop_ct(inst, sched.s)[-1])
+        )
+
+
+class TestInstanceIO:
+    def test_generator_pattern_roundtrip(self):
+        inst = load_flowshop_instance("fs8x3.5")
+        assert (inst.njobs, inst.nmachines) == (8, 3)
+        again = load_flowshop_instance("fs8x3.5")
+        assert inst == again
+
+    def test_file_roundtrip(self, inst, tmp_path):
+        path = tmp_path / "inst.fsp"
+        save_flowshop_instance(inst, path)
+        back = load_flowshop_instance(str(path))
+        assert back == inst
+        assert back.name == inst.name
+
+    def test_bad_spec_lists_valid_forms(self):
+        with pytest.raises(ValueError, match="generator spec"):
+            load_flowshop_instance("no_such_thing")
+
+    def test_rejects_degenerate_matrices(self):
+        with pytest.raises(ValueError):
+            FlowShopInstance(np.ones((1, 3)), name="one-job")
+        with pytest.raises(ValueError):
+            FlowShopInstance(-np.ones((4, 3)), name="negative")
+
+
+class TestProblemAdoption:
+    """build_context resolves the workload from the *instance*."""
+
+    def test_default_config_adopts_flowshop(self):
+        from repro.cga import AsyncCGA, CGAConfig, StopCondition
+
+        inst = make_flowshop(8, 3, seed=1)
+        # no problem= — a default (independent) config must still
+        # resolve flow-shop operators, like Population does
+        eng = AsyncCGA(inst, CGAConfig(grid_rows=4, grid_cols=4), rng=0)
+        assert eng.config.problem == "flowshop"  # corrected at build time
+        res = eng.run(StopCondition(max_generations=2))
+        assert res.best_fitness > 0
+
+    def test_foreign_operator_fails_with_problem_error(self):
+        from repro.cga import AsyncCGA, CGAConfig
+
+        inst = make_flowshop(8, 3, seed=1)
+        with pytest.raises(ValueError, match="for problem 'flowshop'"):
+            AsyncCGA(inst, CGAConfig(mutation="rebalance"), rng=0)
+
+
+class TestEndToEnd:
+    ENGINES = [
+        ("async", 1, {}),
+        ("sync", 1, {}),
+        ("vectorized", 1, {}),
+        ("sim", 2, {}),
+        ("threads", 2, {"lockstep": True}),
+        ("shm", 2, {"lockstep": True}),
+    ]
+
+    @pytest.mark.parametrize("name,n_threads,extras", ENGINES)
+    def test_every_engine_runs_flowshop(self, name, n_threads, extras):
+        from repro.cga import CGAConfig, StopCondition
+        from repro.runtime.registry import create_engine
+
+        inst = make_flowshop(12, 4, seed=3)
+        config = CGAConfig(
+            problem="flowshop",
+            grid_rows=4,
+            grid_cols=4,
+            ls_iterations=3,
+            n_threads=n_threads,
+        )
+        engine = create_engine(name, inst, config, seed=9, **extras)
+        result = engine.run(StopCondition(max_evaluations=640))
+        assert result.evaluations >= 640
+        sched = result.best_schedule(inst)
+        assert isinstance(sched, FlowShopSchedule)
+        assert result.best_fitness == pytest.approx(sched.makespan())
+        assert result.best_fitness >= inst.makespan_lower_bound() - 1e-9
+        engine.pop.check_invariants()
+
+    def test_processes_engine_runs_flowshop(self):
+        from repro.cga import CGAConfig, StopCondition
+        from repro.runtime.registry import create_engine
+
+        inst = make_flowshop(12, 4, seed=3)
+        config = CGAConfig(
+            problem="flowshop", grid_rows=4, grid_cols=4, ls_iterations=2, n_threads=2
+        )
+        engine = create_engine("processes", inst, config, seed=9)
+        result = engine.run(StopCondition(max_evaluations=320))
+        assert result.evaluations >= 320
+        FLOWSHOP.check_genome(inst, result.best_assignment)
+
+    def test_cga_reaches_or_beats_neh(self):
+        # quality smoke: on a harder instance the cGA must at least
+        # match its NEH seed within the budget
+        from repro.cga import CGAConfig, StopCondition
+        from repro.cga.engine import AsyncCGA
+
+        inst = make_flowshop(20, 5, seed=0)
+        neh_ms = float(flowshop_ct(inst, neh_order(inst))[-1])
+        config = CGAConfig(
+            problem="flowshop", grid_rows=6, grid_cols=6, ls_iterations=5
+        )
+        result = AsyncCGA(inst, config, rng=0).run(
+            StopCondition(max_evaluations=4000)
+        )
+        assert result.best_fitness <= neh_ms + 1e-9
+
+
+class TestCLI:
+    def test_solve_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "solve",
+                "--problem",
+                "flowshop",
+                "--engine",
+                "async",
+                "--evals",
+                "300",
+                "--gantt",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fs20x5.0" in out
+        assert "job order" in out
+
+    def test_problems_listing(self, capsys):
+        from repro.cli import main
+
+        rc = main(["problems"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "flowshop" in out and "independent" in out
+
+    def test_generate_flowshop(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "fs.txt"
+        rc = main(
+            [
+                "generate",
+                "--problem",
+                "flowshop",
+                "--ntasks",
+                "6",
+                "--nmachines",
+                "3",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        inst = load_flowshop_instance(str(out_path))
+        assert (inst.njobs, inst.nmachines) == (6, 3)

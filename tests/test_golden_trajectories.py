@@ -1,0 +1,29 @@
+"""Golden-seed trajectory equivalence for the problems-layer refactor.
+
+``tests/data/golden_independent.json`` pins the pre-refactor
+best-fitness trajectory (history rows, final best, population digest)
+of every deterministic engine on the independent workload.  This test
+replays the same seeds through the refactored problem-dispatch path
+and demands bit-identical results — the refactor's "zero behavioral
+drift" acceptance gate.  Regenerate the file with::
+
+    PYTHONPATH=src python tests/golden_capture.py
+"""
+
+import json
+
+from tests.golden_capture import ENGINES, OUT, capture
+
+
+def test_trajectories_match_golden_seeds():
+    golden = json.loads(OUT.read_text())
+    rows = capture()
+    assert set(rows) == set(golden), "engine set drifted from the capture file"
+    for key, row in rows.items():
+        assert row == golden[key], f"trajectory drift in {key}"
+
+
+def test_golden_file_covers_every_deterministic_engine():
+    golden = json.loads(OUT.read_text())
+    expected = {f"{name}({n})" for name, n, _ in ENGINES}
+    assert set(golden) == expected

@@ -53,6 +53,29 @@ class TestFlowtime:
         ft_all0 = flowtime(tiny_instance, s)
         assert ft_all0 > 0
 
+    def test_matches_per_machine_reference(self, rng):
+        # the vectorized lexsort + segmented-cumsum path must agree with
+        # the obvious per-machine SPT prefix-sum loop
+        from repro.etc import make_instance
+
+        inst = make_instance(64, 8, "i", seed=3)
+        for _ in range(20):
+            s = rng.integers(0, inst.nmachines, inst.ntasks, dtype=np.int32)
+            expected = 0.0
+            for m in range(inst.nmachines):
+                times = np.sort(inst.etc_t[m, s == m])
+                if times.size:
+                    expected += float(np.cumsum(times).sum())
+                    expected += float(inst.ready_times[m]) * times.size
+            assert flowtime(inst, s) == pytest.approx(expected, rel=1e-12)
+
+    def test_mean_flowtime_delegates(self, tiny_instance, simple_assignment, rng):
+        # the weighted fitness must use this implementation, scaled
+        from repro.cga.fitness import _mean_flowtime
+
+        expected = flowtime(tiny_instance, simple_assignment) / tiny_instance.ntasks
+        assert _mean_flowtime(simple_assignment, tiny_instance) == expected
+
 
 class TestUtilization:
     def test_range(self, tiny_instance, simple_assignment):

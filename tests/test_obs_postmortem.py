@@ -133,8 +133,15 @@ class TestInjectedCrashE2E:
             resource_every_s=0.05,
             stack_sample_s=0.005,
         )
+        # oversubscribe: the crash must land in worker 1's *own* forked
+        # process even on a single-core box (no worker collapse)
         eng = ShmBlockPACGA(
-            tiny_instance, CFG.with_(n_threads=2), seed=0, obs=obs, lockstep=False
+            tiny_instance,
+            CFG.with_(n_threads=2),
+            seed=0,
+            obs=obs,
+            lockstep=False,
+            oversubscribe=True,
         )
         try:
             with pytest.raises(RuntimeError, match="shm workers failed"):
@@ -184,8 +191,15 @@ class TestInjectedCrashE2E:
             resource_every_s=0.05,
             stack_sample_s=0.005,
         )
+        # oversubscribe: one flight ring / resource stream per logical
+        # worker requires one forked process per block
         eng = ShmBlockPACGA(
-            tiny_instance, CFG.with_(n_threads=2), seed=0, obs=obs, lockstep=False
+            tiny_instance,
+            CFG.with_(n_threads=2),
+            seed=0,
+            obs=obs,
+            lockstep=False,
+            oversubscribe=True,
         )
         with obs:
             eng.run(StopCondition(max_generations=4))

@@ -162,6 +162,52 @@ class TestFreeRunning:
             eng.arm_checkpoint(1, lambda e: None)
 
 
+class TestWorkerCollapse:
+    """Oversubscribed workers fuse into ``min(n, cores)`` processes."""
+
+    def test_collapsed_run_keeps_per_worker_accounting(self, make_engine):
+        import os
+
+        eng = make_engine(n_threads=4, seed=7)
+        res = eng.run(StopCondition(max_generations=4))
+        eng.pop.check_invariants()
+        expected = min(4, os.cpu_count() or 1)
+        assert res.extra["worker_processes"] == expected
+        assert res.extra["n_threads"] == 4
+        # every logical worker's counters advanced even when fused
+        assert all(e > 0 for e in res.extra["per_thread_evaluations"])
+        assert res.evaluations == sum(res.extra["per_thread_evaluations"])
+
+    def test_oversubscribe_forces_full_fanout(self, make_engine):
+        eng = make_engine(n_threads=2, seed=7, oversubscribe=True)
+        res = eng.run(StopCondition(max_generations=2))
+        assert res.extra["worker_processes"] == 2
+
+    def test_fused_plan_structures(self, make_engine):
+        eng = make_engine(n_threads=4)
+        groups, plans = eng._free_plan(2)
+        assert groups == [[0, 1], [2, 3]]
+        for lead, gid in ((0, 0), (2, 1)):
+            plan = plans[lead]
+            assert plan["gid"] == gid
+            # fused cells are the member blocks, in order
+            expected = np.concatenate([eng.blocks[t] for t in groups[gid]])
+            assert np.array_equal(plan["cells"], expected)
+            assert plan["nb"].shape[0] == expected.size
+            # group ownership covers both member blocks
+            assert (plan["group_id"][expected] == gid).all()
+        # a single fused group reads nothing across processes
+        _, single = eng._free_plan(1)
+        assert not single[0]["shared"].any()
+        assert single[0]["boundary"] == 0
+
+    def test_singleton_groups_have_no_plans(self, make_engine):
+        eng = make_engine(n_threads=2)
+        groups, plans = eng._free_plan(2)
+        assert groups == [[0], [1]]
+        assert plans is None
+
+
 class TestSeqlock:
     def test_publish_stamps_boundary_rows_only(self, make_engine):
         # 8x8 grid: a 2-block row-band split leaves interior rows whose

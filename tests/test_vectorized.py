@@ -117,7 +117,7 @@ class TestValidation:
 
     def test_rejects_unsupported_local_search(self, small_instance):
         cfg = CGAConfig(grid_rows=8, grid_cols=8, local_search="random-move")
-        with pytest.raises(ValueError, match="no batch local-search"):
+        with pytest.raises(ValueError, match="no batch kernel for 'random-move'"):
             VectorizedSyncCGA(small_instance, cfg)
 
     def test_supported_scalar_configs_accepted(self, small_instance):
