@@ -9,6 +9,10 @@ Commands:
   bundle, ``--obs-live PORT`` serves live OpenMetrics/JSON snapshots,
   and ``--checkpoint PATH`` writes resumable boundary snapshots;
 * ``resume``      — continue a run from a ``--checkpoint`` file;
+* ``serve``       — run the asynchronous solve service: an HTTP/JSON
+  API accepting solve jobs into a bounded queue, dispatching to a
+  persistent pool of engine workers with checkpoint durability,
+  crash retries and graceful SIGTERM drain (see ``docs/serving.md``);
 * ``engines``     — list the engine registry (names, aliases,
   substrate, resumability);
 * ``problems``    — list the registered scheduling problems (genome
@@ -34,12 +38,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.cli import engines, experiments, instances, obs, problems, resume, solve
+from repro.cli import engines, experiments, instances, obs, problems, resume, serve, solve
 
 __all__ = ["main", "build_parser"]
 
 #: registration order fixes the order commands appear in ``--help``.
-_MODULES = (instances, solve, resume, engines, problems, obs, experiments)
+_MODULES = (instances, solve, resume, serve, engines, problems, obs, experiments)
 
 
 def build_parser() -> argparse.ArgumentParser:

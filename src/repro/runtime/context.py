@@ -43,7 +43,66 @@ __all__ = [
     "attach_runtime",
     "detach_runtime",
     "finish_run",
+    "enable_seed_cache",
+    "disable_seed_cache",
+    "seed_cache_stats",
 ]
+
+# ---------------------------------------------------------------------------
+# optional seed-schedule cache (opt-in; used by the solve service workers)
+# ---------------------------------------------------------------------------
+#: process-global LRU over (problem, instance, seeding-config) -> schedules.
+#: None (the default) means every init_population re-runs the heuristic,
+#: exactly as before — the cache changes amortization, never trajectories,
+#: because the seeding heuristics are deterministic in (instance, config).
+_SEED_CACHE = None
+
+
+def enable_seed_cache(capacity: int = 16):
+    """Memoize :meth:`SchedulingProblem.seed_schedules` across runs.
+
+    Long-lived processes that set up many populations on few instances
+    (the ``repro serve`` engine workers) pay Min-min/NEH once per
+    instance instead of once per job.  Cached schedules are returned as
+    copies, so an engine mutating its population can never corrupt the
+    cache.  Returns the cache (its ``stats()`` feed service metrics).
+    """
+    global _SEED_CACHE
+    from repro.serve.cache import LRUCache  # deliberately tiny; no cycles
+
+    if _SEED_CACHE is None or _SEED_CACHE.capacity != capacity:
+        _SEED_CACHE = LRUCache(capacity)
+    return _SEED_CACHE
+
+
+def disable_seed_cache() -> None:
+    """Drop the cache; seeding returns to compute-per-init."""
+    global _SEED_CACHE
+    _SEED_CACHE = None
+
+
+def seed_cache_stats() -> dict | None:
+    """Hit/miss counters of the active cache (None when disabled)."""
+    return None if _SEED_CACHE is None else _SEED_CACHE.stats()
+
+
+def _seed_schedules_for(pop: Population, instance, config: CGAConfig):
+    """The problem's seed schedules, through the cache when enabled."""
+    if _SEED_CACHE is None:
+        return pop.problem.seed_schedules(instance, config)
+    key = (
+        pop.problem.name,
+        getattr(instance, "name", None) or id(instance),
+        config.seed_with_minmin,
+    )
+    seeds = _SEED_CACHE.get_or_load(
+        key, lambda: pop.problem.seed_schedules(instance, config)
+    )
+    if seeds is None:
+        return None
+    import copy
+
+    return [copy.deepcopy(s) for s in seeds]
 
 
 @dataclass
@@ -102,7 +161,7 @@ def init_population(
         pop = Population(instance, grid)
     else:
         pop = Population(instance, grid, s=arrays[0], ct=arrays[1], fitness=arrays[2])
-    seeds = pop.problem.seed_schedules(instance, config)
+    seeds = _seed_schedules_for(pop, instance, config)
     pop.init_random(rng, seed_schedules=seeds, fitness_fn=fitness_fn)
     return pop
 

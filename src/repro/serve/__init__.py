@@ -1,0 +1,37 @@
+"""Solve-as-a-service: an asynchronous HTTP front end over the engines.
+
+``repro serve`` turns the reproduction into a long-lived service: an
+asyncio HTTP/JSON API (:mod:`repro.serve.http`) accepts solve jobs, a
+bounded queue applies backpressure, and a scheduler
+(:mod:`repro.serve.service`) dispatches to a persistent pool of forked
+engine workers (:mod:`repro.serve.pool` / :mod:`repro.serve.worker`)
+that reuse the :class:`~repro.runtime.registry.EngineSpec` registry,
+checkpoint v3 durability and the flight-recorder crash machinery.
+
+See ``docs/serving.md`` (API reference) and ``docs/operations.md``
+(operator runbook).
+"""
+
+from repro.serve.cache import LRUCache
+from repro.serve.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobStore,
+    JobValidationError,
+    QueueFull,
+    ServiceDraining,
+    validate_job,
+)
+from repro.serve.service import SolveService
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobStore",
+    "JobValidationError",
+    "LRUCache",
+    "QueueFull",
+    "ServiceDraining",
+    "SolveService",
+    "validate_job",
+]

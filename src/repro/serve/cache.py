@@ -1,0 +1,78 @@
+"""Bounded LRU caches for the solve service's worker processes.
+
+A worker serves many small jobs; loading a 512x16 benchmark matrix or
+re-running Min-min/NEH seeding for every request would dominate the
+service's latency.  :class:`LRUCache` is the one cache primitive the
+serve layer uses — instances in the worker loop
+(:mod:`repro.serve.worker`) and seed schedules in
+:mod:`repro.runtime.context`'s optional seed-schedule cache both sit
+behind it.  Hit/miss counters are plain integers the owner can export
+as metrics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A plain bounded mapping with least-recently-used eviction.
+
+    Not thread-safe by design: every serve worker owns a private cache
+    (the same single-writer rule as the obs metric recorders).
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_data")
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key, default=None):
+        """Return the cached value (refreshing its recency) or ``default``."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert/overwrite ``key``, evicting the oldest entry when full."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def get_or_load(self, key, loader: Callable):
+        """``get`` with a miss-path ``loader()`` whose result is cached."""
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = loader()
+            self.put(key, value)
+        return value
+
+    def stats(self) -> dict:
+        """Hit/miss/size counters, ready for a metrics gauge export."""
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

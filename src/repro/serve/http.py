@@ -1,0 +1,200 @@
+"""Asyncio HTTP/JSON front end for the solve service (stdlib only).
+
+A deliberately minimal HTTP/1.1 server on ``asyncio.start_server`` —
+no framework, no dependency.  Each connection handles one request and
+closes (``Connection: close``); the handlers never block the event
+loop, because every slow operation (validation aside) is a queue append
+or a spool-file read performed by :class:`~repro.serve.service
+.SolveService` under its own locks.
+
+Endpoints (see ``docs/serving.md`` for the full reference):
+
+========  ==================  =============================================
+method    path                behaviour
+========  ==================  =============================================
+POST      ``/jobs``           submit a solve job -> 202 + job record;
+                              400 invalid, 429 + ``Retry-After`` when the
+                              bounded queue is full, 503 while draining
+GET       ``/jobs``           list job records (most recent first)
+GET       ``/jobs/<id>``      one job record (live progress included)
+GET       ``/metrics``        OpenMetrics text exposition
+GET       ``/healthz``        service snapshot (queue depth, workers, ...)
+========  ==================  =============================================
+
+``run_service`` wires SIGTERM/SIGINT to the graceful drain: stop
+accepting, park in-flight jobs via checkpoint, exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+
+from repro.obs.live import OPENMETRICS_CONTENT_TYPE
+from repro.serve.jobs import JobValidationError, QueueFull, ServiceDraining
+
+__all__ = ["HttpFrontend", "run_service"]
+
+_MAX_BODY = 4 * 1024 * 1024  # inline instance payloads fit well under this
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpFrontend:
+    """One asyncio HTTP server bound to a :class:`SolveService`."""
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port  # 0 -> ephemeral; .port is rewritten after bind
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> "HttpFrontend":
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request plumbing -----------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            status, headers, body = await self._respond(reader)
+        except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the server
+            status, headers, body = 500, {}, _json_bytes({"error": f"internal error: {exc}"})
+        try:
+            writer.write(_render_response(status, headers, body))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _respond(self, reader) -> tuple[int, dict, bytes]:
+        request = await _read_request(reader)
+        if request is None:
+            return 400, {}, _json_bytes({"error": "malformed HTTP request"})
+        method, path, body = request
+        self.service.metrics.inc("serve.http.requests")
+        self.service.metrics.inc(f"serve.http.{method.lower()}")
+        if path == "/jobs" and method == "POST":
+            return self._post_job(body)
+        if path == "/jobs" and method == "GET":
+            return 200, {}, _json_bytes({"jobs": self.service.jobs()})
+        if path.startswith("/jobs/") and method == "GET":
+            job = self.service.job(path[len("/jobs/") :])
+            if job is None:
+                return 404, {}, _json_bytes({"error": "no such job"})
+            return 200, {}, _json_bytes(job)
+        if path == "/metrics" and method == "GET":
+            text = self.service.openmetrics()
+            return 200, {"Content-Type": OPENMETRICS_CONTENT_TYPE}, text.encode("utf-8")
+        if path == "/healthz" and method == "GET":
+            return 200, {}, _json_bytes(self.service.snapshot())
+        if path in ("/jobs", "/metrics", "/healthz") or path.startswith("/jobs/"):
+            return 405, {}, _json_bytes({"error": f"{method} not allowed on {path}"})
+        return 404, {}, _json_bytes({"error": f"no route for {path}"})
+
+    def _post_job(self, body: bytes) -> tuple[int, dict, bytes]:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {}, _json_bytes({"error": f"body is not valid JSON: {exc}"})
+        if not isinstance(payload, dict):
+            return 400, {}, _json_bytes({"error": "body must be a JSON object"})
+        try:
+            job = self.service.submit(payload)
+        except JobValidationError as exc:
+            return 400, {}, _json_bytes({"error": str(exc)})
+        except QueueFull as exc:
+            headers = {"Retry-After": str(max(1, round(exc.retry_after_s)))}
+            return 429, headers, _json_bytes(
+                {"error": str(exc), "queue_depth": exc.depth, "queue_limit": exc.limit}
+            )
+        except ServiceDraining as exc:
+            return 503, {}, _json_bytes({"error": str(exc)})
+        accepted = {"id": job["id"], "state": job["state"], "url": f"/jobs/{job['id']}"}
+        return 202, {}, _json_bytes(accepted)
+
+
+async def _read_request(reader) -> tuple[str, str, bytes] | None:
+    """Parse one HTTP/1.1 request; None on anything malformed."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError, ConnectionError):
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        return None
+    method, target = parts[0].upper(), parts[1].split("?", 1)[0]
+    length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                return None
+    if length > _MAX_BODY:
+        return None
+    body = await reader.readexactly(length) if length else b""
+    return method, target, body
+
+
+def _json_bytes(obj) -> bytes:
+    return (json.dumps(obj) + "\n").encode("utf-8")
+
+
+def _render_response(status: int, headers: dict, body: bytes) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}"]
+    merged = {
+        "Content-Type": "application/json",
+        **headers,
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    lines.extend(f"{k}: {v}" for k, v in merged.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def run_service(service, host: str = "127.0.0.1", port: int = 0, ready=print) -> int:
+    """Serve until SIGTERM/SIGINT, then drain gracefully; returns exit code.
+
+    ``ready`` is called with the ``serving on http://host:port`` line
+    once the socket is bound (port 0 resolves to the real ephemeral
+    port first) — tests and the smoke benchmark parse it.
+    """
+
+    async def _main() -> int:
+        service.start()
+        frontend = await HttpFrontend(service, host, port).start()
+        ready(f"serving on http://{frontend.host}:{frontend.port}")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        # graceful drain: stop accepting first, then park in-flight work
+        await frontend.close()
+        clean = await asyncio.to_thread(service.drain)
+        return 0 if clean else 1
+
+    try:
+        return asyncio.run(_main())
+    finally:
+        service.stop()

@@ -1,0 +1,135 @@
+"""Persistent engine-worker pool (fork) for the solve service.
+
+The pool owns N long-lived worker processes, one task queue per worker
+(so the scheduler always knows *which* worker holds *which* job — the
+crash-retry path needs that attribution) and one shared result queue.
+A fork-shared :class:`multiprocessing.Event` broadcasts the drain
+request to every worker at once, the same pattern the shm engine uses
+for its stall flags.
+
+Crash detection is the OS's: each worker's ``Process.sentinel`` becomes
+readable the moment the process dies, however it dies (uncaught
+exception, ``os._exit``, SIGKILL).  The service polls
+:meth:`reap_dead` each scheduler tick, gets back the dead worker ids
+with their exit codes, and decides retry/fail; :meth:`restart` forks a
+replacement onto the *same* queues, so queued hand-offs survive the
+crash.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+
+from repro.serve.worker import worker_main
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """N forked engine workers with per-worker dispatch queues."""
+
+    def __init__(self, n_workers: int, spool, options: dict | None = None):
+        if n_workers < 1:
+            raise ValueError(f"pool needs >= 1 worker, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self.spool = spool
+        self.options = dict(options or {})
+        # fork keeps the registries/imports warm in the children; the
+        # engines themselves fork the same way (repro.parallel.shm)
+        self._ctx = mp.get_context("fork")
+        self.drain_event = self._ctx.Event()
+        self.result_q = self._ctx.Queue()
+        self.task_qs = [self._ctx.Queue() for _ in range(self.n_workers)]
+        self.procs: list = [None] * self.n_workers
+        self.restarts = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "WorkerPool":
+        for wid in range(self.n_workers):
+            self._spawn(wid)
+        return self
+
+    def _spawn(self, wid: int) -> None:
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(
+                wid,
+                str(self.spool),
+                self.task_qs[wid],
+                self.result_q,
+                self.drain_event,
+                self.options,
+            ),
+            name=f"serve-w{wid}",
+            daemon=True,
+        )
+        proc.start()
+        self.procs[wid] = proc
+
+    def restart(self, wid: int) -> None:
+        """Fork a replacement for a dead/killed worker ``wid``."""
+        proc = self.procs[wid]
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+        self.restarts += 1
+        self._spawn(wid)
+
+    # -- dispatch / harvest --------------------------------------------------
+    def dispatch(self, wid: int, task: dict) -> None:
+        self.task_qs[wid].put(task)
+
+    def poll(self, timeout_s: float = 0.05) -> dict | None:
+        """Next worker message, or None after ``timeout_s``."""
+        import queue
+
+        try:
+            return self.result_q.get(timeout=timeout_s)
+        except queue.Empty:
+            return None
+
+    def reap_dead(self) -> list[tuple[int, int]]:
+        """``(wid, exitcode)`` for every worker found dead this tick."""
+        dead = []
+        for wid, proc in enumerate(self.procs):
+            if proc is not None and not proc.is_alive():
+                proc.join(timeout=0.0)
+                dead.append((wid, proc.exitcode if proc.exitcode is not None else -1))
+                self.procs[wid] = None
+        return dead
+
+    def kill(self, wid: int) -> None:
+        """SIGKILL one worker (stall escalation; caller restarts it)."""
+        proc = self.procs[wid]
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+        self.procs[wid] = None
+
+    def n_alive(self) -> int:
+        return sum(1 for p in self.procs if p is not None and p.is_alive())
+
+    # -- shutdown -------------------------------------------------------------
+    def drain(self) -> None:
+        """Broadcast the drain flag and wake blocked workers."""
+        self.drain_event.set()
+        for q in self.task_qs:
+            q.put(None)
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Sentinel every queue, join, then terminate stragglers."""
+        for q in self.task_qs:
+            q.put(None)
+        deadline = time.monotonic() + timeout_s
+        for proc in self.procs:
+            if proc is None:
+                continue
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        # drain the queue feeder threads so interpreter shutdown is clean
+        self.result_q.cancel_join_thread()
+        for q in self.task_qs:
+            q.cancel_join_thread()
