@@ -90,14 +90,19 @@ def _seed_schedules_for(pop: Population, instance, config: CGAConfig):
     """The problem's seed schedules, through the cache when enabled."""
     if _SEED_CACHE is None:
         return pop.problem.seed_schedules(instance, config)
-    key = (
-        pop.problem.name,
-        getattr(instance, "name", None) or id(instance),
-        config.seed_with_minmin,
-    )
-    seeds = _SEED_CACHE.get_or_load(
-        key, lambda: pop.problem.seed_schedules(instance, config)
-    )
+    # the instance object itself is the key: both built-in instance
+    # types define content-based __eq__ (full array comparison), so two
+    # instances sharing a header name but differing in data can never
+    # collide, and the cache's strong reference rules out id() reuse.
+    # Header names are NOT content-unique and object ids recycle after
+    # GC — neither is a safe key in a layer promising bit-exactness.
+    key = (pop.problem.name, instance, config.seed_with_minmin)
+    try:
+        seeds = _SEED_CACHE.get_or_load(
+            key, lambda: pop.problem.seed_schedules(instance, config)
+        )
+    except TypeError:  # unhashable custom instance type: compute uncached
+        return pop.problem.seed_schedules(instance, config)
     if seeds is None:
         return None
     import copy

@@ -15,7 +15,7 @@ method    path                behaviour
 POST      ``/jobs``           submit a solve job -> 202 + job record;
                               400 invalid, 429 + ``Retry-After`` when the
                               bounded queue is full, 503 while draining
-GET       ``/jobs``           list job records (most recent first)
+GET       ``/jobs``           list job records (submission order)
 GET       ``/jobs/<id>``      one job record (live progress included)
 GET       ``/metrics``        OpenMetrics text exposition
 GET       ``/healthz``        service snapshot (queue depth, workers, ...)
@@ -89,8 +89,9 @@ class HttpFrontend:
         if request is None:
             return 400, {}, _json_bytes({"error": "malformed HTTP request"})
         method, path, body = request
-        self.service.metrics.inc("serve.http.requests")
-        self.service.metrics.inc(f"serve.http.{method.lower()}")
+        # _inc: the recorder is shared with the scheduler thread
+        self.service._inc("serve.http.requests")
+        self.service._inc(f"serve.http.{method.lower()}")
         if path == "/jobs" and method == "POST":
             return self._post_job(body)
         if path == "/jobs" and method == "GET":

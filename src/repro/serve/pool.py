@@ -100,12 +100,17 @@ class WorkerPool:
         return dead
 
     def kill(self, wid: int) -> None:
-        """SIGKILL one worker (stall escalation; caller restarts it)."""
+        """SIGKILL one worker (stall escalation).
+
+        The process object deliberately stays in ``procs``: the next
+        :meth:`reap_dead` tick is what reports the death, so a stall
+        kill flows through the exact same crash/retry/restart path as
+        any other worker death.
+        """
         proc = self.procs[wid]
         if proc is not None and proc.is_alive():
             proc.kill()
             proc.join(timeout=5.0)
-        self.procs[wid] = None
 
     def n_alive(self) -> int:
         return sum(1 for p in self.procs if p is not None and p.is_alive())

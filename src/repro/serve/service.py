@@ -91,6 +91,7 @@ class SolveService:
         self._activity: dict[str, float] = {}  # job id -> last progress (monotonic)
         self._engine_tput: dict[str, list[float]] = {}  # engine -> [evals, seconds]
         self._lock = threading.Lock()
+        self._mlock = threading.Lock()  # guards self.metrics (see _inc)
         self._draining = threading.Event()
         self._stopped = threading.Event()
         self._drained = threading.Event()  # all in-flight jobs parked/finished
@@ -104,6 +105,26 @@ class SolveService:
                 out_path=out, role="serve", recorder=self.metrics
             )
 
+    # -- metrics --------------------------------------------------------------
+    # Unlike the engine recorders (strictly single-writer by the obs
+    # subsystem's rules), the service recorder has writers on the
+    # scheduler thread, the asyncio event-loop thread (submit, HTTP
+    # request counters, /metrics gauge refresh) and the resource
+    # sampler, so every read-modify-write goes through these locked
+    # helpers.  The sampler itself only ``set_gauge``s — one atomic
+    # dict store per key — which needs no lock.
+    def _inc(self, key: str, value: float = 1.0) -> None:
+        with self._mlock:
+            self.metrics.inc(key, value)
+
+    def _observe(self, key: str, value: float) -> None:
+        with self._mlock:
+            self.metrics.observe(key, value)
+
+    def _gauge(self, key: str, value: float) -> None:
+        with self._mlock:
+            self.metrics.set_gauge(key, value)
+
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "SolveService":
         """Recover the spool, fork the pool, start the scheduler."""
@@ -111,9 +132,9 @@ class SolveService:
             ckpt = self.spool / "checkpoints" / f"{job['id']}.ckpt"
             if ckpt.is_file():
                 self.store.update(job["id"], checkpoint=str(ckpt), resumed=True)
-                self.metrics.inc("serve.jobs.recovered_with_checkpoint")
+                self._inc("serve.jobs.recovered_with_checkpoint")
             self._queue.append(job["id"])
-            self.metrics.inc("serve.jobs.recovered")
+            self._inc("serve.jobs.recovered")
         self.pool.start()
         if self._resources is not None:
             self._resources.start()
@@ -140,7 +161,7 @@ class SolveService:
         the spool — a restart picks every one of them up.
         """
         self._draining.set()
-        self.metrics.inc("serve.drains")
+        self._inc("serve.drains")
         self.pool.drain()
         clean = self._drained.wait(timeout=timeout_s)
         self._stopped.set()
@@ -161,23 +182,24 @@ class SolveService:
     def submit(self, payload: dict) -> dict:
         """Validate + enqueue one job; returns its (copied) record."""
         if self._draining.is_set():
-            self.metrics.inc("serve.jobs.rejected_draining")
+            self._inc("serve.jobs.rejected_draining")
             raise ServiceDraining("service is draining; retry against the restarted instance")
         spec = validate_job(payload)  # raises JobValidationError
         with self._lock:
             depth = len(self._queue) + len(self._retries)
             if depth >= self.queue_limit:
-                self.metrics.inc("serve.jobs.rejected_full")
+                self._inc("serve.jobs.rejected_full")
                 raise QueueFull(depth, self.queue_limit, self._retry_after_s(depth))
             job = self.store.create(spec, max_retries=self.max_retries)
             self._queue.append(job["id"])
-        self.metrics.inc("serve.jobs.submitted")
+        self._inc("serve.jobs.submitted")
         return job
 
     def _retry_after_s(self, depth: int) -> float:
         """Back-of-envelope drain time of the current queue."""
-        hist = self.metrics.histograms.get("serve.job.duration_s")
-        per_job = (hist.mean if hist is not None and hist.count else 1.0)
+        with self._mlock:
+            hist = self.metrics.histograms.get("serve.job.duration_s")
+            per_job = (hist.mean if hist is not None and hist.count else 1.0)
         return max(1.0, per_job * depth / max(1, self.pool.n_workers))
 
     # -- queries ----------------------------------------------------------------
@@ -206,19 +228,23 @@ class SolveService:
     def openmetrics(self) -> str:
         """The ``/metrics`` body (OpenMetrics text exposition)."""
         snap = self.snapshot()
-        self.metrics.set_gauge("serve.queue.depth", snap["queue_depth"])
-        self.metrics.set_gauge("serve.queue.limit", snap["queue_limit"])
-        self.metrics.set_gauge("serve.jobs.inflight", snap["inflight"])
-        self.metrics.set_gauge("serve.workers.alive", snap["workers_alive"])
-        self.metrics.set_gauge("serve.draining", 1.0 if snap["draining"] else 0.0)
-        for state, n in snap["jobs"].items():
-            self.metrics.set_gauge(f"serve.jobs.state.{state}", float(n))
-        for engine, (evals, seconds) in self._engine_tput.items():
-            if seconds > 0:
-                self.metrics.set_gauge(
-                    f"serve.engine.{engine}.evals_per_s", evals / seconds
-                )
-        return render_openmetrics(self.metrics.snapshot())
+        with self._lock:
+            # copy: the scheduler thread setdefault()s new engines
+            tput = {k: tuple(v) for k, v in self._engine_tput.items()}
+        with self._mlock:
+            self.metrics.set_gauge("serve.queue.depth", snap["queue_depth"])
+            self.metrics.set_gauge("serve.queue.limit", snap["queue_limit"])
+            self.metrics.set_gauge("serve.jobs.inflight", snap["inflight"])
+            self.metrics.set_gauge("serve.workers.alive", snap["workers_alive"])
+            self.metrics.set_gauge("serve.draining", 1.0 if snap["draining"] else 0.0)
+            for state, n in snap["jobs"].items():
+                self.metrics.set_gauge(f"serve.jobs.state.{state}", float(n))
+            for engine, (evals, seconds) in tput.items():
+                if seconds > 0:
+                    self.metrics.set_gauge(
+                        f"serve.engine.{engine}.evals_per_s", evals / seconds
+                    )
+            return render_openmetrics(self.metrics.snapshot())
 
     # -- the scheduler thread ----------------------------------------------------
     def _loop(self) -> None:
@@ -265,8 +291,8 @@ class SolveService:
         if caches:
             for name, stats in caches.items():
                 if stats:
-                    self.metrics.set_gauge(f"serve.cache.{name}.w{wid}.hits", stats["hits"])
-                    self.metrics.set_gauge(f"serve.cache.{name}.w{wid}.misses", stats["misses"])
+                    self._gauge(f"serve.cache.{name}.w{wid}.hits", stats["hits"])
+                    self._gauge(f"serve.cache.{name}.w{wid}.misses", stats["misses"])
         if kind == "done":
             job = self.store.update(
                 job_id,
@@ -276,16 +302,17 @@ class SolveService:
                 resumed=msg["resumed"],
                 checkpoint=msg.get("checkpoint"),
             )
-            self.metrics.inc("serve.jobs.completed")
+            self._inc("serve.jobs.completed")
             if msg["resumed"]:
-                self.metrics.inc("serve.jobs.resumed")
-            self.metrics.observe("serve.job.duration_s", msg["elapsed_s"])
-            tput = self._engine_tput.setdefault(job["spec"]["engine"], [0.0, 0.0])
-            tput[0] += msg["result"]["evaluations"]
-            tput[1] += msg["elapsed_s"]
+                self._inc("serve.jobs.resumed")
+            self._observe("serve.job.duration_s", msg["elapsed_s"])
+            with self._lock:
+                tput = self._engine_tput.setdefault(job["spec"]["engine"], [0.0, 0.0])
+                tput[0] += msg["result"]["evaluations"]
+                tput[1] += msg["elapsed_s"]
         elif kind == "parked":
             self.store.update(job_id, state="parked", checkpoint=msg.get("checkpoint"), worker=None)
-            self.metrics.inc("serve.jobs.parked")
+            self._inc("serve.jobs.parked")
         elif kind == "error":
             self.store.update(
                 job_id,
@@ -293,7 +320,7 @@ class SolveService:
                 finished_unix=round(time.time(), 3),
                 error=msg["error"],
             )
-            self.metrics.inc("serve.jobs.failed")
+            self._inc("serve.jobs.failed")
 
     def _handle_deaths(self) -> None:
         for wid, exitcode in self.pool.reap_dead():
@@ -305,16 +332,16 @@ class SolveService:
                 # job it still held parks via its checkpoint on restart
                 if job_id is not None:
                     self.store.update(job_id, state="parked", worker=None)
-                    self.metrics.inc("serve.jobs.parked")
+                    self._inc("serve.jobs.parked")
                 continue
             if job_id is not None:
                 self._crashed(job_id, wid, exitcode)
             self.pool.restart(wid)
-            self.metrics.inc("serve.workers.restarts")
+            self._inc("serve.workers.restarts")
 
     def _crashed(self, job_id: str, wid: int, exitcode: int) -> None:
         """Crash/stall handling: link postmortem, retry or fail."""
-        self.metrics.inc("serve.jobs.crashed")
+        self._inc("serve.jobs.crashed")
         self._activity.pop(job_id, None)
         postmortem = self._link_postmortem(job_id, wid)
         job = self.store.get(job_id)
@@ -330,11 +357,11 @@ class SolveService:
             self.store.update(
                 job_id, state="failed", finished_unix=round(time.time(), 3), **changes
             )
-            self.metrics.inc("serve.jobs.failed")
+            self._inc("serve.jobs.failed")
             return
         backoff = self.retry_backoff_s * (2 ** (attempts - 1))
         self.store.update(job_id, state="retrying", **changes)
-        self.metrics.inc("serve.jobs.retried")
+        self._inc("serve.jobs.retried")
         with self._lock:
             self._retries.append((time.monotonic() + backoff, job_id))
 
@@ -361,8 +388,11 @@ class SolveService:
                 if now - self._activity.get(job_id, now) > self.stall_deadline_s
             ]
         for wid, job_id in stalled:
-            self.metrics.inc("serve.jobs.stalled")
-            self.pool.kill(wid)  # next _handle_deaths tick runs the crash path
+            self._inc("serve.jobs.stalled")
+            # SIGKILL only; the dead process stays in pool.procs so the
+            # next _handle_deaths tick reaps it and runs the crash path
+            # (retry/fail + restart) exactly like any other worker death
+            self.pool.kill(wid)
 
     def _promote_due_retries(self) -> None:
         now = time.monotonic()
@@ -400,12 +430,14 @@ class SolveService:
             )
             self._activity[job_id] = time.monotonic()
             self.pool.dispatch(wid, {"id": job_id, "spec": job["spec"], "attempts": job["attempts"]})
-            self.metrics.inc("serve.jobs.dispatched")
+            self._inc("serve.jobs.dispatched")
 
     def _publish_live(self, force: bool = False) -> None:
         if self.obs_out is None:
             return
-        snap = {"service": self.snapshot(), "metrics": self.metrics.snapshot()}
+        with self._mlock:
+            metrics = self.metrics.snapshot()
+        snap = {"service": self.snapshot(), "metrics": metrics}
         try:
             self.obs_out.mkdir(parents=True, exist_ok=True)
             atomic_write_json(self.obs_out / "live.json", snap)

@@ -103,3 +103,59 @@ class TestBuildContext:
         ctx = build_context(tiny_instance, CFG, rng=0)
         mm = min_min(tiny_instance).s
         assert not any(np.array_equal(row, mm) for row in ctx.pop.s)
+
+
+class TestSeedCache:
+    """The opt-in seed-schedule cache must be keyed by instance *content*.
+
+    Instance header names are not content-unique and object ids recycle
+    after GC, so neither may select a cache entry — the cache promises
+    bit-exact trajectories.
+    """
+
+    def _flowshop_pair_sharing_a_name(self):
+        from repro.problems.flowshop import FlowShopInstance
+
+        rng = np.random.default_rng(7)
+        a = FlowShopInstance(rng.uniform(1.0, 9.0, (6, 3)), name="dup")
+        b = FlowShopInstance(rng.uniform(1.0, 9.0, (6, 3)), name="dup")
+        return a, b
+
+    def test_same_name_different_content_never_collides(self):
+        from repro.problems import problem_of
+        from repro.runtime.context import disable_seed_cache, enable_seed_cache
+
+        a, b = self._flowshop_pair_sharing_a_name()
+        cfg = CGAConfig(
+            problem="flowshop", grid_rows=4, grid_cols=4, seed_with_minmin=True
+        )
+        neh_a = problem_of(a).seed_schedules(a, cfg)[0].s
+        neh_b = problem_of(b).seed_schedules(b, cfg)[0].s
+        assert not np.array_equal(neh_a, neh_b)  # pair discriminates the bug
+        try:
+            cache = enable_seed_cache()
+            ctx_a = build_context(a, cfg, rng=0)
+            ctx_b = build_context(b, cfg, rng=0)
+            assert cache.stats()["misses"] == 2  # b must not reuse a's entry
+        finally:
+            disable_seed_cache()
+        assert any(np.array_equal(row, neh_a) for row in ctx_a.pop.s)
+        assert any(np.array_equal(row, neh_b) for row in ctx_b.pop.s)
+
+    def test_equal_content_hits_and_matches_uncached_trajectory(self):
+        from repro.runtime.context import disable_seed_cache, enable_seed_cache
+
+        a, _ = self._flowshop_pair_sharing_a_name()
+        cfg = CGAConfig(
+            problem="flowshop", grid_rows=4, grid_cols=4, seed_with_minmin=True
+        )
+        uncached = build_context(a, cfg, rng=0)
+        try:
+            cache = enable_seed_cache()
+            first = build_context(a, cfg, rng=0)
+            second = build_context(a, cfg, rng=0)
+            assert cache.stats() == dict(cache.stats(), hits=1, misses=1)
+        finally:
+            disable_seed_cache()
+        assert np.array_equal(uncached.pop.s, first.pop.s)
+        assert np.array_equal(first.pop.s, second.pop.s)

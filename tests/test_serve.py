@@ -323,6 +323,70 @@ class TestServiceEndToEnd:
             svc.stop()
 
 
+class TestStallEscalation:
+    def test_hung_worker_is_killed_job_fails_and_slot_keeps_serving(self, tmp_path):
+        # a worker that stops reporting progress must be SIGKILLed and
+        # flow through the normal crash path: the job reaches a terminal
+        # state, the slot restarts, and the service keeps processing
+        svc = SolveService(
+            tmp_path, workers=1, fault_injection=True,
+            max_retries=0, stall_deadline_s=0.75,
+        ).start()
+        try:
+            job = svc.submit(
+                dict(
+                    FAST_JOB,
+                    budget={"max_generations": 8},
+                    inject={"hang_after_generations": 2},
+                )
+            )
+            rec = _wait(
+                lambda: (r := svc.job(job["id"]))["state"] in ("done", "failed") and r
+            )
+            assert rec["state"] == "failed"
+            assert "died" in rec["error"]
+            # exactly one stall event: the kill is reaped next tick, so
+            # the deadline check must not re-fire on the same stall
+            assert svc.metrics.counters["serve.jobs.stalled"] == 1
+            assert svc.metrics.counters["serve.workers.restarts"] == 1
+            # the restarted slot still serves (workers=1: a lost slot
+            # would park the whole service forever)
+            follow = svc.submit(FAST_JOB)
+            rec2 = _wait(
+                lambda: (r := svc.job(follow["id"]))["state"] in ("done", "failed") and r
+            )
+            assert rec2["state"] == "done"
+        finally:
+            svc.stop()
+
+    def test_stalled_job_retries_and_inflight_set_empties(self, tmp_path):
+        # with retries left, a stall-kill must requeue the job; the hang
+        # re-fires every attempt, so exhaustion ends in 'failed' with
+        # nothing stuck in the in-flight set
+        svc = SolveService(
+            tmp_path, workers=1, fault_injection=True,
+            max_retries=1, retry_backoff_s=0.05, stall_deadline_s=0.75,
+        ).start()
+        try:
+            job = svc.submit(
+                dict(
+                    FAST_JOB,
+                    budget={"max_generations": 8},
+                    inject={"hang_after_generations": 2},
+                )
+            )
+            rec = _wait(
+                lambda: (r := svc.job(job["id"]))["state"] in ("done", "failed") and r,
+                timeout_s=60.0,
+            )
+            assert rec["state"] == "failed"
+            assert rec["attempts"] == 2
+            assert svc.metrics.counters["serve.jobs.retried"] == 1
+            assert svc.snapshot()["inflight"] == 0
+        finally:
+            svc.stop()
+
+
 class TestDrainAndRecovery:
     def test_drain_parks_inflight_job_and_restart_resumes_it(self, tmp_path):
         svc = SolveService(tmp_path, workers=1)
